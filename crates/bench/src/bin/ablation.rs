@@ -1,0 +1,165 @@
+//! Ablations: the paper's `N_n,min = 2` experiment plus two of our own
+//! (distance metric, variogram family).
+//!
+//! ```text
+//! ablation [--scale fast|paper] [--sweep nmin|metric|variogram]
+//!          [--bench fir|iir|fft|hevc|squeezenet]
+//! ```
+
+use std::process::ExitCode;
+
+use krigeval_bench::suite::{build, Problem};
+use krigeval_bench::table1::run_row;
+use krigeval_bench::Scale;
+use krigeval_core::hybrid::{HybridEvaluator, HybridSettings, VariogramPolicy};
+use krigeval_core::opt::minplusone::optimize;
+use krigeval_core::report::{Table, TableRow};
+use krigeval_core::variogram::ModelFamily;
+use krigeval_core::{DistanceMetric, VariogramModel};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut sweep = String::from("nmin");
+    let mut problem = Problem::Fft;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = if args[i] == "fast" { Scale::Fast } else { Scale::Paper };
+            }
+            "--sweep" => {
+                i += 1;
+                sweep = args[i].clone();
+            }
+            "--bench" => {
+                i += 1;
+                match Problem::parse(&args[i]) {
+                    Some(p) => problem = p,
+                    None => {
+                        eprintln!("unknown benchmark: {}", args[i]);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let result = match sweep.as_str() {
+        "nmin" => sweep_nmin(problem, scale),
+        "metric" => sweep_metric(problem, scale),
+        "variogram" => sweep_variogram(problem, scale),
+        other => {
+            eprintln!("unknown sweep: {other} (expected nmin|metric|variogram)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The paper's closing ablation: `N_n,min ∈ {2, 3, 4}` at d = 3.
+fn sweep_nmin(problem: Problem, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = Table::new();
+    for nmin in [2usize, 3, 4] {
+        let mut row = run_row(problem, scale, 3.0, nmin)?;
+        row.metric = format!("nmin={nmin}");
+        table.push(row);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+/// Our ablation: the L1/L2/L∞ configuration distances.
+fn sweep_metric(problem: Problem, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = Table::new();
+    for metric in [DistanceMetric::L1, DistanceMetric::L2, DistanceMetric::Linf] {
+        let instance = build(problem, scale);
+        let Some(opts) = instance.minplusone else {
+            return Err("metric sweep requires a word-length benchmark".into());
+        };
+        let settings = HybridSettings {
+            distance: 3.0,
+            metric,
+            audit: Some(problem.audit_metric()),
+            ..HybridSettings::default()
+        };
+        let mut hybrid = HybridEvaluator::new(instance.evaluator, settings);
+        optimize(&mut hybrid, &opts)?;
+        let mut row = TableRow::from_stats(
+            problem.label(),
+            format!("{metric}"),
+            problem.nv(),
+            3.0,
+            hybrid.stats(),
+        );
+        row.metric = format!("{metric}");
+        table.push(row);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+/// Our ablation: fixed variogram families instead of automatic fitting.
+fn sweep_variogram(problem: Problem, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
+    let families: Vec<(&str, VariogramPolicy)> = vec![
+        (
+            "auto",
+            VariogramPolicy::FitAfter {
+                min_samples: 10,
+                families: ModelFamily::all().to_vec(),
+                fallback: VariogramModel::linear(1.0),
+            },
+        ),
+        ("linear", VariogramPolicy::Fixed(VariogramModel::linear(3.0))),
+        (
+            "spherical",
+            VariogramPolicy::Fixed(VariogramModel::spherical(0.0, 100.0, 8.0)?),
+        ),
+        (
+            "exponential",
+            VariogramPolicy::Fixed(VariogramModel::exponential(0.0, 100.0, 8.0)?),
+        ),
+        (
+            "gaussian",
+            VariogramPolicy::Fixed(VariogramModel::gaussian(0.0, 100.0, 8.0)?),
+        ),
+    ];
+    let mut table = Table::new();
+    for (name, policy) in families {
+        let instance = build(problem, scale);
+        let Some(opts) = instance.minplusone else {
+            return Err("variogram sweep requires a word-length benchmark".into());
+        };
+        let settings = HybridSettings {
+            distance: 3.0,
+            variogram: policy,
+            audit: Some(problem.audit_metric()),
+            ..HybridSettings::default()
+        };
+        let mut hybrid = HybridEvaluator::new(instance.evaluator, settings);
+        optimize(&mut hybrid, &opts)?;
+        let mut row = TableRow::from_stats(
+            problem.label(),
+            name,
+            problem.nv(),
+            3.0,
+            hybrid.stats(),
+        );
+        row.metric = name.to_string();
+        table.push(row);
+    }
+    print!("{table}");
+    Ok(())
+}

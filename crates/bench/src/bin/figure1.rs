@@ -1,0 +1,55 @@
+//! Reproduces the paper's Figure 1: the FIR noise-power surface over the
+//! adder/multiplier word-lengths, as CSV on stdout.
+//!
+//! ```text
+//! figure1 [--scale fast|paper] [--out PATH]
+//! ```
+
+use std::process::ExitCode;
+
+use krigeval_bench::figure1::{fir_surface, to_csv};
+use krigeval_bench::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = if args[i] == "fast" { Scale::Fast } else { Scale::Paper };
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    match fir_surface(scale) {
+        Ok(surface) => {
+            let csv = to_csv(&surface);
+            match out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, csv) {
+                        eprintln!("failed to write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path} ({} points)", surface.len());
+                }
+                None => print!("{csv}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("surface generation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

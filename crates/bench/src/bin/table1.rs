@@ -1,0 +1,111 @@
+//! Reproduces the paper's Table I.
+//!
+//! ```text
+//! table1 [--bench fir|iir|fft|hevc|squeezenet|all] [--scale fast|paper]
+//!        [--d 2,3,4,5] [--nmin 3] [--json PATH]
+//! ```
+
+use std::process::ExitCode;
+
+use krigeval_bench::suite::Problem;
+use krigeval_bench::table1::run_table;
+use krigeval_bench::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut problems: Vec<Problem> = Problem::all().to_vec();
+    let mut scale = Scale::Paper;
+    let mut distances = vec![2.0, 3.0, 4.0, 5.0];
+    let mut min_neighbors = 3usize;
+    let mut json_path: Option<String> = None;
+    let mut fir_grid = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                i += 1;
+                let v = &args[i];
+                if v == "all" {
+                    problems = Problem::all().to_vec();
+                } else {
+                    match Problem::parse(v) {
+                        Some(p) => problems = vec![p],
+                        None => {
+                            eprintln!("unknown benchmark: {v}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args[i].as_str() {
+                    "fast" => Scale::Fast,
+                    "paper" => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale: {other}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--d" => {
+                i += 1;
+                distances = args[i]
+                    .split(',')
+                    .filter_map(|s| s.parse().ok())
+                    .collect();
+            }
+            "--nmin" => {
+                i += 1;
+                min_neighbors = args[i].parse().unwrap_or(3);
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
+            "--fir-grid" => {
+                fir_grid = true;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "running Table I: {} benchmark(s), d = {distances:?}, N_n,min = {min_neighbors}, {scale:?} scale",
+        problems.len()
+    );
+    match run_table(&problems, scale, &distances, min_neighbors) {
+        Ok(mut table) => {
+            if fir_grid {
+                for &d in &distances {
+                    match krigeval_bench::table1::fir_surface_replay(scale, d, min_neighbors) {
+                        Ok(row) => table.push(row),
+                        Err(e) => {
+                            eprintln!("fir grid replay failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            let table = table;
+            print!("{table}");
+            if let Some(path) = json_path {
+                if let Err(e) = std::fs::write(&path, table.to_json()) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("table generation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Reports the variogram model identified for each benchmark (the paper's
+//! once-per-application identification step) together with its
+//! leave-one-out cross-validation error.
+//!
+//! ```text
+//! variograms [--scale fast|paper]
+//! ```
+
+use std::process::ExitCode;
+
+use krigeval_bench::suite::{build, Problem};
+use krigeval_bench::Scale;
+use krigeval_core::opt::minplusone::optimize;
+use krigeval_core::opt::descent::budget_error_sources;
+use krigeval_core::opt::SimulateAll;
+use krigeval_core::validation::leave_one_out;
+use krigeval_core::DistanceMetric;
+use krigeval_core::variogram::{fit_model, EmpiricalVariogram, ModelFamily};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = if args[i] == "fast" { Scale::Fast } else { Scale::Paper };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    println!(
+        "{:<14} {:<12} {:>8} {:>10} {:>10} {:>8}",
+        "benchmark", "family", "points", "sse", "loo rmse", "skipped"
+    );
+    for problem in Problem::extended() {
+        // Pilot run records the (config, λ) pairs.
+        let instance = build(problem, scale);
+        let mut pilot = SimulateAll(instance.evaluator);
+        let spec = build(problem, scale);
+        let result = if let Some(opts) = spec.minplusone {
+            optimize(&mut pilot, &opts)
+        } else if let Some(opts) = spec.descent {
+            budget_error_sources(&mut pilot, &opts)
+        } else {
+            unreachable!()
+        };
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", problem.label());
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut configs = Vec::new();
+        let mut values = Vec::new();
+        for step in &result.trace.steps {
+            if !configs.contains(&step.config) {
+                configs.push(step.config.clone());
+                values.push(step.lambda);
+            }
+        }
+        let report = EmpiricalVariogram::from_configs(&configs, &values, DistanceMetric::L1)
+            .and_then(|emp| fit_model(&emp, &ModelFamily::all()));
+        match report {
+            Ok(report) => {
+                let cv = leave_one_out(
+                    &configs,
+                    &values,
+                    &report.model,
+                    DistanceMetric::L1,
+                    Some(4.0),
+                );
+                match cv {
+                    Ok(cv) => println!(
+                        "{:<14} {:<12} {:>8} {:>10.1} {:>10.3} {:>8}",
+                        problem.label(),
+                        report.model.family_name(),
+                        configs.len(),
+                        report.weighted_sse,
+                        cv.rmse,
+                        cv.skipped,
+                    ),
+                    Err(e) => println!(
+                        "{:<14} {:<12} {:>8} {:>10.1} {:>10} {:>8}",
+                        problem.label(),
+                        report.model.family_name(),
+                        configs.len(),
+                        report.weighted_sse,
+                        format!("({e})"),
+                        "-",
+                    ),
+                }
+            }
+            Err(e) => {
+                println!("{:<14} fit failed: {e}", problem.label());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

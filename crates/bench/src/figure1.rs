@@ -1,0 +1,95 @@
+//! Figure 1 reproduction: the FIR noise-power surface over
+//! `(w_add, w_mpy)`.
+
+use krigeval_kernels::fir::FirBenchmark;
+use krigeval_kernels::{KernelError, WordLengthBenchmark};
+
+use crate::Scale;
+
+/// One sample of the Figure 1 surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfacePoint {
+    /// Adder-output word-length.
+    pub w_add: i32,
+    /// Multiplier-output word-length.
+    pub w_mpy: i32,
+    /// Output noise power in dB.
+    pub noise_db: f64,
+}
+
+/// Sweeps the full `(w_add, w_mpy)` grid of the FIR benchmark and returns
+/// the noise-power surface of Figure 1.
+///
+/// # Errors
+///
+/// Propagates kernel simulation errors (cannot occur for the default
+/// word-length range).
+///
+/// # Examples
+///
+/// ```no_run
+/// let surface = krigeval_bench::figure1::fir_surface(krigeval_bench::Scale::Fast).unwrap();
+/// assert!(!surface.is_empty());
+/// ```
+pub fn fir_surface(scale: Scale) -> Result<Vec<SurfacePoint>, KernelError> {
+    let bench = match scale {
+        Scale::Fast => FirBenchmark::new(64, 0.2, 512, 0xF1E6_4001),
+        Scale::Paper => FirBenchmark::with_defaults(),
+    };
+    let mut out = Vec::new();
+    for w_add in bench.min_word_length()..=bench.max_word_length() {
+        for w_mpy in bench.min_word_length()..=bench.max_word_length() {
+            let p = bench.noise_power(&[w_add, w_mpy])?;
+            out.push(SurfacePoint {
+                w_add,
+                w_mpy,
+                noise_db: p.db(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the surface as CSV (`w_add,w_mpy,noise_db`), the format the
+/// plotting script in `EXPERIMENTS.md` consumes.
+pub fn to_csv(surface: &[SurfacePoint]) -> String {
+    let mut s = String::from("w_add,w_mpy,noise_db\n");
+    for p in surface {
+        s.push_str(&format!("{},{},{:.4}\n", p.w_add, p.w_mpy, p.noise_db));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_covers_the_grid_and_slopes_downward() {
+        let surface = fir_surface(Scale::Fast).unwrap();
+        assert_eq!(surface.len(), 15 * 15); // word-lengths 2..=16
+        let corner_low = surface
+            .iter()
+            .find(|p| p.w_add == 2 && p.w_mpy == 2)
+            .unwrap();
+        let corner_high = surface
+            .iter()
+            .find(|p| p.w_add == 16 && p.w_mpy == 16)
+            .unwrap();
+        // Figure 1's shape: noise falls monotonically toward wide formats.
+        assert!(corner_high.noise_db < corner_low.noise_db - 40.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let surface = vec![SurfacePoint {
+            w_add: 8,
+            w_mpy: 9,
+            noise_db: -47.25,
+        }];
+        let csv = to_csv(&surface);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("w_add,w_mpy,noise_db"));
+        assert_eq!(lines.next(), Some("8,9,-47.2500"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Benchmark harness reproducing the paper's experimental study.
+//!
+//! This crate glues the five benchmarks (four word-length kernels + the
+//! SqueezeNet-style sensitivity benchmark) to the kriging-based hybrid
+//! evaluator and the host optimizers, and regenerates every table and
+//! figure of the paper:
+//!
+//! | artifact | binary | module |
+//! |----------|--------|--------|
+//! | Table I (all five benchmarks × d ∈ {2..5}) | `table1` | [`table1`] |
+//! | Figure 1 (FIR noise-power surface)         | `figure1` | [`figure1`] |
+//! | §IV prose: per-evaluation speed-up         | `timing` | [`timing`] |
+//! | §IV prose: ≈10 % decision divergence       | `decisions` | [`decisions`] |
+//! | §IV prose: `N_n,min = 2` ablation + extras | `ablation` | [`table1`] |
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+//!
+//! Every experiment is available at two scales: [`Scale::Fast`] (seconds,
+//! used by tests and CI) and [`Scale::Paper`] (the sizes the paper reports,
+//! minutes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decisions;
+pub mod figure1;
+pub mod suite;
+pub mod table1;
+pub mod timing;
+
+/// Experiment scale: trade fidelity for wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Reduced input sets — seconds per experiment, same code paths.
+    Fast,
+    /// The paper's input sizes — minutes per experiment.
+    #[default]
+    Paper,
+}

@@ -1,0 +1,418 @@
+//! The five benchmark problems, packaged as optimizer-ready evaluators.
+
+use krigeval_core::evaluator::{AccuracyEvaluator, EvalError};
+use krigeval_core::hybrid::AuditMetric;
+use krigeval_core::opt::descent::DescentOptions;
+use krigeval_core::opt::minplusone::MinPlusOneOptions;
+use krigeval_core::Config;
+use krigeval_kernels::{
+    dct::DctBenchmark, fft::FftBenchmark, fir::FirBenchmark, hevc::HevcMcBenchmark,
+    iir::IirBenchmark, lms::LmsBenchmark, WordLengthBenchmark,
+};
+use krigeval_neural::{QuantizedNetBenchmark, SensitivityBenchmark};
+
+use crate::Scale;
+
+/// Which of the paper's five benchmarks to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// 64-tap FIR, `Nv = 2`, noise-power metric.
+    Fir,
+    /// 8th-order IIR, `Nv = 5`, noise-power metric.
+    Iir,
+    /// 64-point FFT, `Nv = 10`, noise-power metric.
+    Fft,
+    /// HEVC motion compensation, `Nv = 23`, noise-power metric.
+    Hevc,
+    /// SqueezeNet-style sensitivity analysis, `Nv = 10`, classification
+    /// rate metric.
+    Squeezenet,
+    /// Extension (not in the paper's table): fixed-point **quantized
+    /// inference** of the CNN — word-length DSE with the `p_cl` metric,
+    /// demonstrating the method's metric-independence from the other side.
+    QuantizedCnn,
+    /// Extension: 8×8 2-D DCT (`Nv = 4`, noise power).
+    Dct,
+    /// Extension: LMS adaptive filter (`Nv = 3`, noise power) — a feedback
+    /// system whose accuracy surface stresses kriging.
+    Lms,
+}
+
+impl Problem {
+    /// All five problems in the paper's Table I order.
+    pub fn all() -> [Problem; 5] {
+        [
+            Problem::Fir,
+            Problem::Iir,
+            Problem::Fft,
+            Problem::Hevc,
+            Problem::Squeezenet,
+        ]
+    }
+
+    /// The paper's five problems plus this reproduction's extension
+    /// benchmarks (quantized CNN inference, DCT, LMS).
+    pub fn extended() -> [Problem; 8] {
+        [
+            Problem::Fir,
+            Problem::Iir,
+            Problem::Fft,
+            Problem::Hevc,
+            Problem::Squeezenet,
+            Problem::QuantizedCnn,
+            Problem::Dct,
+            Problem::Lms,
+        ]
+    }
+
+    /// Parses a benchmark name (as accepted by the binaries' `--bench`).
+    pub fn parse(name: &str) -> Option<Problem> {
+        match name.to_ascii_lowercase().as_str() {
+            "fir" | "fir64" => Some(Problem::Fir),
+            "iir" | "iir8" => Some(Problem::Iir),
+            "fft" | "fft64" => Some(Problem::Fft),
+            "hevc" | "hevc_mc" => Some(Problem::Hevc),
+            "squeezenet" | "cnn" => Some(Problem::Squeezenet),
+            "quantized" | "qcnn" | "quantized_cnn" => Some(Problem::QuantizedCnn),
+            "dct" | "dct8x8" => Some(Problem::Dct),
+            "lms" => Some(Problem::Lms),
+            _ => None,
+        }
+    }
+
+    /// Table I's benchmark label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Problem::Fir => "fir64",
+            Problem::Iir => "iir8",
+            Problem::Fft => "fft64",
+            Problem::Hevc => "hevc_mc",
+            Problem::Squeezenet => "squeezenet",
+            Problem::QuantizedCnn => "quantized_cnn",
+            Problem::Dct => "dct8x8",
+            Problem::Lms => "lms",
+        }
+    }
+
+    /// Table I's metric label.
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            Problem::Squeezenet | Problem::QuantizedCnn => "class. rate",
+            _ => "noise power",
+        }
+    }
+
+    /// Number of optimization variables `Nv`.
+    pub fn nv(&self) -> usize {
+        match self {
+            Problem::Fir => 2,
+            Problem::Iir => 5,
+            Problem::Fft => 10,
+            Problem::Hevc => 23,
+            Problem::Squeezenet | Problem::QuantizedCnn => 10,
+            Problem::Dct => 4,
+            Problem::Lms => 3,
+        }
+    }
+
+    /// How audit-mode errors are expressed for this problem (Eq. 11 bits
+    /// for noise power, Eq. 12 relative difference otherwise).
+    pub fn audit_metric(&self) -> AuditMetric {
+        match self {
+            Problem::Squeezenet | Problem::QuantizedCnn => AuditMetric::Relative,
+            _ => AuditMetric::NoisePowerDb,
+        }
+    }
+}
+
+/// A packaged optimization problem: the evaluator plus the optimizer
+/// parameters the paper uses for it.
+pub struct ProblemInstance {
+    /// Which problem this is.
+    pub problem: Problem,
+    /// The simulation evaluator (`λ = evaluateAccuracy(I, w)`).
+    pub evaluator: Box<dyn AccuracyEvaluator>,
+    /// min+1 options — `Some` for the four word-length problems.
+    pub minplusone: Option<MinPlusOneOptions>,
+    /// Descent options — `Some` for the sensitivity problem.
+    pub descent: Option<DescentOptions>,
+}
+
+/// Builds a problem instance at the requested scale.
+///
+/// The accuracy constraints follow the paper where stated (−50 dB for HEVC
+/// and FFT) and are placed mid-range elsewhere (−35 dB FIR, −45 dB IIR,
+/// `p_cl ≥ 0.9` for SqueezeNet, matching "the aim ... maximal power ... for
+/// a targeted value of p_cl") so the optimizer trajectories have the
+/// paper-like lengths that make the interpolated-fraction statistics
+/// meaningful.
+pub fn build(problem: Problem, scale: Scale) -> ProblemInstance {
+    match problem {
+        Problem::Fir => {
+            let bench = match scale {
+                Scale::Fast => FirBenchmark::new(64, 0.2, 512, 0xF1E6_4001),
+                Scale::Paper => FirBenchmark::with_defaults(),
+            };
+            wl_instance(problem, bench, 28.0)
+        }
+        Problem::Iir => {
+            let bench = match scale {
+                Scale::Fast => IirBenchmark::new(8, 0.1, 1024, 0x11E8_0002),
+                Scale::Paper => IirBenchmark::with_defaults(),
+            };
+            wl_instance(problem, bench, 45.0)
+        }
+        Problem::Fft => {
+            let bench = match scale {
+                Scale::Fast => FftBenchmark::new(8, 0xFF7_0003),
+                Scale::Paper => FftBenchmark::new(64, 0xFF7_0003),
+            };
+            wl_instance(problem, bench, 50.0)
+        }
+        Problem::Hevc => {
+            let bench = match scale {
+                Scale::Fast => HevcMcBenchmark::new(48, 9, 0x4EC0_0004),
+                Scale::Paper => HevcMcBenchmark::with_defaults(),
+            };
+            wl_instance(problem, bench, 50.0)
+        }
+        Problem::Dct => {
+            let bench = match scale {
+                Scale::Fast => DctBenchmark::new(8, 0xDC78_0005),
+                Scale::Paper => DctBenchmark::with_defaults(),
+            };
+            wl_instance(problem, bench, 45.0)
+        }
+        Problem::Lms => {
+            let bench = match scale {
+                Scale::Fast => LmsBenchmark::new(8, 1024, 0.04, 0x1335_0006),
+                Scale::Paper => LmsBenchmark::with_defaults(),
+            };
+            wl_instance(problem, bench, 40.0)
+        }
+        Problem::QuantizedCnn => {
+            let bench = match scale {
+                Scale::Fast => QuantizedNetBenchmark::new(48, 12, 0xBEE5),
+                Scale::Paper => QuantizedNetBenchmark::new(400, 16, 0xBEE5),
+            };
+            ProblemInstance {
+                problem,
+                minplusone: Some(MinPlusOneOptions {
+                    lambda_min: 0.92,
+                    w_floor: 3,
+                    w_max: 16,
+                    max_iterations: 10_000,
+                }),
+                descent: None,
+                evaluator: Box::new(QuantizedCnnEvaluator::new(bench)),
+            }
+        }
+        Problem::Squeezenet => {
+            let bench = match scale {
+                Scale::Fast => SensitivityBenchmark::new(48, 12, 0x59EE_2E05),
+                Scale::Paper => SensitivityBenchmark::new(400, 16, 0x59EE_2E05),
+            };
+            let evaluator = SensitivityEvaluator::new(bench);
+            ProblemInstance {
+                problem,
+                evaluator: Box::new(evaluator),
+                minplusone: None,
+                descent: Some(DescentOptions {
+                    lambda_min: 0.9,
+                    level_floor: 0,
+                    level_max: 12,
+                    max_iterations: 10_000,
+                }),
+            }
+        }
+    }
+}
+
+fn wl_instance<B>(problem: Problem, bench: B, lambda_min: f64) -> ProblemInstance
+where
+    B: WordLengthBenchmark + 'static,
+{
+    ProblemInstance {
+        problem,
+        minplusone: Some(MinPlusOneOptions {
+            lambda_min,
+            w_floor: bench.min_word_length(),
+            w_max: bench.max_word_length(),
+            max_iterations: 10_000,
+        }),
+        descent: None,
+        evaluator: Box::new(WlEvaluator::new(bench)),
+    }
+}
+
+/// Adapts a [`WordLengthBenchmark`] to the core [`AccuracyEvaluator`].
+pub struct WlEvaluator<B> {
+    bench: B,
+    count: u64,
+}
+
+impl<B: WordLengthBenchmark> WlEvaluator<B> {
+    /// Wraps a kernel benchmark.
+    pub fn new(bench: B) -> WlEvaluator<B> {
+        WlEvaluator { bench, count: 0 }
+    }
+}
+
+impl<B: WordLengthBenchmark> AccuracyEvaluator for WlEvaluator<B> {
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
+        self.count += 1;
+        self.bench.accuracy_db(config).map_err(EvalError::wrap)
+    }
+
+    fn num_variables(&self) -> usize {
+        self.bench.num_variables()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.count
+    }
+}
+
+/// dB value of an error-source level: levels `0..=12` span −80…−8 dB in
+/// 6 dB steps (noise-to-signal ratio relative to each layer's activation
+/// power). The floor is quiet enough that all margins survive, so the
+/// descent optimizer's starting configuration is always feasible.
+pub fn level_to_db(level: i32) -> f64 {
+    -80.0 + 6.0 * f64::from(level)
+}
+
+/// Adapts the [`SensitivityBenchmark`] to the core [`AccuracyEvaluator`]:
+/// configurations are integer level vectors, mapped through
+/// [`level_to_db`]; the metric is `p_cl`.
+pub struct SensitivityEvaluator {
+    bench: SensitivityBenchmark,
+    count: u64,
+}
+
+impl SensitivityEvaluator {
+    /// Wraps a sensitivity benchmark.
+    pub fn new(bench: SensitivityBenchmark) -> SensitivityEvaluator {
+        SensitivityEvaluator { bench, count: 0 }
+    }
+}
+
+impl AccuracyEvaluator for SensitivityEvaluator {
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
+        self.count += 1;
+        let powers: Vec<f64> = config.iter().map(|&l| level_to_db(l)).collect();
+        self.bench
+            .classification_rate(&powers)
+            .map_err(EvalError::wrap)
+    }
+
+    fn num_variables(&self) -> usize {
+        self.bench.num_sources()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Adapts the [`QuantizedNetBenchmark`] to the core [`AccuracyEvaluator`]:
+/// configurations are activation-register word-lengths; the metric is
+/// `p_cl` against the double-precision reference.
+pub struct QuantizedCnnEvaluator {
+    bench: QuantizedNetBenchmark,
+    count: u64,
+}
+
+impl QuantizedCnnEvaluator {
+    /// Wraps a quantized-inference benchmark.
+    pub fn new(bench: QuantizedNetBenchmark) -> QuantizedCnnEvaluator {
+        QuantizedCnnEvaluator { bench, count: 0 }
+    }
+}
+
+impl AccuracyEvaluator for QuantizedCnnEvaluator {
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
+        self.count += 1;
+        self.bench
+            .classification_rate(config)
+            .map_err(EvalError::wrap)
+    }
+
+    fn num_variables(&self) -> usize {
+        self.bench.num_variables()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_labels() {
+        for p in Problem::extended() {
+            assert_eq!(Problem::parse(p.label()), Some(p));
+        }
+        assert_eq!(Problem::parse("nope"), None);
+    }
+
+    #[test]
+    fn extension_problems_build_and_evaluate() {
+        for p in [Problem::Dct, Problem::Lms, Problem::QuantizedCnn] {
+            let mut inst = build(p, Scale::Fast);
+            let nv = inst.evaluator.num_variables();
+            assert_eq!(nv, p.nv());
+            let wide = inst.evaluator.evaluate(&vec![14; nv]).unwrap();
+            let narrow = inst.evaluator.evaluate(&vec![5; nv]).unwrap();
+            assert!(wide > narrow, "{p:?}: wide {wide} <= narrow {narrow}");
+        }
+    }
+
+    #[test]
+    fn nv_matches_paper_table() {
+        assert_eq!(Problem::Fir.nv(), 2);
+        assert_eq!(Problem::Iir.nv(), 5);
+        assert_eq!(Problem::Fft.nv(), 10);
+        assert_eq!(Problem::Hevc.nv(), 23);
+        assert_eq!(Problem::Squeezenet.nv(), 10);
+    }
+
+    #[test]
+    fn build_produces_consistent_dimensions() {
+        for p in [Problem::Fir, Problem::Iir] {
+            let inst = build(p, Scale::Fast);
+            assert_eq!(inst.evaluator.num_variables(), p.nv());
+            assert!(inst.minplusone.is_some());
+            assert!(inst.descent.is_none());
+        }
+        let s = build(Problem::Squeezenet, Scale::Fast);
+        assert_eq!(s.evaluator.num_variables(), 10);
+        assert!(s.descent.is_some());
+    }
+
+    #[test]
+    fn wl_evaluator_returns_accuracy_db() {
+        let mut inst = build(Problem::Fir, Scale::Fast);
+        let high = inst.evaluator.evaluate(&vec![14, 14]).unwrap();
+        let low = inst.evaluator.evaluate(&vec![6, 6]).unwrap();
+        assert!(high > low);
+        assert_eq!(inst.evaluator.evaluations(), 2);
+    }
+
+    #[test]
+    fn sensitivity_evaluator_maps_levels() {
+        let mut inst = build(Problem::Squeezenet, Scale::Fast);
+        let quiet = inst.evaluator.evaluate(&vec![0; 10]).unwrap();
+        let loud = inst.evaluator.evaluate(&vec![12; 10]).unwrap();
+        assert!(quiet > loud, "quiet {quiet} <= loud {loud}");
+        assert!(quiet > 0.9);
+    }
+
+    #[test]
+    fn level_mapping_is_affine() {
+        assert_eq!(level_to_db(0), -80.0);
+        assert_eq!(level_to_db(12), -8.0);
+    }
+}

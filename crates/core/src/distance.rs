@@ -1,0 +1,124 @@
+//! Configuration-space distance metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance between two approximation configurations.
+///
+/// The paper uses the L1 norm (`dCur = ||w − w_sim||₁`, line 9 of both
+/// algorithms); the other metrics exist because kriging itself only requires
+/// *a* distance — the choice is exercised in an ablation experiment.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::DistanceMetric;
+///
+/// let a = [12.0, 9.0];
+/// let b = [10.0, 10.0];
+/// assert_eq!(DistanceMetric::L1.eval(&a, &b), 3.0);
+/// assert_eq!(DistanceMetric::Linf.eval(&a, &b), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// Manhattan distance — the paper's choice.
+    #[default]
+    L1,
+    /// Euclidean distance.
+    L2,
+    /// Chebyshev (max-coordinate) distance.
+    Linf,
+}
+
+impl DistanceMetric {
+    /// Evaluates the distance between two equal-length points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceMetric::L1 => krigeval_linalg::norm_l1(a, b),
+            DistanceMetric::L2 => krigeval_linalg::norm_l2(a, b),
+            DistanceMetric::Linf => krigeval_linalg::norm_linf(a, b),
+        }
+    }
+
+    /// Distance between two integer configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn eval_config(&self, a: &[i32], b: &[i32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "configuration length mismatch");
+        match self {
+            DistanceMetric::L1 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| f64::from((x - y).abs()))
+                .sum(),
+            DistanceMetric::L2 => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| f64::from((x - y) * (x - y)))
+                .sum::<f64>()
+                .sqrt(),
+            DistanceMetric::Linf => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| f64::from((x - y).abs()))
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for DistanceMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistanceMetric::L1 => write!(f, "L1"),
+            DistanceMetric::L2 => write!(f, "L2"),
+            DistanceMetric::Linf => write!(f, "Linf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_and_point_agree() {
+        let a = [3, -1, 4];
+        let b = [1, 5, 9];
+        let af: Vec<f64> = a.iter().map(|&x| f64::from(x)).collect();
+        let bf: Vec<f64> = b.iter().map(|&x| f64::from(x)).collect();
+        for m in [DistanceMetric::L1, DistanceMetric::L2, DistanceMetric::Linf] {
+            assert!((m.eval_config(&a, &b) - m.eval(&af, &bf)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn l1_counts_unit_steps() {
+        assert_eq!(DistanceMetric::L1.eval_config(&[8, 8, 8], &[8, 9, 8]), 1.0);
+        assert_eq!(DistanceMetric::L1.eval_config(&[8, 8, 8], &[7, 9, 10]), 4.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        let c = [5, 5, 5];
+        for m in [DistanceMetric::L1, DistanceMetric::L2, DistanceMetric::Linf] {
+            assert_eq!(m.eval_config(&c, &c), 0.0);
+        }
+    }
+
+    #[test]
+    fn default_is_l1() {
+        assert_eq!(DistanceMetric::default(), DistanceMetric::L1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DistanceMetric::L1.to_string(), "L1");
+        assert_eq!(DistanceMetric::L2.to_string(), "L2");
+        assert_eq!(DistanceMetric::Linf.to_string(), "Linf");
+    }
+}

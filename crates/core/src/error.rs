@@ -1,0 +1,113 @@
+//! Crate-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+use krigeval_linalg::LinalgError;
+
+/// Error returned by variogram fitting, kriging and the hybrid evaluator.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::kriging::KrigingEstimator;
+/// use krigeval_core::{CoreError, VariogramModel};
+///
+/// let est = KrigingEstimator::new(VariogramModel::linear(1.0));
+/// // Mismatched dimensions are rejected.
+/// let err = est
+///     .predict(&[vec![0.0, 0.0]], &[1.0, 2.0], &[0.5, 0.5])
+///     .unwrap_err();
+/// assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Sites, values or target dimensions disagree.
+    DimensionMismatch {
+        /// What was being validated.
+        what: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Kriging needs at least one data site.
+    NoData,
+    /// The kriging system could not be solved even after regularization.
+    SingularSystem {
+        /// Number of data sites in the failed system.
+        sites: usize,
+    },
+    /// Variogram fitting failed (e.g. no pairs, or degenerate bins).
+    FitFailed {
+        /// Why the fit failed.
+        reason: String,
+    },
+    /// A model parameter is invalid (negative sill, zero range, ...).
+    InvalidModel {
+        /// Why the parameters are rejected.
+        reason: String,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { what, detail } => {
+                write!(f, "dimension mismatch in {what}: {detail}")
+            }
+            CoreError::NoData => write!(f, "kriging requires at least one data site"),
+            CoreError::SingularSystem { sites } => {
+                write!(f, "kriging system with {sites} sites is singular")
+            }
+            CoreError::FitFailed { reason } => write!(f, "variogram fit failed: {reason}"),
+            CoreError::InvalidModel { reason } => write!(f, "invalid variogram model: {reason}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> CoreError {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CoreError::NoData.to_string().contains("at least one"));
+        assert!(CoreError::SingularSystem { sites: 4 }
+            .to_string()
+            .contains("4 sites"));
+        let e = CoreError::FitFailed {
+            reason: "no pairs".into(),
+        };
+        assert!(e.to_string().contains("no pairs"));
+    }
+
+    #[test]
+    fn linalg_error_wraps_with_source() {
+        let e: CoreError = LinalgError::Empty.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

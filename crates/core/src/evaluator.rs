@@ -1,0 +1,181 @@
+//! The accuracy-evaluation abstraction: `λ = evaluateAccuracy(I, w)`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Config;
+
+/// Error produced by an accuracy evaluation (wraps whatever the underlying
+/// benchmark returned).
+#[derive(Debug)]
+pub struct EvalError {
+    message: String,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
+
+impl EvalError {
+    /// Creates an error from a plain message.
+    pub fn msg(message: impl Into<String>) -> EvalError {
+        EvalError {
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// Wraps an underlying benchmark error.
+    pub fn wrap(source: impl Error + Send + Sync + 'static) -> EvalError {
+        EvalError {
+            message: source.to_string(),
+            source: Some(Box::new(source)),
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "accuracy evaluation failed: {}", self.message)
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn Error + 'static))
+    }
+}
+
+/// Something that can measure the quality metric `λ` of a configuration by
+/// simulation — the paper's `evaluateAccuracy(I, w)`.
+///
+/// Implementors take `&mut self` so they can count invocations, cache, or
+/// hold mutable simulation state.
+pub trait AccuracyEvaluator {
+    /// Simulates configuration `w` on the evaluator's input data set and
+    /// returns the metric value `λ(w)` (larger = better).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if the configuration is invalid for the
+    /// underlying benchmark.
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError>;
+
+    /// Number of metric variables `Nv` this evaluator expects.
+    fn num_variables(&self) -> usize;
+
+    /// Number of simulations performed so far (for `N_λ` accounting).
+    fn evaluations(&self) -> u64;
+}
+
+impl<T: AccuracyEvaluator + ?Sized> AccuracyEvaluator for Box<T> {
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
+        (**self).evaluate(config)
+    }
+
+    fn num_variables(&self) -> usize {
+        (**self).num_variables()
+    }
+
+    fn evaluations(&self) -> u64 {
+        (**self).evaluations()
+    }
+}
+
+/// Adapts a closure into an [`AccuracyEvaluator`], counting calls.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::{AccuracyEvaluator, FnEvaluator};
+///
+/// # fn main() -> Result<(), krigeval_core::EvalError> {
+/// let mut ev = FnEvaluator::new(2, |w| Ok(f64::from(w[0] + w[1])));
+/// assert_eq!(ev.evaluate(&vec![3, 4])?, 7.0);
+/// assert_eq!(ev.evaluations(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct FnEvaluator<F> {
+    f: F,
+    num_variables: usize,
+    count: u64,
+}
+
+impl<F> FnEvaluator<F>
+where
+    F: FnMut(&Config) -> Result<f64, EvalError>,
+{
+    /// Wraps `f` as an evaluator over `num_variables`-dimensional configs.
+    pub fn new(num_variables: usize, f: F) -> FnEvaluator<F> {
+        FnEvaluator {
+            f,
+            num_variables,
+            count: 0,
+        }
+    }
+}
+
+impl<F> AccuracyEvaluator for FnEvaluator<F>
+where
+    F: FnMut(&Config) -> Result<f64, EvalError>,
+{
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
+        self.count += 1;
+        (self.f)(config)
+    }
+
+    fn num_variables(&self) -> usize {
+        self.num_variables
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<F> fmt::Debug for FnEvaluator<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnEvaluator")
+            .field("num_variables", &self.num_variables)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_evaluator_counts_calls() {
+        let mut ev = FnEvaluator::new(1, |w| Ok(f64::from(w[0])));
+        for i in 0..5 {
+            assert_eq!(ev.evaluate(&vec![i]).unwrap(), f64::from(i));
+        }
+        assert_eq!(ev.evaluations(), 5);
+        assert_eq!(ev.num_variables(), 1);
+    }
+
+    #[test]
+    fn fn_evaluator_propagates_errors_but_counts_them() {
+        let mut ev = FnEvaluator::new(1, |_| Err(EvalError::msg("boom")));
+        assert!(ev.evaluate(&vec![1]).is_err());
+        assert_eq!(ev.evaluations(), 1);
+    }
+
+    #[test]
+    fn eval_error_display_and_source() {
+        let plain = EvalError::msg("bad config");
+        assert!(plain.to_string().contains("bad config"));
+        assert!(Error::source(&plain).is_none());
+        let wrapped = EvalError::wrap(std::io::Error::other("inner"));
+        assert!(Error::source(&wrapped).is_some());
+        assert!(wrapped.to_string().contains("inner"));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let ev = FnEvaluator::new(3, |_| Ok(0.0));
+        assert!(format!("{ev:?}").contains("num_variables"));
+    }
+}

@@ -1,0 +1,777 @@
+//! The hybrid kriging/simulation evaluator — the paper's core contribution
+//! (the inner loop of Algorithms 1 and 2, lines 6–24).
+//!
+//! For every queried configuration `w`:
+//!
+//! 1. gather the **already simulated** configurations within distance `d`
+//!    (`dCur = ||w − w_sim||₁ ≤ d`);
+//! 2. if more than `N_n,min` neighbours are available (and the variogram has
+//!    been identified), solve the ordinary-kriging system and return the
+//!    interpolated metric — **no simulation**;
+//! 3. otherwise simulate, and add `(w, λ)` to the simulated set.
+//!
+//! Interpolated configurations are *never* added to the simulated set
+//! ("if the configuration is interpolated, it is not used for kriging other
+//! configurations"), which prevents interpolation-error accumulation.
+//!
+//! The optional **audit mode** also simulates every kriged configuration —
+//! without feeding the result back — to measure the interpolation error ε
+//! of Eqs. 11/12. That is exactly the paper's Table I protocol.
+
+use krigeval_fixedpoint::metrics::ErrorStats;
+use serde::{Deserialize, Serialize};
+
+use crate::evaluator::{AccuracyEvaluator, EvalError};
+use crate::kriging::KrigingEstimator;
+use crate::neighbors::NeighborIndex;
+use crate::trace::Source;
+use crate::variogram::{fit_model, EmpiricalVariogram, FitReport, ModelFamily, VariogramModel};
+use crate::{Config, DistanceMetric};
+
+/// How the variogram model is obtained (paper Section III-A: "the
+/// identification of the semi-variogram has to be done once for a
+/// particular metric and application").
+#[derive(Debug, Clone, PartialEq)]
+pub enum VariogramPolicy {
+    /// Use a caller-supplied model, never fit.
+    Fixed(VariogramModel),
+    /// Simulate the first `min_samples` configurations, then identify the
+    /// model once from their empirical variogram; fall back to `fallback`
+    /// if the fit fails (degenerate geometry).
+    FitAfter {
+        /// Number of simulated configurations required before fitting.
+        min_samples: usize,
+        /// Families tried by the fit.
+        families: Vec<ModelFamily>,
+        /// Model used if fitting fails.
+        fallback: VariogramModel,
+    },
+    /// Like `FitAfter`, but the model is **re-identified** whenever `every`
+    /// further configurations have been simulated since the last fit — for
+    /// long explorations whose local correlation structure drifts (an
+    /// extension beyond the paper's identify-once setup).
+    Refit {
+        /// Number of simulated configurations required before the first fit.
+        min_samples: usize,
+        /// Re-fit after this many additional simulations.
+        every: usize,
+        /// Families tried by each fit.
+        families: Vec<ModelFamily>,
+        /// Model used while a fit fails.
+        fallback: VariogramModel,
+    },
+}
+
+impl Default for VariogramPolicy {
+    fn default() -> VariogramPolicy {
+        VariogramPolicy::FitAfter {
+            min_samples: 10,
+            families: ModelFamily::all().to_vec(),
+            fallback: VariogramModel::linear(1.0),
+        }
+    }
+}
+
+/// How audit-mode interpolation errors are expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditMetric {
+    /// The metric is `λ = −P` in dB: ε is the equivalent-bit difference of
+    /// Eq. 11, `|log₂(P̂/P)| = |λ̂ − λ| / (10·log₁₀ 2)`.
+    NoisePowerDb,
+    /// Any other metric: ε is the relative difference of Eq. 12.
+    Relative,
+}
+
+/// Tunable parameters of the hybrid evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridSettings {
+    /// Neighbour-search radius `d` (the paper sweeps `d ∈ {2, 3, 4, 5}`).
+    pub distance: f64,
+    /// Minimum neighbour count `N_n,min`: kriging runs only when strictly
+    /// more neighbours are available (paper line 17, `Nn > Nn,min`).
+    /// The paper's experiments use 3 (and 2 in the closing ablation).
+    pub min_neighbors: usize,
+    /// Configuration distance metric (the paper uses L1).
+    pub metric: DistanceMetric,
+    /// Variogram identification policy.
+    pub variogram: VariogramPolicy,
+    /// Optional cap on the number of neighbours per system (closest first);
+    /// bounds both solve cost and conditioning. `None` = use all.
+    pub max_neighbors: Option<usize>,
+    /// When set, every kriged query is *also* simulated (result not fed
+    /// back) and the interpolation error recorded — the Table I protocol.
+    pub audit: Option<AuditMetric>,
+}
+
+impl Default for HybridSettings {
+    fn default() -> HybridSettings {
+        HybridSettings {
+            distance: 3.0,
+            min_neighbors: 3,
+            metric: DistanceMetric::L1,
+            variogram: VariogramPolicy::default(),
+            max_neighbors: Some(32),
+            audit: None,
+        }
+    }
+}
+
+/// Counters and audit statistics of a hybrid-evaluation session; the raw
+/// material for one Table I row.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HybridStats {
+    /// Total metric queries `N_λ`.
+    pub queries: u64,
+    /// Queries answered by simulation (and stored).
+    pub simulated: u64,
+    /// Queries answered by kriging.
+    pub kriged: u64,
+    /// Queries answered from the exact-duplicate cache.
+    pub cache_hits: u64,
+    /// Kriging attempts that failed numerically and fell back to simulation.
+    pub kriging_failures: u64,
+    /// Sum over kriged queries of the neighbour count used (for `j̄`).
+    pub neighbor_sum: u64,
+    /// Audit-mode interpolation errors (Eq. 11 or Eq. 12 units).
+    pub errors: ErrorStats,
+}
+
+impl HybridStats {
+    /// Fraction of queries answered without simulation — the paper's `p(%)`
+    /// (in `[0, 1]`; multiply by 100 for the table).
+    pub fn interpolated_fraction(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.kriged as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean number of neighbours per interpolation — the paper's `j̄`.
+    pub fn mean_neighbors(&self) -> f64 {
+        if self.kriged == 0 {
+            0.0
+        } else {
+            self.neighbor_sum as f64 / self.kriged as f64
+        }
+    }
+}
+
+/// Result of one hybrid query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The configuration was simulated (or found in the duplicate cache).
+    Simulated {
+        /// The measured metric value.
+        value: f64,
+    },
+    /// The configuration was interpolated by kriging.
+    Kriged {
+        /// The interpolated metric value `λ̂`.
+        value: f64,
+        /// The kriging variance.
+        variance: f64,
+        /// Number of neighbours in the system.
+        neighbors: usize,
+        /// Audit mode only: the true (simulated) value.
+        true_value: Option<f64>,
+    },
+}
+
+impl Outcome {
+    /// The metric value the optimizer should use.
+    pub fn value(&self) -> f64 {
+        match self {
+            Outcome::Simulated { value } => *value,
+            Outcome::Kriged { value, .. } => *value,
+        }
+    }
+
+    /// Where the value came from.
+    pub fn source(&self) -> Source {
+        match self {
+            Outcome::Simulated { .. } => Source::Simulated,
+            Outcome::Kriged { .. } => Source::Kriged,
+        }
+    }
+}
+
+/// The hybrid kriging/simulation evaluator.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::{FnEvaluator, HybridEvaluator, HybridSettings};
+///
+/// # fn main() -> Result<(), krigeval_core::EvalError> {
+/// // A smooth 2-D metric surface.
+/// let sim = FnEvaluator::new(2, |w| Ok(-6.0 * f64::from(w[0] + w[1])));
+/// let mut hybrid = HybridEvaluator::new(sim, HybridSettings::default());
+/// // First queries are simulated (variogram not yet identified); once the
+/// // model is fitted, configurations close to simulated ones get kriged.
+/// for a in 4..10 {
+///     for b in 4..8 {
+///         hybrid.evaluate(&vec![a, b])?;
+///     }
+/// }
+/// assert!(hybrid.stats().kriged > 0);
+/// assert!(hybrid.stats().simulated < hybrid.stats().queries);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HybridEvaluator<E> {
+    inner: E,
+    settings: HybridSettings,
+    store: NeighborIndex,
+    model: Option<VariogramModel>,
+    fit_report: Option<FitReport>,
+    /// Store size at the time of the last (re-)identification.
+    fitted_at: usize,
+    stats: HybridStats,
+}
+
+impl<E: AccuracyEvaluator> HybridEvaluator<E> {
+    /// Wraps a simulation evaluator.
+    pub fn new(inner: E, settings: HybridSettings) -> HybridEvaluator<E> {
+        let model = match &settings.variogram {
+            VariogramPolicy::Fixed(m) => Some(*m),
+            VariogramPolicy::FitAfter { .. } | VariogramPolicy::Refit { .. } => None,
+        };
+        let store = NeighborIndex::new(settings.metric);
+        HybridEvaluator {
+            inner,
+            settings,
+            store,
+            model,
+            fit_report: None,
+            fitted_at: 0,
+            stats: HybridStats::default(),
+        }
+    }
+
+    /// Evaluates a configuration, kriging when possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner evaluator's [`EvalError`] (kriging failures are
+    /// not errors — they fall back to simulation and are counted in
+    /// [`HybridStats::kriging_failures`]).
+    pub fn evaluate(&mut self, config: &Config) -> Result<Outcome, EvalError> {
+        self.stats.queries += 1;
+
+        // Exact duplicate: return the stored value (the optimizer revisits
+        // configurations; re-simulating would distort both N_λ and p(%)).
+        if let Some(pos) = self.store.position_of(config) {
+            self.stats.cache_hits += 1;
+            return Ok(Outcome::Simulated {
+                value: self.store.values()[pos],
+            });
+        }
+
+        if self.model.is_some() {
+            // Gather simulated neighbours within distance d (paper lines
+            // 7–16); the index returns them sorted by distance already.
+            let mut neighbors: Vec<(usize, f64)> = self
+                .store
+                .within(config, self.settings.distance)
+                .iter()
+                .map(|n| (n.index, n.distance))
+                .collect();
+            if neighbors.len() > self.settings.min_neighbors {
+                if let Some(cap) = self.settings.max_neighbors {
+                    neighbors.truncate(cap);
+                }
+                match self.krige(config, &neighbors) {
+                    Ok((value, variance)) => {
+                        self.stats.kriged += 1;
+                        self.stats.neighbor_sum += neighbors.len() as u64;
+                        let true_value = if let Some(metric) = self.settings.audit {
+                            let t = self.inner.evaluate(config)?;
+                            self.stats.errors.record(audit_error(metric, value, t));
+                            Some(t)
+                        } else {
+                            None
+                        };
+                        return Ok(Outcome::Kriged {
+                            value,
+                            variance,
+                            neighbors: neighbors.len(),
+                            true_value,
+                        });
+                    }
+                    Err(_) => {
+                        self.stats.kriging_failures += 1;
+                        // fall through to simulation
+                    }
+                }
+            }
+        }
+
+        // Simulate and record (paper lines 19–23).
+        let value = self.inner.evaluate(config)?;
+        self.store.insert(config.clone(), value);
+        self.stats.simulated += 1;
+        self.maybe_identify_variogram();
+        Ok(Outcome::Simulated { value })
+    }
+
+    /// Convenience: evaluate and return only the metric value.
+    ///
+    /// # Errors
+    ///
+    /// See [`HybridEvaluator::evaluate`].
+    pub fn evaluate_value(&mut self, config: &Config) -> Result<f64, EvalError> {
+        Ok(self.evaluate(config)?.value())
+    }
+
+    /// Forces a **simulation** of `config`, bypassing kriging, and stores
+    /// the result in the simulated set (duplicates return the cached value).
+    /// Used by the optimizers' tie-break-by-simulation fidelity mode: when
+    /// several kriged candidates are indistinguishable, resolving the tie
+    /// with one real simulation restores decision fidelity at bounded cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner evaluator's [`EvalError`].
+    pub fn simulate_exact(&mut self, config: &Config) -> Result<f64, EvalError> {
+        self.stats.queries += 1;
+        if let Some(pos) = self.store.position_of(config) {
+            self.stats.cache_hits += 1;
+            return Ok(self.store.values()[pos]);
+        }
+        let value = self.inner.evaluate(config)?;
+        self.store.insert(config.clone(), value);
+        self.stats.simulated += 1;
+        self.maybe_identify_variogram();
+        Ok(value)
+    }
+
+    fn krige(
+        &self,
+        config: &Config,
+        neighbors: &[(usize, f64)],
+    ) -> Result<(f64, f64), crate::CoreError> {
+        let model = self.model.expect("krige called before identification");
+        let estimator = KrigingEstimator::new(model).with_metric(self.settings.metric);
+        let sites: Vec<Config> = neighbors
+            .iter()
+            .map(|&(j, _)| self.store.configs()[j].clone())
+            .collect();
+        let values: Vec<f64> = neighbors
+            .iter()
+            .map(|&(j, _)| self.store.values()[j])
+            .collect();
+        let p = estimator.predict_config(&sites, &values, config)?;
+        // Plausibility envelope: a short-range interpolation has no business
+        // leaving the neighbourhood's value range by more than its spread.
+        // Violations indicate a mis-fit variogram or ill conditioning; the
+        // caller falls back to simulation (counted as a kriging failure).
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let spread = (hi - lo).max(1e-9);
+        if !p.value.is_finite() || p.value < lo - 2.0 * spread || p.value > hi + 2.0 * spread {
+            return Err(crate::CoreError::SingularSystem {
+                sites: sites.len(),
+            });
+        }
+        Ok((p.value, p.variance))
+    }
+
+    fn maybe_identify_variogram(&mut self) {
+        let (min_samples, families, fallback, refit_every) = match &self.settings.variogram {
+            VariogramPolicy::Fixed(_) => return,
+            VariogramPolicy::FitAfter {
+                min_samples,
+                families,
+                fallback,
+            } => (*min_samples, families.clone(), *fallback, None),
+            VariogramPolicy::Refit {
+                min_samples,
+                every,
+                families,
+                fallback,
+            } => (*min_samples, families.clone(), *fallback, Some(*every)),
+        };
+        let due = if self.model.is_none() {
+            self.store.len() >= min_samples
+        } else if let Some(every) = refit_every {
+            self.store.len() >= self.fitted_at + every
+        } else {
+            false
+        };
+        if !due {
+            return;
+        }
+        let fitted = EmpiricalVariogram::from_configs(
+            self.store.configs(),
+            self.store.values(),
+            self.settings.metric,
+        )
+        .and_then(|emp| fit_model(&emp, &families));
+        self.fitted_at = self.store.len();
+        match fitted {
+            Ok(report) => {
+                self.model = Some(report.model);
+                self.fit_report = Some(report);
+            }
+            Err(_) => self.model = Some(fallback),
+        }
+    }
+
+    /// Session statistics (Table I raw material).
+    pub fn stats(&self) -> &HybridStats {
+        &self.stats
+    }
+
+    /// The settings in use.
+    pub fn settings(&self) -> &HybridSettings {
+        &self.settings
+    }
+
+    /// The identified (or fixed) variogram model, once available.
+    pub fn model(&self) -> Option<&VariogramModel> {
+        self.model.as_ref()
+    }
+
+    /// The identification report, if a fit was performed.
+    pub fn fit_report(&self) -> Option<&FitReport> {
+        self.fit_report.as_ref()
+    }
+
+    /// Configurations simulated so far (the matrix `W_sim`).
+    pub fn simulated_configs(&self) -> &[Config] {
+        self.store.configs()
+    }
+
+    /// Metric values of the simulated configurations (`λ_sim`).
+    pub fn simulated_values(&self) -> &[f64] {
+        self.store.values()
+    }
+
+    /// Restores session state from a snapshot (internal; see
+    /// [`crate::hybrid_snapshot::SessionSnapshot`]).
+    pub(crate) fn restore(&mut self, snapshot: crate::hybrid_snapshot::SessionSnapshot) {
+        for (config, value) in snapshot.configs.into_iter().zip(snapshot.values) {
+            self.store.insert(config, value);
+        }
+        if snapshot.model.is_some() {
+            self.model = snapshot.model;
+        }
+        self.fitted_at = self.store.len();
+        self.stats = snapshot.stats;
+    }
+
+    /// Borrows the inner simulation evaluator.
+    pub fn inner_ref(&self) -> &E {
+        &self.inner
+    }
+
+    /// Consumes the wrapper and returns the inner evaluator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+/// Computes the audit error in the units of `metric` (Eq. 11 or Eq. 12).
+fn audit_error(metric: AuditMetric, interpolated: f64, real: f64) -> f64 {
+    match metric {
+        // λ = −P_dB, so λ̂ − λ = P_dB − P̂_dB and
+        // |log₂(P̂/P)| = |P̂_dB − P_dB| / (10·log₁₀ 2).
+        AuditMetric::NoisePowerDb => (interpolated - real).abs() / (10.0 * 2f64.log10()),
+        AuditMetric::Relative => (interpolated - real).abs() / real.abs().max(f64::MIN_POSITIVE),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnEvaluator;
+
+    fn smooth_eval() -> FnEvaluator<impl FnMut(&Config) -> Result<f64, EvalError>> {
+        // The additive quantization-noise model of the word-length
+        // benchmarks: accuracy −10·log₁₀(Σ gᵢ·2^(−2wᵢ)) — smooth, monotone,
+        // ~6 dB per bit on the dominant variable.
+        FnEvaluator::new(2, |w: &Config| {
+            let p = 1.5 * 2f64.powi(-2 * w[0]) + 0.8 * 2f64.powi(-2 * w[1]);
+            Ok(-10.0 * p.log10())
+        })
+    }
+
+    fn settings(d: f64) -> HybridSettings {
+        HybridSettings {
+            distance: d,
+            ..HybridSettings::default()
+        }
+    }
+
+    #[test]
+    fn first_queries_are_simulated() {
+        let mut h = HybridEvaluator::new(smooth_eval(), settings(3.0));
+        for i in 0..5 {
+            let out = h.evaluate(&vec![8 + i, 8]).unwrap();
+            assert!(matches!(out, Outcome::Simulated { .. }));
+        }
+        assert_eq!(h.stats().simulated, 5);
+        assert_eq!(h.stats().kriged, 0);
+    }
+
+    #[test]
+    fn dense_sampling_enables_kriging() {
+        let mut h = HybridEvaluator::new(smooth_eval(), settings(3.0));
+        for a in 6..11 {
+            for b in 6..10 {
+                h.evaluate(&vec![a, b]).unwrap();
+            }
+        }
+        let before = h.stats().kriged;
+        let out = h.evaluate(&vec![8, 10]).unwrap();
+        assert!(matches!(out, Outcome::Kriged { .. }), "{out:?}");
+        assert_eq!(h.stats().kriged, before + 1);
+    }
+
+    #[test]
+    fn kriged_configs_are_not_stored() {
+        let mut h = HybridEvaluator::new(smooth_eval(), settings(3.0));
+        for a in 6..11 {
+            for b in 6..10 {
+                h.evaluate(&vec![a, b]).unwrap();
+            }
+        }
+        let stored_before = h.simulated_configs().len();
+        let out = h.evaluate(&vec![8, 10]).unwrap();
+        assert!(matches!(out, Outcome::Kriged { .. }));
+        assert_eq!(h.simulated_configs().len(), stored_before);
+    }
+
+    #[test]
+    fn duplicate_queries_hit_the_cache() {
+        let mut h = HybridEvaluator::new(smooth_eval(), settings(2.0));
+        let w = vec![9, 9];
+        let first = h.evaluate(&w).unwrap().value();
+        let inner_calls = {
+            let s = h.stats().clone();
+            s.simulated
+        };
+        let second = h.evaluate(&w).unwrap().value();
+        assert_eq!(first, second);
+        assert_eq!(h.stats().cache_hits, 1);
+        assert_eq!(h.stats().simulated, inner_calls, "no extra simulation");
+    }
+
+    #[test]
+    fn kriging_accuracy_on_smooth_surface() {
+        // Defer identification until the whole 25-point grid is simulated so
+        // the test measures pure interpolation accuracy, not the (legitimate
+        // but noisy) cold-start extrapolation the paper also exhibits.
+        let mut s = settings(4.0);
+        s.variogram = VariogramPolicy::FitAfter {
+            min_samples: 25,
+            families: ModelFamily::all().to_vec(),
+            fallback: VariogramModel::linear(1.0),
+        };
+        let mut h = HybridEvaluator::new(smooth_eval(), s);
+        for a in (4..14).step_by(2) {
+            for b in (4..14).step_by(2) {
+                h.evaluate(&vec![a, b]).unwrap();
+            }
+        }
+        // Interpolate odd lattice points and compare against the truth.
+        let mut reference = smooth_eval();
+        let mut worst: f64 = 0.0;
+        let mut kriged_count = 0;
+        for a in [5, 7, 9, 11] {
+            for b in [5, 7, 9, 11] {
+                let w = vec![a, b];
+                if let Outcome::Kriged { value, .. } = h.evaluate(&w).unwrap() {
+                    let truth = reference.evaluate(&w).unwrap();
+                    worst = worst.max((value - truth).abs());
+                    kriged_count += 1;
+                }
+            }
+        }
+        assert!(kriged_count >= 12, "only {kriged_count} kriged");
+        // The paper's own max ε at d = 4 reaches 2.3 bits (≈7 dB); interior
+        // interpolation here must stay well inside that envelope.
+        assert!(worst < 3.5, "worst abs error {worst} dB (≈1.2 bit budget)");
+    }
+
+    #[test]
+    fn min_neighbors_is_strict() {
+        // With min_neighbors = usize::MAX nothing can ever be kriged.
+        let mut s = settings(10.0);
+        s.min_neighbors = usize::MAX;
+        let mut h = HybridEvaluator::new(smooth_eval(), s);
+        for a in 4..12 {
+            h.evaluate(&vec![a, 8]).unwrap();
+        }
+        assert_eq!(h.stats().kriged, 0);
+    }
+
+    #[test]
+    fn larger_distance_interpolates_more() {
+        let run = |d: f64| -> f64 {
+            let mut h = HybridEvaluator::new(smooth_eval(), settings(d));
+            // A fixed query stream mimicking an optimizer trajectory.
+            for a in 4..14 {
+                h.evaluate(&vec![a, 8]).unwrap();
+                h.evaluate(&vec![a, 9]).unwrap();
+                h.evaluate(&vec![8, a]).unwrap();
+            }
+            h.stats().interpolated_fraction()
+        };
+        let p2 = run(2.0);
+        let p5 = run(5.0);
+        assert!(p5 >= p2, "p(d=5) = {p5} < p(d=2) = {p2}");
+        assert!(p5 > 0.0);
+    }
+
+    #[test]
+    fn audit_mode_records_errors_without_storing() {
+        let mut s = settings(4.0);
+        s.audit = Some(AuditMetric::NoisePowerDb);
+        s.variogram = VariogramPolicy::FitAfter {
+            min_samples: 25,
+            families: ModelFamily::all().to_vec(),
+            fallback: VariogramModel::linear(1.0),
+        };
+        let mut h = HybridEvaluator::new(smooth_eval(), s);
+        for a in (4..14).step_by(2) {
+            for b in (4..14).step_by(2) {
+                h.evaluate(&vec![a, b]).unwrap();
+            }
+        }
+        let stored = h.simulated_configs().len();
+        for a in [5, 7, 9] {
+            h.evaluate(&vec![a, 7]).unwrap();
+        }
+        assert!(h.stats().errors.count() > 0, "audit recorded nothing");
+        assert_eq!(h.simulated_configs().len(), stored);
+        // Interior interpolation on a smooth surface: well under 1 bit.
+        assert!(h.stats().errors.mean() < 1.0, "{:?}", h.stats().errors);
+    }
+
+    #[test]
+    fn fixed_model_kriges_immediately_once_neighbors_exist() {
+        let mut s = settings(5.0);
+        s.variogram = VariogramPolicy::Fixed(VariogramModel::linear(1.0));
+        let mut h = HybridEvaluator::new(smooth_eval(), s);
+        for a in 6..10 {
+            h.evaluate(&vec![a, 8]).unwrap();
+        }
+        let out = h.evaluate(&vec![7, 9]).unwrap();
+        assert!(matches!(out, Outcome::Kriged { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn fit_report_is_available_after_identification() {
+        let mut h = HybridEvaluator::new(smooth_eval(), settings(3.0));
+        for a in 4..15 {
+            h.evaluate(&vec![a, a]).unwrap();
+        }
+        assert!(h.model().is_some());
+        assert!(h.fit_report().is_some());
+    }
+
+    #[test]
+    fn audit_error_units() {
+        // 3.0103 dB difference = exactly 1 equivalent bit.
+        let e = audit_error(AuditMetric::NoisePowerDb, 63.0103, 60.0);
+        assert!((e - 1.0).abs() < 1e-6, "e = {e}");
+        let r = audit_error(AuditMetric::Relative, 0.9, 1.0);
+        assert!((r - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let mut s = HybridStats::default();
+        assert_eq!(s.interpolated_fraction(), 0.0);
+        assert_eq!(s.mean_neighbors(), 0.0);
+        s.queries = 10;
+        s.kriged = 4;
+        s.neighbor_sum = 14;
+        assert!((s.interpolated_fraction() - 0.4).abs() < 1e-12);
+        assert!((s.mean_neighbors() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refit_policy_reidentifies_periodically() {
+        let mut s = settings(3.0);
+        s.variogram = VariogramPolicy::Refit {
+            min_samples: 6,
+            every: 10,
+            families: ModelFamily::all().to_vec(),
+            fallback: VariogramModel::linear(1.0),
+        };
+        let mut h = HybridEvaluator::new(smooth_eval(), s);
+        for a in 4..10 {
+            h.evaluate(&vec![a, 8]).unwrap();
+        }
+        let first_model = *h.model().expect("fitted after min_samples");
+        // Feed a structurally different region so the refit sees new pairs.
+        for a in 4..16 {
+            h.evaluate(&vec![8, a]).unwrap();
+            h.evaluate(&vec![a, 14]).unwrap();
+        }
+        assert!(h.model().is_some());
+        // At least one refit happened (fitted_at advanced past min_samples).
+        assert!(h.fitted_at > 6, "no refit occurred (fitted_at {})", h.fitted_at);
+        let _ = first_model;
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn stats_invariants_hold_on_random_query_streams(
+                queries in proptest::collection::vec((4i32..14, 4i32..14), 5..60),
+                d in 2.0f64..5.0,
+            ) {
+                let mut h = HybridEvaluator::new(smooth_eval(), settings(d));
+                for (a, b) in queries {
+                    let _ = h.evaluate(&vec![a, b]).unwrap();
+                }
+                let s = h.stats();
+                // Every query is exactly one of: simulated, kriged, cached.
+                prop_assert_eq!(s.queries, s.simulated + s.kriged + s.cache_hits);
+                // The store holds exactly the simulated configurations.
+                prop_assert_eq!(h.simulated_configs().len() as u64, s.simulated);
+                // Kriged queries each used more than min_neighbors sites.
+                if s.kriged > 0 {
+                    prop_assert!(s.mean_neighbors() > 3.0);
+                }
+                // No duplicates in the simulated store.
+                let mut seen = std::collections::HashSet::new();
+                for c in h.simulated_configs() {
+                    prop_assert!(seen.insert(c.clone()), "duplicate stored: {:?}", c);
+                }
+            }
+
+            #[test]
+            fn evaluate_value_equals_outcome_value(
+                a in 4i32..14, b in 4i32..14,
+            ) {
+                let mut h1 = HybridEvaluator::new(smooth_eval(), settings(3.0));
+                let mut h2 = HybridEvaluator::new(smooth_eval(), settings(3.0));
+                for x in 4..10 {
+                    h1.evaluate(&vec![x, 8]).unwrap();
+                    h2.evaluate(&vec![x, 8]).unwrap();
+                }
+                let v1 = h1.evaluate(&vec![a, b]).unwrap().value();
+                let v2 = h2.evaluate_value(&vec![a, b]).unwrap();
+                prop_assert_eq!(v1, v2);
+            }
+        }
+    }
+
+    #[test]
+    fn into_inner_returns_the_simulator() {
+        let h = HybridEvaluator::new(smooth_eval(), settings(2.0));
+        let inner = h.into_inner();
+        assert_eq!(inner.num_variables(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Persisting and resuming hybrid-evaluation sessions.
+//!
+//! The paper's variogram identification is done "once for a particular
+//! metric and application" — which implies reuse *across* optimization
+//! runs. [`SessionSnapshot`] captures everything a later run needs: the
+//! identified model, the simulated configurations with their metric
+//! values, and the accumulated statistics. Snapshots serialize to JSON via
+//! serde.
+//!
+//! # Examples
+//!
+//! ```
+//! use krigeval_core::hybrid::{HybridEvaluator, HybridSettings};
+//! use krigeval_core::FnEvaluator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sim = || FnEvaluator::new(2, |w: &Vec<i32>| Ok(-6.0 * f64::from(w[0] + w[1])));
+//! let mut first = HybridEvaluator::new(sim(), HybridSettings::default());
+//! for a in 4..10 {
+//!     for b in 4..8 {
+//!         first.evaluate(&vec![a, b])?;
+//!     }
+//! }
+//! let json = serde_json::to_string(&first.snapshot())?;
+//!
+//! // A later session resumes with the identified model and data intact.
+//! let snapshot = serde_json::from_str(&json)?;
+//! let mut resumed =
+//!     HybridEvaluator::resume(sim(), HybridSettings::default(), snapshot)?;
+//! assert!(resumed.model().is_some());
+//! // The very first warm-up query was simulated and stored: cache hit.
+//! let out = resumed.evaluate(&vec![4, 4])?;
+//! assert_eq!(out.value(), -48.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::evaluator::AccuracyEvaluator;
+use crate::hybrid::{HybridEvaluator, HybridSettings, HybridStats};
+use crate::variogram::VariogramModel;
+use crate::{Config, CoreError};
+
+/// Serializable state of a hybrid-evaluation session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Simulated configurations (`W_sim`).
+    pub configs: Vec<Config>,
+    /// Their metric values (`λ_sim`).
+    pub values: Vec<f64>,
+    /// The identified variogram model, if identification has happened.
+    pub model: Option<VariogramModel>,
+    /// Accumulated statistics.
+    pub stats: HybridStats,
+}
+
+impl<E: AccuracyEvaluator> HybridEvaluator<E> {
+    /// Captures the session state for persistence.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            configs: self.simulated_configs().to_vec(),
+            values: self.simulated_values().to_vec(),
+            model: self.model().copied(),
+            stats: self.stats().clone(),
+        }
+    }
+
+    /// Rebuilds a session from a snapshot: the simulated set is re-indexed,
+    /// the model restored (a snapshot without a model falls back to the
+    /// settings' policy), and the statistics continue from where they were.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if the snapshot's configs
+    /// and values disagree in length or mix dimensions.
+    pub fn resume(
+        inner: E,
+        settings: HybridSettings,
+        snapshot: SessionSnapshot,
+    ) -> Result<HybridEvaluator<E>, CoreError> {
+        if snapshot.configs.len() != snapshot.values.len() {
+            return Err(CoreError::DimensionMismatch {
+                what: "session snapshot".into(),
+                detail: format!(
+                    "{} configs vs {} values",
+                    snapshot.configs.len(),
+                    snapshot.values.len()
+                ),
+            });
+        }
+        if let Some(first) = snapshot.configs.first() {
+            let dim = first.len();
+            if let Some((i, c)) = snapshot
+                .configs
+                .iter()
+                .enumerate()
+                .find(|(_, c)| c.len() != dim)
+            {
+                return Err(CoreError::DimensionMismatch {
+                    what: "session snapshot".into(),
+                    detail: format!("config {i} has dimension {} (expected {dim})", c.len()),
+                });
+            }
+        }
+        let mut evaluator = HybridEvaluator::new(inner, settings);
+        evaluator.restore(snapshot);
+        Ok(evaluator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvalError, FnEvaluator};
+
+    fn sim() -> FnEvaluator<impl FnMut(&Config) -> Result<f64, EvalError>> {
+        FnEvaluator::new(2, |w: &Config| {
+            let p = 1.5 * 2f64.powi(-2 * w[0]) + 0.8 * 2f64.powi(-2 * w[1]);
+            Ok(-10.0 * p.log10())
+        })
+    }
+
+    fn warmed_session() -> HybridEvaluator<FnEvaluator<impl FnMut(&Config) -> Result<f64, EvalError>>>
+    {
+        let mut h = HybridEvaluator::new(sim(), HybridSettings::default());
+        for a in 4..10 {
+            for b in 4..9 {
+                h.evaluate(&vec![a, b]).unwrap();
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let h = warmed_session();
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SessionSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn resumed_session_keeps_model_and_data() {
+        let original = warmed_session();
+        let snap = original.snapshot();
+        let resumed = HybridEvaluator::resume(sim(), HybridSettings::default(), snap).unwrap();
+        assert_eq!(resumed.model(), original.model());
+        assert_eq!(resumed.simulated_configs(), original.simulated_configs());
+        assert_eq!(resumed.stats(), original.stats());
+    }
+
+    #[test]
+    fn resumed_session_kriges_immediately() {
+        let original = warmed_session();
+        let snap = original.snapshot();
+        let mut resumed =
+            HybridEvaluator::resume(sim(), HybridSettings::default(), snap).unwrap();
+        // A new interior configuration near the stored data: kriged without
+        // any warm-up simulations.
+        let before = resumed.stats().simulated;
+        let out = resumed.evaluate(&vec![7, 9]).unwrap();
+        assert!(
+            matches!(out, crate::Outcome::Kriged { .. }),
+            "expected kriging, got {out:?}"
+        );
+        assert_eq!(resumed.stats().simulated, before);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let mut snap = warmed_session().snapshot();
+        snap.values.pop();
+        assert!(matches!(
+            HybridEvaluator::resume(sim(), HybridSettings::default(), snap).unwrap_err(),
+            CoreError::DimensionMismatch { .. }
+        ));
+        let mut snap = warmed_session().snapshot();
+        snap.configs[3] = vec![1, 2, 3];
+        assert!(HybridEvaluator::resume(sim(), HybridSettings::default(), snap).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Simple kriging (known mean), in covariance form.
+//!
+//! The paper's prose calls its method "a simple kriging technique" while
+//! its equations (7–10) are the ordinary-kriging system; we implement both
+//! so the difference can be measured (see the variogram ablation). Simple
+//! kriging assumes the field mean `m` is known and solves
+//!
+//! ```text
+//! C · μ = c          λ̂(eⁱ) = m + Σ μₖ·(λ(eᵏ) − m)
+//! ```
+//!
+//! with the covariance `C(d) = (nugget + sill) − γ(d)` — which only exists
+//! for **bounded** variogram models (spherical/exponential/gaussian/
+//! nugget). The covariance matrix is symmetric positive definite, so the
+//! solve uses Cholesky.
+
+use krigeval_linalg::Cholesky;
+use krigeval_linalg::Matrix;
+
+use crate::kriging::Prediction;
+use crate::variogram::VariogramModel;
+use crate::{CoreError, DistanceMetric};
+
+/// Simple-kriging interpolator with a known field mean.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::kriging::SimpleKrigingEstimator;
+/// use krigeval_core::VariogramModel;
+///
+/// # fn main() -> Result<(), krigeval_core::CoreError> {
+/// let model = VariogramModel::exponential(0.0, 4.0, 5.0)?;
+/// let est = SimpleKrigingEstimator::new(model, 10.0)?;
+/// let sites = vec![vec![0.0], vec![2.0]];
+/// let values = vec![12.0, 8.0];
+/// let p = est.predict(&sites, &values, &[1.0])?;
+/// // Between the two sites, pulled toward the known mean of 10.
+/// assert!(p.value > 8.0 && p.value < 12.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimpleKrigingEstimator {
+    model: VariogramModel,
+    mean: f64,
+    total_sill: f64,
+    metric: DistanceMetric,
+}
+
+impl SimpleKrigingEstimator {
+    /// Creates a simple-kriging estimator with field mean `mean`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] for unbounded variogram models
+    /// (linear, power) — they have no finite sill, hence no covariance form.
+    pub fn new(model: VariogramModel, mean: f64) -> Result<SimpleKrigingEstimator, CoreError> {
+        let total_sill = match model {
+            VariogramModel::Nugget { nugget } => nugget,
+            VariogramModel::Spherical { nugget, sill, .. }
+            | VariogramModel::Exponential { nugget, sill, .. }
+            | VariogramModel::Gaussian { nugget, sill, .. } => nugget + sill,
+            VariogramModel::Linear { .. } | VariogramModel::Power { .. } => {
+                return Err(CoreError::InvalidModel {
+                    reason: format!(
+                        "simple kriging needs a bounded variogram, got {}",
+                        model.family_name()
+                    ),
+                })
+            }
+        };
+        if total_sill <= 0.0 {
+            return Err(CoreError::InvalidModel {
+                reason: "total sill must be positive for a covariance form".into(),
+            });
+        }
+        Ok(SimpleKrigingEstimator {
+            model,
+            mean,
+            total_sill,
+            metric: DistanceMetric::L1,
+        })
+    }
+
+    /// Replaces the distance metric.
+    #[must_use]
+    pub fn with_metric(mut self, metric: DistanceMetric) -> SimpleKrigingEstimator {
+        self.metric = metric;
+        self
+    }
+
+    /// The known field mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Covariance at distance `d`: `C(d) = total_sill − γ(d)`, with
+    /// `C(0) = total_sill`.
+    pub fn covariance(&self, d: f64) -> f64 {
+        if d == 0.0 {
+            self.total_sill
+        } else {
+            self.total_sill - self.model.evaluate(d)
+        }
+    }
+
+    /// Predicts the field at `target`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoData`] if `sites` is empty.
+    /// * [`CoreError::DimensionMismatch`] on inconsistent inputs.
+    /// * [`CoreError::SingularSystem`] if the covariance matrix cannot be
+    ///   factorized even with jitter.
+    pub fn predict(
+        &self,
+        sites: &[Vec<f64>],
+        values: &[f64],
+        target: &[f64],
+    ) -> Result<Prediction, CoreError> {
+        if sites.is_empty() {
+            return Err(CoreError::NoData);
+        }
+        if sites.len() != values.len() {
+            return Err(CoreError::DimensionMismatch {
+                what: "simple kriging".into(),
+                detail: format!("{} sites vs {} values", sites.len(), values.len()),
+            });
+        }
+        for (i, s) in sites.iter().enumerate() {
+            if s.len() != target.len() {
+                return Err(CoreError::DimensionMismatch {
+                    what: "simple kriging".into(),
+                    detail: format!(
+                        "site {i} has dimension {}, target has {}",
+                        s.len(),
+                        target.len()
+                    ),
+                });
+            }
+        }
+        let n = sites.len();
+        let c_target: Vec<f64> = sites
+            .iter()
+            .map(|s| self.covariance(self.metric.eval(s, target)))
+            .collect();
+        for jitter in [0.0, 1e-10, 1e-6, 1e-3].map(|j| j * self.total_sill) {
+            let c = Matrix::from_fn(n, n, |i, j| {
+                let base = self.covariance(self.metric.eval(&sites[i], &sites[j]));
+                if i == j {
+                    base + jitter
+                } else {
+                    base
+                }
+            });
+            let Ok(chol) = Cholesky::new(&c) else { continue };
+            let weights = chol.solve(&c_target)?;
+            let value = self.mean
+                + weights
+                    .iter()
+                    .zip(values)
+                    .map(|(w, v)| w * (v - self.mean))
+                    .sum::<f64>();
+            let variance = (self.total_sill
+                - weights
+                    .iter()
+                    .zip(&c_target)
+                    .map(|(w, c)| w * c)
+                    .sum::<f64>())
+            .max(0.0);
+            return Ok(Prediction {
+                value,
+                variance,
+                weights,
+            });
+        }
+        Err(CoreError::SingularSystem { sites: n })
+    }
+
+    /// Integer-configuration convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimpleKrigingEstimator::predict`].
+    pub fn predict_config(
+        &self,
+        configs: &[Vec<i32>],
+        values: &[f64],
+        target: &[i32],
+    ) -> Result<Prediction, CoreError> {
+        let sites: Vec<Vec<f64>> = configs.iter().map(|c| crate::config_to_point(c)).collect();
+        self.predict(&sites, values, &crate::config_to_point(target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kriging::KrigingEstimator;
+
+    fn model() -> VariogramModel {
+        VariogramModel::exponential(0.0, 2.0, 4.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_unbounded_models() {
+        assert!(matches!(
+            SimpleKrigingEstimator::new(VariogramModel::linear(1.0), 0.0).unwrap_err(),
+            CoreError::InvalidModel { .. }
+        ));
+        assert!(SimpleKrigingEstimator::new(
+            VariogramModel::power(0.0, 1.0, 1.5).unwrap(),
+            0.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn exact_at_data_sites_without_nugget() {
+        let est = SimpleKrigingEstimator::new(model(), 5.0).unwrap();
+        let sites = vec![vec![0.0], vec![3.0], vec![7.0]];
+        let values = vec![4.0, 6.5, 5.2];
+        for (s, v) in sites.iter().zip(&values) {
+            let p = est.predict(&sites, &values, s).unwrap();
+            assert!((p.value - v).abs() < 1e-8, "{} vs {v}", p.value);
+        }
+    }
+
+    #[test]
+    fn far_from_data_reverts_to_the_mean() {
+        // The defining property of simple kriging: zero weights at infinity.
+        let est = SimpleKrigingEstimator::new(model(), 42.0).unwrap();
+        let sites = vec![vec![0.0], vec![1.0]];
+        let values = vec![100.0, 90.0];
+        let p = est.predict(&sites, &values, &[1000.0]).unwrap();
+        assert!((p.value - 42.0).abs() < 1e-6, "{}", p.value);
+        // And the variance reverts to the total sill.
+        assert!((p.variance - 2.0).abs() < 1e-6, "{}", p.variance);
+    }
+
+    #[test]
+    fn agrees_with_ordinary_kriging_when_the_mean_is_right() {
+        // Ordinary kriging estimates the mean from the data; simple kriging
+        // is told it. Given the *correct* mean, the two agree closely on
+        // interior targets.
+        let sites: Vec<Vec<f64>> = (0..8).map(|i| vec![f64::from(i)]).collect();
+        let values: Vec<f64> = (0..8).map(|i| 10.0 + 0.5 * f64::from(i)).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let sk = SimpleKrigingEstimator::new(model(), mean).unwrap();
+        let ok = KrigingEstimator::new(model());
+        let p_sk = sk.predict(&sites, &values, &[3.5]).unwrap();
+        let p_ok = ok.predict(&sites, &values, &[3.5]).unwrap();
+        assert!(
+            (p_sk.value - p_ok.value).abs() < 0.2,
+            "simple {} vs ordinary {}",
+            p_sk.value,
+            p_ok.value
+        );
+        // A badly wrong mean shrinks the prediction toward itself.
+        let sk_bad = SimpleKrigingEstimator::new(model(), 0.0).unwrap();
+        let p_bad = sk_bad.predict(&sites, &values, &[3.5]).unwrap();
+        assert!(p_bad.value < p_ok.value, "{} vs {}", p_bad.value, p_ok.value);
+    }
+
+    #[test]
+    fn simple_kriging_weights_do_not_need_to_sum_to_one() {
+        let est = SimpleKrigingEstimator::new(model(), 0.0).unwrap();
+        let sites = vec![vec![0.0], vec![2.0]];
+        let values = vec![1.0, 1.0];
+        let p = est.predict(&sites, &values, &[10.0]).unwrap();
+        let sum: f64 = p.weights.iter().sum();
+        assert!(sum < 0.9, "weights sum {sum} should shrink toward 0 far away");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let est = SimpleKrigingEstimator::new(model(), 0.0).unwrap();
+        assert!(matches!(
+            est.predict(&[], &[], &[0.0]).unwrap_err(),
+            CoreError::NoData
+        ));
+        assert!(est.predict(&[vec![0.0]], &[1.0, 2.0], &[0.0]).is_err());
+        assert!(est
+            .predict(&[vec![0.0, 1.0]], &[1.0], &[0.0])
+            .is_err());
+    }
+
+    #[test]
+    fn covariance_is_total_sill_at_zero() {
+        let est = SimpleKrigingEstimator::new(
+            VariogramModel::spherical(0.5, 1.5, 3.0).unwrap(),
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(est.covariance(0.0), 2.0);
+        assert!(est.covariance(100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_config_matches_predict() {
+        let est = SimpleKrigingEstimator::new(model(), 1.0).unwrap();
+        let configs = vec![vec![4, 4], vec![6, 4]];
+        let values = vec![2.0, 3.0];
+        let a = est.predict_config(&configs, &values, &[5, 4]).unwrap();
+        let b = est
+            .predict(&[vec![4.0, 4.0], vec![6.0, 4.0]], &values, &[5.0, 4.0])
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

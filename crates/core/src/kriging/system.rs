@@ -1,0 +1,239 @@
+//! Assembly and solution of the ordinary-kriging system (paper Eqs. 7–10).
+
+use krigeval_linalg::{LuDecomposition, Matrix};
+
+use crate::variogram::VariogramModel;
+use crate::{CoreError, DistanceMetric};
+
+/// Solution of one kriging system: the weights `μₖ` of Eq. 3 and the
+/// Lagrange multiplier enforcing the unbiasedness constraint of Eq. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrigingWeights {
+    /// One weight per data site; they sum to 1 (unbiasedness).
+    pub weights: Vec<f64>,
+    /// The Lagrange multiplier `m` of the augmented system.
+    pub lagrange: f64,
+    /// `γ(dᵢₖ)` between the target and each site (reused for the variance).
+    gamma_target: Vec<f64>,
+}
+
+impl KrigingWeights {
+    /// The interpolated value `λ̂(eⁱ) = Σ μₖ·λ(eᵏ)` (Eq. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of weights.
+    pub fn interpolate(&self, values: &[f64]) -> f64 {
+        assert_eq!(
+            values.len(),
+            self.weights.len(),
+            "value count must match weight count"
+        );
+        self.weights.iter().zip(values).map(|(w, v)| w * v).sum()
+    }
+
+    /// The ordinary-kriging variance
+    /// `σ² = Σ μₖ·γ(dᵢₖ) + m` — the minimized estimation variance of Eq. 5.
+    /// Clamped at zero (tiny negative values arise from round-off).
+    pub fn variance(&self) -> f64 {
+        let v: f64 = self
+            .weights
+            .iter()
+            .zip(&self.gamma_target)
+            .map(|(w, g)| w * g)
+            .sum::<f64>()
+            + self.lagrange;
+        v.max(0.0)
+    }
+}
+
+/// Builds and solves the ordinary-kriging system for `target` given data
+/// `sites`, under `model` and `metric`:
+///
+/// ```text
+/// Γ · [μ; m] = [γᵢ; 1]        (Γ as in Eq. 9, γᵢ as in Eq. 8)
+/// ```
+///
+/// If the plain system is singular (e.g. nearly-duplicate sites), it is
+/// retried with a small nugget jitter added to every off-diagonal entry —
+/// the standard regularization — before giving up.
+///
+/// # Errors
+///
+/// * [`CoreError::NoData`] if `sites` is empty.
+/// * [`CoreError::DimensionMismatch`] if the sites/target dimensions differ.
+/// * [`CoreError::SingularSystem`] if both attempts fail.
+pub fn solve_kriging_system(
+    sites: &[Vec<f64>],
+    target: &[f64],
+    model: &VariogramModel,
+    metric: DistanceMetric,
+) -> Result<KrigingWeights, CoreError> {
+    if sites.is_empty() {
+        return Err(CoreError::NoData);
+    }
+    for (i, s) in sites.iter().enumerate() {
+        if s.len() != target.len() {
+            return Err(CoreError::DimensionMismatch {
+                what: "kriging system".into(),
+                detail: format!(
+                    "site {i} has dimension {}, target has {}",
+                    s.len(),
+                    target.len()
+                ),
+            });
+        }
+    }
+    let n = sites.len();
+    let gamma_target: Vec<f64> = sites
+        .iter()
+        .map(|s| model.evaluate(metric.eval(s, target)))
+        .collect();
+
+    let build = |jitter: f64| -> Matrix {
+        Matrix::from_fn(n + 1, n + 1, |i, j| {
+            if i == n && j == n {
+                0.0
+            } else if i == n || j == n {
+                1.0
+            } else if i == j {
+                0.0 // γ(0) = 0 on the diagonal
+            } else {
+                model.evaluate(metric.eval(&sites[i], &sites[j])) + jitter
+            }
+        })
+    };
+    let mut rhs: Vec<f64> = gamma_target.clone();
+    rhs.push(1.0);
+
+    // The jitter scale follows the system's own magnitude. Beyond exact
+    // singularity, near-duplicate sites in high-dimensional configuration
+    // spaces produce *ill-conditioned* systems whose "solutions" carry
+    // enormous oscillating weights; those interpolate garbage, so they are
+    // rejected and retried with a stronger nugget jitter.
+    let scale = gamma_target
+        .iter()
+        .fold(0.0f64, |m, g| m.max(g.abs()))
+        .max(1.0);
+    let weight_budget = 16.0 + 2.0 * n as f64; // Σ|μ| cap; honest weights are O(1)
+    for jitter in [0.0, 1e-10, 1e-6, 1e-3, 1e-1].map(|j| j * scale) {
+        let gamma_matrix = build(jitter);
+        match LuDecomposition::new(&gamma_matrix) {
+            Ok(lu) => {
+                let solution = lu.solve(&rhs)?;
+                let (weights, rest) = solution.split_at(n);
+                let l1: f64 = weights.iter().map(|w| w.abs()).sum();
+                if !l1.is_finite() || l1 > weight_budget {
+                    continue; // ill-conditioned: escalate the jitter
+                }
+                return Ok(KrigingWeights {
+                    weights: weights.to_vec(),
+                    lagrange: rest[0],
+                    gamma_target,
+                });
+            }
+            Err(krigeval_linalg::LinalgError::Singular { .. }) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(CoreError::SingularSystem { sites: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> VariogramModel {
+        VariogramModel::linear(1.0)
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let sites = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 3.0], vec![4.0, 4.0]];
+        let w =
+            solve_kriging_system(&sites, &[1.0, 1.0], &model(), DistanceMetric::L1).unwrap();
+        let sum: f64 = w.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-10, "sum = {sum}");
+    }
+
+    #[test]
+    fn target_on_a_site_gets_weight_one() {
+        let sites = vec![vec![0.0], vec![1.0], vec![5.0]];
+        let w = solve_kriging_system(&sites, &[1.0], &model(), DistanceMetric::L1).unwrap();
+        assert!((w.weights[1] - 1.0).abs() < 1e-9, "{:?}", w.weights);
+        assert!(w.weights[0].abs() < 1e-9);
+        assert!(w.weights[2].abs() < 1e-9);
+        assert!(w.variance() < 1e-9);
+    }
+
+    #[test]
+    fn single_site_degenerates_to_that_value() {
+        let sites = vec![vec![3.0, 3.0]];
+        let w = solve_kriging_system(&sites, &[0.0, 0.0], &model(), DistanceMetric::L1).unwrap();
+        assert!((w.weights[0] - 1.0).abs() < 1e-12);
+        assert_eq!(w.interpolate(&[7.5]), 7.5);
+        // Variance grows with distance from the lone site.
+        assert!(w.variance() > 0.0);
+    }
+
+    #[test]
+    fn symmetric_sites_get_symmetric_weights() {
+        let sites = vec![vec![-1.0], vec![1.0]];
+        let w = solve_kriging_system(&sites, &[0.0], &model(), DistanceMetric::L1).unwrap();
+        assert!((w.weights[0] - 0.5).abs() < 1e-10);
+        assert!((w.weights[1] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn interpolate_recovers_linear_field_between_sites() {
+        // Ordinary kriging with a linear variogram on a 1-D lattice is exact
+        // for affine fields at interior points.
+        let sites: Vec<Vec<f64>> = vec![vec![0.0], vec![2.0], vec![6.0], vec![10.0]];
+        let values: Vec<f64> = sites.iter().map(|s| 3.0 + 2.0 * s[0]).collect();
+        let w = solve_kriging_system(&sites, &[4.0], &model(), DistanceMetric::L1).unwrap();
+        let est = w.interpolate(&values);
+        assert!((est - 11.0).abs() < 1e-8, "est = {est}");
+    }
+
+    #[test]
+    fn variance_increases_with_extrapolation_distance() {
+        let sites = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let near =
+            solve_kriging_system(&sites, &[1.5], &model(), DistanceMetric::L1).unwrap();
+        let far = solve_kriging_system(&sites, &[8.0], &model(), DistanceMetric::L1).unwrap();
+        assert!(far.variance() > near.variance());
+    }
+
+    #[test]
+    fn duplicate_sites_are_regularized_not_fatal() {
+        let sites = vec![vec![1.0], vec![1.0], vec![3.0]];
+        let w = solve_kriging_system(&sites, &[2.0], &model(), DistanceMetric::L1).unwrap();
+        let est = w.interpolate(&[5.0, 5.0, 9.0]);
+        assert!((5.0..=9.0).contains(&est), "est = {est}");
+    }
+
+    #[test]
+    fn empty_sites_rejected() {
+        assert!(matches!(
+            solve_kriging_system(&[], &[0.0], &model(), DistanceMetric::L1).unwrap_err(),
+            CoreError::NoData
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let sites = vec![vec![0.0, 0.0]];
+        assert!(matches!(
+            solve_kriging_system(&sites, &[0.0], &model(), DistanceMetric::L1).unwrap_err(),
+            CoreError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "value count")]
+    fn interpolate_validates_length() {
+        let sites = vec![vec![0.0], vec![1.0]];
+        let w = solve_kriging_system(&sites, &[0.5], &model(), DistanceMetric::L1).unwrap();
+        let _ = w.interpolate(&[1.0]);
+    }
+}

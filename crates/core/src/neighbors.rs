@@ -1,0 +1,222 @@
+//! Radius search over the simulated-configuration store.
+//!
+//! The hybrid evaluator needs, for every query, "the already simulated
+//! configurations within distance `d`" (paper Algorithms 1–2, lines 7–16).
+//! A linear scan is fine for hundreds of configurations; [`NeighborIndex`]
+//! adds a cheap coordinate-sum pruning bound that typically rejects most
+//! candidates without computing the full distance:
+//!
+//! for any two configurations, `|Σa − Σb| ≤ ‖a − b‖₁`, so a candidate whose
+//! coordinate sum differs from the target's by more than `d` can never be a
+//! neighbor. Sorting the store by coordinate sum turns the scan into a
+//! window lookup. (For L2/L∞ the bound adapts: `‖·‖₂ ≥ |Σa−Σb|/√n` and
+//! `‖·‖∞ ≥ |Σa−Σb|/n`.)
+
+use crate::{Config, DistanceMetric};
+
+/// An incrementally built radius-search index over integer configurations.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::neighbors::NeighborIndex;
+/// use krigeval_core::DistanceMetric;
+///
+/// let mut index = NeighborIndex::new(DistanceMetric::L1);
+/// index.insert(vec![8, 8], -40.0);
+/// index.insert(vec![9, 8], -46.0);
+/// index.insert(vec![16, 16], -90.0);
+/// let hits = index.within(&[8, 9], 2.0);
+/// assert_eq!(hits.len(), 2); // [8,8] at d=1 and [9,8] at d=2
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NeighborIndex {
+    metric: DistanceMetric,
+    /// `(coordinate sum, store position)`, kept sorted by sum.
+    by_sum: Vec<(i64, usize)>,
+    configs: Vec<Config>,
+    values: Vec<f64>,
+}
+
+/// One radius-search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor<'a> {
+    /// Position in insertion order.
+    pub index: usize,
+    /// The stored configuration.
+    pub config: &'a Config,
+    /// The stored metric value.
+    pub value: f64,
+    /// Distance to the query target.
+    pub distance: f64,
+}
+
+impl NeighborIndex {
+    /// Creates an empty index for the given metric.
+    pub fn new(metric: DistanceMetric) -> NeighborIndex {
+        NeighborIndex {
+            metric,
+            by_sum: Vec::new(),
+            configs: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of stored configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// `true` if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Inserts a configuration with its metric value, returning its
+    /// insertion-order index.
+    pub fn insert(&mut self, config: Config, value: f64) -> usize {
+        let sum: i64 = config.iter().map(|&x| i64::from(x)).sum();
+        let position = self.configs.len();
+        let at = self.by_sum.partition_point(|&(s, _)| s < sum);
+        self.by_sum.insert(at, (sum, position));
+        self.configs.push(config);
+        self.values.push(value);
+        position
+    }
+
+    /// Exact-match lookup (for the duplicate cache).
+    pub fn position_of(&self, config: &[i32]) -> Option<usize> {
+        // Candidates share the exact coordinate sum; check only those.
+        let sum: i64 = config.iter().map(|&x| i64::from(x)).sum();
+        let lo = self.by_sum.partition_point(|&(s, _)| s < sum);
+        self.by_sum[lo..]
+            .iter()
+            .take_while(|&&(s, _)| s == sum)
+            .map(|&(_, pos)| pos)
+            .find(|&pos| self.configs[pos] == config)
+    }
+
+    /// All stored configurations within `radius` of `target`.
+    pub fn within(&self, target: &[i32], radius: f64) -> Vec<Neighbor<'_>> {
+        let sum: i64 = target.iter().map(|&x| i64::from(x)).sum();
+        // Sum-window that the metric's lower bound cannot exclude.
+        let n = target.len().max(1) as f64;
+        let window = match self.metric {
+            DistanceMetric::L1 => radius,
+            DistanceMetric::L2 => radius * n.sqrt(),
+            DistanceMetric::Linf => radius * n,
+        };
+        let window = window.floor() as i64;
+        let lo = self.by_sum.partition_point(|&(s, _)| s < sum - window);
+        let hi = self.by_sum.partition_point(|&(s, _)| s <= sum + window);
+        let mut hits: Vec<Neighbor<'_>> = self.by_sum[lo..hi]
+            .iter()
+            .filter_map(|&(_, pos)| {
+                let distance = self.metric.eval_config(&self.configs[pos], target);
+                (distance <= radius).then(|| Neighbor {
+                    index: pos,
+                    config: &self.configs[pos],
+                    value: self.values[pos],
+                    distance,
+                })
+            })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+        hits
+    }
+
+    /// Stored configurations, in insertion order.
+    pub fn configs(&self) -> &[Config] {
+        &self.configs
+    }
+
+    /// Stored metric values, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn linear_scan(
+        configs: &[Config],
+        target: &[i32],
+        radius: f64,
+        metric: DistanceMetric,
+    ) -> Vec<usize> {
+        configs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| metric.eval_config(c, target) <= radius)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn within_matches_linear_scan_on_random_configs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for metric in [DistanceMetric::L1, DistanceMetric::L2, DistanceMetric::Linf] {
+            let mut index = NeighborIndex::new(metric);
+            let mut configs = Vec::new();
+            for i in 0..200 {
+                let c: Config = (0..5).map(|_| rng.gen_range(2..17)).collect();
+                index.insert(c.clone(), f64::from(i));
+                configs.push(c);
+            }
+            for _ in 0..50 {
+                let target: Config = (0..5).map(|_| rng.gen_range(2..17)).collect();
+                let radius = f64::from(rng.gen_range(1..6));
+                let mut got: Vec<usize> =
+                    index.within(&target, radius).iter().map(|n| n.index).collect();
+                got.sort_unstable();
+                let expected = linear_scan(&configs, &target, radius, metric);
+                assert_eq!(got, expected, "metric {metric}, target {target:?}, r {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn hits_are_sorted_by_distance() {
+        let mut index = NeighborIndex::new(DistanceMetric::L1);
+        index.insert(vec![10, 10], 1.0);
+        index.insert(vec![8, 8], 2.0);
+        index.insert(vec![9, 9], 3.0);
+        let hits = index.within(&[9, 9], 4.0);
+        let distances: Vec<f64> = hits.iter().map(|h| h.distance).collect();
+        assert_eq!(distances, vec![0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn position_of_finds_exact_matches_only() {
+        let mut index = NeighborIndex::new(DistanceMetric::L1);
+        let a = index.insert(vec![4, 5, 6], 0.5);
+        let b = index.insert(vec![6, 5, 4], 0.7); // same coordinate sum
+        assert_eq!(index.position_of(&[4, 5, 6]), Some(a));
+        assert_eq!(index.position_of(&[6, 5, 4]), Some(b));
+        assert_eq!(index.position_of(&[5, 5, 5]), None); // same sum, not stored
+        assert_eq!(index.position_of(&[9, 9, 9]), None);
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let index = NeighborIndex::new(DistanceMetric::L1);
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        assert!(index.within(&[1, 2], 10.0).is_empty());
+        assert_eq!(index.position_of(&[1, 2]), None);
+    }
+
+    #[test]
+    fn values_and_configs_keep_insertion_order() {
+        let mut index = NeighborIndex::new(DistanceMetric::L1);
+        index.insert(vec![9], 1.0);
+        index.insert(vec![3], 2.0);
+        index.insert(vec![6], 3.0);
+        assert_eq!(index.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(index.configs()[1], vec![3]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Implementation-cost models for the DSE objective (paper Eq. 1:
+//! `min C(e)` subject to `λ(e) > λ_min`).
+//!
+//! The paper's greedy pseudocode never evaluates `C` explicitly — with unit
+//! costs, ascending accuracy one bit at a time minimizes Σw implicitly.
+//! Real implementations weight variables differently (a multiplier bit
+//! costs more area than a register bit), so this module makes the cost
+//! model explicit and provides a **cost-aware** greedy step that maximizes
+//! accuracy gain per cost unit.
+
+use crate::opt::{DseEvaluator, OptError, OptimizationResult};
+use crate::opt::minplusone::MinPlusOneOptions;
+use crate::trace::OptimizationTrace;
+use crate::Config;
+
+/// A linear implementation-cost model: `C(w) = Σ weight_k · w_k`.
+///
+/// Linear-in-word-length cost is the standard first-order model for
+/// register/adder area; a multiplier is better modelled by a larger weight
+/// (its area grows with both operand widths, and the partial-product array
+/// dominates).
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::opt::cost::CostModel;
+///
+/// let model = CostModel::new(vec![4.0, 1.0]).unwrap(); // multiplier, register
+/// assert_eq!(model.cost(&[8, 12]), 4.0 * 8.0 + 12.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    weights: Vec<f64>,
+}
+
+impl CostModel {
+    /// Creates a model from per-variable weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if `weights` is empty or any
+    /// weight is non-positive or non-finite.
+    pub fn new(weights: Vec<f64>) -> Result<CostModel, String> {
+        if weights.is_empty() {
+            return Err("cost model needs at least one weight".into());
+        }
+        if let Some(w) = weights.iter().find(|w| !w.is_finite() || **w <= 0.0) {
+            return Err(format!("cost weights must be positive and finite, got {w}"));
+        }
+        Ok(CostModel { weights })
+    }
+
+    /// Uniform unit weights over `nv` variables — the implicit model of the
+    /// paper's pseudocode.
+    pub fn unit(nv: usize) -> CostModel {
+        CostModel {
+            weights: vec![1.0; nv],
+        }
+    }
+
+    /// Number of variables the model covers.
+    pub fn num_variables(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Evaluates `C(w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len()` differs from the model's variable count.
+    pub fn cost(&self, w: &[i32]) -> f64 {
+        assert_eq!(w.len(), self.weights.len(), "cost model dimension mismatch");
+        w.iter()
+            .zip(&self.weights)
+            .map(|(&wl, &g)| g * f64::from(wl))
+            .sum()
+    }
+
+    /// Marginal cost of incrementing variable `i` by one bit.
+    pub fn marginal(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+}
+
+/// Greedy ascent from `wmin` that maximizes **accuracy gain per cost unit**
+/// (`Δλ / weight_i`) instead of raw accuracy — the cost-aware variant of
+/// the paper's Algorithm 2.
+///
+/// With [`CostModel::unit`] this reduces to the plain `refine` step.
+///
+/// # Errors
+///
+/// * [`OptError::Eval`] if a simulation fails.
+/// * [`OptError::Infeasible`] if every variable reaches `N_max` without
+///   meeting the constraint.
+/// * [`OptError::DidNotConverge`] if the iteration budget is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::opt::cost::{refine_cost_aware, CostModel};
+/// use krigeval_core::opt::minplusone::MinPlusOneOptions;
+/// use krigeval_core::opt::SimulateAll;
+/// use krigeval_core::trace::OptimizationTrace;
+/// use krigeval_core::FnEvaluator;
+///
+/// # fn main() -> Result<(), krigeval_core::opt::OptError> {
+/// // Two equally noisy variables, but variable 0 costs 5× more per bit.
+/// let mut ev = SimulateAll(FnEvaluator::new(2, |w| {
+///     let p: f64 = w.iter().map(|&x| 2f64.powi(-2 * x)).sum();
+///     Ok(-10.0 * p.log10())
+/// }));
+/// let model = CostModel::new(vec![5.0, 1.0]).expect("valid weights");
+/// let opts = MinPlusOneOptions::new(40.0);
+/// let mut trace = OptimizationTrace::new();
+/// let result = refine_cost_aware(&mut ev, &vec![5, 5], &opts, &model, &mut trace)?;
+/// // The cheap variable absorbs more of the required bits.
+/// assert!(result.solution[1] >= result.solution[0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn refine_cost_aware(
+    evaluator: &mut dyn DseEvaluator,
+    wmin: &Config,
+    options: &MinPlusOneOptions,
+    cost_model: &CostModel,
+    trace: &mut OptimizationTrace,
+) -> Result<OptimizationResult, OptError> {
+    assert_eq!(
+        cost_model.num_variables(),
+        wmin.len(),
+        "cost model dimension mismatch"
+    );
+    let mut w = wmin.clone();
+    let (mut lambda, source) = evaluator.query(&w)?;
+    trace.record(&w, lambda, source);
+    let mut iterations = 0u64;
+    while lambda < options.lambda_min {
+        iterations += 1;
+        if iterations > options.max_iterations {
+            return Err(OptError::DidNotConverge { iterations });
+        }
+        // Pick argmax of (λ_i − λ) / marginal cost.
+        let mut best: Option<(usize, f64, f64)> = None; // (i, λ_i, score)
+        for i in 0..w.len() {
+            if w[i] >= options.w_max {
+                continue;
+            }
+            let mut candidate = w.clone();
+            candidate[i] += 1;
+            let (li, source) = evaluator.query(&candidate)?;
+            trace.record(&candidate, li, source);
+            let score = (li - lambda) / cost_model.marginal(i);
+            if best.is_none_or(|(_, _, sb)| score > sb) {
+                best = Some((i, li, score));
+            }
+        }
+        let Some((jc, lj, _)) = best else {
+            return Err(OptError::Infeasible {
+                best_lambda: lambda,
+                lambda_min: options.lambda_min,
+            });
+        };
+        w[jc] += 1;
+        lambda = lj;
+        trace.record_decision(jc);
+    }
+    Ok(OptimizationResult {
+        solution: w,
+        lambda,
+        iterations,
+        trace: std::mem::take(trace),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::minplusone::{optimize, refine};
+    use crate::opt::SimulateAll;
+    use crate::FnEvaluator;
+
+    fn additive_model(
+        weights: Vec<f64>,
+    ) -> FnEvaluator<impl FnMut(&Config) -> Result<f64, crate::EvalError>> {
+        FnEvaluator::new(weights.len(), move |w: &Config| {
+            let p: f64 = w
+                .iter()
+                .zip(&weights)
+                .map(|(&wl, &g)| g * 2f64.powi(-2 * wl))
+                .sum();
+            Ok(-10.0 * p.log10())
+        })
+    }
+
+    #[test]
+    fn cost_model_validation() {
+        assert!(CostModel::new(vec![]).is_err());
+        assert!(CostModel::new(vec![1.0, -1.0]).is_err());
+        assert!(CostModel::new(vec![1.0, f64::NAN]).is_err());
+        assert!(CostModel::new(vec![2.0, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn unit_model_reduces_to_plain_refine() {
+        let opts = MinPlusOneOptions::new(52.0);
+        let wmin = vec![6, 6];
+        let mut plain = SimulateAll(additive_model(vec![1.0, 2.0]));
+        let mut trace = OptimizationTrace::new();
+        let r_plain = refine(&mut plain, &wmin, &opts, &mut trace).unwrap();
+        let mut aware = SimulateAll(additive_model(vec![1.0, 2.0]));
+        let model = CostModel::unit(2);
+        let mut trace = OptimizationTrace::new();
+        let r_aware = refine_cost_aware(&mut aware, &wmin, &opts, &model, &mut trace).unwrap();
+        assert_eq!(r_plain.solution, r_aware.solution);
+    }
+
+    #[test]
+    fn expensive_variables_get_fewer_bits() {
+        // Symmetric noise but asymmetric cost: the cost-aware result should
+        // spend the extra bits on the cheap variable.
+        let opts = MinPlusOneOptions::new(50.0);
+        let wmin = vec![5, 5];
+        let model = CostModel::new(vec![8.0, 1.0]).unwrap();
+        let mut ev = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let mut trace = OptimizationTrace::new();
+        let result = refine_cost_aware(&mut ev, &wmin, &opts, &model, &mut trace).unwrap();
+        assert!(result.lambda >= 50.0);
+        assert!(
+            result.solution[1] > result.solution[0],
+            "{:?}",
+            result.solution
+        );
+    }
+
+    #[test]
+    fn cost_aware_solution_is_cheaper_under_the_model() {
+        let opts = MinPlusOneOptions::new(50.0);
+        let model = CostModel::new(vec![8.0, 1.0]).unwrap();
+        // Plain optimizer ignores cost.
+        let mut plain = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let plain_result = optimize(&mut plain, &opts).unwrap();
+        // Cost-aware from the same wmin.
+        let mut aware = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let mut trace = OptimizationTrace::new();
+        let wmin = crate::opt::minplusone::minimum_word_lengths(&mut aware, &opts, &mut trace)
+            .unwrap();
+        let aware_result =
+            refine_cost_aware(&mut aware, &wmin, &opts, &model, &mut trace).unwrap();
+        assert!(aware_result.lambda >= 50.0);
+        assert!(
+            model.cost(&aware_result.solution) <= model.cost(&plain_result.solution),
+            "aware {:?} ({}) vs plain {:?} ({})",
+            aware_result.solution,
+            model.cost(&aware_result.solution),
+            plain_result.solution,
+            model.cost(&plain_result.solution)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cost_dimension_is_validated() {
+        CostModel::unit(2).cost(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Exhaustive search over small configuration hypercubes — the ground
+//! truth the greedy optimizers are validated against.
+//!
+//! The paper frames the DSE as combinatorial optimization over an
+//! `Nv`-dimensional hypercube (Eq. 1); exhaustive enumeration is only
+//! feasible for tiny instances, which is exactly what makes it useful as a
+//! test oracle: on 2–3 variable problems, min+1 and max−1 should land
+//! within a bit or two of the true cost optimum.
+
+use crate::opt::cost::CostModel;
+use crate::opt::{DseEvaluator, OptError, OptimizationResult};
+use crate::trace::OptimizationTrace;
+use crate::Config;
+
+/// Bounds of the enumerated hypercube.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExhaustiveOptions {
+    /// Accuracy constraint `λ_min`.
+    pub lambda_min: f64,
+    /// Smallest word-length per variable.
+    pub w_floor: i32,
+    /// Largest word-length per variable.
+    pub w_max: i32,
+    /// Hard cap on enumerated configurations (guards against accidental
+    /// exponential blow-ups in tests).
+    pub max_configs: u64,
+}
+
+impl ExhaustiveOptions {
+    /// Creates options over word-lengths 2–16 with a 1M-configuration cap.
+    pub fn new(lambda_min: f64) -> ExhaustiveOptions {
+        ExhaustiveOptions {
+            lambda_min,
+            w_floor: 2,
+            w_max: 16,
+            max_configs: 1_000_000,
+        }
+    }
+}
+
+/// Enumerates every configuration in the hypercube and returns the
+/// minimum-cost one satisfying `λ ≥ λ_min` under `cost_model` (ties broken
+/// by higher `λ`).
+///
+/// # Errors
+///
+/// * [`OptError::Eval`] if a simulation fails.
+/// * [`OptError::Infeasible`] if no configuration satisfies the constraint.
+/// * [`OptError::DidNotConverge`] if the hypercube exceeds `max_configs`
+///   (the iteration count reported is the cube size).
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::opt::cost::CostModel;
+/// use krigeval_core::opt::exhaustive::{optimize_exhaustive, ExhaustiveOptions};
+/// use krigeval_core::opt::SimulateAll;
+/// use krigeval_core::FnEvaluator;
+///
+/// # fn main() -> Result<(), krigeval_core::opt::OptError> {
+/// let mut ev = SimulateAll(FnEvaluator::new(2, |w| {
+///     Ok(6.0 * f64::from(*w.iter().min().unwrap()))
+/// }));
+/// let opts = ExhaustiveOptions {
+///     lambda_min: 30.0,
+///     w_floor: 2,
+///     w_max: 8,
+///     max_configs: 10_000,
+/// };
+/// let best = optimize_exhaustive(&mut ev, &opts, &CostModel::unit(2))?;
+/// assert_eq!(best.solution, vec![5, 5]); // 6·5 = 30, minimal Σw
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize_exhaustive(
+    evaluator: &mut dyn DseEvaluator,
+    options: &ExhaustiveOptions,
+    cost_model: &CostModel,
+) -> Result<OptimizationResult, OptError> {
+    let nv = evaluator.num_variables();
+    assert_eq!(
+        cost_model.num_variables(),
+        nv,
+        "cost model dimension mismatch"
+    );
+    let span = (options.w_max - options.w_floor + 1) as u64;
+    let total = span.checked_pow(nv as u32).unwrap_or(u64::MAX);
+    if total > options.max_configs {
+        return Err(OptError::DidNotConverge { iterations: total });
+    }
+    let mut trace = OptimizationTrace::new();
+    let mut best: Option<(Config, f64, f64)> = None; // (w, λ, cost)
+    let mut w: Config = vec![options.w_floor; nv];
+    let mut evaluated = 0u64;
+    loop {
+        let (lambda, source) = evaluator.query(&w)?;
+        trace.record(&w, lambda, source);
+        evaluated += 1;
+        if lambda >= options.lambda_min {
+            let cost = cost_model.cost(&w);
+            let better = match &best {
+                None => true,
+                Some((_, lb, cb)) => cost < *cb || (cost == *cb && lambda > *lb),
+            };
+            if better {
+                best = Some((w.clone(), lambda, cost));
+            }
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == nv {
+                let Some((solution, lambda, _)) = best else {
+                    return Err(OptError::Infeasible {
+                        best_lambda: f64::NEG_INFINITY,
+                        lambda_min: options.lambda_min,
+                    });
+                };
+                return Ok(OptimizationResult {
+                    solution,
+                    lambda,
+                    iterations: evaluated,
+                    trace,
+                });
+            }
+            if w[i] < options.w_max {
+                w[i] += 1;
+                break;
+            }
+            w[i] = options.w_floor;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::maxminusone::{optimize_descending, MaxMinusOneOptions};
+    use crate::opt::minplusone::{optimize, MinPlusOneOptions};
+    use crate::opt::SimulateAll;
+    use crate::FnEvaluator;
+
+    fn additive_model(
+        weights: Vec<f64>,
+    ) -> FnEvaluator<impl FnMut(&Config) -> Result<f64, crate::EvalError>> {
+        FnEvaluator::new(weights.len(), move |w: &Config| {
+            let p: f64 = w
+                .iter()
+                .zip(&weights)
+                .map(|(&wl, &g)| g * 2f64.powi(-2 * wl))
+                .sum();
+            Ok(-10.0 * p.log10())
+        })
+    }
+
+    fn exhaustive_opts(lambda_min: f64) -> ExhaustiveOptions {
+        ExhaustiveOptions {
+            lambda_min,
+            w_floor: 2,
+            w_max: 12,
+            max_configs: 100_000,
+        }
+    }
+
+    #[test]
+    fn exhaustive_result_is_feasible_and_boundary_tight() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 3.0]));
+        let best =
+            optimize_exhaustive(&mut ev, &exhaustive_opts(45.0), &CostModel::unit(2)).unwrap();
+        assert!(best.lambda >= 45.0);
+        // Optimality: no configuration with smaller Σw is feasible — spot
+        // check by decrementing each coordinate.
+        let mut check = additive_model(vec![1.0, 3.0]);
+        use crate::AccuracyEvaluator;
+        for i in 0..2 {
+            if best.solution[i] <= 2 {
+                continue;
+            }
+            let mut smaller = best.solution.clone();
+            smaller[i] -= 1;
+            let l = check.evaluate(&smaller).unwrap();
+            // Any strictly cheaper neighbour is infeasible OR there exists a
+            // same-cost rebalance; the cheaper neighbour must be infeasible.
+            assert!(l < 45.0, "cheaper neighbour {smaller:?} is feasible");
+        }
+    }
+
+    #[test]
+    fn greedy_optimizers_land_near_the_exhaustive_optimum() {
+        let weights = vec![1.0, 4.0, 0.25];
+        let lambda_min = 48.0;
+        let mut ex = SimulateAll(additive_model(weights.clone()));
+        let optimum = optimize_exhaustive(
+            &mut ex,
+            &ExhaustiveOptions {
+                lambda_min,
+                w_floor: 2,
+                w_max: 12,
+                max_configs: 100_000,
+            },
+            &CostModel::unit(3),
+        )
+        .unwrap();
+        let optimal_cost: i32 = optimum.solution.iter().sum();
+
+        let mut up = SimulateAll(additive_model(weights.clone()));
+        let min_plus = optimize(
+            &mut up,
+            &MinPlusOneOptions {
+                lambda_min,
+                w_floor: 2,
+                w_max: 12,
+                max_iterations: 10_000,
+            },
+        )
+        .unwrap();
+        let mut down = SimulateAll(additive_model(weights));
+        let max_minus = optimize_descending(
+            &mut down,
+            &MaxMinusOneOptions {
+                lambda_min,
+                w_floor: 2,
+                w_max: 12,
+                max_iterations: 10_000,
+            },
+        )
+        .unwrap();
+
+        for (name, result) in [("min+1", &min_plus), ("max-1", &max_minus)] {
+            assert!(result.lambda >= lambda_min, "{name} infeasible");
+            let cost: i32 = result.solution.iter().sum();
+            assert!(
+                cost - optimal_cost <= 2,
+                "{name} cost {cost} vs optimal {optimal_cost} ({:?} vs {:?})",
+                result.solution,
+                optimum.solution
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_cube_is_reported() {
+        let mut ev = SimulateAll(additive_model(vec![1.0]));
+        let err =
+            optimize_exhaustive(&mut ev, &exhaustive_opts(500.0), &CostModel::unit(1)).unwrap_err();
+        assert!(matches!(err, OptError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn oversized_cube_is_rejected_upfront() {
+        let mut ev = SimulateAll(additive_model(vec![1.0; 8]));
+        let opts = ExhaustiveOptions {
+            lambda_min: 40.0,
+            w_floor: 2,
+            w_max: 16,
+            max_configs: 1000,
+        };
+        let err = optimize_exhaustive(&mut ev, &opts, &CostModel::unit(8)).unwrap_err();
+        assert!(matches!(err, OptError::DidNotConverge { .. }));
+        // Crucially: nothing was simulated.
+        use crate::AccuracyEvaluator;
+        assert_eq!(ev.0.evaluations(), 0);
+    }
+
+    #[test]
+    fn weighted_cost_changes_the_optimum() {
+        let mut unit_ev = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let unit_best =
+            optimize_exhaustive(&mut unit_ev, &exhaustive_opts(40.0), &CostModel::unit(2))
+                .unwrap();
+        let mut biased_ev = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let model = CostModel::new(vec![10.0, 1.0]).unwrap();
+        let biased_best =
+            optimize_exhaustive(&mut biased_ev, &exhaustive_opts(40.0), &model).unwrap();
+        // The biased optimum shifts bits onto the cheap variable.
+        assert!(biased_best.solution[1] >= unit_best.solution[1]);
+        assert!(biased_best.solution[0] <= unit_best.solution[0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! The max−1 bit (steepest-descent) word-length algorithm — the other
+//! greedy family the paper mentions alongside min+1 ("this particular
+//! optimization algorithm can be a steepest descent gradient-based
+//! algorithm or a middle ascent gradient-based algorithm", Section III-B).
+//!
+//! Starting from every variable at `N_max` (always feasible if the problem
+//! is feasible at all), repeatedly *decrement* the word-length whose
+//! decrement keeps the best metric while still satisfying the constraint;
+//! stop when no single decrement stays feasible. The result is a locally
+//! minimal word-length vector — the same fixed-point-refinement goal as
+//! min+1 reached from the opposite side, which makes it the natural
+//! cross-check optimizer for the kriging study (see the `decisions`
+//! experiment).
+
+use crate::opt::{DseEvaluator, OptError, OptimizationResult};
+use crate::trace::OptimizationTrace;
+use crate::Config;
+
+/// Parameters of the max−1 algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxMinusOneOptions {
+    /// Accuracy constraint `λ_min`: every accepted configuration satisfies
+    /// `λ ≥ λ_min`.
+    pub lambda_min: f64,
+    /// Smallest word-length a variable may take.
+    pub w_floor: i32,
+    /// Starting word-length (`N_max`).
+    pub w_max: i32,
+    /// Safety bound on iterations.
+    pub max_iterations: u64,
+}
+
+impl MaxMinusOneOptions {
+    /// Creates options with the crate defaults (word-lengths 2–16, 10 000
+    /// iteration cap) and the given accuracy constraint.
+    pub fn new(lambda_min: f64) -> MaxMinusOneOptions {
+        MaxMinusOneOptions {
+            lambda_min,
+            w_floor: 2,
+            w_max: 16,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// Runs the max−1 descent.
+///
+/// # Errors
+///
+/// * [`OptError::Eval`] if a simulation fails.
+/// * [`OptError::Infeasible`] if even the all-`N_max` configuration
+///   violates the constraint.
+/// * [`OptError::DidNotConverge`] if `max_iterations` is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::opt::maxminusone::{optimize_descending, MaxMinusOneOptions};
+/// use krigeval_core::opt::SimulateAll;
+/// use krigeval_core::FnEvaluator;
+///
+/// # fn main() -> Result<(), krigeval_core::opt::OptError> {
+/// // Accuracy ≈ 6 dB per bit of the narrowest variable.
+/// let mut ev = SimulateAll(FnEvaluator::new(2, |w| {
+///     Ok(6.0 * f64::from(*w.iter().min().unwrap()))
+/// }));
+/// let result = optimize_descending(&mut ev, &MaxMinusOneOptions::new(48.0))?;
+/// assert!(result.lambda >= 48.0);
+/// assert_eq!(result.solution, vec![8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize_descending(
+    evaluator: &mut dyn DseEvaluator,
+    options: &MaxMinusOneOptions,
+) -> Result<OptimizationResult, OptError> {
+    let nv = evaluator.num_variables();
+    let mut trace = OptimizationTrace::new();
+    let mut w: Config = vec![options.w_max; nv];
+    let (mut lambda, source) = evaluator.query(&w)?;
+    trace.record(&w, lambda, source);
+    if lambda < options.lambda_min {
+        return Err(OptError::Infeasible {
+            best_lambda: lambda,
+            lambda_min: options.lambda_min,
+        });
+    }
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        if iterations > options.max_iterations {
+            return Err(OptError::DidNotConverge { iterations });
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..nv {
+            if w[i] <= options.w_floor {
+                continue;
+            }
+            let mut candidate = w.clone();
+            candidate[i] -= 1;
+            let (li, source) = evaluator.query(&candidate)?;
+            trace.record(&candidate, li, source);
+            if li >= options.lambda_min && best.is_none_or(|(_, lb)| li > lb) {
+                best = Some((i, li));
+            }
+        }
+        let Some((jc, lj)) = best else {
+            break; // no feasible decrement: locally minimal
+        };
+        w[jc] -= 1;
+        lambda = lj;
+        trace.record_decision(jc);
+        if w.iter().all(|&x| x <= options.w_floor) {
+            break;
+        }
+    }
+    Ok(OptimizationResult {
+        solution: w,
+        lambda,
+        iterations,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::minplusone::{optimize, MinPlusOneOptions};
+    use crate::opt::SimulateAll;
+    use crate::{AccuracyEvaluator, FnEvaluator};
+
+    fn additive_model(
+        weights: Vec<f64>,
+    ) -> FnEvaluator<impl FnMut(&Config) -> Result<f64, crate::EvalError>> {
+        FnEvaluator::new(weights.len(), move |w: &Config| {
+            let p: f64 = w
+                .iter()
+                .zip(&weights)
+                .map(|(&wl, &g)| g * 2f64.powi(-2 * wl))
+                .sum();
+            Ok(-10.0 * p.log10())
+        })
+    }
+
+    #[test]
+    fn result_satisfies_constraint_and_is_locally_minimal() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 4.0, 0.25]));
+        let opts = MaxMinusOneOptions::new(55.0);
+        let result = optimize_descending(&mut ev, &opts).unwrap();
+        assert!(result.lambda >= 55.0);
+        // Local minimality: decrementing any variable breaks the constraint.
+        let mut checker = additive_model(vec![1.0, 4.0, 0.25]);
+        for i in 0..3 {
+            if result.solution[i] <= opts.w_floor {
+                continue;
+            }
+            let mut smaller = result.solution.clone();
+            smaller[i] -= 1;
+            let l = checker.evaluate(&smaller).unwrap();
+            assert!(l < 55.0, "decrementing {i} keeps λ = {l} feasible");
+        }
+    }
+
+    #[test]
+    fn agrees_with_min_plus_one_on_separable_problems() {
+        // Both greedy directions should land on similar cost for a smooth
+        // additive surface (identical is not guaranteed, closeness is).
+        let mut down = SimulateAll(additive_model(vec![2.0, 2.0]));
+        let down_result =
+            optimize_descending(&mut down, &MaxMinusOneOptions::new(50.0)).unwrap();
+        let mut up = SimulateAll(additive_model(vec![2.0, 2.0]));
+        let up_result = optimize(&mut up, &MinPlusOneOptions::new(50.0)).unwrap();
+        let cost_down: i32 = down_result.solution.iter().sum();
+        let cost_up: i32 = up_result.solution.iter().sum();
+        assert!(
+            (cost_down - cost_up).abs() <= 2,
+            "down {:?} vs up {:?}",
+            down_result.solution,
+            up_result.solution
+        );
+    }
+
+    #[test]
+    fn infeasible_at_nmax_is_reported() {
+        let mut ev = SimulateAll(additive_model(vec![1.0]));
+        let err = optimize_descending(&mut ev, &MaxMinusOneOptions::new(500.0)).unwrap_err();
+        assert!(matches!(err, OptError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn floor_is_respected_under_lax_constraint() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let opts = MaxMinusOneOptions {
+            lambda_min: 1.0,
+            w_floor: 4,
+            w_max: 10,
+            max_iterations: 1000,
+        };
+        let result = optimize_descending(&mut ev, &opts).unwrap();
+        assert!(result.solution.iter().all(|&w| w >= 4));
+    }
+
+    #[test]
+    fn decisions_match_total_decrements() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 8.0]));
+        let opts = MaxMinusOneOptions::new(45.0);
+        let result = optimize_descending(&mut ev, &opts).unwrap();
+        let total_decrements: i32 = result.solution.iter().map(|&w| opts.w_max - w).sum();
+        assert_eq!(total_decrements as usize, result.trace.decisions.len());
+    }
+}

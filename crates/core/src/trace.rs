@@ -1,0 +1,157 @@
+//! Optimization traces and decision-divergence measurement.
+//!
+//! Section IV of the paper measures "the number of different decisions
+//! (when using kriging) taken during the optimization process" (≈10 %) and
+//! observes that the optimizer nevertheless converges to a similar result.
+//! [`decision_divergence`] reproduces that measurement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Config;
+
+/// Where a metric value came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// Measured by simulation.
+    Simulated,
+    /// Interpolated by kriging.
+    Kriged,
+}
+
+/// One metric query made by an optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// The tested configuration.
+    pub config: Config,
+    /// The metric value the optimizer used.
+    pub lambda: f64,
+    /// Whether it was simulated or kriged.
+    pub source: Source,
+}
+
+/// Full record of an optimization run: every query plus the greedy
+/// decisions (which variable was advanced at each iteration).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationTrace {
+    /// Every metric query, in order.
+    pub steps: Vec<Step>,
+    /// The variable index chosen at each greedy iteration.
+    pub decisions: Vec<usize>,
+}
+
+impl OptimizationTrace {
+    /// Creates an empty trace.
+    pub fn new() -> OptimizationTrace {
+        OptimizationTrace::default()
+    }
+
+    /// Records a metric query.
+    pub fn record(&mut self, config: &Config, lambda: f64, source: Source) {
+        self.steps.push(Step {
+            config: config.clone(),
+            lambda,
+            source,
+        });
+    }
+
+    /// Records a greedy decision.
+    pub fn record_decision(&mut self, variable: usize) {
+        self.decisions.push(variable);
+    }
+
+    /// Number of kriged queries in the trace.
+    pub fn kriged_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.source == Source::Kriged)
+            .count()
+    }
+}
+
+/// Fraction of greedy decisions that differ between two runs (compared
+/// position-wise; a length difference counts every unmatched position as a
+/// divergence).
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::trace::{decision_divergence, OptimizationTrace};
+///
+/// let mut a = OptimizationTrace::new();
+/// let mut b = OptimizationTrace::new();
+/// for d in [0, 1, 2, 0] {
+///     a.record_decision(d);
+/// }
+/// for d in [0, 1, 1, 0] {
+///     b.record_decision(d);
+/// }
+/// assert!((decision_divergence(&a, &b) - 0.25).abs() < 1e-12);
+/// ```
+pub fn decision_divergence(a: &OptimizationTrace, b: &OptimizationTrace) -> f64 {
+    let longest = a.decisions.len().max(b.decisions.len());
+    if longest == 0 {
+        return 0.0;
+    }
+    let matching = a
+        .decisions
+        .iter()
+        .zip(&b.decisions)
+        .filter(|(x, y)| x == y)
+        .count();
+    1.0 - matching as f64 / longest as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_have_zero_divergence() {
+        let mut t = OptimizationTrace::new();
+        for d in [0, 1, 2, 1, 0] {
+            t.record_decision(d);
+        }
+        assert_eq!(decision_divergence(&t, &t.clone()), 0.0);
+    }
+
+    #[test]
+    fn empty_traces_have_zero_divergence() {
+        assert_eq!(
+            decision_divergence(&OptimizationTrace::new(), &OptimizationTrace::new()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn length_mismatch_counts_as_divergence() {
+        let mut a = OptimizationTrace::new();
+        let mut b = OptimizationTrace::new();
+        for d in [0, 1] {
+            a.record_decision(d);
+        }
+        for d in [0, 1, 2, 3] {
+            b.record_decision(d);
+        }
+        assert!((decision_divergence(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kriged_count_counts_sources() {
+        let mut t = OptimizationTrace::new();
+        t.record(&vec![1, 2], 0.5, Source::Simulated);
+        t.record(&vec![1, 3], 0.6, Source::Kriged);
+        t.record(&vec![2, 3], 0.7, Source::Kriged);
+        assert_eq!(t.kriged_count(), 2);
+        assert_eq!(t.steps.len(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = OptimizationTrace::new();
+        t.record(&vec![8, 9], -42.0, Source::Kriged);
+        t.record_decision(1);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: OptimizationTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,233 @@
+//! Empirical semi-variogram (paper Eq. 4).
+
+use crate::{CoreError, DistanceMetric};
+
+/// One distance bin of the empirical semi-variogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariogramBin {
+    /// Representative distance of the bin (mean pair distance).
+    pub distance: f64,
+    /// The semi-variance `γ̂(d)` of Eq. 4.
+    pub gamma: f64,
+    /// Number of point pairs `|N(d)|` that fell in the bin.
+    pub pairs: usize,
+}
+
+/// The empirical semi-variogram
+/// `γ̂(d) = 1/(2|N(d)|) · Σ_{(j,k)∈N(d)} (λ(eʲ) − λ(eᵏ))²`
+/// computed over all pairs of measured configurations, binned by distance.
+///
+/// Word-length configurations live on an integer lattice under the L1
+/// metric, so with the default `bin_width = 1` every bin collects the pairs
+/// at one exact lattice distance — no smoothing artefacts.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::variogram::EmpiricalVariogram;
+/// use krigeval_core::DistanceMetric;
+///
+/// # fn main() -> Result<(), krigeval_core::CoreError> {
+/// let sites = vec![vec![0.0], vec![1.0], vec![2.0]];
+/// let values = vec![0.0, 1.0, 2.0]; // linear field
+/// let v = EmpiricalVariogram::from_samples(&sites, &values, DistanceMetric::L1, 1.0)?;
+/// // Pairs at distance 1: (0,1), (1,2): γ = (1² + 1²)/(2·2) = 0.5.
+/// let bin1 = &v.bins()[0];
+/// assert_eq!(bin1.pairs, 2);
+/// assert!((bin1.gamma - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalVariogram {
+    bins: Vec<VariogramBin>,
+    metric: DistanceMetric,
+}
+
+impl EmpiricalVariogram {
+    /// Computes the empirical semi-variogram of `values` sampled at `sites`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::DimensionMismatch`] if `sites.len() != values.len()`
+    ///   or the sites have inconsistent dimensions.
+    /// * [`CoreError::FitFailed`] if fewer than two sites are given (no
+    ///   pairs to measure) or `bin_width <= 0`.
+    pub fn from_samples(
+        sites: &[Vec<f64>],
+        values: &[f64],
+        metric: DistanceMetric,
+        bin_width: f64,
+    ) -> Result<EmpiricalVariogram, CoreError> {
+        if sites.len() != values.len() {
+            return Err(CoreError::DimensionMismatch {
+                what: "empirical variogram".into(),
+                detail: format!("{} sites vs {} values", sites.len(), values.len()),
+            });
+        }
+        if sites.len() < 2 {
+            return Err(CoreError::FitFailed {
+                reason: "need at least two sites to form a pair".into(),
+            });
+        }
+        if bin_width.is_nan() || bin_width <= 0.0 {
+            return Err(CoreError::FitFailed {
+                reason: format!("bin width must be positive, got {bin_width}"),
+            });
+        }
+        let dim = sites[0].len();
+        for (i, s) in sites.iter().enumerate() {
+            if s.len() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    what: "empirical variogram".into(),
+                    detail: format!("site {i} has dimension {} (expected {dim})", s.len()),
+                });
+            }
+        }
+
+        // bin index -> (Σ squared diff, Σ distance, count)
+        let mut acc: std::collections::BTreeMap<u64, (f64, f64, usize)> =
+            std::collections::BTreeMap::new();
+        for j in 0..sites.len() {
+            for k in (j + 1)..sites.len() {
+                let d = metric.eval(&sites[j], &sites[k]);
+                let diff = values[j] - values[k];
+                let bin = (d / bin_width).round() as u64;
+                let e = acc.entry(bin).or_insert((0.0, 0.0, 0));
+                e.0 += diff * diff;
+                e.1 += d;
+                e.2 += 1;
+            }
+        }
+        let bins = acc
+            .into_iter()
+            .map(|(_, (sum_sq, sum_d, pairs))| VariogramBin {
+                distance: sum_d / pairs as f64,
+                gamma: sum_sq / (2.0 * pairs as f64),
+                pairs,
+            })
+            .collect();
+        Ok(EmpiricalVariogram { bins, metric })
+    }
+
+    /// Convenience constructor for integer configurations with unit bins.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmpiricalVariogram::from_samples`].
+    pub fn from_configs(
+        configs: &[Vec<i32>],
+        values: &[f64],
+        metric: DistanceMetric,
+    ) -> Result<EmpiricalVariogram, CoreError> {
+        let sites: Vec<Vec<f64>> = configs.iter().map(|c| crate::config_to_point(c)).collect();
+        EmpiricalVariogram::from_samples(&sites, values, metric, 1.0)
+    }
+
+    /// The distance bins, sorted by increasing distance.
+    pub fn bins(&self) -> &[VariogramBin] {
+        &self.bins
+    }
+
+    /// The metric the pairs were measured with.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// Total number of pairs across all bins.
+    pub fn total_pairs(&self) -> usize {
+        self.bins.iter().map(|b| b.pairs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_count_is_n_choose_2() {
+        let sites: Vec<Vec<f64>> = (0..6).map(|i| vec![f64::from(i)]).collect();
+        let values: Vec<f64> = (0..6).map(f64::from).collect();
+        let v = EmpiricalVariogram::from_samples(&sites, &values, DistanceMetric::L1, 1.0).unwrap();
+        assert_eq!(v.total_pairs(), 15);
+    }
+
+    #[test]
+    fn linear_field_gives_quadratic_variogram() {
+        // λ(x) = x on a 1-D lattice: γ(d) = d²/2 exactly.
+        let sites: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+        let values: Vec<f64> = (0..10).map(f64::from).collect();
+        let v = EmpiricalVariogram::from_samples(&sites, &values, DistanceMetric::L1, 1.0).unwrap();
+        for bin in v.bins() {
+            assert!(
+                (bin.gamma - bin.distance * bin.distance / 2.0).abs() < 1e-12,
+                "{bin:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_field_gives_zero_variogram() {
+        let sites: Vec<Vec<f64>> = (0..5).map(|i| vec![f64::from(i), f64::from(i * 2)]).collect();
+        let values = vec![3.3; 5];
+        let v = EmpiricalVariogram::from_samples(&sites, &values, DistanceMetric::L1, 1.0).unwrap();
+        assert!(v.bins().iter().all(|b| b.gamma == 0.0));
+    }
+
+    #[test]
+    fn bins_are_sorted_by_distance() {
+        let sites: Vec<Vec<f64>> = (0..8).map(|i| vec![f64::from(i * i % 7)]).collect();
+        let values: Vec<f64> = (0..8).map(|i| f64::from(i).sin()).collect();
+        let v = EmpiricalVariogram::from_samples(&sites, &values, DistanceMetric::L1, 1.0).unwrap();
+        let ds: Vec<f64> = v.bins().iter().map(|b| b.distance).collect();
+        let mut sorted = ds.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(ds, sorted);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let err =
+            EmpiricalVariogram::from_samples(&[vec![0.0]], &[1.0], DistanceMetric::L1, 1.0)
+                .unwrap_err();
+        assert!(matches!(err, CoreError::FitFailed { .. }));
+        let err = EmpiricalVariogram::from_samples(
+            &[vec![0.0], vec![1.0]],
+            &[1.0],
+            DistanceMetric::L1,
+            1.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+        let err = EmpiricalVariogram::from_samples(
+            &[vec![0.0], vec![1.0, 2.0]],
+            &[1.0, 2.0],
+            DistanceMetric::L1,
+            1.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+        let err = EmpiricalVariogram::from_samples(
+            &[vec![0.0], vec![1.0]],
+            &[1.0, 2.0],
+            DistanceMetric::L1,
+            0.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::FitFailed { .. }));
+    }
+
+    #[test]
+    fn from_configs_uses_unit_bins() {
+        let configs = vec![vec![8, 8], vec![9, 8], vec![8, 9], vec![9, 9]];
+        let values = vec![1.0, 2.0, 2.0, 3.0];
+        let v = EmpiricalVariogram::from_configs(&configs, &values, DistanceMetric::L1).unwrap();
+        // L1 distances: 1 (4 pairs), 2 (2 pairs).
+        assert_eq!(v.bins().len(), 2);
+        assert_eq!(v.bins()[0].pairs, 4);
+        assert_eq!(v.bins()[1].pairs, 2);
+        // γ(1) = (1+1+1+1)/(2·4) = 0.5; γ(2) = (4+0)/(2·2) = 1.
+        assert!((v.bins()[0].gamma - 0.5).abs() < 1e-12);
+        assert!((v.bins()[1].gamma - 1.0).abs() < 1e-12);
+    }
+}

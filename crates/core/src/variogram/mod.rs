@@ -1,0 +1,18 @@
+//! Semi-variograms: empirical estimation, parametric models, and fitting.
+//!
+//! The semi-variogram `γ(d)` is the correlation structure kriging relies on
+//! (paper Section III-A): it measures how fast the metric `λ` decorrelates
+//! with configuration distance. The workflow is the paper's two-step method:
+//!
+//! 1. compute the **empirical** semi-variogram `γ̂(d)` from the already
+//!    measured configurations (Eq. 4) — [`EmpiricalVariogram`];
+//! 2. **identify** it with a parametric model so `γ(d)` can be evaluated at
+//!    any distance — [`VariogramModel`], [`fit_model`].
+
+mod empirical;
+mod fit;
+mod model;
+
+pub use empirical::{EmpiricalVariogram, VariogramBin};
+pub use fit::{fit_model, FitReport, ModelFamily};
+pub use model::VariogramModel;

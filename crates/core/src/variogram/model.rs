@@ -1,0 +1,326 @@
+//! Parametric semi-variogram models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// A parametric semi-variogram `γ(d)`.
+///
+/// These are the standard model families of geostatistics (Wackernagel, the
+/// paper's ref \[19\]); the empirical variogram is "identified to a particular
+/// type of semi-variogram" (paper Section III-A) by least squares — see
+/// [`crate::variogram::fit_model`].
+///
+/// All models satisfy `γ(0) = nugget ≥ 0` and are non-decreasing in `d`.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::VariogramModel;
+///
+/// let m = VariogramModel::spherical(0.0, 2.0, 5.0).unwrap();
+/// assert_eq!(m.evaluate(0.0), 0.0);
+/// assert!((m.evaluate(5.0) - 2.0).abs() < 1e-12); // reaches the sill
+/// assert_eq!(m.evaluate(100.0), 2.0);             // stays there
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum VariogramModel {
+    /// Pure nugget: `γ(d) = n` for `d > 0`, `γ(0) = 0` — an uncorrelated
+    /// field. Kriging degenerates to the neighbourhood mean.
+    Nugget {
+        /// Nugget variance `n ≥ 0`.
+        nugget: f64,
+    },
+    /// Unbounded linear model `γ(d) = n + s·d`.
+    Linear {
+        /// Nugget variance.
+        nugget: f64,
+        /// Slope `s ≥ 0`.
+        slope: f64,
+    },
+    /// Power model `γ(d) = n + c·d^e` with `0 < e < 2`.
+    Power {
+        /// Nugget variance.
+        nugget: f64,
+        /// Scale `c ≥ 0`.
+        scale: f64,
+        /// Exponent in `(0, 2)`.
+        exponent: f64,
+    },
+    /// Spherical model: rises as `1.5(d/r) − 0.5(d/r)³` then plateaus at the
+    /// sill for `d ≥ r`.
+    Spherical {
+        /// Nugget variance.
+        nugget: f64,
+        /// Sill (plateau height above the nugget).
+        sill: f64,
+        /// Range `r > 0` at which the plateau is reached.
+        range: f64,
+    },
+    /// Exponential model `γ(d) = n + s·(1 − e^{−3d/r})`.
+    Exponential {
+        /// Nugget variance.
+        nugget: f64,
+        /// Sill.
+        sill: f64,
+        /// Practical range `r > 0`.
+        range: f64,
+    },
+    /// Gaussian model `γ(d) = n + s·(1 − e^{−3d²/r²})`.
+    Gaussian {
+        /// Nugget variance.
+        nugget: f64,
+        /// Sill.
+        sill: f64,
+        /// Practical range `r > 0`.
+        range: f64,
+    },
+}
+
+impl VariogramModel {
+    /// Pure-nugget model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nugget < 0` or non-finite.
+    pub fn nugget(nugget: f64) -> VariogramModel {
+        assert!(nugget >= 0.0 && nugget.is_finite(), "invalid nugget {nugget}");
+        VariogramModel::Nugget { nugget }
+    }
+
+    /// Linear model without nugget — the crate's robust default: it is
+    /// defined by a single parameter, never plateaus (so distant neighbours
+    /// keep distinct weights), and fits any roughly-monotone empirical
+    /// variogram tolerably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope < 0` or non-finite.
+    pub fn linear(slope: f64) -> VariogramModel {
+        assert!(slope >= 0.0 && slope.is_finite(), "invalid slope {slope}");
+        VariogramModel::Linear { nugget: 0.0, slope }
+    }
+
+    /// Spherical model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] if `nugget < 0`, `sill < 0` or
+    /// `range <= 0`.
+    pub fn spherical(nugget: f64, sill: f64, range: f64) -> Result<VariogramModel, CoreError> {
+        validate_nsr(nugget, sill, range)?;
+        Ok(VariogramModel::Spherical {
+            nugget,
+            sill,
+            range,
+        })
+    }
+
+    /// Exponential model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] on invalid parameters
+    /// (see [`VariogramModel::spherical`]).
+    pub fn exponential(nugget: f64, sill: f64, range: f64) -> Result<VariogramModel, CoreError> {
+        validate_nsr(nugget, sill, range)?;
+        Ok(VariogramModel::Exponential {
+            nugget,
+            sill,
+            range,
+        })
+    }
+
+    /// Gaussian model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] on invalid parameters
+    /// (see [`VariogramModel::spherical`]).
+    pub fn gaussian(nugget: f64, sill: f64, range: f64) -> Result<VariogramModel, CoreError> {
+        validate_nsr(nugget, sill, range)?;
+        Ok(VariogramModel::Gaussian {
+            nugget,
+            sill,
+            range,
+        })
+    }
+
+    /// Power model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] if `nugget < 0`, `scale < 0` or
+    /// `exponent` is outside `(0, 2)` (required for a valid variogram).
+    pub fn power(nugget: f64, scale: f64, exponent: f64) -> Result<VariogramModel, CoreError> {
+        if nugget < 0.0 || scale < 0.0 || !(0.0..2.0).contains(&exponent) || exponent == 0.0 {
+            return Err(CoreError::InvalidModel {
+                reason: format!(
+                    "power model needs nugget >= 0, scale >= 0, 0 < exponent < 2; \
+                     got ({nugget}, {scale}, {exponent})"
+                ),
+            });
+        }
+        Ok(VariogramModel::Power {
+            nugget,
+            scale,
+            exponent,
+        })
+    }
+
+    /// Evaluates `γ(d)`. Always returns `0` at `d = 0` (the nugget is a
+    /// discontinuity at the origin, by convention active only for `d > 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or NaN.
+    pub fn evaluate(&self, d: f64) -> f64 {
+        assert!(d >= 0.0, "distance must be non-negative, got {d}");
+        if d == 0.0 {
+            return 0.0;
+        }
+        match *self {
+            VariogramModel::Nugget { nugget } => nugget,
+            VariogramModel::Linear { nugget, slope } => nugget + slope * d,
+            VariogramModel::Power {
+                nugget,
+                scale,
+                exponent,
+            } => nugget + scale * d.powf(exponent),
+            VariogramModel::Spherical {
+                nugget,
+                sill,
+                range,
+            } => {
+                if d >= range {
+                    nugget + sill
+                } else {
+                    let r = d / range;
+                    nugget + sill * (1.5 * r - 0.5 * r * r * r)
+                }
+            }
+            VariogramModel::Exponential {
+                nugget,
+                sill,
+                range,
+            } => nugget + sill * (1.0 - (-3.0 * d / range).exp()),
+            VariogramModel::Gaussian {
+                nugget,
+                sill,
+                range,
+            } => nugget + sill * (1.0 - (-3.0 * d * d / (range * range)).exp()),
+        }
+    }
+
+    /// Short lowercase family name (for reports).
+    pub fn family_name(&self) -> &'static str {
+        match self {
+            VariogramModel::Nugget { .. } => "nugget",
+            VariogramModel::Linear { .. } => "linear",
+            VariogramModel::Power { .. } => "power",
+            VariogramModel::Spherical { .. } => "spherical",
+            VariogramModel::Exponential { .. } => "exponential",
+            VariogramModel::Gaussian { .. } => "gaussian",
+        }
+    }
+}
+
+fn validate_nsr(nugget: f64, sill: f64, range: f64) -> Result<(), CoreError> {
+    if nugget < 0.0 || sill < 0.0 || range <= 0.0 {
+        return Err(CoreError::InvalidModel {
+            reason: format!(
+                "need nugget >= 0, sill >= 0, range > 0; got ({nugget}, {sill}, {range})"
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_models() -> Vec<VariogramModel> {
+        vec![
+            VariogramModel::nugget(0.5),
+            VariogramModel::linear(0.7),
+            VariogramModel::power(0.1, 1.0, 1.5).unwrap(),
+            VariogramModel::spherical(0.1, 2.0, 4.0).unwrap(),
+            VariogramModel::exponential(0.0, 1.5, 3.0).unwrap(),
+            VariogramModel::gaussian(0.2, 1.0, 2.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn gamma_zero_at_origin_for_all_models() {
+        for m in all_models() {
+            assert_eq!(m.evaluate(0.0), 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn gamma_is_non_decreasing() {
+        for m in all_models() {
+            let mut prev = 0.0;
+            for i in 1..100 {
+                let g = m.evaluate(i as f64 * 0.2);
+                assert!(g + 1e-12 >= prev, "{m:?} at d={}", i as f64 * 0.2);
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn spherical_plateaus_at_nugget_plus_sill() {
+        let m = VariogramModel::spherical(0.25, 2.0, 5.0).unwrap();
+        assert!((m.evaluate(5.0) - 2.25).abs() < 1e-12);
+        assert!((m.evaluate(50.0) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_reaches_95_percent_at_practical_range() {
+        let m = VariogramModel::exponential(0.0, 1.0, 3.0).unwrap();
+        let g = m.evaluate(3.0);
+        assert!((g - (1.0 - (-3.0f64).exp())).abs() < 1e-12);
+        assert!(g > 0.94);
+    }
+
+    #[test]
+    fn linear_grows_without_bound() {
+        let m = VariogramModel::linear(2.0);
+        assert_eq!(m.evaluate(10.0), 20.0);
+        assert_eq!(m.evaluate(1000.0), 2000.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(VariogramModel::spherical(-0.1, 1.0, 1.0).is_err());
+        assert!(VariogramModel::spherical(0.0, -1.0, 1.0).is_err());
+        assert!(VariogramModel::spherical(0.0, 1.0, 0.0).is_err());
+        assert!(VariogramModel::power(0.0, 1.0, 2.0).is_err());
+        assert!(VariogramModel::power(0.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_panics() {
+        VariogramModel::linear(1.0).evaluate(-1.0);
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            all_models().iter().map(|m| m.family_name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for m in all_models() {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: VariogramModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+}

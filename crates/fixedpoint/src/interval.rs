@@ -1,0 +1,317 @@
+//! Interval arithmetic for dynamic-range analysis.
+//!
+//! The paper's related work (Section I, ref \[10\]) uses interval/affine
+//! arithmetic to bound fixed-point errors analytically; here intervals
+//! serve the complementary, standard role in any word-length flow:
+//! **dynamic-range analysis** — propagating value bounds through a data
+//! path to size each site's integer part, which the benchmark kernels'
+//! formats are derived from.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]` over `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_fixedpoint::Interval;
+///
+/// let x = Interval::new(-1.0, 1.0);
+/// let h = Interval::point(0.625); // a filter tap
+/// let product = x * h;
+/// assert_eq!(product.lo(), -0.625);
+/// assert_eq!(product.hi(), 0.625);
+/// // Enough integer bits to hold the accumulated range:
+/// let acc = product + product + product;
+/// assert_eq!(acc.integer_bits(), 1); // |1.875| needs 1 integer bit
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    pub fn point(x: f64) -> Interval {
+        Interval::new(x, x)
+    }
+
+    /// The symmetric interval `[-a, a]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a < 0` or NaN.
+    pub fn symmetric(a: f64) -> Interval {
+        assert!(a >= 0.0, "symmetric radius must be non-negative");
+        Interval::new(-a, a)
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Largest absolute value contained.
+    pub fn max_abs(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// `true` if `x` lies in the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn hull(&self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| Interval::new(lo, hi))
+    }
+
+    /// Scales by a constant (sign-aware).
+    pub fn scale(&self, k: f64) -> Interval {
+        if k >= 0.0 {
+            Interval::new(self.lo * k, self.hi * k)
+        } else {
+            Interval::new(self.hi * k, self.lo * k)
+        }
+    }
+
+    /// Minimum number of integer bits (excluding the sign bit) a signed
+    /// fixed-point format needs so that every value of the interval is
+    /// representable without overflow: the smallest `m ≥ 0` with
+    /// `−2^m ≤ lo` and `hi ≤ 2^m` (the tiny ULP slack at `+2^m` is
+    /// intentionally ignored — formats pair with saturation).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use krigeval_fixedpoint::Interval;
+    /// assert_eq!(Interval::new(-1.0, 0.99).integer_bits(), 0);
+    /// assert_eq!(Interval::new(-1.75, 1.75).integer_bits(), 1);
+    /// assert_eq!(Interval::new(0.0, 5.0).integer_bits(), 3);
+    /// ```
+    pub fn integer_bits(&self) -> i32 {
+        let mut m = 0;
+        while !(self.lo >= -(2f64.powi(m)) && self.hi <= 2f64.powi(m)) {
+            m += 1;
+            assert!(m < 1024, "interval too wide for a fixed-point format");
+        }
+        m
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+
+    fn add(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, rhs: Interval) -> Interval {
+        let candidates = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        Interval::new(
+            candidates.iter().cloned().fold(f64::INFINITY, f64::min),
+            candidates.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+
+    fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Propagates an input interval through an FIR filter's taps: the exact
+/// output range of `y = Σ h·x` under worst-case inputs, i.e.
+/// `Σ |h| · max(|x|)` for symmetric inputs.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_fixedpoint::{fir_output_range, Interval};
+///
+/// let taps = [0.25, 0.5, 0.25];
+/// let y = fir_output_range(&taps, Interval::symmetric(1.0));
+/// assert_eq!(y.hi(), 1.0); // Σ|h| = 1 ⇒ unity worst-case gain
+/// assert_eq!(y.integer_bits(), 0);
+/// ```
+pub fn fir_output_range(taps: &[f64], input: Interval) -> Interval {
+    taps.iter().fold(Interval::point(0.0), |acc, &h| {
+        acc + input.scale(h)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_are_exact() {
+        let a = Interval::new(-1.0, 2.0);
+        let b = Interval::new(0.5, 1.5);
+        assert_eq!(a + b, Interval::new(-0.5, 3.5));
+        assert_eq!(a - b, Interval::new(-2.5, 1.5));
+        assert_eq!(-a, Interval::new(-2.0, 1.0));
+    }
+
+    #[test]
+    fn mul_handles_sign_combinations() {
+        let a = Interval::new(-2.0, 3.0);
+        let b = Interval::new(-1.0, 4.0);
+        // extrema over {-2,3}×{-1,4}: min = -8 (3·? no: -2·4), max = 12.
+        assert_eq!(a * b, Interval::new(-8.0, 12.0));
+        let neg = Interval::new(-3.0, -1.0);
+        assert_eq!(neg * neg, Interval::new(1.0, 9.0));
+    }
+
+    #[test]
+    fn mul_contains_all_sample_products() {
+        let a = Interval::new(-1.5, 2.5);
+        let b = Interval::new(-0.5, 0.75);
+        let p = a * b;
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let x = a.lo + a.width() * f64::from(i) / 10.0;
+                let y = b.lo + b.width() * f64::from(j) / 10.0;
+                assert!(p.contains(x * y), "{x}·{y} outside {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_is_sign_aware() {
+        let a = Interval::new(-1.0, 2.0);
+        assert_eq!(a.scale(3.0), Interval::new(-3.0, 6.0));
+        assert_eq!(a.scale(-1.0), Interval::new(-2.0, 1.0));
+    }
+
+    #[test]
+    fn hull_and_intersect() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.hull(b), Interval::new(0.0, 3.0));
+        assert_eq!(a.intersect(b), Some(Interval::new(1.0, 2.0)));
+        assert_eq!(a.intersect(Interval::new(5.0, 6.0)), None);
+    }
+
+    #[test]
+    fn integer_bits_examples() {
+        assert_eq!(Interval::symmetric(0.999).integer_bits(), 0);
+        assert_eq!(Interval::symmetric(1.0).integer_bits(), 0);
+        assert_eq!(Interval::symmetric(1.001).integer_bits(), 1);
+        assert_eq!(Interval::new(0.0, 100.0).integer_bits(), 7);
+    }
+
+    #[test]
+    fn fir_range_matches_l1_gain() {
+        // Σ|h| for the HEVC half-pel filter is 112/64 = 1.75: needs 1
+        // integer bit on unit inputs — exactly what the kernel uses.
+        let taps: Vec<f64> = [-1.0, 4.0, -11.0, 40.0, 40.0, -11.0, 4.0, -1.0]
+            .iter()
+            .map(|c| c / 64.0)
+            .collect();
+        let y = fir_output_range(&taps, Interval::symmetric(1.0));
+        assert!((y.hi() - 1.75).abs() < 1e-12);
+        assert_eq!(y.integer_bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn inverted_bounds_panic() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn display_shows_bounds() {
+        assert_eq!(Interval::new(-1.0, 2.5).to_string(), "[-1, 2.5]");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn interval() -> impl Strategy<Value = Interval> {
+            (-100.0..100.0f64, 0.0..50.0f64).prop_map(|(lo, w)| Interval::new(lo, lo + w))
+        }
+
+        proptest! {
+            #[test]
+            fn addition_is_inclusion_correct(a in interval(), b in interval(), t in 0.0..1.0f64, u in 0.0..1.0f64) {
+                let x = a.lo() + a.width() * t;
+                let y = b.lo() + b.width() * u;
+                prop_assert!((a + b).contains(x + y));
+                prop_assert!((a - b).contains(x - y));
+                prop_assert!((a * b).contains(x * y) || ((a * b).hi() - x*y).abs() < 1e-9 || (x*y - (a*b).lo()).abs() < 1e-9);
+            }
+
+            #[test]
+            fn integer_bits_is_sufficient(a in interval()) {
+                let m = a.integer_bits();
+                prop_assert!(a.lo() >= -(2f64.powi(m)));
+                prop_assert!(a.hi() <= 2f64.powi(m));
+            }
+
+            #[test]
+            fn hull_contains_both(a in interval(), b in interval()) {
+                let h = a.hull(b);
+                prop_assert!(h.contains(a.lo()) && h.contains(a.hi()));
+                prop_assert!(h.contains(b.lo()) && h.contains(b.hi()));
+            }
+        }
+    }
+}

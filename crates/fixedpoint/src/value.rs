@@ -1,0 +1,286 @@
+//! A fixed-point *value* type with format-aware arithmetic.
+//!
+//! The benchmark kernels emulate fixed-point data paths by quantizing `f64`
+//! intermediates — fast and flexible. [`Fixed`] is the complementary,
+//! type-safe face of the same substrate: a value that *carries* its
+//! [`QFormat`] and whose arithmetic follows the standard fixed-point
+//! composition rules (full-precision products, aligned sums), with explicit
+//! requantization. It is the right tool when modelling a concrete hardware
+//! datapath bit by bit, and it cross-checks the quantizer-based emulation
+//! in the test suite.
+
+use std::fmt;
+
+use crate::{FixedPointError, OverflowMode, QFormat, Quantizer, RoundingMode};
+
+/// A value known to be exactly representable in its [`QFormat`].
+///
+/// Arithmetic follows hardware composition rules:
+///
+/// * [`Fixed::mul_full`] — product carries `f₁ + f₂` fractional and
+///   `m₁ + m₂ + 1` integer bits: always exact, like a full-width multiplier.
+/// * [`Fixed::add_full`] — sum is computed in the aligned common format with
+///   one growth bit: always exact, like a widened adder.
+/// * [`Fixed::requantize`] — the explicit rounding/saturation step that maps
+///   a wide intermediate onto a storage register.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_fixedpoint::{Fixed, QFormat, RoundingMode, OverflowMode};
+///
+/// # fn main() -> Result<(), krigeval_fixedpoint::FixedPointError> {
+/// let x = Fixed::from_f64(0.75, QFormat::new(0, 4)?);  // exactly 0.75
+/// let h = Fixed::from_f64(0.375, QFormat::new(0, 4)?);
+/// let product = x.mul_full(&h)?;                        // exact: 0.28125
+/// assert_eq!(product.to_f64(), 0.28125);
+/// // Store into an 8-bit register: rounds to the grid.
+/// let stored = product.requantize(
+///     QFormat::new(0, 7)?, RoundingMode::Nearest, OverflowMode::Saturate);
+/// assert_eq!(stored.to_f64(), 0.28125); // representable at Q0.7? 36/128 ✓
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fixed {
+    value: f64,
+    format: QFormat,
+}
+
+impl Fixed {
+    /// Quantizes `x` into `format` (round-to-nearest, saturating) and wraps
+    /// the result.
+    pub fn from_f64(x: f64, format: QFormat) -> Fixed {
+        let q = Quantizer::new(format);
+        Fixed {
+            value: q.quantize(x),
+            format,
+        }
+    }
+
+    /// Wraps a value that is already exactly representable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedPointError::InvalidWordLength`] (index 0 carries no
+    /// meaning here) if `x` is not on `format`'s grid or out of range.
+    pub fn from_exact(x: f64, format: QFormat) -> Result<Fixed, FixedPointError> {
+        if !format.represents(x) {
+            return Err(FixedPointError::InvalidWordLength {
+                index: 0,
+                word_length: i64::from(format.word_length()),
+            });
+        }
+        Ok(Fixed { value: x, format })
+    }
+
+    /// The exact numeric value.
+    pub fn to_f64(&self) -> f64 {
+        self.value
+    }
+
+    /// The carried format.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Full-precision product: exact, in the derived wide format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedPointError::InvalidFormat`] if the derived format
+    /// exceeds [`QFormat::MAX_WORD_LENGTH`].
+    pub fn mul_full(&self, rhs: &Fixed) -> Result<Fixed, FixedPointError> {
+        let format = QFormat::new(
+            self.format.integer_bits() + rhs.format.integer_bits() + 1,
+            self.format.fractional_bits() + rhs.format.fractional_bits(),
+        )?;
+        Ok(Fixed {
+            value: self.value * rhs.value,
+            format,
+        })
+    }
+
+    /// Full-precision sum: exact, in the aligned format with one growth bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedPointError::InvalidFormat`] if the derived format
+    /// exceeds [`QFormat::MAX_WORD_LENGTH`].
+    pub fn add_full(&self, rhs: &Fixed) -> Result<Fixed, FixedPointError> {
+        let format = QFormat::new(
+            self.format.integer_bits().max(rhs.format.integer_bits()) + 1,
+            self.format
+                .fractional_bits()
+                .max(rhs.format.fractional_bits()),
+        )?;
+        Ok(Fixed {
+            value: self.value + rhs.value,
+            format,
+        })
+    }
+
+    /// Exact negation (symmetric range is preserved by saturating `−min`).
+    pub fn neg(&self) -> Fixed {
+        let q = Quantizer::new(self.format);
+        Fixed {
+            value: q.quantize(-self.value),
+            format: self.format,
+        }
+    }
+
+    /// Requantizes into `target` with explicit rounding/overflow handling —
+    /// the "store to register" step of a datapath.
+    pub fn requantize(
+        &self,
+        target: QFormat,
+        rounding: RoundingMode,
+        overflow: OverflowMode,
+    ) -> Fixed {
+        let q = Quantizer::with_modes(target, rounding, overflow);
+        Fixed {
+            value: q.quantize(self.value),
+            format: target,
+        }
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.value, self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: i32, f: i32) -> QFormat {
+        QFormat::new(i, f).unwrap()
+    }
+
+    #[test]
+    fn from_f64_quantizes() {
+        let x = Fixed::from_f64(0.3, q(0, 2));
+        assert_eq!(x.to_f64(), 0.25);
+        assert_eq!(x.format(), q(0, 2));
+    }
+
+    #[test]
+    fn from_exact_validates() {
+        assert!(Fixed::from_exact(0.25, q(0, 2)).is_ok());
+        assert!(Fixed::from_exact(0.3, q(0, 2)).is_err());
+        assert!(Fixed::from_exact(4.0, q(1, 2)).is_err());
+    }
+
+    #[test]
+    fn mul_full_is_exact() {
+        // Worst case: both operands at max magnitude.
+        let a = Fixed::from_exact(-2.0, q(1, 3)).unwrap();
+        let b = Fixed::from_exact(1.875, q(1, 3)).unwrap();
+        let p = a.mul_full(&b).unwrap();
+        assert_eq!(p.to_f64(), -3.75);
+        assert_eq!(p.format().fractional_bits(), 6);
+        assert_eq!(p.format().integer_bits(), 3);
+        assert!(p.format().represents(p.to_f64()));
+    }
+
+    #[test]
+    fn add_full_is_exact_with_growth_bit() {
+        let a = Fixed::from_exact(1.875, q(1, 3)).unwrap();
+        let s = a.add_full(&a).unwrap();
+        assert_eq!(s.to_f64(), 3.75);
+        assert_eq!(s.format().integer_bits(), 2);
+        assert!(s.format().represents(s.to_f64()));
+    }
+
+    #[test]
+    fn chained_mac_matches_quantizer_emulation() {
+        // A 4-tap MAC: full-precision products + adds, requantized once at
+        // the end, must equal the f64 reference quantized once.
+        let taps = [0.25, -0.5, 0.125, 0.375];
+        let xs = [0.5, 0.25, -0.75, 0.125];
+        let fmt = q(0, 7);
+        let mut acc = Fixed::from_exact(0.0, q(1, 14)).unwrap();
+        let mut reference = 0.0;
+        for (h, x) in taps.iter().zip(&xs) {
+            let hf = Fixed::from_exact(*h, q(0, 7)).unwrap();
+            let xf = Fixed::from_exact(*x, q(0, 7)).unwrap();
+            let product = hf.mul_full(&xf).unwrap();
+            acc = acc.add_full(&product).unwrap();
+            reference += h * x;
+        }
+        assert_eq!(acc.to_f64(), reference, "full-precision MAC must be exact");
+        let stored = acc.requantize(fmt, RoundingMode::Nearest, OverflowMode::Saturate);
+        let expected = Quantizer::new(fmt).quantize(reference);
+        assert_eq!(stored.to_f64(), expected);
+    }
+
+    #[test]
+    fn requantize_saturates() {
+        let wide = Fixed::from_exact(3.5, q(2, 2)).unwrap();
+        let narrow = wide.requantize(q(0, 4), RoundingMode::Nearest, OverflowMode::Saturate);
+        assert_eq!(narrow.to_f64(), narrow.format().max_value());
+    }
+
+    #[test]
+    fn neg_saturates_min_edge() {
+        let min = Fixed::from_exact(-1.0, q(0, 3)).unwrap();
+        let negated = min.neg();
+        // +1.0 is not representable in Q0.3; saturates to max.
+        assert_eq!(negated.to_f64(), negated.format().max_value());
+    }
+
+    #[test]
+    fn mul_overflowing_word_length_rejected() {
+        let a = Fixed::from_f64(1.0, q(20, 20));
+        assert!(a.mul_full(&a).is_err());
+    }
+
+    #[test]
+    fn display_shows_value_and_format() {
+        let x = Fixed::from_f64(0.5, q(0, 4));
+        assert_eq!(x.to_string(), "0.5 (Q0.4)");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn products_are_always_exact(ka in -64i32..64, kb in -64i32..64) {
+                let fmt = q(2, 4);
+                let a = Fixed::from_exact(f64::from(ka) / 16.0, fmt).unwrap();
+                let b = Fixed::from_exact(f64::from(kb) / 16.0, fmt).unwrap();
+                let p = a.mul_full(&b).unwrap();
+                prop_assert_eq!(p.to_f64(), a.to_f64() * b.to_f64());
+                prop_assert!(p.format().represents(p.to_f64()));
+            }
+
+            #[test]
+            fn sums_are_always_exact(ka in -64i32..64, kb in -64i32..64) {
+                let fmt = q(2, 4);
+                let a = Fixed::from_exact(f64::from(ka) / 16.0, fmt).unwrap();
+                let b = Fixed::from_exact(f64::from(kb) / 16.0, fmt).unwrap();
+                let s = a.add_full(&b).unwrap();
+                prop_assert_eq!(s.to_f64(), a.to_f64() + b.to_f64());
+                prop_assert!(s.format().represents(s.to_f64()));
+            }
+
+            #[test]
+            fn requantize_result_is_representable(
+                x in -8.0f64..8.0,
+                frac in 0i32..10,
+            ) {
+                let wide = Fixed::from_f64(x, q(3, 12));
+                let target = QFormat::new(1, frac).unwrap();
+                for rounding in [RoundingMode::Nearest, RoundingMode::Truncate] {
+                    let r = wide.requantize(target, rounding, OverflowMode::Saturate);
+                    prop_assert!(target.represents(r.to_f64()),
+                        "{} not representable in {}", r.to_f64(), target);
+                }
+            }
+        }
+    }
+}

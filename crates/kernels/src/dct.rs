@@ -1,0 +1,274 @@
+//! 8×8 2-D DCT-II benchmark (extension: not one of the paper's five).
+//!
+//! The type-II discrete cosine transform on 8×8 blocks is the workhorse of
+//! JPEG and of H.264/HEVC residual coding — a natural companion to the
+//! motion-compensation kernel, and a compact demonstration that the
+//! benchmark API extends beyond the paper's set.
+//!
+//! Four word-lengths are optimized:
+//!
+//! * variable 0: row-pass multiplier (cosine product) word-length;
+//! * variable 1: row-pass accumulator / intermediate word-length;
+//! * variable 2: column-pass multiplier word-length;
+//! * variable 3: column-pass accumulator / output word-length.
+
+use std::f64::consts::PI;
+
+use krigeval_fixedpoint::{NoiseMeter, NoisePower, QFormat, Quantizer};
+
+use crate::signal::smooth_image;
+use crate::{KernelError, WordLengthBenchmark};
+
+/// Block edge length.
+pub const BLOCK: usize = 8;
+/// Number of word-length variables.
+pub const NUM_VARIABLES: usize = 4;
+
+/// The 8×8 2-D DCT benchmark (`Nv = 4`).
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_kernels::{dct::DctBenchmark, WordLengthBenchmark};
+///
+/// # fn main() -> Result<(), krigeval_kernels::KernelError> {
+/// let dct = DctBenchmark::with_defaults();
+/// assert_eq!(dct.num_variables(), 4);
+/// let coarse = dct.noise_power(&[6, 6, 6, 6])?;
+/// let fine = dct.noise_power(&[14, 14, 14, 14])?;
+/// assert!(fine.db() < coarse.db());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DctBenchmark {
+    blocks: Vec<[[f64; BLOCK]; BLOCK]>,
+    references: Vec<[[f64; BLOCK]; BLOCK]>,
+}
+
+impl DctBenchmark {
+    /// Paper-style configuration: 32 blocks from a smooth synthetic frame.
+    pub fn with_defaults() -> DctBenchmark {
+        DctBenchmark::new(32, 0xDC78_0005)
+    }
+
+    /// Builds the benchmark with `num_blocks` 8×8 blocks drawn from a
+    /// smooth synthetic image seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks == 0`.
+    pub fn new(num_blocks: usize, seed: u64) -> DctBenchmark {
+        assert!(num_blocks > 0, "need at least one block");
+        let side = 64usize;
+        let image = smooth_image(seed, side, side, 6);
+        let blocks: Vec<[[f64; BLOCK]; BLOCK]> = (0..num_blocks)
+            .map(|i| {
+                let x0 = (i * 11) % (side - BLOCK);
+                let y0 = (i * 23) % (side - BLOCK);
+                let mut block = [[0.0; BLOCK]; BLOCK];
+                for (dy, row) in block.iter_mut().enumerate() {
+                    for (dx, px) in row.iter_mut().enumerate() {
+                        // Center to [-0.5, 0.5) as codecs do before the DCT.
+                        *px = image[y0 + dy][x0 + dx] - 0.5;
+                    }
+                }
+                block
+            })
+            .collect();
+        let references = blocks
+            .iter()
+            .map(|b| dct_2d(b, &mut |_, v| v, &mut |_, v| v))
+            .collect();
+        DctBenchmark { blocks, references }
+    }
+
+    /// Number of blocks in the data set.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// DCT-II basis coefficient `c(k) · cos((2n+1)kπ/16)` with orthonormal
+/// scaling, so the 2-D transform preserves energy (Parseval).
+fn basis(k: usize, n: usize) -> f64 {
+    let ck = if k == 0 {
+        (1.0 / BLOCK as f64).sqrt()
+    } else {
+        (2.0 / BLOCK as f64).sqrt()
+    };
+    ck * ((2 * n + 1) as f64 * k as f64 * PI / (2.0 * BLOCK as f64)).cos()
+}
+
+/// Separable 2-D DCT with quantization hooks: `q_mul(pass, v)` after each
+/// cosine product, `q_acc(pass, v)` after each accumulation (pass 0 = rows,
+/// pass 1 = columns).
+fn dct_2d(
+    block: &[[f64; BLOCK]; BLOCK],
+    q_mul: &mut dyn FnMut(usize, f64) -> f64,
+    q_acc: &mut dyn FnMut(usize, f64) -> f64,
+) -> [[f64; BLOCK]; BLOCK] {
+    // Row pass.
+    let mut intermediate = [[0.0; BLOCK]; BLOCK];
+    for (y, row) in block.iter().enumerate() {
+        for k in 0..BLOCK {
+            let mut acc = 0.0;
+            for (n, &px) in row.iter().enumerate() {
+                let product = q_mul(0, basis(k, n) * px);
+                acc = q_acc(0, acc + product);
+            }
+            intermediate[y][k] = acc;
+        }
+    }
+    // Column pass.
+    let mut out = [[0.0; BLOCK]; BLOCK];
+    for x in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0.0;
+            for (n, row) in intermediate.iter().enumerate() {
+                let product = q_mul(1, basis(k, n) * row[x]);
+                acc = q_acc(1, acc + product);
+            }
+            out[k][x] = acc;
+        }
+    }
+    out
+}
+
+/// Double-precision reference DCT of one block.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_kernels::dct::{dct_reference, BLOCK};
+///
+/// // The DCT of a constant block concentrates all energy in the DC bin.
+/// let block = [[0.25; BLOCK]; BLOCK];
+/// let spec = dct_reference(&block);
+/// assert!((spec[0][0] - 0.25 * 8.0).abs() < 1e-12);
+/// assert!(spec[1][1].abs() < 1e-12);
+/// ```
+pub fn dct_reference(block: &[[f64; BLOCK]; BLOCK]) -> [[f64; BLOCK]; BLOCK] {
+    dct_2d(block, &mut |_, v| v, &mut |_, v| v)
+}
+
+impl WordLengthBenchmark for DctBenchmark {
+    fn name(&self) -> &str {
+        "dct8x8"
+    }
+
+    fn num_variables(&self) -> usize {
+        NUM_VARIABLES
+    }
+
+    fn noise_power(&self, word_lengths: &[i32]) -> Result<NoisePower, KernelError> {
+        self.validate(word_lengths)?;
+        // Inputs in [-0.5, 0.5); orthonormal basis values < 0.5 ⇒ products
+        // stay below 0.25 (0 integer bits); row accumulators can reach
+        // √8·0.5 ≈ 1.42 and column outputs up to 8·|px| ≈ 4 in the DC bin
+        // (2 integer bits of headroom).
+        let q_mul_row = Quantizer::new(QFormat::with_word_length(0, word_lengths[0])?);
+        let q_acc_row = Quantizer::new(QFormat::with_word_length(2, word_lengths[1])?);
+        let q_mul_col = Quantizer::new(QFormat::with_word_length(0, word_lengths[2])?);
+        let q_acc_col = Quantizer::new(QFormat::with_word_length(2, word_lengths[3])?);
+        let mut meter = NoiseMeter::new();
+        for (block, reference) in self.blocks.iter().zip(&self.references) {
+            let approx = dct_2d(
+                block,
+                &mut |pass, v| {
+                    if pass == 0 {
+                        q_mul_row.quantize(v)
+                    } else {
+                        q_mul_col.quantize(v)
+                    }
+                },
+                &mut |pass, v| {
+                    if pass == 0 {
+                        q_acc_row.quantize(v)
+                    } else {
+                        q_acc_col.quantize(v)
+                    }
+                },
+            );
+            for (r_row, a_row) in reference.iter().zip(&approx) {
+                meter.record_slices(r_row, a_row);
+            }
+        }
+        Ok(meter.noise_power())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_basis_is_orthonormal() {
+        for k1 in 0..BLOCK {
+            for k2 in 0..BLOCK {
+                let dot: f64 = (0..BLOCK).map(|n| basis(k1, n) * basis(k2, n)).sum();
+                let expected = if k1 == k2 { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-12, "k1={k1} k2={k2}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy() {
+        let b = DctBenchmark::new(4, 1);
+        for (block, reference) in b.blocks.iter().zip(&b.references) {
+            let e_in: f64 = block.iter().flatten().map(|v| v * v).sum();
+            let e_out: f64 = reference.iter().flatten().map(|v| v * v).sum();
+            assert!((e_in - e_out).abs() < 1e-10, "{e_in} vs {e_out}");
+        }
+    }
+
+    #[test]
+    fn constant_block_is_dc_only() {
+        let block = [[0.3; BLOCK]; BLOCK];
+        let spec = dct_reference(&block);
+        assert!((spec[0][0] - 0.3 * 8.0).abs() < 1e-12);
+        for (k, row) in spec.iter().enumerate() {
+            for (x, &v) in row.iter().enumerate() {
+                if (k, x) != (0, 0) {
+                    assert!(v.abs() < 1e-12, "bin ({k},{x}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_decreases_with_word_length() {
+        let b = DctBenchmark::new(8, 2);
+        let mut prev = f64::INFINITY;
+        for w in [6, 8, 10, 12, 14] {
+            let db = b.noise_power(&[w; 4]).unwrap().db();
+            assert!(db < prev, "w={w}: {db} !< {prev}");
+            prev = db;
+        }
+    }
+
+    #[test]
+    fn validates_shape() {
+        let b = DctBenchmark::new(4, 3);
+        assert!(b.noise_power(&[8; 3]).is_err());
+        assert!(b.noise_power(&[8, 8, 8, 99]).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = DctBenchmark::new(4, 4);
+        assert_eq!(
+            b.noise_power(&[9, 10, 11, 12]).unwrap().linear(),
+            b.noise_power(&[9, 10, 11, 12]).unwrap().linear()
+        );
+    }
+
+    #[test]
+    fn column_accumulator_matters_most_at_the_output() {
+        let b = DctBenchmark::new(8, 5);
+        let balanced = b.noise_power(&[14, 14, 14, 14]).unwrap().db();
+        let narrow_out = b.noise_power(&[14, 14, 14, 7]).unwrap().db();
+        assert!(narrow_out > balanced + 6.0, "{narrow_out} vs {balanced}");
+    }
+}

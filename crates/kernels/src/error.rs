@@ -1,0 +1,110 @@
+//! Error type shared by the benchmark kernels.
+
+use std::error::Error;
+use std::fmt;
+
+use krigeval_fixedpoint::FixedPointError;
+
+/// Error returned when a benchmark is asked to simulate an invalid
+/// word-length configuration.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_kernels::{fir::FirBenchmark, KernelError, WordLengthBenchmark};
+///
+/// let fir = FirBenchmark::with_defaults();
+/// let err = fir.noise_power(&[8]).unwrap_err(); // needs 2 variables
+/// assert!(matches!(err, KernelError::WrongVariableCount { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// The word-length vector has the wrong number of entries.
+    WrongVariableCount {
+        /// Number of variables the benchmark optimizes.
+        expected: usize,
+        /// Number of entries supplied.
+        actual: usize,
+    },
+    /// A word-length entry is outside the benchmark's supported range.
+    WordLengthOutOfRange {
+        /// Index of the offending variable.
+        index: usize,
+        /// Rejected value.
+        word_length: i32,
+        /// Inclusive minimum supported word-length.
+        min: i32,
+        /// Inclusive maximum supported word-length.
+        max: i32,
+    },
+    /// A derived fixed-point format was invalid.
+    Format(FixedPointError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::WrongVariableCount { expected, actual } => {
+                write!(f, "expected {expected} word-length variables, got {actual}")
+            }
+            KernelError::WordLengthOutOfRange {
+                index,
+                word_length,
+                min,
+                max,
+            } => write!(
+                f,
+                "word-length {word_length} for variable {index} outside [{min}, {max}]"
+            ),
+            KernelError::Format(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FixedPointError> for KernelError {
+    fn from(e: FixedPointError) -> KernelError {
+        KernelError::Format(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = KernelError::WrongVariableCount {
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expected 2"));
+        let e = KernelError::WordLengthOutOfRange {
+            index: 1,
+            word_length: 99,
+            min: 2,
+            max: 16,
+        };
+        assert!(e.to_string().contains("outside [2, 16]"));
+    }
+
+    #[test]
+    fn from_fixed_point_error_keeps_source() {
+        let inner = FixedPointError::InvalidFormat {
+            integer_bits: -1,
+            fractional_bits: 0,
+        };
+        let e: KernelError = inner.clone().into();
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("format error"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Filter design helpers: windowed-sinc FIR taps and Butterworth biquads.
+//!
+//! The paper's FIR and IIR benchmarks are "classical signal processing
+//! kernels"; we synthesize their coefficients analytically so the repository
+//! carries no opaque data tables.
+
+use std::f64::consts::PI;
+
+/// Designs a linear-phase low-pass FIR filter with `taps` coefficients using
+/// the windowed-sinc method with a Hamming window.
+///
+/// `cutoff` is the normalized cutoff frequency in cycles/sample
+/// (`0 < cutoff < 0.5`). The taps are normalized to unit DC gain.
+///
+/// # Panics
+///
+/// Panics if `taps == 0` or `cutoff` is outside `(0, 0.5)`.
+///
+/// # Examples
+///
+/// ```
+/// let h = krigeval_kernels::filter_design::lowpass_fir(64, 0.2);
+/// assert_eq!(h.len(), 64);
+/// // Unit DC gain.
+/// let dc: f64 = h.iter().sum();
+/// assert!((dc - 1.0).abs() < 1e-12);
+/// ```
+pub fn lowpass_fir(taps: usize, cutoff: f64) -> Vec<f64> {
+    assert!(taps > 0, "taps must be positive");
+    assert!(
+        cutoff > 0.0 && cutoff < 0.5,
+        "cutoff must be in (0, 0.5), got {cutoff}"
+    );
+    let m = (taps - 1) as f64;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|n| {
+            let x = n as f64 - m / 2.0;
+            let sinc = if x == 0.0 {
+                2.0 * cutoff
+            } else {
+                (2.0 * PI * cutoff * x).sin() / (PI * x)
+            };
+            let window = 0.54 - 0.46 * (2.0 * PI * n as f64 / m).cos();
+            sinc * window
+        })
+        .collect();
+    let sum: f64 = h.iter().sum();
+    for v in &mut h {
+        *v /= sum;
+    }
+    h
+}
+
+/// One second-order IIR section `y[n] = b0·x[n] + b1·x[n−1] + b2·x[n−2]
+/// − a1·y[n−1] − a2·y[n−2]` (the leading denominator coefficient `a0` is
+/// normalized to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    /// Feed-forward coefficients `b0, b1, b2`.
+    pub b: [f64; 3],
+    /// Feedback coefficients `a1, a2` (with `a0 = 1` implicit).
+    pub a: [f64; 2],
+}
+
+impl Biquad {
+    /// `true` if both poles lie strictly inside the unit circle
+    /// (triangle stability criterion `|a2| < 1 ∧ |a1| < 1 + a2`).
+    pub fn is_stable(&self) -> bool {
+        self.a[1].abs() < 1.0 && self.a[0].abs() < 1.0 + self.a[1]
+    }
+
+    /// Runs the section over `input` in double precision (direct form I).
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let mut x1 = 0.0;
+        let mut x2 = 0.0;
+        let mut y1 = 0.0;
+        let mut y2 = 0.0;
+        input
+            .iter()
+            .map(|&x| {
+                let y = self.b[0] * x + self.b[1] * x1 + self.b[2] * x2
+                    - self.a[0] * y1
+                    - self.a[1] * y2;
+                x2 = x1;
+                x1 = x;
+                y2 = y1;
+                y1 = y;
+                y
+            })
+            .collect()
+    }
+
+    /// Magnitude response at normalized frequency `f` (cycles/sample).
+    pub fn magnitude(&self, f: f64) -> f64 {
+        let w = 2.0 * PI * f;
+        let num = complex_poly(&[self.b[0], self.b[1], self.b[2]], w);
+        let den = complex_poly(&[1.0, self.a[0], self.a[1]], w);
+        (num.0 * num.0 + num.1 * num.1).sqrt() / (den.0 * den.0 + den.1 * den.1).sqrt()
+    }
+}
+
+fn complex_poly(coeffs: &[f64], w: f64) -> (f64, f64) {
+    // Evaluate Σ c_k e^{-jkw}.
+    let mut re = 0.0;
+    let mut im = 0.0;
+    for (k, c) in coeffs.iter().enumerate() {
+        re += c * (w * k as f64).cos();
+        im -= c * (w * k as f64).sin();
+    }
+    (re, im)
+}
+
+/// Designs a low-pass Butterworth filter of even order `order` as a cascade
+/// of `order / 2` biquads via the bilinear transform.
+///
+/// `cutoff` is the normalized cutoff frequency in cycles/sample
+/// (`0 < cutoff < 0.5`). Each section is normalized to unit DC gain so the
+/// cascade's DC gain is exactly 1 — convenient for fixed-point scaling.
+///
+/// # Panics
+///
+/// Panics if `order` is zero or odd, or `cutoff` is outside `(0, 0.5)`.
+///
+/// # Examples
+///
+/// ```
+/// let sections = krigeval_kernels::filter_design::butterworth_lowpass(8, 0.1);
+/// assert_eq!(sections.len(), 4);
+/// assert!(sections.iter().all(|s| s.is_stable()));
+/// ```
+pub fn butterworth_lowpass(order: usize, cutoff: f64) -> Vec<Biquad> {
+    assert!(order > 0 && order.is_multiple_of(2), "order must be even and positive");
+    assert!(
+        cutoff > 0.0 && cutoff < 0.5,
+        "cutoff must be in (0, 0.5), got {cutoff}"
+    );
+    // Pre-warped analog cutoff for the bilinear transform (T = 1).
+    let warped = (PI * cutoff).tan();
+    let n = order as f64;
+    (0..order / 2)
+        .map(|k| {
+            // Analog Butterworth pole pair angle.
+            let theta = PI * (2.0 * k as f64 + 1.0) / (2.0 * n) + PI / 2.0;
+            // Analog prototype s² + 2·ζ·s + 1 with ζ = −cos(θ).
+            let zeta = -theta.cos();
+            // Bilinear transform of s² + 2ζ·ω·s + ω² (ω = warped):
+            let w2 = warped * warped;
+            let a0 = 1.0 + 2.0 * zeta * warped + w2;
+            let a1 = 2.0 * (w2 - 1.0) / a0;
+            let a2 = (1.0 - 2.0 * zeta * warped + w2) / a0;
+            let gain = w2 / a0;
+            Biquad {
+                b: [gain, 2.0 * gain, gain],
+                a: [a1, a2],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_is_symmetric_linear_phase() {
+        let h = lowpass_fir(64, 0.2);
+        for i in 0..32 {
+            assert!(
+                (h[i] - h[63 - i]).abs() < 1e-12,
+                "tap {i} asymmetric: {} vs {}",
+                h[i],
+                h[63 - i]
+            );
+        }
+    }
+
+    #[test]
+    fn fir_passband_and_stopband() {
+        let h = lowpass_fir(64, 0.2);
+        let mag = |f: f64| -> f64 {
+            let (mut re, mut im) = (0.0, 0.0);
+            for (n, c) in h.iter().enumerate() {
+                re += c * (2.0 * PI * f * n as f64).cos();
+                im -= c * (2.0 * PI * f * n as f64).sin();
+            }
+            (re * re + im * im).sqrt()
+        };
+        assert!((mag(0.0) - 1.0).abs() < 1e-12);
+        assert!(mag(0.05) > 0.95, "passband droop: {}", mag(0.05));
+        assert!(mag(0.35) < 0.01, "stopband leak: {}", mag(0.35));
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn fir_rejects_bad_cutoff() {
+        let _ = lowpass_fir(8, 0.7);
+    }
+
+    #[test]
+    fn butterworth_sections_are_stable() {
+        for order in [2, 4, 8] {
+            for cutoff in [0.05, 0.1, 0.25, 0.4] {
+                for s in butterworth_lowpass(order, cutoff) {
+                    assert!(s.is_stable(), "order {order} cutoff {cutoff}: {s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn butterworth_dc_gain_is_unity() {
+        for s in butterworth_lowpass(8, 0.1) {
+            assert!((s.magnitude(0.0) - 1.0).abs() < 1e-9, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn butterworth_cutoff_is_minus_3db() {
+        let sections = butterworth_lowpass(8, 0.1);
+        let total: f64 = sections.iter().map(|s| s.magnitude(0.1)).product();
+        let db = 20.0 * total.log10();
+        assert!((db + 3.01).abs() < 0.1, "cutoff gain {db} dB");
+    }
+
+    #[test]
+    fn butterworth_is_monotone_lowpass() {
+        let sections = butterworth_lowpass(8, 0.1);
+        let total = |f: f64| -> f64 { sections.iter().map(|s| s.magnitude(f)).product() };
+        let mut prev = total(0.0);
+        for i in 1..50 {
+            let cur = total(0.5 * i as f64 / 50.0);
+            assert!(cur <= prev + 1e-9, "non-monotone at bin {i}");
+            prev = cur;
+        }
+        assert!(total(0.4) < 1e-4, "stopband too high: {}", total(0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn butterworth_rejects_odd_order() {
+        let _ = butterworth_lowpass(3, 0.1);
+    }
+
+    #[test]
+    fn biquad_impulse_response_matches_difference_equation() {
+        let s = Biquad {
+            b: [0.5, 0.2, 0.1],
+            a: [-0.3, 0.4],
+        };
+        let mut impulse = vec![0.0; 8];
+        impulse[0] = 1.0;
+        let y = s.filter(&impulse);
+        // Hand-unrolled: y0 = b0; y1 = b1 - a1·y0; y2 = b2 - a1·y1 - a2·y0.
+        assert!((y[0] - 0.5).abs() < 1e-15);
+        assert!((y[1] - (0.2 + 0.3 * 0.5)).abs() < 1e-15);
+        assert!((y[2] - (0.1 + 0.3 * y[1] - 0.4 * 0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unstable_biquad_detected() {
+        let s = Biquad {
+            b: [1.0, 0.0, 0.0],
+            a: [0.0, 1.1],
+        };
+        assert!(!s.is_stable());
+    }
+}

@@ -1,0 +1,267 @@
+//! LMS adaptive-filter benchmark (extension: not one of the paper's five).
+//!
+//! The least-mean-squares adaptive filter is the canonical *feedback*
+//! word-length problem: quantization errors in the coefficient registers do
+//! not just add noise, they perturb the adaptation trajectory itself. That
+//! makes the accuracy surface less separable than the feed-forward kernels'
+//! — a stress test for kriging-based evaluation.
+//!
+//! Setup: system identification. A reference LMS filter (double precision)
+//! adapts to an unknown FIR channel over a fixed input; the fixed-point
+//! LMS runs the same adaptation with quantized registers, and the metric is
+//! the excess error power between the two filters' outputs.
+//!
+//! Three word-lengths are optimized:
+//!
+//! * variable 0: coefficient registers;
+//! * variable 1: filter output / error register;
+//! * variable 2: coefficient-update term (`μ·e·x` product).
+
+use krigeval_fixedpoint::{NoiseMeter, NoisePower, QFormat, Quantizer};
+
+use crate::signal::white_noise;
+use crate::{KernelError, WordLengthBenchmark};
+
+/// Number of word-length variables.
+pub const NUM_VARIABLES: usize = 3;
+
+/// The LMS adaptive-filter benchmark (`Nv = 3`).
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_kernels::{lms::LmsBenchmark, WordLengthBenchmark};
+///
+/// # fn main() -> Result<(), krigeval_kernels::KernelError> {
+/// let lms = LmsBenchmark::with_defaults();
+/// assert_eq!(lms.num_variables(), 3);
+/// let coarse = lms.noise_power(&[8, 8, 8])?;
+/// let fine = lms.noise_power(&[15, 15, 15])?;
+/// assert!(fine.db() < coarse.db());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LmsBenchmark {
+    channel: Vec<f64>,
+    input: Vec<f64>,
+    desired: Vec<f64>,
+    reference_output: Vec<f64>,
+    step_size: f64,
+}
+
+impl LmsBenchmark {
+    /// Default configuration: an 8-tap channel, 2048 samples, μ = 0.04.
+    pub fn with_defaults() -> LmsBenchmark {
+        LmsBenchmark::new(8, 2048, 0.04, 0x1335_0006)
+    }
+
+    /// Builds the benchmark: `taps`-coefficient adaptive filter identifying
+    /// a pseudo-random channel over `samples` white-noise samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps == 0`, `samples == 0` or `step_size` is outside
+    /// `(0, 1)`.
+    pub fn new(taps: usize, samples: usize, step_size: f64, seed: u64) -> LmsBenchmark {
+        assert!(taps > 0, "need at least one tap");
+        assert!(samples > 0, "need at least one sample");
+        assert!(
+            step_size > 0.0 && step_size < 1.0,
+            "step size must be in (0, 1), got {step_size}"
+        );
+        // A decaying pseudo-random channel with ~unit first tap, scaled so
+        // the desired signal stays inside (−1, 1) on the white-noise input.
+        let raw = white_noise(seed, taps, 1.0);
+        let mut channel: Vec<f64> = raw
+            .iter()
+            .enumerate()
+            .map(|(k, v)| v * 0.7f64.powi(k as i32))
+            .collect();
+        let gain: f64 = channel.iter().map(|c| c.abs()).sum();
+        for c in &mut channel {
+            *c /= gain * 1.1;
+        }
+        let input = white_noise(seed.wrapping_add(1), samples, 0.95);
+        let desired: Vec<f64> = (0..samples)
+            .map(|n| {
+                channel
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k <= n)
+                    .map(|(k, c)| c * input[n - k])
+                    .sum()
+            })
+            .collect();
+        let reference_output = run_lms(&input, &desired, taps, step_size, &mut |_, v| v);
+        LmsBenchmark {
+            channel,
+            input,
+            desired,
+            reference_output,
+            step_size,
+        }
+    }
+
+    /// The unknown channel being identified.
+    pub fn channel(&self) -> &[f64] {
+        &self.channel
+    }
+}
+
+/// Registers that can be quantized in the LMS loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmsSite {
+    /// Coefficient registers (after each update).
+    Coefficient,
+    /// Filter output / error register.
+    Output,
+    /// The `μ·e·x` update term.
+    Update,
+}
+
+/// Runs the LMS adaptation; `q(site, v)` quantizes each register write.
+/// Returns the filter-output sequence.
+fn run_lms(
+    input: &[f64],
+    desired: &[f64],
+    taps: usize,
+    step_size: f64,
+    q: &mut dyn FnMut(LmsSite, f64) -> f64,
+) -> Vec<f64> {
+    let mut weights = vec![0.0; taps];
+    let mut output = Vec::with_capacity(input.len());
+    for n in 0..input.len() {
+        let mut y = 0.0;
+        for k in 0..taps.min(n + 1) {
+            y += weights[k] * input[n - k];
+        }
+        let y = q(LmsSite::Output, y);
+        let e = q(LmsSite::Output, desired[n] - y);
+        for k in 0..taps.min(n + 1) {
+            let update = q(LmsSite::Update, step_size * e * input[n - k]);
+            weights[k] = q(LmsSite::Coefficient, weights[k] + update);
+        }
+        output.push(y);
+    }
+    output
+}
+
+impl WordLengthBenchmark for LmsBenchmark {
+    fn name(&self) -> &str {
+        "lms"
+    }
+
+    fn num_variables(&self) -> usize {
+        NUM_VARIABLES
+    }
+
+    fn noise_power(&self, word_lengths: &[i32]) -> Result<NoisePower, KernelError> {
+        self.validate(word_lengths)?;
+        // Coefficients stay sub-unit (normalized channel); outputs/errors in
+        // (−1, 1); update terms are tiny products — all 0 integer bits.
+        let q_coef = Quantizer::new(QFormat::with_word_length(0, word_lengths[0])?);
+        let q_out = Quantizer::new(QFormat::with_word_length(0, word_lengths[1])?);
+        let q_upd = Quantizer::new(QFormat::with_word_length(0, word_lengths[2])?);
+        let output = run_lms(
+            &self.input,
+            &self.desired,
+            self.channel.len(),
+            self.step_size,
+            &mut |site, v| match site {
+                LmsSite::Coefficient => q_coef.quantize(v),
+                LmsSite::Output => q_out.quantize(v),
+                LmsSite::Update => q_upd.quantize(v),
+            },
+        );
+        // Skip the initial convergence transient: compare steady state.
+        let skip = output.len() / 4;
+        let mut meter = NoiseMeter::new();
+        meter.record_slices(&self.reference_output[skip..], &output[skip..]);
+        Ok(meter.noise_power())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LmsBenchmark {
+        LmsBenchmark::new(8, 1024, 0.04, 0x1335_0006)
+    }
+
+    #[test]
+    fn reference_lms_converges_to_the_channel() {
+        let b = small();
+        // After adaptation, the reference output tracks the desired signal.
+        let tail = b.reference_output.len() * 3 / 4;
+        let mut err = NoiseMeter::new();
+        err.record_slices(&b.desired[tail..], &b.reference_output[tail..]);
+        let mse = err.noise_power().linear();
+        let sig: f64 = b.desired[tail..].iter().map(|v| v * v).sum::<f64>()
+            / (b.desired.len() - tail) as f64;
+        assert!(
+            mse < sig * 0.05,
+            "LMS failed to converge: mse {mse:e} vs signal {sig:e}"
+        );
+    }
+
+    #[test]
+    fn noise_decreases_with_word_length() {
+        let b = small();
+        let mut prev = f64::INFINITY;
+        for w in [8, 10, 12, 14] {
+            let db = b.noise_power(&[w; 3]).unwrap().db();
+            assert!(db < prev, "w={w}: {db} !< {prev}");
+            prev = db;
+        }
+    }
+
+    #[test]
+    fn coefficient_register_matters_most() {
+        // Coefficient quantization perturbs the adaptation state itself and
+        // recirculates; it should dominate an equally narrow output register.
+        let b = small();
+        let narrow_coef = b.noise_power(&[7, 14, 14]).unwrap().db();
+        let narrow_out = b.noise_power(&[14, 7, 14]).unwrap().db();
+        let balanced = b.noise_power(&[14, 14, 14]).unwrap().db();
+        assert!(narrow_coef > balanced, "{narrow_coef} vs {balanced}");
+        assert!(narrow_out > balanced, "{narrow_out} vs {balanced}");
+    }
+
+    #[test]
+    fn update_underflow_stalls_adaptation() {
+        // With a very narrow update register, μ·e·x quantizes to zero and
+        // the filter never adapts: the error should be dramatically worse.
+        let b = small();
+        let stalled = b.noise_power(&[14, 14, 4]).unwrap().db();
+        let healthy = b.noise_power(&[14, 14, 14]).unwrap().db();
+        assert!(
+            stalled > healthy + 20.0,
+            "stalled {stalled} dB vs healthy {healthy} dB"
+        );
+    }
+
+    #[test]
+    fn validates_shape() {
+        let b = small();
+        assert!(b.noise_power(&[10, 10]).is_err());
+        assert!(b.noise_power(&[10, 10, 99]).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = small();
+        assert_eq!(
+            b.noise_power(&[9, 11, 13]).unwrap().linear(),
+            b.noise_power(&[9, 11, 13]).unwrap().linear()
+        );
+    }
+
+    #[test]
+    fn channel_is_normalized() {
+        let b = small();
+        let gain: f64 = b.channel().iter().map(|c| c.abs()).sum();
+        assert!(gain < 1.0, "channel L1 gain {gain} risks overflow");
+    }
+}

@@ -1,0 +1,55 @@
+//! Hand-rolled dense linear algebra for kriging systems.
+//!
+//! The ordinary-kriging system solved by `krigeval-core` has the block form
+//!
+//! ```text
+//! | γ̂(d_00) ... γ̂(d_0,N-1)  1 |   | μ_0  |   | γ̂(d_i0)  |
+//! |   ...          ...      . | · | ...  | = |   ...     |
+//! | γ̂(d_N-1,0) ...          1 |   | μ_N-1|   | γ̂(d_i,N-1)|
+//! |   1     ...    1        0 |   |  m   |   |    1      |
+//! ```
+//!
+//! which is symmetric but **indefinite** (the Lagrange row puts a zero on the
+//! diagonal), so the workhorse here is [`LuDecomposition`] with partial
+//! pivoting rather than Cholesky. [`Cholesky`] is still provided for
+//! covariance-form kriging and for tests, and [`QrDecomposition`] backs the
+//! least-squares variogram-model fit.
+//!
+//! The crate is deliberately dependency-free: the Rust Gaussian-process /
+//! geostatistics ecosystem is thin, so everything the paper reproduction
+//! needs is implemented from scratch and tested here.
+//!
+//! # Examples
+//!
+//! ```
+//! use krigeval_linalg::{Matrix, LuDecomposition};
+//!
+//! # fn main() -> Result<(), krigeval_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuDecomposition::new(&a)?;
+//! let x = lu.solve(&[3.0, 4.0])?;
+//! assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Numeric kernels (substitution loops, butterfly passes, separable
+// filters) read several arrays at one index; explicit index loops are the
+// clearest form for them.
+#![allow(clippy::needless_range_loop)]
+
+mod cholesky;
+mod error;
+pub mod lu;
+mod matrix;
+pub mod qr;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use lu::{lu_solve, LuDecomposition};
+pub use matrix::Matrix;
+pub use qr::{least_squares, QrDecomposition};
+pub use vector::{dot, norm_l1, norm_l2, norm_linf};

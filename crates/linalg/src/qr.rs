@@ -1,0 +1,317 @@
+//! QR decomposition via Householder reflections, and linear least squares.
+//!
+//! The variogram-model fit in `krigeval-core` solves small over-determined
+//! systems (empirical variogram bins vs. model parameters, linearized by
+//! Gauss–Newton); QR least squares is the numerically sound way to do that.
+
+use crate::{LinalgError, Matrix};
+
+/// QR decomposition `A = Q·R` of an `m × n` matrix with `m ≥ n`, computed
+/// with Householder reflections.
+///
+/// `Q` is stored implicitly as the sequence of Householder vectors; callers
+/// only need [`QrDecomposition::solve_least_squares`], which applies `Qᵀ` on
+/// the fly.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_linalg::{Matrix, QrDecomposition};
+///
+/// # fn main() -> Result<(), krigeval_linalg::LinalgError> {
+/// // Fit y = a + b·x to three points on the line y = 1 + 2x.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let qr = QrDecomposition::new(&a)?;
+/// let coef = qr.solve_least_squares(&[1.0, 3.0, 5.0])?;
+/// assert!((coef[0] - 1.0).abs() < 1e-10);
+/// assert!((coef[1] - 2.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// R in the upper triangle (including diagonal); Householder vector tails
+    /// (components below the diagonal) in the lower trapezoid.
+    qr: Matrix,
+    /// First component of each Householder vector (the diagonal slot holds R).
+    v0s: Vec<f64>,
+    /// Scalar β of each reflector `H = I − β·v·vᵀ`.
+    betas: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Threshold on |R[j,j]| (relative to the matrix scale) below which the
+    /// matrix is declared rank deficient.
+    const RANK_TOL: f64 = 1e-12;
+
+    /// Factorizes `a` (requires `a.rows() >= a.cols()`).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a.rows() < a.cols()`.
+    /// * [`LinalgError::Empty`] if `a` has no elements.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN/∞.
+    pub fn new(a: &Matrix) -> Result<QrDecomposition, LinalgError> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: "rows >= cols".into(),
+                actual: format!("{m}x{n}"),
+            });
+        }
+        for i in 0..m {
+            for j in 0..n {
+                if !a[(i, j)].is_finite() {
+                    return Err(LinalgError::NonFinite { row: i, col: j });
+                }
+            }
+        }
+        let mut qr = a.clone();
+        let mut v0s = vec![0.0; n];
+        let mut betas = vec![0.0; n];
+        for j in 0..n {
+            let mut norm_sq = 0.0;
+            for i in j..m {
+                norm_sq += qr[(i, j)] * qr[(i, j)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                continue; // column already zero below (and at) the diagonal
+            }
+            let alpha = if qr[(j, j)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(j, j)] - alpha;
+            let mut vtv = v0 * v0;
+            for i in (j + 1)..m {
+                vtv += qr[(i, j)] * qr[(i, j)];
+            }
+            let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+            // Apply H = I − β·v·vᵀ to the trailing columns.
+            for k in (j + 1)..n {
+                let mut dot = v0 * qr[(j, k)];
+                for i in (j + 1)..m {
+                    dot += qr[(i, j)] * qr[(i, k)];
+                }
+                let s = beta * dot;
+                qr[(j, k)] -= s * v0;
+                for i in (j + 1)..m {
+                    let delta = s * qr[(i, j)];
+                    qr[(i, k)] -= delta;
+                }
+            }
+            // Diagonal slot now holds R[j,j]; tail of v stays below it.
+            qr[(j, j)] = alpha;
+            v0s[j] = v0;
+            betas[j] = beta;
+        }
+        Ok(QrDecomposition { qr, v0s, betas })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `b.len() != self.rows()`.
+    /// * [`LinalgError::Singular`] if `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("vector of length {m}"),
+                actual: format!("vector of length {}", b.len()),
+            });
+        }
+        let mut y = b.to_vec();
+        // Apply Qᵀ = H_{n−1}···H_0 to b.
+        for j in 0..n {
+            let beta = self.betas[j];
+            if beta == 0.0 {
+                continue;
+            }
+            let v0 = self.v0s[j];
+            let mut dot = v0 * y[j];
+            for i in (j + 1)..m {
+                dot += self.qr[(i, j)] * y[i];
+            }
+            let s = beta * dot;
+            y[j] -= s * v0;
+            for i in (j + 1)..m {
+                let delta = s * self.qr[(i, j)];
+                y[i] -= delta;
+            }
+        }
+        // Back-substitute R·x = y[0..n].
+        let scale = self.qr.max_abs().max(1.0);
+        let mut x = vec![0.0; n];
+        for j in (0..n).rev() {
+            let rjj = self.qr[(j, j)];
+            if rjj.abs() <= Self::RANK_TOL * scale {
+                return Err(LinalgError::Singular { pivot: j });
+            }
+            let mut sum = y[j];
+            for k in (j + 1)..n {
+                sum -= self.qr[(j, k)] * x[k];
+            }
+            x[j] = sum / rjj;
+        }
+        Ok(x)
+    }
+}
+
+/// Convenience: one-shot least squares `min ‖A·x − b‖₂`.
+///
+/// # Errors
+///
+/// See [`QrDecomposition::new`] and [`QrDecomposition::solve_least_squares`].
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_linalg::Matrix;
+///
+/// # fn main() -> Result<(), krigeval_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]])?;
+/// let x = krigeval_linalg::qr::least_squares(&a, &[2.0, 4.0, 6.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    QrDecomposition::new(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_is_solved_exactly() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        let x = least_squares(&a, &[4.0, 9.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_fit_recovers_slope_and_intercept() {
+        // y = 3 - 0.5 x with exact data.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&row_refs).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 3.0 - 0.5 * x).collect();
+        let coef = least_squares(&a, &b).unwrap();
+        assert!((coef[0] - 3.0).abs() < 1e-10);
+        assert!((coef[1] + 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit_minimizes_residual() {
+        // Perturb one point; the LS solution must satisfy the normal
+        // equations Aᵀ(Ax − b) = 0.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = [0.9, 2.1, 3.0, 4.05];
+        let x = least_squares(&a, &b).unwrap();
+        let r: Vec<f64> = a
+            .mul_vec(&x)
+            .unwrap()
+            .iter()
+            .zip(&b)
+            .map(|(p, t)| p - t)
+            .collect();
+        let at_r = a.transpose().mul_vec(&r).unwrap();
+        for v in at_r {
+            assert!(v.abs() < 1e-10, "normal-equation residual {v}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert!(matches!(
+            least_squares(&a, &[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular { .. }
+        ));
+    }
+
+    #[test]
+    fn wide_matrix_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            QrDecomposition::new(&a).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn non_finite_is_rejected() {
+        let mut a = Matrix::identity(2);
+        a[(1, 0)] = f64::INFINITY;
+        assert!(matches!(
+            QrDecomposition::new(&a).unwrap_err(),
+            LinalgError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn rhs_length_is_validated() {
+        let a = Matrix::identity(3);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0]).is_err());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn qr_solution_satisfies_normal_equations(
+                data in proptest::collection::vec(-5.0..5.0f64, 18),
+                b in proptest::collection::vec(-5.0..5.0f64, 6),
+            ) {
+                let mut a = Matrix::from_vec(6, 3, data).unwrap();
+                // Guard against rank deficiency.
+                for j in 0..3 {
+                    a[(j, j)] += 10.0;
+                }
+                let x = least_squares(&a, &b).unwrap();
+                let r: Vec<f64> = a.mul_vec(&x).unwrap()
+                    .iter().zip(&b).map(|(p, t)| p - t).collect();
+                let at_r = a.transpose().mul_vec(&r).unwrap();
+                for v in at_r {
+                    prop_assert!(v.abs() < 1e-7);
+                }
+            }
+
+            #[test]
+            fn qr_matches_lu_on_square_systems(
+                data in proptest::collection::vec(-5.0..5.0f64, 16),
+                b in proptest::collection::vec(-5.0..5.0f64, 4),
+            ) {
+                let mut a = Matrix::from_vec(4, 4, data).unwrap();
+                for i in 0..4 {
+                    let row_sum: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+                    a[(i, i)] = row_sum + 1.0;
+                }
+                let x_qr = least_squares(&a, &b).unwrap();
+                let x_lu = crate::lu::lu_solve(&a, &b).unwrap();
+                for (q, l) in x_qr.iter().zip(&x_lu) {
+                    prop_assert!((q - l).abs() < 1e-8);
+                }
+            }
+        }
+    }
+}

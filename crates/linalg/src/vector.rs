@@ -1,0 +1,123 @@
+//! Small vector helpers shared across the workspace.
+//!
+//! The paper measures distances between approximation configurations with the
+//! L1 norm (line 9 of Algorithms 1 and 2); [`norm_l2`] and [`norm_linf`]
+//! exist because the kriging method itself only requires *a* distance, and
+//! the generality claim is exercised in an ablation.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(krigeval_linalg::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// L1 (Manhattan) norm of the element-wise difference `a - b`.
+///
+/// This is the configuration distance `||w - w_sim||₁` used throughout the
+/// paper's algorithms.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(krigeval_linalg::norm_l1(&[3.0, 1.0], &[1.0, 2.0]), 3.0);
+/// ```
+pub fn norm_l1(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "norm_l1: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Euclidean norm of the element-wise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(krigeval_linalg::norm_l2(&[3.0, 0.0], &[0.0, 4.0]), 5.0);
+/// ```
+pub fn norm_l2(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "norm_l2: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Chebyshev (max) norm of the element-wise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(krigeval_linalg::norm_linf(&[3.0, 1.0], &[1.0, 2.0]), 2.0);
+/// ```
+pub fn norm_linf(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "norm_linf: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot(&[1.0, -2.0, 3.0], &[4.0, 5.0, 6.0]), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_agree_on_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(norm_l1(&a, &a), 0.0);
+        assert_eq!(norm_l2(&a, &a), 0.0);
+        assert_eq!(norm_linf(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn norm_ordering_holds() {
+        // For any vectors: linf <= l2 <= l1.
+        let a = [1.5, -2.0, 0.25, 4.0];
+        let b = [0.0, 1.0, -1.0, 2.5];
+        let (l1, l2, li) = (norm_l1(&a, &b), norm_l2(&a, &b), norm_linf(&a, &b));
+        assert!(li <= l2 + 1e-12);
+        assert!(l2 <= l1 + 1e-12);
+    }
+
+    #[test]
+    fn l1_is_integer_on_integer_configs() {
+        // Word-length vectors are integers; the L1 distance must stay exact.
+        let a = [12.0, 9.0, 7.0];
+        let b = [10.0, 9.0, 8.0];
+        assert_eq!(norm_l1(&a, &b), 3.0);
+    }
+}

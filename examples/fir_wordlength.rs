@@ -1,0 +1,64 @@
+//! Word-length optimization of a 64-tap FIR filter with kriging-assisted
+//! quality evaluation (the paper's first benchmark).
+//!
+//! ```text
+//! cargo run --release --example fir_wordlength
+//! ```
+//!
+//! Runs the min+1 bit algorithm (paper Algorithms 1–2) twice — once with
+//! pure simulation, once with the kriging hybrid evaluator — and compares
+//! cost and results.
+
+use krigeval::core::hybrid::{HybridEvaluator, HybridSettings};
+use krigeval::core::opt::minplusone::{optimize, MinPlusOneOptions};
+use krigeval::core::opt::SimulateAll;
+use krigeval::core::{AccuracyEvaluator, EvalError, FnEvaluator};
+use krigeval::kernels::fir::FirBenchmark;
+use krigeval::kernels::WordLengthBenchmark;
+
+fn fir_evaluator() -> impl AccuracyEvaluator {
+    let bench = FirBenchmark::with_defaults();
+    FnEvaluator::new(bench.num_variables(), move |w: &Vec<i32>| {
+        bench.accuracy_db(w).map_err(EvalError::wrap)
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = MinPlusOneOptions::new(40.0); // noise below −40 dB
+
+    // Baseline: every quality evaluation is a bit-true simulation.
+    let mut baseline = SimulateAll(fir_evaluator());
+    let reference = optimize(&mut baseline, &opts)?;
+    println!(
+        "pure simulation : w = {:?}, λ = {:.2} dB, {} simulations",
+        reference.solution,
+        reference.lambda,
+        baseline.0.evaluations()
+    );
+
+    // Kriging-assisted: close configurations are interpolated instead.
+    let mut hybrid = HybridEvaluator::new(
+        fir_evaluator(),
+        HybridSettings {
+            distance: 4.0,
+            ..HybridSettings::default()
+        },
+    );
+    let assisted = optimize(&mut hybrid, &opts)?;
+    let stats = hybrid.stats();
+    println!(
+        "kriging-assisted: w = {:?}, λ = {:.2} dB",
+        assisted.solution, assisted.lambda
+    );
+    println!(
+        "                  {} queries: {} simulated, {} kriged ({:.1} % interpolated)",
+        stats.queries,
+        stats.simulated,
+        stats.kriged,
+        stats.interpolated_fraction() * 100.0
+    );
+    if let Some(model) = hybrid.model() {
+        println!("                  identified variogram: {model:?}");
+    }
+    Ok(())
+}

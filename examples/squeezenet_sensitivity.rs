@@ -1,0 +1,64 @@
+//! Error-sensitivity analysis of the mini SqueezeNet classifier with
+//! kriging-assisted quality evaluation (the paper's fifth benchmark).
+//!
+//! ```text
+//! cargo run --release --example squeezenet_sensitivity
+//! ```
+//!
+//! Injects an additive error source at each of the ten layer outputs and
+//! finds the **maximal tolerated power** per source for a target
+//! classification-agreement rate `p_cl ≥ 0.9`, using the steepest-descent
+//! budgeting algorithm (paper ref [22]) over the kriging hybrid evaluator.
+
+use krigeval::core::hybrid::{HybridEvaluator, HybridSettings};
+use krigeval::core::opt::descent::{budget_error_sources, DescentOptions};
+use krigeval::core::{AccuracyEvaluator, EvalError, FnEvaluator};
+use krigeval::neural::SensitivityBenchmark;
+
+/// Level `k` maps to a noise-to-signal ratio of `−80 + 6·k` dB.
+fn level_to_db(level: i32) -> f64 {
+    -80.0 + 6.0 * f64::from(level)
+}
+
+fn evaluator() -> impl AccuracyEvaluator {
+    let bench = SensitivityBenchmark::new(200, 12, 0x59EE_2E05);
+    FnEvaluator::new(bench.num_sources(), move |levels: &Vec<i32>| {
+        let powers: Vec<f64> = levels.iter().map(|&l| level_to_db(l)).collect();
+        bench.classification_rate(&powers).map_err(EvalError::wrap)
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = DescentOptions {
+        lambda_min: 0.9,
+        level_floor: 0,
+        level_max: 12,
+        max_iterations: 10_000,
+    };
+    let mut hybrid = HybridEvaluator::new(
+        evaluator(),
+        HybridSettings {
+            distance: 3.0,
+            ..HybridSettings::default()
+        },
+    );
+    let result = budget_error_sources(&mut hybrid, &opts)?;
+    println!("maximal tolerated error powers (p_cl >= 0.9):");
+    let names = [
+        "conv1", "maxpool1", "fire1", "fire2", "maxpool2", "fire3", "fire4", "class_conv",
+        "gap", "logits",
+    ];
+    for (name, &level) in names.iter().zip(&result.solution) {
+        println!("  {name:<11} {:>6.0} dB (level {level})", level_to_db(level));
+    }
+    println!("final p_cl (as seen by the optimizer): {:.3}", result.lambda);
+    let stats = hybrid.stats();
+    println!(
+        "{} queries: {} simulated, {} kriged ({:.1} % interpolated)",
+        stats.queries,
+        stats.simulated,
+        stats.kriged,
+        stats.interpolated_fraction() * 100.0
+    );
+    Ok(())
+}

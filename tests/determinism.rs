@@ -1,0 +1,81 @@
+//! Reproducibility: every experiment is a pure function of its seeds.
+
+use krigeval::core::hybrid::{HybridEvaluator, HybridSettings};
+use krigeval::core::opt::minplusone::{optimize, MinPlusOneOptions};
+use krigeval::core::{EvalError, FnEvaluator};
+use krigeval::kernels::fft::FftBenchmark;
+use krigeval::kernels::fir::FirBenchmark;
+use krigeval::kernels::hevc::HevcMcBenchmark;
+use krigeval::kernels::iir::IirBenchmark;
+use krigeval::kernels::WordLengthBenchmark;
+use krigeval::neural::SensitivityBenchmark;
+
+#[test]
+fn kernel_noise_powers_are_reproducible() {
+    let a = FirBenchmark::new(64, 0.2, 256, 42);
+    let b = FirBenchmark::new(64, 0.2, 256, 42);
+    assert_eq!(
+        a.noise_power(&[9, 11]).unwrap().linear(),
+        b.noise_power(&[9, 11]).unwrap().linear()
+    );
+
+    let a = IirBenchmark::new(8, 0.1, 256, 42);
+    let b = IirBenchmark::new(8, 0.1, 256, 42);
+    assert_eq!(
+        a.noise_power(&[9; 5]).unwrap().linear(),
+        b.noise_power(&[9; 5]).unwrap().linear()
+    );
+
+    let a = FftBenchmark::new(4, 42);
+    let b = FftBenchmark::new(4, 42);
+    assert_eq!(
+        a.noise_power(&[9; 10]).unwrap().linear(),
+        b.noise_power(&[9; 10]).unwrap().linear()
+    );
+
+    let a = HevcMcBenchmark::new(48, 6, 42);
+    let b = HevcMcBenchmark::new(48, 6, 42);
+    assert_eq!(
+        a.noise_power(&[9; 23]).unwrap().linear(),
+        b.noise_power(&[9; 23]).unwrap().linear()
+    );
+}
+
+#[test]
+fn sensitivity_rates_are_reproducible() {
+    let a = SensitivityBenchmark::new(24, 12, 42);
+    let b = SensitivityBenchmark::new(24, 12, 42);
+    let powers = vec![-30.0; 10];
+    assert_eq!(
+        a.classification_rate(&powers).unwrap(),
+        b.classification_rate(&powers).unwrap()
+    );
+}
+
+#[test]
+fn full_hybrid_optimization_is_reproducible() {
+    let run = || {
+        let bench = FirBenchmark::new(64, 0.2, 256, 5);
+        let ev = FnEvaluator::new(2, move |w: &Vec<i32>| {
+            bench.accuracy_db(w).map_err(EvalError::wrap)
+        });
+        let mut hybrid = HybridEvaluator::new(ev, HybridSettings::default());
+        let result = optimize(&mut hybrid, &MinPlusOneOptions::new(40.0)).unwrap();
+        (result.solution, result.lambda, hybrid.stats().clone())
+    };
+    let (sol_a, lambda_a, stats_a) = run();
+    let (sol_b, lambda_b, stats_b) = run();
+    assert_eq!(sol_a, sol_b);
+    assert_eq!(lambda_a, lambda_b);
+    assert_eq!(stats_a, stats_b);
+}
+
+#[test]
+fn different_seeds_give_different_datasets() {
+    let a = FirBenchmark::new(64, 0.2, 256, 1);
+    let b = FirBenchmark::new(64, 0.2, 256, 2);
+    assert_ne!(
+        a.noise_power(&[8, 8]).unwrap().linear(),
+        b.noise_power(&[8, 8]).unwrap().linear()
+    );
+}

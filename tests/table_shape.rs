@@ -1,0 +1,80 @@
+//! Table I *shape* assertions at reduced scale: the qualitative claims of
+//! the paper's evaluation must hold on every regeneration.
+
+use krigeval_bench::suite::Problem;
+use krigeval_bench::table1::{identify_variogram, run_row_with_model};
+use krigeval_bench::Scale;
+
+#[test]
+fn interpolated_fraction_grows_with_distance_on_iir() {
+    let model = identify_variogram(Problem::Iir, Scale::Fast).unwrap();
+    let p2 = run_row_with_model(Problem::Iir, Scale::Fast, 2.0, 3, model)
+        .unwrap()
+        .p_percent;
+    let p5 = run_row_with_model(Problem::Iir, Scale::Fast, 5.0, 3, model)
+        .unwrap()
+        .p_percent;
+    assert!(p5 > p2, "p(d=5) = {p5} must exceed p(d=2) = {p2}");
+    assert!(p2 > 10.0, "IIR at d=2 should already interpolate: {p2} %");
+}
+
+#[test]
+fn more_variables_means_more_interpolation() {
+    // Paper: "when the number of variables ... increases, the number of
+    // configurations that can be estimated increases up to 90 %".
+    let iir_model = identify_variogram(Problem::Iir, Scale::Fast).unwrap();
+    let fft_model = identify_variogram(Problem::Fft, Scale::Fast).unwrap();
+    let p_iir = run_row_with_model(Problem::Iir, Scale::Fast, 3.0, 3, iir_model)
+        .unwrap()
+        .p_percent;
+    let p_fft = run_row_with_model(Problem::Fft, Scale::Fast, 3.0, 3, fft_model)
+        .unwrap()
+        .p_percent;
+    assert!(
+        p_fft > p_iir,
+        "FFT (Nv=10) at {p_fft} % should interpolate more than IIR (Nv=5) at {p_iir} %"
+    );
+}
+
+#[test]
+fn fft_errors_stay_sub_bit_at_small_distance() {
+    // Paper FFT row at d = 2: μ ε = 0.18 bit.
+    let model = identify_variogram(Problem::Fft, Scale::Fast).unwrap();
+    let row = run_row_with_model(Problem::Fft, Scale::Fast, 2.0, 3, model).unwrap();
+    assert!(row.kriged > 0, "no interpolations at all");
+    assert!(
+        row.mean_eps < 1.0,
+        "mean interpolation error {} bits (paper: 0.18)",
+        row.mean_eps
+    );
+}
+
+#[test]
+fn squeezenet_relative_errors_match_paper_regime() {
+    // Paper SqueezeNet row at d = 3: p = 89.31 %, μ ε = 6.51 %.
+    let model = identify_variogram(Problem::Squeezenet, Scale::Fast).unwrap();
+    let row = run_row_with_model(Problem::Squeezenet, Scale::Fast, 3.0, 3, model).unwrap();
+    assert!(row.p_percent > 50.0, "p = {} %", row.p_percent);
+    assert!(
+        row.mean_eps < 0.15,
+        "mean relative error {} (paper: 0.065)",
+        row.mean_eps
+    );
+}
+
+#[test]
+fn raising_nmin_reduces_interpolation() {
+    // The paper's closing ablation, inverted: a *stricter* neighbour
+    // requirement can only reduce the interpolated fraction.
+    let model = identify_variogram(Problem::Fft, Scale::Fast).unwrap();
+    let loose = run_row_with_model(Problem::Fft, Scale::Fast, 3.0, 2, model)
+        .unwrap()
+        .p_percent;
+    let strict = run_row_with_model(Problem::Fft, Scale::Fast, 3.0, 6, model)
+        .unwrap()
+        .p_percent;
+    assert!(
+        loose >= strict,
+        "p(nmin=2) = {loose} < p(nmin=6) = {strict}"
+    );
+}

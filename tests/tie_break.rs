@@ -1,0 +1,42 @@
+//! Regression tests for the tie-breaking-by-simulation extension: on the
+//! FFT benchmark, resolving kriged near-ties with real simulations must not
+//! worsen per-decision fidelity, and the extra simulations must stay
+//! bounded.
+
+use krigeval_bench::decisions::{run_lockstep, run_lockstep_with_tie_break};
+use krigeval_bench::suite::Problem;
+use krigeval_bench::Scale;
+
+#[test]
+fn tie_break_improves_or_preserves_material_fidelity_on_fft() {
+    let plain = run_lockstep(Problem::Fft, Scale::Fast, 3.0).expect("plain lockstep");
+    let tied = run_lockstep_with_tie_break(Problem::Fft, Scale::Fast, 3.0, 0.5)
+        .expect("tie-break lockstep");
+    assert_eq!(plain.decisions, tied.decisions, "same reference trajectory");
+    assert!(
+        tied.material_disagreements <= plain.material_disagreements,
+        "tie-break made fidelity worse: {} vs {}",
+        tied.material_disagreements,
+        plain.material_disagreements
+    );
+    // The cost: some interpolation is traded for simulations, but a useful
+    // fraction must survive.
+    assert!(
+        tied.interpolated_fraction > 0.15,
+        "tie-break destroyed the savings: p = {}",
+        tied.interpolated_fraction
+    );
+}
+
+#[test]
+fn tie_break_keeps_literal_divergence_at_most_plain() {
+    let plain = run_lockstep(Problem::Fft, Scale::Fast, 3.0).expect("plain lockstep");
+    let tied = run_lockstep_with_tie_break(Problem::Fft, Scale::Fast, 3.0, 0.5)
+        .expect("tie-break lockstep");
+    assert!(
+        tied.disagreements <= plain.disagreements,
+        "literal divergence grew: {} vs {}",
+        tied.disagreements,
+        plain.disagreements
+    );
+}
