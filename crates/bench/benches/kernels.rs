@@ -37,7 +37,13 @@ fn bench_squeezenet(c: &mut Criterion) {
     let bench = SensitivityBenchmark::new(16, 12, 5);
     let powers = vec![-30.0; 10];
     c.bench_function("sim_squeezenet_16imgs", |b| {
-        b.iter(|| black_box(bench.classification_rate(black_box(&powers)).expect("valid")))
+        b.iter(|| {
+            black_box(
+                bench
+                    .classification_rate(black_box(&powers))
+                    .expect("valid"),
+            )
+        })
     });
 }
 

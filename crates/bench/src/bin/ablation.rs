@@ -3,31 +3,38 @@
 //!
 //! ```text
 //! ablation [--scale fast|paper] [--sweep nmin|metric|variogram]
-//!          [--bench fir|iir|fft|hevc|squeezenet]
+//!          [--bench fir|iir|fft|hevc|squeezenet] [--workers 4]
 //! ```
+//!
+//! Each sweep is expressed as a `krigeval-engine` campaign and executed on
+//! a worker pool; cells that share a benchmark surface also share
+//! simulations through the engine's memo-cache.
 
 use std::process::ExitCode;
 
-use krigeval_bench::suite::{build, Problem};
-use krigeval_bench::table1::run_row;
+use krigeval_bench::suite::Problem;
+use krigeval_bench::table1::record_to_row;
 use krigeval_bench::Scale;
-use krigeval_core::hybrid::{HybridEvaluator, HybridSettings, VariogramPolicy};
-use krigeval_core::opt::minplusone::optimize;
-use krigeval_core::report::{Table, TableRow};
-use krigeval_core::variogram::ModelFamily;
-use krigeval_core::{DistanceMetric, VariogramModel};
+use krigeval_core::report::Table;
+use krigeval_core::VariogramModel;
+use krigeval_engine::{run_campaign, run_specs, CampaignSpec, Progress, VariogramSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut sweep = String::from("nmin");
     let mut problem = Problem::Fft;
+    let mut workers = 4usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = if args[i] == "fast" { Scale::Fast } else { Scale::Paper };
+                scale = if args[i] == "fast" {
+                    Scale::Fast
+                } else {
+                    Scale::Paper
+                };
             }
             "--sweep" => {
                 i += 1;
@@ -43,6 +50,10 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--workers" => {
+                i += 1;
+                workers = args[i].parse().unwrap_or(4);
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::FAILURE;
@@ -52,9 +63,9 @@ fn main() -> ExitCode {
     }
 
     let result = match sweep.as_str() {
-        "nmin" => sweep_nmin(problem, scale),
-        "metric" => sweep_metric(problem, scale),
-        "variogram" => sweep_variogram(problem, scale),
+        "nmin" => sweep_nmin(problem, scale, workers),
+        "metric" => sweep_metric(problem, scale, workers),
+        "variogram" => sweep_variogram(problem, scale, workers),
         other => {
             eprintln!("unknown sweep: {other} (expected nmin|metric|variogram)");
             return ExitCode::FAILURE;
@@ -69,42 +80,64 @@ fn main() -> ExitCode {
     }
 }
 
-/// The paper's closing ablation: `N_n,min ∈ {2, 3, 4}` at d = 3.
-fn sweep_nmin(problem: Problem, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
+fn base_spec(problem: Problem, scale: Scale, name: &str) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        benchmarks: vec![problem.label().to_string()],
+        scale: scale.label().to_string(),
+        distances: vec![3.0],
+        ..CampaignSpec::default()
+    }
+}
+
+/// The paper's closing ablation: `N_n,min ∈ {2, 3, 4}` at d = 3 — one
+/// campaign with a `min_neighbors` axis.
+fn sweep_nmin(
+    problem: Problem,
+    scale: Scale,
+    workers: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = CampaignSpec {
+        min_neighbors: vec![2, 3, 4],
+        ..base_spec(problem, scale, "ablation-nmin")
+    };
+    let outcome = run_campaign(&spec, workers, Progress::Silent)?;
     let mut table = Table::new();
-    for nmin in [2usize, 3, 4] {
-        let mut row = run_row(problem, scale, 3.0, nmin)?;
-        row.metric = format!("nmin={nmin}");
+    for record in &outcome.records {
+        let mut row = record_to_row(record);
+        row.metric = format!("nmin={}", record.min_neighbors);
         table.push(row);
     }
     print!("{table}");
     Ok(())
 }
 
-/// Our ablation: the L1/L2/L∞ configuration distances.
-fn sweep_metric(problem: Problem, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
+/// Our ablation: the L1/L2/L∞ configuration distances. Three one-cell
+/// campaigns merged into a single parallel batch (the engine's online
+/// fit-after policy matches the sequential ablation's default settings).
+fn sweep_metric(
+    problem: Problem,
+    scale: Scale,
+    workers: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut runs = Vec::new();
+    for metric in ["l1", "l2", "linf"] {
+        let spec = CampaignSpec {
+            metric: metric.to_string(),
+            variogram: VariogramSpec::FitAfter { min_samples: 10 },
+            ..base_spec(problem, scale, "ablation-metric")
+        };
+        for mut run in spec.expand()? {
+            run.index = runs.len() as u64;
+            runs.push(run);
+        }
+    }
+    let labels = ["L1", "L2", "Linf"];
+    let outcome = run_specs(runs, workers, Progress::Silent)?;
     let mut table = Table::new();
-    for metric in [DistanceMetric::L1, DistanceMetric::L2, DistanceMetric::Linf] {
-        let instance = build(problem, scale);
-        let Some(opts) = instance.minplusone else {
-            return Err("metric sweep requires a word-length benchmark".into());
-        };
-        let settings = HybridSettings {
-            distance: 3.0,
-            metric,
-            audit: Some(problem.audit_metric()),
-            ..HybridSettings::default()
-        };
-        let mut hybrid = HybridEvaluator::new(instance.evaluator, settings);
-        optimize(&mut hybrid, &opts)?;
-        let mut row = TableRow::from_stats(
-            problem.label(),
-            format!("{metric}"),
-            problem.nv(),
-            3.0,
-            hybrid.stats(),
-        );
-        row.metric = format!("{metric}");
+    for (record, label) in outcome.records.iter().zip(labels) {
+        let mut row = record_to_row(record);
+        row.metric = label.to_string();
         table.push(row);
     }
     print!("{table}");
@@ -112,51 +145,50 @@ fn sweep_metric(problem: Problem, scale: Scale) -> Result<(), Box<dyn std::error
 }
 
 /// Our ablation: fixed variogram families instead of automatic fitting.
-fn sweep_variogram(problem: Problem, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
-    let families: Vec<(&str, VariogramPolicy)> = vec![
-        (
-            "auto",
-            VariogramPolicy::FitAfter {
-                min_samples: 10,
-                families: ModelFamily::all().to_vec(),
-                fallback: VariogramModel::linear(1.0),
-            },
-        ),
-        ("linear", VariogramPolicy::Fixed(VariogramModel::linear(3.0))),
+fn sweep_variogram(
+    problem: Problem,
+    scale: Scale,
+    workers: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let policies: Vec<(&str, VariogramSpec)> = vec![
+        ("auto", VariogramSpec::FitAfter { min_samples: 10 }),
+        ("linear", VariogramSpec::FixedLinear { slope: 3.0 }),
         (
             "spherical",
-            VariogramPolicy::Fixed(VariogramModel::spherical(0.0, 100.0, 8.0)?),
+            VariogramSpec::Fixed {
+                model: VariogramModel::spherical(0.0, 100.0, 8.0)?,
+            },
         ),
         (
             "exponential",
-            VariogramPolicy::Fixed(VariogramModel::exponential(0.0, 100.0, 8.0)?),
+            VariogramSpec::Fixed {
+                model: VariogramModel::exponential(0.0, 100.0, 8.0)?,
+            },
         ),
         (
             "gaussian",
-            VariogramPolicy::Fixed(VariogramModel::gaussian(0.0, 100.0, 8.0)?),
+            VariogramSpec::Fixed {
+                model: VariogramModel::gaussian(0.0, 100.0, 8.0)?,
+            },
         ),
     ];
+    let mut runs = Vec::new();
+    let mut labels = Vec::new();
+    for (name, variogram) in policies {
+        let spec = CampaignSpec {
+            variogram,
+            ..base_spec(problem, scale, "ablation-variogram")
+        };
+        for mut run in spec.expand()? {
+            run.index = runs.len() as u64;
+            runs.push(run);
+            labels.push(name);
+        }
+    }
+    let outcome = run_specs(runs, workers, Progress::Silent)?;
     let mut table = Table::new();
-    for (name, policy) in families {
-        let instance = build(problem, scale);
-        let Some(opts) = instance.minplusone else {
-            return Err("variogram sweep requires a word-length benchmark".into());
-        };
-        let settings = HybridSettings {
-            distance: 3.0,
-            variogram: policy,
-            audit: Some(problem.audit_metric()),
-            ..HybridSettings::default()
-        };
-        let mut hybrid = HybridEvaluator::new(instance.evaluator, settings);
-        optimize(&mut hybrid, &opts)?;
-        let mut row = TableRow::from_stats(
-            problem.label(),
-            name,
-            problem.nv(),
-            3.0,
-            hybrid.stats(),
-        );
+    for (record, name) in outcome.records.iter().zip(labels) {
+        let mut row = record_to_row(record);
         row.metric = name.to_string();
         table.push(row);
     }

@@ -2,29 +2,47 @@
 //! kriging-assisted optimizer runs (§IV prose: ≈10 %).
 //!
 //! ```text
-//! decisions [--scale fast|paper] [--d 3]
+//! decisions [--scale fast|paper] [--d 3] [--workers 4]
 //! ```
+//!
+//! The per-benchmark studies are independent, so each section fans out
+//! over the benchmarks on the engine's worker pool (`parallel_map`); the
+//! lockstep logic itself stays sequential per benchmark, as the paper's
+//! protocol requires.
 
 use std::process::ExitCode;
 
-use krigeval_bench::decisions::run;
+use krigeval_bench::decisions::{
+    run, run_lockstep, run_lockstep_with_tie_break, DivergenceReport, LockstepReport,
+};
 use krigeval_bench::suite::Problem;
 use krigeval_bench::Scale;
+use krigeval_core::opt::OptError;
+use krigeval_engine::parallel_map;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut d = 3.0f64;
+    let mut workers = 4usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = if args[i] == "fast" { Scale::Fast } else { Scale::Paper };
+                scale = if args[i] == "fast" {
+                    Scale::Fast
+                } else {
+                    Scale::Paper
+                };
             }
             "--d" => {
                 i += 1;
                 d = args[i].parse().unwrap_or(3.0);
+            }
+            "--workers" => {
+                i += 1;
+                workers = args[i].parse().unwrap_or(4);
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -33,13 +51,17 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    let problems = Problem::all();
+
     println!("=== independent runs (positional divergence cascades) ===");
     println!(
         "{:<12} {:>12} {:>10} {:>12} {:>14} {:>8}",
         "benchmark", "divergence", "|Δw|₁", "λ (sim)", "λ (hybrid)", "p"
     );
-    for problem in Problem::all() {
-        match run(problem, scale, d) {
+    let independent: Vec<Result<DivergenceReport, OptError>> =
+        parallel_map(&problems, workers, |&problem| run(problem, scale, d));
+    for (problem, outcome) in problems.iter().zip(independent) {
+        match outcome {
             Ok(r) => println!(
                 "{:<12} {:>11.1}% {:>10.0} {:>12.3} {:>14.3} {:>7.1}%",
                 problem.label(),
@@ -55,6 +77,7 @@ fn main() -> ExitCode {
             }
         }
     }
+
     println!("\n=== lockstep (per-decision disagreement — the paper's ~10 %) ===");
     println!("(literal = any index difference, dominated by ties between");
     println!(" isometric candidates kriging provably cannot rank;");
@@ -63,30 +86,40 @@ fn main() -> ExitCode {
         "{:<12} {:>10} {:>9} {:>10} {:>8}",
         "benchmark", "decisions", "literal", "material", "p"
     );
-    for problem in Problem::all() {
-        match krigeval_bench::decisions::run_lockstep(problem, scale, d) {
-            Ok(r) => println!(
-                "{:<12} {:>10} {:>8.1}% {:>9.1}% {:>7.1}%",
-                problem.label(),
-                r.decisions,
-                r.divergence() * 100.0,
-                r.material_divergence() * 100.0,
-                r.interpolated_fraction * 100.0,
-            ),
-            Err(e) => {
-                eprintln!("{}: {e}", problem.label());
-                return ExitCode::FAILURE;
-            }
-        }
+    let lockstep: Vec<Result<LockstepReport, OptError>> =
+        parallel_map(&problems, workers, |&problem| {
+            run_lockstep(problem, scale, d)
+        });
+    if print_lockstep(&problems, lockstep).is_err() {
+        return ExitCode::FAILURE;
     }
+
     println!("\n=== lockstep with tie-break-by-simulation (tol 0.5 dB / 0.02) ===");
     println!(
         "{:<12} {:>10} {:>9} {:>10} {:>8}",
         "benchmark", "decisions", "literal", "material", "p"
     );
-    for problem in Problem::all() {
-        let tol = if problem.metric_label() == "class. rate" { 0.02 } else { 0.5 };
-        match krigeval_bench::decisions::run_lockstep_with_tie_break(problem, scale, d, tol) {
+    let tie_break: Vec<Result<LockstepReport, OptError>> =
+        parallel_map(&problems, workers, |&problem| {
+            let tol = if problem.metric_label() == "class. rate" {
+                0.02
+            } else {
+                0.5
+            };
+            run_lockstep_with_tie_break(problem, scale, d, tol)
+        });
+    if print_lockstep(&problems, tie_break).is_err() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_lockstep(
+    problems: &[Problem],
+    outcomes: Vec<Result<LockstepReport, OptError>>,
+) -> Result<(), ()> {
+    for (problem, outcome) in problems.iter().zip(outcomes) {
+        match outcome {
             Ok(r) => println!(
                 "{:<12} {:>10} {:>8.1}% {:>9.1}% {:>7.1}%",
                 problem.label(),
@@ -97,9 +130,9 @@ fn main() -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("{}: {e}", problem.label());
-                return ExitCode::FAILURE;
+                return Err(());
             }
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }

@@ -19,7 +19,11 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = if args[i] == "fast" { Scale::Fast } else { Scale::Paper };
+                scale = if args[i] == "fast" {
+                    Scale::Fast
+                } else {
+                    Scale::Paper
+                };
             }
             "--out" => {
                 i += 1;

@@ -1,14 +1,19 @@
 //! Reproduces the paper's Table I.
 //!
 //! ```text
-//! table1 [--bench fir|iir|fft|hevc|squeezenet|all] [--scale fast|paper]
-//!        [--d 2,3,4,5] [--nmin 3] [--json PATH]
+//! table1 [--bench fir,iir,fft,hevc,squeezenet|all] [--scale fast|paper]
+//!        [--d 2,3,4,5] [--nmin 3] [--workers 4] [--json PATH]
 //! ```
+//!
+//! Cells are executed by the `krigeval-engine` campaign executor: the
+//! grid runs on a worker pool and all cells of one benchmark share pilot
+//! simulations through the engine's memo-cache. `--workers 1` falls back
+//! to a single worker and produces identical rows.
 
 use std::process::ExitCode;
 
 use krigeval_bench::suite::Problem;
-use krigeval_bench::table1::run_table;
+use krigeval_bench::table1::run_table_parallel;
 use krigeval_bench::Scale;
 
 fn main() -> ExitCode {
@@ -17,6 +22,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Paper;
     let mut distances = vec![2.0, 3.0, 4.0, 5.0];
     let mut min_neighbors = 3usize;
+    let mut workers = 4usize;
     let mut json_path: Option<String> = None;
     let mut fir_grid = false;
 
@@ -29,11 +35,14 @@ fn main() -> ExitCode {
                 if v == "all" {
                     problems = Problem::all().to_vec();
                 } else {
-                    match Problem::parse(v) {
-                        Some(p) => problems = vec![p],
-                        None => {
-                            eprintln!("unknown benchmark: {v}");
-                            return ExitCode::FAILURE;
+                    problems = Vec::new();
+                    for name in v.split(',') {
+                        match Problem::parse(name) {
+                            Some(p) => problems.push(p),
+                            None => {
+                                eprintln!("unknown benchmark: {name}");
+                                return ExitCode::FAILURE;
+                            }
                         }
                     }
                 }
@@ -51,14 +60,15 @@ fn main() -> ExitCode {
             }
             "--d" => {
                 i += 1;
-                distances = args[i]
-                    .split(',')
-                    .filter_map(|s| s.parse().ok())
-                    .collect();
+                distances = args[i].split(',').filter_map(|s| s.parse().ok()).collect();
             }
             "--nmin" => {
                 i += 1;
                 min_neighbors = args[i].parse().unwrap_or(3);
+            }
+            "--workers" => {
+                i += 1;
+                workers = args[i].parse().unwrap_or(4);
             }
             "--json" => {
                 i += 1;
@@ -76,10 +86,10 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "running Table I: {} benchmark(s), d = {distances:?}, N_n,min = {min_neighbors}, {scale:?} scale",
+        "running Table I: {} benchmark(s), d = {distances:?}, N_n,min = {min_neighbors}, {scale:?} scale, {workers} worker(s)",
         problems.len()
     );
-    match run_table(&problems, scale, &distances, min_neighbors) {
+    match run_table_parallel(&problems, scale, &distances, min_neighbors, workers) {
         Ok(mut table) => {
             if fir_grid {
                 for &d in &distances {

@@ -20,7 +20,11 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = if args[i] == "fast" { Scale::Fast } else { Scale::Paper };
+                scale = if args[i] == "fast" {
+                    Scale::Fast
+                } else {
+                    Scale::Paper
+                };
             }
             "--reps" => {
                 i += 1;

@@ -10,12 +10,12 @@ use std::process::ExitCode;
 
 use krigeval_bench::suite::{build, Problem};
 use krigeval_bench::Scale;
-use krigeval_core::opt::minplusone::optimize;
 use krigeval_core::opt::descent::budget_error_sources;
+use krigeval_core::opt::minplusone::optimize;
 use krigeval_core::opt::SimulateAll;
 use krigeval_core::validation::leave_one_out;
-use krigeval_core::DistanceMetric;
 use krigeval_core::variogram::{fit_model, EmpiricalVariogram, ModelFamily};
+use krigeval_core::DistanceMetric;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +25,11 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = if args[i] == "fast" { Scale::Fast } else { Scale::Paper };
+                scale = if args[i] == "fast" {
+                    Scale::Fast
+                } else {
+                    Scale::Paper
+                };
             }
             other => {
                 eprintln!("unknown argument: {other}");

@@ -202,7 +202,12 @@ fn run_lockstep_inner(
             (wmin, opts.lambda_min, opts.w_max, 1)
         } else if let Some(opts) = spec.descent {
             let nv = reference.num_variables();
-            (vec![opts.level_floor; nv], opts.lambda_min, opts.level_max, 1)
+            (
+                vec![opts.level_floor; nv],
+                opts.lambda_min,
+                opts.level_max,
+                1,
+            )
         } else {
             unreachable!("every problem has an optimizer")
         };

@@ -24,16 +24,10 @@
 
 pub mod decisions;
 pub mod figure1;
-pub mod suite;
 pub mod table1;
 pub mod timing;
 
-/// Experiment scale: trade fidelity for wall-clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum Scale {
-    /// Reduced input sets — seconds per experiment, same code paths.
-    Fast,
-    /// The paper's input sizes — minutes per experiment.
-    #[default]
-    Paper,
-}
+// The benchmark suite and the `Scale` knob moved into `krigeval-engine`
+// (the campaign engine needs them without depending on this crate); they
+// are re-exported here so existing callers keep compiling unchanged.
+pub use krigeval_engine::{suite, Scale};

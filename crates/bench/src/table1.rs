@@ -143,6 +143,57 @@ pub fn run_table(
     Ok(table)
 }
 
+/// Converts an engine run record into a Table I row (drops the campaign
+/// bookkeeping columns).
+pub fn record_to_row(record: &krigeval_engine::RunRecord) -> TableRow {
+    TableRow {
+        benchmark: record.benchmark.clone(),
+        metric: record.metric.clone(),
+        nv: record.nv,
+        d: record.d,
+        p_percent: record.p_percent,
+        mean_neighbors: record.mean_neighbors,
+        max_eps: record.audit_max_eps,
+        mean_eps: record.audit_mean_eps,
+        simulated: record.simulated,
+        kriged: record.kriged,
+        queries: record.queries,
+    }
+}
+
+/// Engine-backed [`run_table`]: the same Table I protocol (pilot
+/// identification + fixed-model hybrid run, audit on), expressed as a
+/// [`krigeval_engine::CampaignSpec`] and executed on a worker pool with
+/// the shared simulation cache. With `workers = 1` this produces the same
+/// rows as the sequential path — see the `engine_matches_sequential_rows`
+/// test — only faster, because repeated pilot simulations are shared.
+///
+/// # Errors
+///
+/// Propagates campaign failures ([`krigeval_engine::EngineError`]).
+pub fn run_table_parallel(
+    problems: &[Problem],
+    scale: Scale,
+    distances: &[f64],
+    min_neighbors: usize,
+    workers: usize,
+) -> Result<Table, krigeval_engine::EngineError> {
+    let spec = krigeval_engine::CampaignSpec {
+        name: "table1".to_string(),
+        benchmarks: problems.iter().map(|p| p.label().to_string()).collect(),
+        scale: scale.label().to_string(),
+        distances: distances.to_vec(),
+        min_neighbors: vec![min_neighbors],
+        ..krigeval_engine::CampaignSpec::default()
+    };
+    let outcome = krigeval_engine::run_campaign(&spec, workers, krigeval_engine::Progress::Silent)?;
+    let mut table = Table::new();
+    for record in &outcome.records {
+        table.push(record_to_row(record));
+    }
+    Ok(table)
+}
+
 /// FIR **surface-replay** protocol: streams the full Figure 1 grid
 /// (`(w_add, w_mpy) ∈ [2, 16]²`, row-major) through the hybrid evaluator
 /// instead of an optimizer trajectory.
@@ -227,8 +278,12 @@ mod tests {
 
     #[test]
     fn interpolated_fraction_grows_with_distance_on_fir() {
-        let p2 = run_row(Problem::Fir, Scale::Fast, 2.0, 3).unwrap().p_percent;
-        let p5 = run_row(Problem::Fir, Scale::Fast, 5.0, 3).unwrap().p_percent;
+        let p2 = run_row(Problem::Fir, Scale::Fast, 2.0, 3)
+            .unwrap()
+            .p_percent;
+        let p5 = run_row(Problem::Fir, Scale::Fast, 5.0, 3)
+            .unwrap()
+            .p_percent;
         assert!(p5 >= p2, "p(d=5) = {p5} < p(d=2) = {p2}");
     }
 
@@ -238,5 +293,18 @@ mod tests {
         assert_eq!(table.rows.len(), 2);
         assert_eq!(table.rows[0].d, 2.0);
         assert_eq!(table.rows[1].d, 3.0);
+    }
+
+    /// The campaign engine must reproduce the sequential Table I rows
+    /// exactly: same pilot protocol, same fixed-model hybrid runs, same
+    /// audit statistics — the shared cache and the worker pool only change
+    /// wall-clock time.
+    #[test]
+    fn engine_matches_sequential_rows() {
+        let problems = [Problem::Fir, Problem::Iir];
+        let distances = [2.0, 3.0];
+        let sequential = run_table(&problems, Scale::Fast, &distances, 3).unwrap();
+        let parallel = run_table_parallel(&problems, Scale::Fast, &distances, 3, 4).unwrap();
+        assert_eq!(parallel.rows, sequential.rows);
     }
 }

@@ -51,11 +51,7 @@ impl DistanceMetric {
     pub fn eval_config(&self, a: &[i32], b: &[i32]) -> f64 {
         assert_eq!(a.len(), b.len(), "configuration length mismatch");
         match self {
-            DistanceMetric::L1 => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| f64::from((x - y).abs()))
-                .sum(),
+            DistanceMetric::L1 => a.iter().zip(b).map(|(x, y)| f64::from((x - y).abs())).sum(),
             DistanceMetric::L2 => a
                 .iter()
                 .zip(b)

@@ -39,9 +39,7 @@ impl fmt::Display for EvalError {
 
 impl Error for EvalError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        self.source
-            .as_deref()
-            .map(|e| e as &(dyn Error + 'static))
+        self.source.as_deref().map(|e| e as &(dyn Error + 'static))
     }
 }
 

@@ -121,8 +121,8 @@ mod tests {
         })
     }
 
-    fn warmed_session() -> HybridEvaluator<FnEvaluator<impl FnMut(&Config) -> Result<f64, EvalError>>>
-    {
+    fn warmed_session(
+    ) -> HybridEvaluator<FnEvaluator<impl FnMut(&Config) -> Result<f64, EvalError>>> {
         let mut h = HybridEvaluator::new(sim(), HybridSettings::default());
         for a in 4..10 {
             for b in 4..9 {
@@ -155,8 +155,7 @@ mod tests {
     fn resumed_session_kriges_immediately() {
         let original = warmed_session();
         let snap = original.snapshot();
-        let mut resumed =
-            HybridEvaluator::resume(sim(), HybridSettings::default(), snap).unwrap();
+        let mut resumed = HybridEvaluator::resume(sim(), HybridSettings::default(), snap).unwrap();
         // A new interior configuration near the stored data: kriged without
         // any warm-up simulations.
         let before = resumed.stats().simulated;
@@ -166,6 +165,61 @@ mod tests {
             "expected kriging, got {out:?}"
         );
         assert_eq!(resumed.stats().simulated, before);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::hybrid::HybridStats;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// JSON persistence must be lossless for every reachable
+            /// snapshot shape: any simulated set, any identified model
+            /// family, any accumulated statistics.
+            #[test]
+            fn snapshot_json_roundtrip_property(
+                sites in proptest::collection::vec(
+                    (2i32..16, 2i32..16, -80.0f64..80.0), 0..30),
+                model_kind in 0usize..5,
+                nugget in 0.0f64..3.0,
+                sill in 1.0f64..120.0,
+                range in 1.0f64..12.0,
+                counters in (0u64..500, 0u64..500, 0u64..500, 0u64..500),
+                eps in proptest::collection::vec(0.0f64..10.0, 0..15),
+            ) {
+                let model = match model_kind {
+                    0 => None,
+                    1 => Some(VariogramModel::linear(sill)),
+                    2 => Some(VariogramModel::spherical(nugget, sill, range).unwrap()),
+                    3 => Some(VariogramModel::exponential(nugget, sill, range).unwrap()),
+                    _ => Some(VariogramModel::gaussian(nugget, sill, range).unwrap()),
+                };
+                let mut stats = HybridStats {
+                    queries: counters.0,
+                    simulated: counters.1,
+                    kriged: counters.2,
+                    cache_hits: counters.3,
+                    ..HybridStats::default()
+                };
+                for e in &eps {
+                    stats.errors.record(*e);
+                }
+                let snap = SessionSnapshot {
+                    configs: sites.iter().map(|&(a, b, _)| vec![a, b]).collect(),
+                    values: sites.iter().map(|&(_, _, v)| v).collect(),
+                    model,
+                    stats,
+                };
+                let json = serde_json::to_string(&snap).unwrap();
+                let back: SessionSnapshot = serde_json::from_str(&json).unwrap();
+                prop_assert_eq!(&back, &snap);
+                // A second trip through text is byte-stable (ordered keys,
+                // deterministic float formatting).
+                prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+            }
+        }
     }
 
     #[test]

@@ -202,8 +202,8 @@ mod tests {
     fn matches_the_one_shot_estimator() {
         let (sites, values) = sites_2d();
         let model = VariogramModel::linear(1.0);
-        let fk = FactoredKriging::new(model, DistanceMetric::L1, sites.clone(), values.clone())
-            .unwrap();
+        let fk =
+            FactoredKriging::new(model, DistanceMetric::L1, sites.clone(), values.clone()).unwrap();
         let one_shot = KrigingEstimator::new(model);
         for target in [[1.5, 2.5], [0.5, 0.5], [3.5, 1.0]] {
             let a = fk.predict(&target).unwrap();

@@ -154,7 +154,9 @@ impl SimpleKrigingEstimator {
                     base
                 }
             });
-            let Ok(chol) = Cholesky::new(&c) else { continue };
+            let Ok(chol) = Cholesky::new(&c) else {
+                continue;
+            };
             let weights = chol.solve(&c_target)?;
             let value = self.mean
                 + weights
@@ -209,11 +211,10 @@ mod tests {
             SimpleKrigingEstimator::new(VariogramModel::linear(1.0), 0.0).unwrap_err(),
             CoreError::InvalidModel { .. }
         ));
-        assert!(SimpleKrigingEstimator::new(
-            VariogramModel::power(0.0, 1.0, 1.5).unwrap(),
-            0.0
-        )
-        .is_err());
+        assert!(
+            SimpleKrigingEstimator::new(VariogramModel::power(0.0, 1.0, 1.5).unwrap(), 0.0)
+                .is_err()
+        );
     }
 
     #[test]
@@ -260,7 +261,12 @@ mod tests {
         // A badly wrong mean shrinks the prediction toward itself.
         let sk_bad = SimpleKrigingEstimator::new(model(), 0.0).unwrap();
         let p_bad = sk_bad.predict(&sites, &values, &[3.5]).unwrap();
-        assert!(p_bad.value < p_ok.value, "{} vs {}", p_bad.value, p_ok.value);
+        assert!(
+            p_bad.value < p_ok.value,
+            "{} vs {}",
+            p_bad.value,
+            p_ok.value
+        );
     }
 
     #[test]
@@ -270,7 +276,10 @@ mod tests {
         let values = vec![1.0, 1.0];
         let p = est.predict(&sites, &values, &[10.0]).unwrap();
         let sum: f64 = p.weights.iter().sum();
-        assert!(sum < 0.9, "weights sum {sum} should shrink toward 0 far away");
+        assert!(
+            sum < 0.9,
+            "weights sum {sum} should shrink toward 0 far away"
+        );
     }
 
     #[test]
@@ -281,18 +290,14 @@ mod tests {
             CoreError::NoData
         ));
         assert!(est.predict(&[vec![0.0]], &[1.0, 2.0], &[0.0]).is_err());
-        assert!(est
-            .predict(&[vec![0.0, 1.0]], &[1.0], &[0.0])
-            .is_err());
+        assert!(est.predict(&[vec![0.0, 1.0]], &[1.0], &[0.0]).is_err());
     }
 
     #[test]
     fn covariance_is_total_sill_at_zero() {
-        let est = SimpleKrigingEstimator::new(
-            VariogramModel::spherical(0.5, 1.5, 3.0).unwrap(),
-            0.0,
-        )
-        .unwrap();
+        let est =
+            SimpleKrigingEstimator::new(VariogramModel::spherical(0.5, 1.5, 3.0).unwrap(), 0.0)
+                .unwrap();
         assert_eq!(est.covariance(0.0), 2.0);
         assert!(est.covariance(100.0).abs() < 1e-12);
     }

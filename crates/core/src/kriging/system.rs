@@ -149,9 +149,13 @@ mod tests {
 
     #[test]
     fn weights_sum_to_one() {
-        let sites = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 3.0], vec![4.0, 4.0]];
-        let w =
-            solve_kriging_system(&sites, &[1.0, 1.0], &model(), DistanceMetric::L1).unwrap();
+        let sites = vec![
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![0.0, 3.0],
+            vec![4.0, 4.0],
+        ];
+        let w = solve_kriging_system(&sites, &[1.0, 1.0], &model(), DistanceMetric::L1).unwrap();
         let sum: f64 = w.weights.iter().sum();
         assert!((sum - 1.0).abs() < 1e-10, "sum = {sum}");
     }
@@ -198,8 +202,7 @@ mod tests {
     #[test]
     fn variance_increases_with_extrapolation_distance() {
         let sites = vec![vec![0.0], vec![1.0], vec![2.0]];
-        let near =
-            solve_kriging_system(&sites, &[1.5], &model(), DistanceMetric::L1).unwrap();
+        let near = solve_kriging_system(&sites, &[1.5], &model(), DistanceMetric::L1).unwrap();
         let far = solve_kriging_system(&sites, &[8.0], &model(), DistanceMetric::L1).unwrap();
         assert!(far.variance() > near.variance());
     }

@@ -49,12 +49,12 @@
 #![warn(missing_docs)]
 
 mod distance;
-pub mod neighbors;
 mod error;
 pub mod evaluator;
 pub mod hybrid;
 pub mod hybrid_snapshot;
 pub mod kriging;
+pub mod neighbors;
 pub mod opt;
 pub mod report;
 pub mod trace;

@@ -121,7 +121,11 @@ impl NeighborIndex {
                 })
             })
             .collect();
-        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then(a.index.cmp(&b.index))
+        });
         hits
     }
 
@@ -170,11 +174,17 @@ mod tests {
             for _ in 0..50 {
                 let target: Config = (0..5).map(|_| rng.gen_range(2..17)).collect();
                 let radius = f64::from(rng.gen_range(1..6));
-                let mut got: Vec<usize> =
-                    index.within(&target, radius).iter().map(|n| n.index).collect();
+                let mut got: Vec<usize> = index
+                    .within(&target, radius)
+                    .iter()
+                    .map(|n| n.index)
+                    .collect();
                 got.sort_unstable();
                 let expected = linear_scan(&configs, &target, radius, metric);
-                assert_eq!(got, expected, "metric {metric}, target {target:?}, r {radius}");
+                assert_eq!(
+                    got, expected,
+                    "metric {metric}, target {target:?}, r {radius}"
+                );
             }
         }
     }

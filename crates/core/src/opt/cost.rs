@@ -8,8 +8,8 @@
 //! model explicit and provides a **cost-aware** greedy step that maximizes
 //! accuracy gain per cost unit.
 
-use crate::opt::{DseEvaluator, OptError, OptimizationResult};
 use crate::opt::minplusone::MinPlusOneOptions;
+use crate::opt::{DseEvaluator, OptError, OptimizationResult};
 use crate::trace::OptimizationTrace;
 use crate::Config;
 
@@ -243,10 +243,9 @@ mod tests {
         // Cost-aware from the same wmin.
         let mut aware = SimulateAll(additive_model(vec![1.0, 1.0]));
         let mut trace = OptimizationTrace::new();
-        let wmin = crate::opt::minplusone::minimum_word_lengths(&mut aware, &opts, &mut trace)
-            .unwrap();
-        let aware_result =
-            refine_cost_aware(&mut aware, &wmin, &opts, &model, &mut trace).unwrap();
+        let wmin =
+            crate::opt::minplusone::minimum_word_lengths(&mut aware, &opts, &mut trace).unwrap();
+        let aware_result = refine_cost_aware(&mut aware, &wmin, &opts, &model, &mut trace).unwrap();
         assert!(aware_result.lambda >= 50.0);
         assert!(
             model.cost(&aware_result.solution) <= model.cost(&plain_result.solution),

@@ -209,11 +209,7 @@ mod tests {
         slopes: Vec<f64>,
     ) -> FnEvaluator<impl FnMut(&Config) -> Result<f64, crate::EvalError>> {
         FnEvaluator::new(slopes.len(), move |w: &Config| {
-            let drop: f64 = w
-                .iter()
-                .zip(&slopes)
-                .map(|(&l, &s)| s * f64::from(l))
-                .sum();
+            let drop: f64 = w.iter().zip(&slopes).map(|(&l, &s)| s * f64::from(l)).sum();
             Ok(1.0 / (1.0 + drop))
         })
     }
@@ -287,10 +283,7 @@ mod tests {
         use crate::AccuracyEvaluator;
         let mut check = make();
         let truth = check.evaluate(&result.solution).unwrap();
-        assert!(
-            truth >= 0.85,
-            "verified solution truly at {truth} (< 0.85)"
-        );
+        assert!(truth >= 0.85, "verified solution truly at {truth} (< 0.85)");
         assert!((truth - result.lambda).abs() < 1e-12);
     }
 

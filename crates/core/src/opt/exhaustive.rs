@@ -267,8 +267,7 @@ mod tests {
     fn weighted_cost_changes_the_optimum() {
         let mut unit_ev = SimulateAll(additive_model(vec![1.0, 1.0]));
         let unit_best =
-            optimize_exhaustive(&mut unit_ev, &exhaustive_opts(40.0), &CostModel::unit(2))
-                .unwrap();
+            optimize_exhaustive(&mut unit_ev, &exhaustive_opts(40.0), &CostModel::unit(2)).unwrap();
         let mut biased_ev = SimulateAll(additive_model(vec![1.0, 1.0]));
         let model = CostModel::new(vec![10.0, 1.0]).unwrap();
         let biased_best =

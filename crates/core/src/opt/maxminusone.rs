@@ -166,8 +166,7 @@ mod tests {
         // Both greedy directions should land on similar cost for a smooth
         // additive surface (identical is not guaranteed, closeness is).
         let mut down = SimulateAll(additive_model(vec![2.0, 2.0]));
-        let down_result =
-            optimize_descending(&mut down, &MaxMinusOneOptions::new(50.0)).unwrap();
+        let down_result = optimize_descending(&mut down, &MaxMinusOneOptions::new(50.0)).unwrap();
         let mut up = SimulateAll(additive_model(vec![2.0, 2.0]));
         let up_result = optimize(&mut up, &MinPlusOneOptions::new(50.0)).unwrap();
         let cost_down: i32 = down_result.solution.iter().sum();

@@ -165,14 +165,21 @@ fn refine_inner(
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }
+        // One candidate per incrementable variable; the whole scan goes
+        // through `query_batch` so hybrid evaluators can solve each kriging
+        // system once for all candidates sharing a neighbourhood.
+        let scan: Vec<(usize, Config)> = (0..w.len())
+            .filter(|&i| w[i] < options.w_max)
+            .map(|i| {
+                let mut candidate = w.clone();
+                candidate[i] += 1;
+                (i, candidate)
+            })
+            .collect();
+        let configs: Vec<Config> = scan.iter().map(|(_, c)| c.clone()).collect();
+        let results = evaluator.query_batch(&configs)?;
         let mut candidates: Vec<(usize, f64, crate::trace::Source)> = Vec::new();
-        for i in 0..w.len() {
-            if w[i] >= options.w_max {
-                continue;
-            }
-            let mut candidate = w.clone();
-            candidate[i] += 1;
-            let (li, source) = evaluator.query(&candidate)?;
+        for ((i, candidate), (li, source)) in scan.into_iter().zip(results) {
             trace.record(&candidate, li, source);
             candidates.push((i, li, source));
         }
@@ -402,7 +409,12 @@ mod tests {
         let wmin = minimum_word_lengths(&mut ev, &opts, &mut trace).unwrap();
         let result = refine(&mut ev, &wmin, &opts, &mut trace).unwrap();
         for (s, m) in result.solution.iter().zip(&wmin) {
-            assert!(s >= m, "solution {:?} below wmin {:?}", result.solution, wmin);
+            assert!(
+                s >= m,
+                "solution {:?} below wmin {:?}",
+                result.solution,
+                wmin
+            );
         }
     }
 

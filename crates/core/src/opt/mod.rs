@@ -51,6 +51,20 @@ pub trait DseEvaluator {
         Ok(self.query(config)?.0)
     }
 
+    /// Evaluates many configurations at once, returning values and
+    /// provenances in input order. The default loops over
+    /// [`DseEvaluator::query`]; evaluators with a cheaper batched path (the
+    /// hybrid evaluator factors each kriging system once per batch)
+    /// override it. Optimizers use this for per-iteration candidate scans.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EvalError`] encountered; earlier configurations
+    /// in the batch have already been evaluated (and counted) by then.
+    fn query_batch(&mut self, configs: &[Config]) -> Result<Vec<(f64, Source)>, EvalError> {
+        configs.iter().map(|c| self.query(c)).collect()
+    }
+
     /// Number of optimization variables `Nv`.
     fn num_variables(&self) -> usize;
 }
@@ -63,6 +77,14 @@ impl<E: AccuracyEvaluator> DseEvaluator for HybridEvaluator<E> {
 
     fn query_exact(&mut self, config: &Config) -> Result<f64, EvalError> {
         self.simulate_exact(config)
+    }
+
+    fn query_batch(&mut self, configs: &[Config]) -> Result<Vec<(f64, Source)>, EvalError> {
+        Ok(self
+            .evaluate_batch(configs)?
+            .into_iter()
+            .map(|o| (o.value(), o.source()))
+            .collect())
     }
 
     fn num_variables(&self) -> usize {
@@ -133,7 +155,10 @@ impl fmt::Display for OptError {
                 "constraint infeasible: best metric {best_lambda} < required {lambda_min}"
             ),
             OptError::DidNotConverge { iterations } => {
-                write!(f, "optimization did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "optimization did not converge after {iterations} iterations"
+                )
             }
         }
     }

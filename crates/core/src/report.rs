@@ -189,7 +189,13 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let mut table = Table::new();
-        table.push(TableRow::from_stats("hevc_mc", "noise power", 23, 4.0, &stats()));
+        table.push(TableRow::from_stats(
+            "hevc_mc",
+            "noise power",
+            23,
+            4.0,
+            &stats(),
+        ));
         let json = table.to_json();
         let back: Table = serde_json::from_str(&json).unwrap();
         assert_eq!(table, back);

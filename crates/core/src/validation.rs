@@ -79,8 +79,7 @@ pub fn leave_one_out(
             .zip(values)
             .enumerate()
             .filter(|&(j, (c, _))| {
-                j != i
-                    && d.is_none_or(|limit| metric.eval_config(c, target) <= limit)
+                j != i && d.is_none_or(|limit| metric.eval_config(c, target) <= limit)
             })
             .map(|(_, (c, v))| (c.clone(), *v))
             .unzip();
@@ -182,10 +181,8 @@ mod tests {
         let (configs, smooth) = grid_2d(|a, b| f64::from(a + b));
         let (_, rough) = grid_2d(|a, b| if (a + b) % 2 == 0 { 1.0 } else { -1.0 });
         let m = VariogramModel::linear(1.0);
-        let e_smooth =
-            leave_one_out(&configs, &smooth, &m, DistanceMetric::L1, Some(3.0)).unwrap();
-        let e_rough =
-            leave_one_out(&configs, &rough, &m, DistanceMetric::L1, Some(3.0)).unwrap();
+        let e_smooth = leave_one_out(&configs, &smooth, &m, DistanceMetric::L1, Some(3.0)).unwrap();
+        let e_rough = leave_one_out(&configs, &rough, &m, DistanceMetric::L1, Some(3.0)).unwrap();
         assert!(e_rough.rmse > 3.0 * e_smooth.rmse);
     }
 

@@ -168,7 +168,9 @@ mod tests {
 
     #[test]
     fn constant_field_gives_zero_variogram() {
-        let sites: Vec<Vec<f64>> = (0..5).map(|i| vec![f64::from(i), f64::from(i * 2)]).collect();
+        let sites: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![f64::from(i), f64::from(i * 2)])
+            .collect();
         let values = vec![3.3; 5];
         let v = EmpiricalVariogram::from_samples(&sites, &values, DistanceMetric::L1, 1.0).unwrap();
         assert!(v.bins().iter().all(|b| b.gamma == 0.0));
@@ -187,9 +189,8 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_inputs() {
-        let err =
-            EmpiricalVariogram::from_samples(&[vec![0.0]], &[1.0], DistanceMetric::L1, 1.0)
-                .unwrap_err();
+        let err = EmpiricalVariogram::from_samples(&[vec![0.0]], &[1.0], DistanceMetric::L1, 1.0)
+            .unwrap_err();
         assert!(matches!(err, CoreError::FitFailed { .. }));
         let err = EmpiricalVariogram::from_samples(
             &[vec![0.0], vec![1.0]],

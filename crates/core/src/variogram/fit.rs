@@ -113,10 +113,7 @@ pub fn fit_model(
     }
     let Some((model, weighted_sse)) = best else {
         return Err(CoreError::FitFailed {
-            reason: format!(
-                "no family produced a valid fit over {} bins",
-                bins.len()
-            ),
+            reason: format!("no family produced a valid fit over {} bins", bins.len()),
         });
     };
     Ok(FitReport {
@@ -141,19 +138,12 @@ pub fn weighted_sse(model: &VariogramModel, empirical: &EmpiricalVariogram) -> f
 fn fit_nugget(emp: &EmpiricalVariogram) -> Option<VariogramModel> {
     let bins = emp.bins();
     let total: f64 = bins.iter().map(|b| b.pairs as f64).sum();
-    let mean = bins
-        .iter()
-        .map(|b| b.gamma * b.pairs as f64)
-        .sum::<f64>()
-        / total;
+    let mean = bins.iter().map(|b| b.gamma * b.pairs as f64).sum::<f64>() / total;
     Some(VariogramModel::nugget(mean.max(0.0)))
 }
 
 /// Weighted LS of `gamma ≈ nugget + slope · f(d)`, clamping negatives.
-fn fit_affine(
-    emp: &EmpiricalVariogram,
-    f: impl Fn(f64) -> f64,
-) -> Option<(f64, f64)> {
+fn fit_affine(emp: &EmpiricalVariogram, f: impl Fn(f64) -> f64) -> Option<(f64, f64)> {
     let bins = emp.bins();
     if bins.len() < 2 {
         // One bin cannot constrain two parameters; put everything in the
@@ -196,12 +186,7 @@ fn fit_affine(
     if slope < 0.0 {
         slope = 0.0;
         let total: f64 = bins.iter().map(|b| b.pairs as f64).sum();
-        nugget = (bins
-            .iter()
-            .map(|b| b.gamma * b.pairs as f64)
-            .sum::<f64>()
-            / total)
-            .max(0.0);
+        nugget = (bins.iter().map(|b| b.gamma * b.pairs as f64).sum::<f64>() / total).max(0.0);
     }
     Some((nugget.max(0.0), slope.max(0.0)))
 }
@@ -319,8 +304,7 @@ mod tests {
                 acc
             })
             .collect();
-        let emp =
-            EmpiricalVariogram::from_samples(&sites, &vals, DistanceMetric::L1, 1.0).unwrap();
+        let emp = EmpiricalVariogram::from_samples(&sites, &vals, DistanceMetric::L1, 1.0).unwrap();
         let model = fit_linear(&emp).unwrap();
         if let VariogramModel::Linear { slope, .. } = model {
             assert!(slope > 0.0, "slope must be positive, got {slope}");

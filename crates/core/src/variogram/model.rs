@@ -85,7 +85,10 @@ impl VariogramModel {
     ///
     /// Panics if `nugget < 0` or non-finite.
     pub fn nugget(nugget: f64) -> VariogramModel {
-        assert!(nugget >= 0.0 && nugget.is_finite(), "invalid nugget {nugget}");
+        assert!(
+            nugget >= 0.0 && nugget.is_finite(),
+            "invalid nugget {nugget}"
+        );
         VariogramModel::Nugget { nugget }
     }
 

@@ -1,0 +1,321 @@
+//! `campaign` — declarative experiment campaigns over the kriging engine.
+//!
+//! ```text
+//! campaign template                 # print a spec template (JSON) to stdout
+//! campaign run [OPTIONS]           # execute a campaign, emit JSONL
+//! campaign table [OPTIONS]         # execute and render a Table-I-style table
+//! campaign compare [OPTIONS]       # sequential vs parallel wall-clock
+//! ```
+//!
+//! Common options:
+//!
+//! ```text
+//! --spec FILE        load a CampaignSpec from a JSON file
+//! --benchmarks LIST  comma-separated (fir,iir,fft,hevc,dct,lms,cnn,squeezenet)
+//! --scale S          fast | paper            (default fast)
+//! --d LIST           neighbour radii          (default 2,3,4,5)
+//! --nmin LIST        minimum neighbour counts (default 3)
+//! --lambda LIST      λ_min sweep (empty = canonical per benchmark)
+//! --metric M         l1 | l2 | linf           (default l1)
+//! --variogram V      pilot | fixed-linear:SLOPE | fit-after:N | refit:N:EVERY
+//!                    | spherical:N:S:R | exponential:N:S:R | gaussian:N:S:R
+//! --optimizer O      auto | minplusone | tiebreak:TOL | descent
+//! --seed N           base seed                (default 0)
+//! --repeats N        repeats per cell with derived seeds (default 1)
+//! --workers N        worker threads           (default 4)
+//! --out FILE         write JSONL to FILE instead of stdout
+//! --timing           include wall-clock fields in the JSONL
+//! --quiet            suppress stderr progress lines
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use krigeval_engine::executor::{run_campaign, Progress};
+use krigeval_engine::sink::{to_jsonl_string, SinkOptions};
+use krigeval_engine::spec::{CampaignSpec, OptimizerSpec, VariogramSpec};
+use krigeval_engine::RunRecord;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("campaign: {message}");
+    eprintln!("run `campaign help` for usage");
+    ExitCode::FAILURE
+}
+
+fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.trim()
+                .parse::<T>()
+                .map_err(|_| format!("bad value {part:?} for {flag}"))
+        })
+        .collect()
+}
+
+fn parse_variogram(value: &str) -> Result<VariogramSpec, String> {
+    let mut parts = value.split(':');
+    let head = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    let arg = |i: usize| -> Result<&str, String> {
+        args.get(i)
+            .copied()
+            .ok_or_else(|| format!("--variogram {head} needs more arguments"))
+    };
+    match head {
+        "pilot" => Ok(VariogramSpec::Pilot),
+        "fixed-linear" => Ok(VariogramSpec::FixedLinear {
+            slope: arg(0)?.parse().map_err(|_| "bad slope".to_string())?,
+        }),
+        "fit-after" => Ok(VariogramSpec::FitAfter {
+            min_samples: arg(0)?
+                .parse()
+                .map_err(|_| "bad sample count".to_string())?,
+        }),
+        "refit" => Ok(VariogramSpec::Refit {
+            min_samples: arg(0)?
+                .parse()
+                .map_err(|_| "bad sample count".to_string())?,
+            every: arg(1)?
+                .parse()
+                .map_err(|_| "bad refit stride".to_string())?,
+        }),
+        family @ ("spherical" | "exponential" | "gaussian") => {
+            let num = |i: usize| -> Result<f64, String> {
+                arg(i)?
+                    .parse()
+                    .map_err(|_| format!("bad {family} parameter"))
+            };
+            let (nugget, sill, range) = (num(0)?, num(1)?, num(2)?);
+            let model = match family {
+                "spherical" => krigeval_core::VariogramModel::spherical(nugget, sill, range),
+                "exponential" => krigeval_core::VariogramModel::exponential(nugget, sill, range),
+                _ => krigeval_core::VariogramModel::gaussian(nugget, sill, range),
+            }
+            .map_err(|e| e.to_string())?;
+            Ok(VariogramSpec::Fixed { model })
+        }
+        other => Err(format!("unknown variogram policy {other:?}")),
+    }
+}
+
+fn parse_optimizer(value: &str) -> Result<OptimizerSpec, String> {
+    let (head, arg) = match value.split_once(':') {
+        Some((h, a)) => (h, Some(a)),
+        None => (value, None),
+    };
+    match head {
+        "auto" => Ok(OptimizerSpec::Auto),
+        "minplusone" => Ok(OptimizerSpec::MinPlusOne),
+        "tiebreak" => Ok(OptimizerSpec::TieBreak {
+            tolerance: arg
+                .unwrap_or("0.0")
+                .parse()
+                .map_err(|_| "bad tie tolerance".to_string())?,
+        }),
+        "descent" => Ok(OptimizerSpec::Descent),
+        other => Err(format!("unknown optimizer {other:?}")),
+    }
+}
+
+struct Cli {
+    spec: CampaignSpec,
+    workers: usize,
+    out: Option<String>,
+    timing: bool,
+    quiet: bool,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        spec: CampaignSpec::default(),
+        workers: 4,
+        out: None,
+        timing: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--spec" => {
+                let path = value()?;
+                let text =
+                    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                cli.spec = CampaignSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            }
+            "--benchmarks" => cli.spec.benchmarks = parse_list(value()?, "--benchmarks")?,
+            "--scale" => cli.spec.scale = value()?.to_string(),
+            "--d" => cli.spec.distances = parse_list(value()?, "--d")?,
+            "--nmin" => cli.spec.min_neighbors = parse_list(value()?, "--nmin")?,
+            "--lambda" => cli.spec.lambda_min = parse_list(value()?, "--lambda")?,
+            "--metric" => cli.spec.metric = value()?.to_string(),
+            "--variogram" => cli.spec.variogram = parse_variogram(value()?)?,
+            "--optimizer" => cli.spec.optimizer = parse_optimizer(value()?)?,
+            "--seed" => cli.spec.seed = value()?.parse().map_err(|_| "bad --seed")?,
+            "--repeats" => cli.spec.repeats = value()?.parse().map_err(|_| "bad --repeats")?,
+            "--max-neighbors" => {
+                cli.spec.max_neighbors = value()?.parse().map_err(|_| "bad --max-neighbors")?
+            }
+            "--name" => cli.spec.name = value()?.to_string(),
+            "--no-audit" => cli.spec.audit = false,
+            "--workers" => cli.workers = value()?.parse().map_err(|_| "bad --workers")?,
+            "--out" => cli.out = Some(value()?.to_string()),
+            "--timing" => cli.timing = true,
+            "--quiet" => cli.quiet = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn emit(cli: &Cli, text: &str) -> Result<(), String> {
+    match &cli.out {
+        Some(path) => fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            std::io::stdout().flush().map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_run(cli: &Cli) -> Result<(), String> {
+    let progress = if cli.quiet {
+        Progress::Silent
+    } else {
+        Progress::Stderr
+    };
+    let outcome = run_campaign(&cli.spec, cli.workers, progress).map_err(|e| e.to_string())?;
+    let summary = outcome.summary(&cli.spec.name, cli.timing);
+    let options = SinkOptions {
+        include_timing: cli.timing,
+    };
+    emit(cli, &to_jsonl_string(&outcome.records, &summary, options))?;
+    if !cli.quiet {
+        eprintln!(
+            "campaign {:?}: {} runs on {} workers in {:.0} ms; sims {} / kriges {}; \
+             shared cache {} hits / {} lookups",
+            cli.spec.name,
+            outcome.records.len(),
+            outcome.workers,
+            outcome.wall_ms,
+            summary.total_simulated,
+            summary.total_kriged,
+            summary.sim_cache_hits,
+            summary.sim_cache_lookups,
+        );
+    }
+    Ok(())
+}
+
+fn render_table(records: &[RunRecord]) -> String {
+    let mut text = String::new();
+    text.push_str(
+        "benchmark    metric        Nv    d    N_λ    sim   krig   p(%)    j̄     \
+         mean-ε     max-ε\n",
+    );
+    text.push_str(&"-".repeat(96));
+    text.push('\n');
+    for r in records {
+        text.push_str(&format!(
+            "{:<12} {:<12} {:>4} {:>4} {:>6} {:>6} {:>6} {:>6.1} {:>5.1} {:>9.3} {:>9.3}\n",
+            r.benchmark,
+            r.metric,
+            r.nv,
+            r.d,
+            r.queries,
+            r.simulated,
+            r.kriged,
+            r.p_percent,
+            r.mean_neighbors,
+            r.audit_mean_eps,
+            r.audit_max_eps,
+        ));
+    }
+    text
+}
+
+fn cmd_table(cli: &Cli) -> Result<(), String> {
+    let progress = if cli.quiet {
+        Progress::Silent
+    } else {
+        Progress::Stderr
+    };
+    let outcome = run_campaign(&cli.spec, cli.workers, progress).map_err(|e| e.to_string())?;
+    emit(cli, &render_table(&outcome.records))
+}
+
+fn cmd_compare(cli: &Cli) -> Result<(), String> {
+    let parallel_workers = cli.workers.max(2);
+    eprintln!("sequential baseline (1 worker)...");
+    let seq = run_campaign(&cli.spec, 1, Progress::Silent).map_err(|e| e.to_string())?;
+    eprintln!("parallel run ({parallel_workers} workers)...");
+    let par =
+        run_campaign(&cli.spec, parallel_workers, Progress::Silent).map_err(|e| e.to_string())?;
+    let strip = |records: &[RunRecord]| -> Vec<RunRecord> {
+        records
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.wall_ms = None;
+                r
+            })
+            .collect()
+    };
+    let identical = strip(&seq.records) == strip(&par.records);
+    let speedup = seq.wall_ms / par.wall_ms.max(1e-9);
+    let text = format!(
+        "runs: {}\nsequential: {:.0} ms\nparallel ({} workers): {:.0} ms\n\
+         speedup: {:.2}x\ncache hits (parallel): {} / {} lookups\n\
+         records identical across worker counts: {}\n",
+        seq.records.len(),
+        seq.wall_ms,
+        parallel_workers,
+        par.wall_ms,
+        speedup,
+        par.cache.hits,
+        par.cache.lookups,
+        identical,
+    );
+    emit(cli, &text)?;
+    if !identical {
+        return Err("parallel records diverged from the sequential baseline".to_string());
+    }
+    Ok(())
+}
+
+const HELP: &str = "usage: campaign <template|run|table|compare|help> [options]\n\
+see the module docs (crates/engine/src/bin/campaign.rs) for the option list\n";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return fail("missing subcommand"),
+    };
+    if matches!(command, "help" | "--help" | "-h") {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let cli = match parse_cli(rest) {
+        Ok(cli) => cli,
+        Err(e) => return fail(&e),
+    };
+    let result = match command {
+        "template" => emit(&cli, &format!("{}\n", cli.spec.to_json())),
+        "run" => cmd_run(&cli),
+        "table" => cmd_table(&cli),
+        "compare" => cmd_compare(&cli),
+        other => return fail(&format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}

@@ -1,0 +1,391 @@
+//! Shared, concurrent simulation memo-cache.
+//!
+//! The campaign grid re-simulates heavily: every `(d, N_n,min, λ_min)`
+//! cell of one benchmark drives the *same* deterministic simulator over
+//! largely overlapping configuration sets (the min+1 phase-1 descent in
+//! particular is identical across cells), and the Table I pilot run is
+//! repeated per cell. [`SimCache`] memoizes exact simulation results
+//! keyed by `(namespace, configuration)` — where the namespace encodes
+//! `(benchmark, scale, run seed)`, i.e. everything that determines the
+//! simulated surface — so concurrent runs pay for each distinct
+//! simulation once.
+//!
+//! **In-flight deduplication:** when several workers sweep the same
+//! surface (a `d` sweep schedules all cells of one benchmark at once),
+//! they request the same configurations nearly simultaneously — before
+//! the first result lands. [`SimCache::get_or_compute`] therefore marks a
+//! key *pending* while one worker simulates it; other workers block on
+//! the shard's condvar and receive the finished value instead of
+//! re-simulating. Total distinct simulations stay at the sequential
+//! count for any worker schedule.
+//!
+//! The cache stores only values the underlying simulator would have
+//! produced anyway (it never stores kriged estimates — interpolated
+//! points must never feed back into kriging data, and a cached value is
+//! indistinguishable from a fresh simulation), so enabling it changes
+//! wall-clock time, not results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use krigeval_core::evaluator::{AccuracyEvaluator, EvalError};
+use krigeval_core::Config;
+
+/// Number of independently-locked shards; a small power of two is plenty
+/// for the worker counts campaigns use.
+const SHARDS: usize = 16;
+
+type Key = (String, Config);
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Some worker is simulating this configuration right now.
+    Pending,
+    /// The memoized simulation result.
+    Ready(f64),
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<Key, Slot>>,
+    ready: Condvar,
+}
+
+/// Aggregate cache counters, defined so they are **deterministic** for a
+/// fixed campaign regardless of scheduling: `misses` counts *distinct*
+/// entries stored (two workers racing on the same configuration dedupe to
+/// one miss via the pending protocol) and `hits = lookups − misses`.
+/// Per-run hit *attribution* remains scheduling-dependent — which is why
+/// the JSONL sink reports cache statistics at campaign level only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups that did not require a new distinct simulation.
+    pub hits: u64,
+    /// Distinct entries stored (simulations a cache-less campaign would
+    /// repeat).
+    pub misses: u64,
+}
+
+/// A sharded concurrent memo-cache for exact simulation results.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    shards: [Shard; SHARDS],
+    lookups: AtomicU64,
+}
+
+impl SimCache {
+    /// Creates an empty cache.
+    pub fn new() -> SimCache {
+        SimCache::default()
+    }
+
+    fn shard(&self, namespace: &str, config: &Config) -> &Shard {
+        // FNV-1a over the namespace and the raw config words.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in namespace.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+        for &w in config {
+            h = (h ^ (w as u32 as u64)).wrapping_mul(0x1000_0000_01b3);
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// Looks up a memoized simulation result. Does **not** wait on pending
+    /// computations (use [`SimCache::get_or_compute`] for the
+    /// deduplicating path).
+    pub fn get(&self, namespace: &str, config: &Config) -> Option<f64> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(namespace, config);
+        let map = shard.map.lock().expect("cache poisoned");
+        match map.get(&(namespace.to_string(), config.clone())) {
+            Some(Slot::Ready(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Stores a simulation result (last write wins; concurrent writers
+    /// racing on the same key store the same deterministic value).
+    pub fn insert(&self, namespace: &str, config: &Config, value: f64) {
+        let shard = self.shard(namespace, config);
+        let mut map = shard.map.lock().expect("cache poisoned");
+        map.insert((namespace.to_string(), config.clone()), Slot::Ready(value));
+        shard.ready.notify_all();
+    }
+
+    /// Returns the memoized value for `(namespace, config)`, computing it
+    /// with `compute` on a miss. If another worker is already computing
+    /// the same key, blocks until that result is published instead of
+    /// duplicating the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error; the pending marker is withdrawn so a
+    /// later caller retries the computation.
+    pub fn get_or_compute(
+        &self,
+        namespace: &str,
+        config: &Config,
+        compute: impl FnOnce() -> Result<f64, EvalError>,
+    ) -> Result<(f64, bool), EvalError> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(namespace, config);
+        let key: Key = (namespace.to_string(), config.clone());
+        let mut map = shard.map.lock().expect("cache poisoned");
+        loop {
+            match map.get(&key) {
+                Some(Slot::Ready(v)) => return Ok((*v, true)),
+                Some(Slot::Pending) => {
+                    map = shard.ready.wait(map).expect("cache poisoned");
+                }
+                None => {
+                    map.insert(key.clone(), Slot::Pending);
+                    break;
+                }
+            }
+        }
+        drop(map);
+        let outcome = compute();
+        let mut map = shard.map.lock().expect("cache poisoned");
+        match outcome {
+            Ok(value) => {
+                map.insert(key, Slot::Ready(value));
+                shard.ready.notify_all();
+                Ok((value, false))
+            }
+            Err(e) => {
+                map.remove(&key);
+                shard.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of distinct results stored (pending markers excluded).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .expect("cache poisoned")
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the aggregate counters (see [`CacheStats`] for why
+    /// misses are derived from the distinct-entry count).
+    pub fn stats(&self) -> CacheStats {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        let misses = self.len() as u64;
+        CacheStats {
+            lookups,
+            hits: lookups.saturating_sub(misses),
+            misses,
+        }
+    }
+}
+
+/// Wraps an evaluator with a shared [`SimCache`]: hits skip the simulator
+/// entirely, misses simulate (deduplicating in-flight work with other
+/// workers) and publish the result.
+///
+/// [`AccuracyEvaluator::evaluations`] reports only *real* simulator calls
+/// (misses), so `N_λ` accounting still reflects work a cache-less run
+/// would have to do per distinct configuration.
+pub struct CachedEvaluator<E> {
+    inner: E,
+    cache: Arc<SimCache>,
+    namespace: String,
+    hits: u64,
+}
+
+impl<E: AccuracyEvaluator> CachedEvaluator<E> {
+    /// Wraps `inner`, memoizing into `cache` under `namespace`.
+    pub fn new(inner: E, cache: Arc<SimCache>, namespace: impl Into<String>) -> CachedEvaluator<E> {
+        CachedEvaluator {
+            inner,
+            cache,
+            namespace: namespace.into(),
+            hits: 0,
+        }
+    }
+
+    /// Cache hits served to this wrapper (scheduling-dependent under
+    /// parallel execution; reported on stderr progress only).
+    pub fn local_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Borrows the wrapped evaluator.
+    pub fn inner_ref(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: AccuracyEvaluator> AccuracyEvaluator for CachedEvaluator<E> {
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
+        let (value, was_hit) = self
+            .cache
+            .get_or_compute(&self.namespace, config, || self.inner.evaluate(config))?;
+        if was_hit {
+            self.hits += 1;
+        }
+        Ok(value)
+    }
+
+    fn num_variables(&self) -> usize {
+        self.inner.num_variables()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.inner.evaluations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krigeval_core::FnEvaluator;
+
+    #[test]
+    fn cache_roundtrip_and_stats() {
+        let cache = SimCache::new();
+        let w = vec![3, 4];
+        assert_eq!(cache.get("fir", &w), None);
+        cache.insert("fir", &w, 1.5);
+        assert_eq!(cache.get("fir", &w), Some(1.5));
+        // Same config under a different namespace is a distinct entry.
+        assert_eq!(cache.get("iir", &w), None);
+        let s = cache.stats();
+        assert_eq!(s.lookups, 3);
+        // One distinct simulation was stored, so two of the three lookups
+        // required no new distinct work.
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn get_or_compute_memoizes_and_reports_hits() {
+        let cache = SimCache::new();
+        let w = vec![5, 6];
+        let mut calls = 0;
+        let (v, hit) = cache
+            .get_or_compute("ns", &w, || {
+                calls += 1;
+                Ok(7.25)
+            })
+            .unwrap();
+        assert_eq!((v, hit, calls), (7.25, false, 1));
+        let (v, hit) = cache
+            .get_or_compute("ns", &w, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!((v, hit), (7.25, true));
+    }
+
+    #[test]
+    fn failed_computation_withdraws_the_pending_marker() {
+        let cache = SimCache::new();
+        let w = vec![1];
+        assert!(cache
+            .get_or_compute("ns", &w, || Err(EvalError::msg("boom")))
+            .is_err());
+        // The key is retryable, not wedged.
+        let (v, hit) = cache.get_or_compute("ns", &w, || Ok(2.0)).unwrap();
+        assert_eq!((v, hit), (2.0, false));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_evaluator_skips_repeat_simulations() {
+        let cache = Arc::new(SimCache::new());
+        let mut ev = CachedEvaluator::new(
+            FnEvaluator::new(2, |w: &Config| Ok(f64::from(w[0] * 10 + w[1]))),
+            Arc::clone(&cache),
+            "test",
+        );
+        assert_eq!(ev.evaluate(&vec![1, 2]).unwrap(), 12.0);
+        assert_eq!(ev.evaluate(&vec![1, 2]).unwrap(), 12.0);
+        assert_eq!(ev.evaluations(), 1, "second call was a cache hit");
+        assert_eq!(ev.local_hits(), 1);
+        // A second evaluator sharing the cache also hits.
+        let mut ev2 = CachedEvaluator::new(
+            FnEvaluator::new(2, |_: &Config| panic!("must not simulate")),
+            Arc::clone(&cache),
+            "test",
+        );
+        assert_eq!(ev2.evaluate(&vec![1, 2]).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn concurrent_workers_deduplicate_in_flight_computations() {
+        use std::sync::atomic::AtomicU64;
+        let cache = Arc::new(SimCache::new());
+        let computes = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let computes = &computes;
+                scope.spawn(move || {
+                    for i in 0..50i32 {
+                        let w = vec![i % 10];
+                        let (v, _) = cache
+                            .get_or_compute("ns", &w, || {
+                                computes.fetch_add(1, Ordering::Relaxed);
+                                // Widen the in-flight window so threads
+                                // actually overlap on the same key.
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                                Ok(f64::from(i % 10) * 3.0)
+                            })
+                            .unwrap();
+                        assert_eq!(v, f64::from(i % 10) * 3.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            computes.load(Ordering::Relaxed),
+            10,
+            "each distinct key must be computed exactly once"
+        );
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.stats().misses, 10);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups_are_consistent() {
+        let cache = Arc::new(SimCache::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let w = vec![i % 50, t];
+                        cache.insert("ns", &w, f64::from(i % 50 * 100 + t));
+                        assert_eq!(cache.get("ns", &w), Some(f64::from(i % 50 * 100 + t)));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 200);
+    }
+
+    #[test]
+    fn cache_types_are_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimCache>();
+        assert_send_sync::<Arc<SimCache>>();
+    }
+}

@@ -1,0 +1,303 @@
+//! Multi-threaded campaign executor.
+//!
+//! A fixed pool of worker threads (scoped, no detached threads) pulls run
+//! indices from a shared atomic counter — the simplest work queue that
+//! balances the heavily skewed per-cell costs — and executes each cell
+//! via [`crate::runner::run_single`] against one shared [`SimCache`].
+//! Results land in their pre-assigned slots, so the record order (and,
+//! with timing off, the JSONL bytes) is independent of worker count and
+//! scheduling.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use krigeval_core::opt::OptError;
+
+use crate::cache::{CacheStats, SimCache};
+use crate::runner::run_single;
+use crate::sink::{RunRecord, SummaryRecord};
+use crate::spec::{CampaignSpec, RunSpec, SpecError};
+
+/// Progress reporting for a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Progress {
+    /// No live output.
+    #[default]
+    Silent,
+    /// One stderr line per completed run with live sims/kriges/cache
+    /// statistics.
+    Stderr,
+}
+
+/// Everything a finished campaign produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Completed records, sorted by run index.
+    pub records: Vec<RunRecord>,
+    /// Aggregate shared-cache counters.
+    pub cache: CacheStats,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Campaign wall-clock in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl CampaignOutcome {
+    /// Builds the campaign summary trailer, optionally carrying timing.
+    pub fn summary(&self, name: &str, include_timing: bool) -> SummaryRecord {
+        SummaryRecord::from_records(
+            name,
+            &self.records,
+            self.cache,
+            self.workers,
+            include_timing.then_some(self.wall_ms),
+        )
+    }
+}
+
+/// A campaign-level failure.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The spec did not expand to a valid run list.
+    Spec(SpecError),
+    /// A run failed; carries the expansion index of the failing cell.
+    Run {
+        /// Index of the failing run in the expansion.
+        index: u64,
+        /// The optimizer error.
+        source: OptError,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // `SpecError`'s Display already carries the "invalid campaign
+            // spec" prefix; repeating it here doubled the message.
+            EngineError::Spec(e) => write!(f, "{e}"),
+            EngineError::Run { index, source } => write!(f, "run {index} failed: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SpecError> for EngineError {
+    fn from(e: SpecError) -> EngineError {
+        EngineError::Spec(e)
+    }
+}
+
+fn progress_line(done: usize, total: usize, record: &RunRecord, cache: CacheStats) {
+    eprintln!(
+        "[{done}/{total}] {} d={} nmin={} rep={}: N_λ={} sim={} krig={} p={:.1}% \
+         cache {}h/{}l ({:.0} ms)",
+        record.benchmark,
+        record.d,
+        record.min_neighbors,
+        record.repeat,
+        record.queries,
+        record.simulated,
+        record.kriged,
+        record.p_percent,
+        cache.hits,
+        cache.lookups,
+        record.wall_ms.unwrap_or(0.0),
+    );
+}
+
+/// Runs every cell of `spec` on `workers` threads and collects the
+/// records in expansion order.
+///
+/// The outcome is deterministic in everything except wall-clock fields:
+/// a fixed spec yields identical records for any worker count.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Spec`] if the spec is invalid, or the
+/// lowest-index [`EngineError::Run`] failure (remaining queued work is
+/// abandoned once a failure is observed).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    workers: usize,
+    progress: Progress,
+) -> Result<CampaignOutcome, EngineError> {
+    let runs = spec.expand()?;
+    run_specs(runs, workers, progress)
+}
+
+/// Runs an explicit list of [`RunSpec`]s (the engine half of
+/// [`run_campaign`]; useful for callers that post-process the expansion).
+///
+/// # Errors
+///
+/// Returns the lowest-index [`EngineError::Run`] failure, if any.
+pub fn run_specs(
+    runs: Vec<RunSpec>,
+    workers: usize,
+    progress: Progress,
+) -> Result<CampaignOutcome, EngineError> {
+    let started = Instant::now();
+    let workers = workers.max(1);
+    let total = runs.len();
+    let cache = Arc::new(SimCache::new());
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<Result<RunRecord, OptError>>>> =
+        Mutex::new((0..total).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(total.max(1)) {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let outcome = run_single(&runs[i], &cache);
+                if outcome.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                if let (Progress::Stderr, Ok(record)) = (progress, &outcome) {
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    progress_line(finished, total, record, cache.stats());
+                }
+                slots.lock().expect("result slots poisoned")[i] = Some(outcome);
+            });
+        }
+    });
+
+    let mut records = Vec::with_capacity(total);
+    for (i, slot) in slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .enumerate()
+    {
+        match slot {
+            Some(Ok(record)) => records.push(record),
+            Some(Err(source)) => {
+                return Err(EngineError::Run {
+                    index: i as u64,
+                    source,
+                })
+            }
+            // Abandoned after a failure elsewhere; the error slot below
+            // (or above) is reported instead.
+            None => continue,
+        }
+    }
+    Ok(CampaignOutcome {
+        records,
+        cache: cache.stats(),
+        workers,
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+    })
+}
+
+/// Applies `f` to every item on a fixed worker pool, preserving input
+/// order in the output. This is the engine's generic escape hatch for
+/// bespoke experiment loops (e.g. the decision-divergence study) that do
+/// not fit the campaign grid.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                slots.lock().expect("map slots poisoned")[i] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("map slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec {
+            benchmarks: vec!["fir".to_string()],
+            distances: vec![2.0, 3.0],
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn campaign_runs_all_cells_in_order() {
+        let outcome = run_campaign(&small_spec(), 2, Progress::Silent).unwrap();
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.records[0].index, 0);
+        assert_eq!(outcome.records[0].d, 2.0);
+        assert_eq!(outcome.records[1].index, 1);
+        assert_eq!(outcome.records[1].d, 3.0);
+        assert!(outcome.cache.hits > 0, "cells share the pilot simulations");
+    }
+
+    #[test]
+    fn records_do_not_depend_on_worker_count() {
+        let one = run_campaign(&small_spec(), 1, Progress::Silent).unwrap();
+        let four = run_campaign(&small_spec(), 4, Progress::Silent).unwrap();
+        let strip = |mut r: RunRecord| {
+            r.wall_ms = None;
+            r
+        };
+        let a: Vec<RunRecord> = one.records.into_iter().map(strip).collect();
+        let b: Vec<RunRecord> = four.records.into_iter().map(strip).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let spec = CampaignSpec {
+            benchmarks: vec!["nope".to_string()],
+            ..CampaignSpec::default()
+        };
+        assert!(matches!(
+            run_campaign(&spec, 1, Progress::Silent),
+            Err(EngineError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn summary_reflects_outcome() {
+        let outcome = run_campaign(&small_spec(), 2, Progress::Silent).unwrap();
+        let summary = outcome.summary("table1", false);
+        assert_eq!(summary.runs, 2);
+        assert_eq!(summary.sim_cache_hits, outcome.cache.hits);
+        assert!(summary.wall_ms.is_none());
+        assert!(outcome.summary("table1", true).wall_ms.is_some());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = parallel_map(&items, 4, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<u64>>());
+        assert_eq!(
+            parallel_map::<u64, u64, _>(&[], 4, |&x| x),
+            Vec::<u64>::new()
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Executes one resolved [`RunSpec`]: builds the benchmark instance,
+//! obtains a variogram model per the spec's policy, drives the optimizer
+//! through the hybrid evaluator, and distils the session into a
+//! [`RunRecord`].
+//!
+//! Every simulation — pilot and hybrid alike — goes through the shared
+//! [`SimCache`], namespaced by `(benchmark, scale, run seed)`: exactly the
+//! inputs that determine the simulated surface. Kriged estimates are never
+//! cached (interpolated points must never feed back as kriging data), so
+//! the cache changes wall-clock time only, never results.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use krigeval_core::hybrid::{HybridEvaluator, HybridSettings, VariogramPolicy};
+use krigeval_core::opt::descent::{budget_error_sources, DescentOptions};
+use krigeval_core::opt::minplusone::{optimize, optimize_with_tie_break, MinPlusOneOptions};
+use krigeval_core::opt::{DseEvaluator, OptError, OptimizationResult, SimulateAll};
+use krigeval_core::variogram::{fit_model, EmpiricalVariogram, ModelFamily};
+use krigeval_core::VariogramModel;
+
+use crate::cache::{CachedEvaluator, SimCache};
+use crate::sink::RunRecord;
+use crate::spec::{OptimizerSpec, RunSpec, VariogramSpec};
+use crate::suite::{build_seeded, ProblemInstance};
+
+/// Cache namespace for a run: everything that determines the simulated
+/// surface, nothing that does not (``d``, ``N_n,min``, ``λ_min`` and the
+/// variogram policy all share one namespace).
+pub fn cache_namespace(run: &RunSpec) -> String {
+    format!(
+        "{}/{}/{:016x}",
+        run.problem.label(),
+        run.scale.label(),
+        run.run_seed
+    )
+}
+
+fn resolved_instance(run: &RunSpec) -> ProblemInstance {
+    let mut instance = build_seeded(run.problem, run.scale, run.run_seed);
+    if let Some(lambda) = run.lambda_min {
+        if let Some(opts) = instance.minplusone.as_mut() {
+            opts.lambda_min = lambda;
+        }
+        if let Some(opts) = instance.descent.as_mut() {
+            opts.lambda_min = lambda;
+        }
+    }
+    instance
+}
+
+fn drive(
+    evaluator: &mut dyn DseEvaluator,
+    optimizer: OptimizerSpec,
+    minplusone: Option<&MinPlusOneOptions>,
+    descent: Option<&DescentOptions>,
+) -> Result<OptimizationResult, OptError> {
+    match optimizer {
+        OptimizerSpec::Auto => {
+            if let Some(opts) = minplusone {
+                optimize(evaluator, opts)
+            } else if let Some(opts) = descent {
+                budget_error_sources(evaluator, opts)
+            } else {
+                unreachable!("every problem has an optimizer")
+            }
+        }
+        OptimizerSpec::MinPlusOne => {
+            let opts = minplusone.expect("validated by CampaignSpec::expand");
+            optimize(evaluator, opts)
+        }
+        OptimizerSpec::TieBreak { tolerance } => {
+            let opts = minplusone.expect("validated by CampaignSpec::expand");
+            optimize_with_tie_break(evaluator, opts, tolerance)
+        }
+        OptimizerSpec::Descent => {
+            let opts = descent.expect("validated by CampaignSpec::expand");
+            budget_error_sources(evaluator, opts)
+        }
+    }
+}
+
+/// Identifies the variogram by the Table I pilot protocol: a pure-simulation
+/// run of the same optimizer, fitted over the deduplicated `(config, λ)`
+/// trajectory. Returns the model and the number of **distinct** pilot
+/// configurations (the deterministic measure of pilot cost — repeat pilots
+/// across grid cells are served by the shared cache).
+fn pilot_model(run: &RunSpec, cache: &Arc<SimCache>) -> Result<(VariogramModel, u64), OptError> {
+    let instance = resolved_instance(run);
+    let mut pilot = SimulateAll(CachedEvaluator::new(
+        instance.evaluator,
+        Arc::clone(cache),
+        cache_namespace(run),
+    ));
+    let result = drive(
+        &mut pilot,
+        // Tie-breaking re-simulates ties, which is a no-op distinction under
+        // pure simulation; the plain optimizer gives the identical pilot
+        // trajectory at lower bookkeeping cost.
+        match run.optimizer {
+            OptimizerSpec::TieBreak { .. } => OptimizerSpec::MinPlusOne,
+            other => other,
+        },
+        instance.minplusone.as_ref(),
+        instance.descent.as_ref(),
+    )?;
+    // Deduplicate configurations (revisits would create zero-distance pairs).
+    let mut configs: Vec<Vec<i32>> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    for step in &result.trace.steps {
+        if !configs.contains(&step.config) {
+            configs.push(step.config.clone());
+            values.push(step.lambda);
+        }
+    }
+    let distinct = configs.len() as u64;
+    let model = EmpiricalVariogram::from_configs(&configs, &values, run.metric)
+        .and_then(|emp| fit_model(&emp, &ModelFamily::all()))
+        .map(|report| report.model)
+        .unwrap_or_else(|_| VariogramModel::linear(1.0));
+    Ok((model, distinct))
+}
+
+fn variogram_policy(
+    run: &RunSpec,
+    cache: &Arc<SimCache>,
+) -> Result<(VariogramPolicy, u64), OptError> {
+    Ok(match run.variogram {
+        VariogramSpec::Pilot => {
+            let (model, pilot_sims) = pilot_model(run, cache)?;
+            (VariogramPolicy::Fixed(model), pilot_sims)
+        }
+        VariogramSpec::FitAfter { min_samples } => (
+            VariogramPolicy::FitAfter {
+                min_samples,
+                families: ModelFamily::all().to_vec(),
+                fallback: VariogramModel::linear(1.0),
+            },
+            0,
+        ),
+        VariogramSpec::Refit { min_samples, every } => (
+            VariogramPolicy::Refit {
+                min_samples,
+                every,
+                families: ModelFamily::all().to_vec(),
+                fallback: VariogramModel::linear(1.0),
+            },
+            0,
+        ),
+        VariogramSpec::FixedLinear { slope } => {
+            (VariogramPolicy::Fixed(VariogramModel::linear(slope)), 0)
+        }
+        VariogramSpec::Fixed { model } => (VariogramPolicy::Fixed(model), 0),
+    })
+}
+
+/// Runs one campaign cell to completion.
+///
+/// # Errors
+///
+/// Propagates optimizer failures ([`OptError`]) from the pilot or the
+/// hybrid run; an infeasible constraint indicates a mis-specified cell and
+/// should surface, not be masked.
+pub fn run_single(run: &RunSpec, cache: &Arc<SimCache>) -> Result<RunRecord, OptError> {
+    let started = Instant::now();
+    let (policy, pilot_sims) = variogram_policy(run, cache)?;
+    let instance = resolved_instance(run);
+    let lambda_min = instance
+        .minplusone
+        .as_ref()
+        .map(|o| o.lambda_min)
+        .or(instance.descent.as_ref().map(|o| o.lambda_min))
+        .expect("every problem has an optimizer");
+    let settings = HybridSettings {
+        distance: run.distance,
+        min_neighbors: run.min_neighbors,
+        metric: run.metric,
+        variogram: policy,
+        max_neighbors: run.max_neighbors,
+        audit: run.audit.then(|| run.problem.audit_metric()),
+    };
+    let mut hybrid = HybridEvaluator::new(
+        CachedEvaluator::new(instance.evaluator, Arc::clone(cache), cache_namespace(run)),
+        settings,
+    );
+    let result = drive(
+        &mut hybrid,
+        run.optimizer,
+        instance.minplusone.as_ref(),
+        instance.descent.as_ref(),
+    )?;
+    let stats = hybrid.stats();
+    Ok(RunRecord {
+        index: run.index,
+        benchmark: run.problem.label().to_string(),
+        metric: run.problem.metric_label().to_string(),
+        scale: run.scale.label().to_string(),
+        optimizer: run.optimizer.label(),
+        variogram: run.variogram.label(),
+        nv: run.problem.nv(),
+        d: run.distance,
+        min_neighbors: run.min_neighbors,
+        lambda_min,
+        seed: run.run_seed,
+        repeat: run.repeat,
+        solution: result.solution.clone(),
+        lambda: result.lambda,
+        iterations: result.iterations,
+        queries: stats.queries,
+        simulated: stats.simulated,
+        kriged: stats.kriged,
+        session_cache_hits: stats.cache_hits,
+        kriging_failures: stats.kriging_failures,
+        p_percent: stats.interpolated_fraction() * 100.0,
+        mean_neighbors: stats.mean_neighbors(),
+        audit_mean_eps: stats.errors.mean(),
+        audit_max_eps: stats.errors.max(),
+        audit_count: stats.errors.count(),
+        pilot_sims,
+        wall_ms: Some(started.elapsed().as_secs_f64() * 1000.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, OptimizerSpec, VariogramSpec};
+
+    fn fir_run(d: f64) -> RunSpec {
+        let spec = CampaignSpec {
+            benchmarks: vec!["fir".to_string()],
+            distances: vec![d],
+            ..CampaignSpec::default()
+        };
+        spec.expand().unwrap().remove(0)
+    }
+
+    #[test]
+    fn fir_cell_runs_and_audits() {
+        let cache = Arc::new(SimCache::new());
+        let record = run_single(&fir_run(3.0), &cache).unwrap();
+        assert_eq!(record.benchmark, "fir64");
+        assert_eq!(record.nv, 2);
+        assert!(record.queries > 0);
+        assert!(record.simulated > 0);
+        assert!(record.pilot_sims > 0, "pilot protocol ran");
+        assert!(record.lambda >= record.lambda_min);
+        assert!(record.wall_ms.is_some());
+    }
+
+    #[test]
+    fn shared_cache_spares_repeat_simulations() {
+        let cache = Arc::new(SimCache::new());
+        let first = run_single(&fir_run(3.0), &cache).unwrap();
+        let before = cache.stats();
+        // A second cell on the same surface (different d) repeats the pilot
+        // and much of the trajectory: its simulations mostly hit the cache.
+        let second = run_single(&fir_run(2.0), &cache).unwrap();
+        let after = cache.stats();
+        assert!(
+            after.hits > before.hits,
+            "no cache hits across cells: {before:?} -> {after:?}"
+        );
+        // The cached values are exact, so both records stand on the same
+        // simulated surface.
+        assert_eq!(first.benchmark, second.benchmark);
+        assert_eq!(first.seed, second.seed);
+    }
+
+    #[test]
+    fn fixed_linear_policy_skips_the_pilot() {
+        let cache = Arc::new(SimCache::new());
+        let mut run = fir_run(3.0);
+        run.variogram = VariogramSpec::FixedLinear { slope: 1.0 };
+        let record = run_single(&run, &cache).unwrap();
+        assert_eq!(record.pilot_sims, 0);
+        assert!(record.queries > 0);
+    }
+
+    #[test]
+    fn tie_break_optimizer_is_accepted() {
+        let cache = Arc::new(SimCache::new());
+        let mut run = fir_run(3.0);
+        run.optimizer = OptimizerSpec::TieBreak { tolerance: 0.5 };
+        let record = run_single(&run, &cache).unwrap();
+        assert!(record.optimizer.starts_with("tiebreak"));
+        assert!(record.lambda >= record.lambda_min);
+    }
+
+    #[test]
+    fn lambda_override_applies() {
+        let cache = Arc::new(SimCache::new());
+        let mut run = fir_run(3.0);
+        run.lambda_min = Some(20.0);
+        let record = run_single(&run, &cache).unwrap();
+        assert_eq!(record.lambda_min, 20.0);
+        assert!(record.lambda >= 20.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! JSONL result sink: one line per run plus a campaign summary line.
+//!
+//! Lines are objects tagged with a `"type"` field (`"run"` / `"summary"`)
+//! so consumers can stream-filter them. Records are written in run-index
+//! order regardless of completion order, and all scheduling-dependent
+//! quantities (wall-clock, per-run cache attribution) live in optional
+//! fields disabled by default — with [`SinkOptions::include_timing`]
+//! off, a fixed-seed campaign serializes byte-identically across runs
+//! and worker counts.
+
+use std::io::{self, Write};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::cache::CacheStats;
+
+/// One completed run: the resolved grid cell plus the outcome and the
+/// hybrid session statistics (the raw material of a Table I row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Position in the campaign expansion (stable row id).
+    pub index: u64,
+    /// Benchmark label (e.g. `"fir64"`).
+    pub benchmark: String,
+    /// Metric label (e.g. `"noise power"`).
+    pub metric: String,
+    /// `"fast"` or `"paper"`.
+    pub scale: String,
+    /// Optimizer label.
+    pub optimizer: String,
+    /// Variogram policy label.
+    pub variogram: String,
+    /// Number of optimization variables `Nv`.
+    pub nv: usize,
+    /// Neighbour radius `d`.
+    pub d: f64,
+    /// Minimum neighbour count `N_n,min`.
+    pub min_neighbors: usize,
+    /// Effective accuracy constraint `λ_min`.
+    pub lambda_min: f64,
+    /// Derived seed of this run's benchmark instance.
+    pub seed: u64,
+    /// Repeat index within the campaign.
+    pub repeat: u32,
+    /// Final configuration `w_res`.
+    pub solution: Vec<i32>,
+    /// Metric value at the solution (as the optimizer saw it).
+    pub lambda: f64,
+    /// Greedy iterations performed.
+    pub iterations: u64,
+    /// Total metric queries `N_λ`.
+    pub queries: u64,
+    /// Queries answered by simulation.
+    pub simulated: u64,
+    /// Queries answered by kriging.
+    pub kriged: u64,
+    /// Queries answered from the session's exact-duplicate store.
+    pub session_cache_hits: u64,
+    /// Kriging attempts that fell back to simulation.
+    pub kriging_failures: u64,
+    /// Interpolated percentage `p(%)`.
+    pub p_percent: f64,
+    /// Mean neighbours per interpolation `j̄`.
+    pub mean_neighbors: f64,
+    /// Audit-mode mean interpolation error (Eq. 11/12 units).
+    pub audit_mean_eps: f64,
+    /// Audit-mode max interpolation error.
+    pub audit_max_eps: f64,
+    /// Number of audited interpolations.
+    pub audit_count: u64,
+    /// Simulator calls spent on the variogram pilot run (0 for online
+    /// identification policies). Distinct configurations only — repeat
+    /// pilot queries are served by the campaign cache.
+    pub pilot_sims: u64,
+    /// Wall-clock milliseconds (scheduling-dependent; `None` unless
+    /// [`SinkOptions::include_timing`] is set).
+    pub wall_ms: Option<f64>,
+}
+
+/// The campaign-level trailer record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRecord {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Number of runs completed.
+    pub runs: u64,
+    /// Worker threads used (informational; does not affect results).
+    pub workers: usize,
+    /// Shared-cache lookups across all runs.
+    pub sim_cache_lookups: u64,
+    /// Shared-cache hits across all runs (deterministic in total even
+    /// though per-run attribution is not).
+    pub sim_cache_hits: u64,
+    /// Shared-cache misses == distinct simulations performed.
+    pub sim_cache_misses: u64,
+    /// Sum of per-run metric queries.
+    pub total_queries: u64,
+    /// Sum of per-run simulated counts.
+    pub total_simulated: u64,
+    /// Sum of per-run kriged counts.
+    pub total_kriged: u64,
+    /// Campaign wall-clock milliseconds (`None` unless timing is on).
+    pub wall_ms: Option<f64>,
+}
+
+impl SummaryRecord {
+    /// Builds the trailer from completed records and cache counters.
+    pub fn from_records(
+        name: impl Into<String>,
+        records: &[RunRecord],
+        cache: CacheStats,
+        workers: usize,
+        wall_ms: Option<f64>,
+    ) -> SummaryRecord {
+        SummaryRecord {
+            name: name.into(),
+            runs: records.len() as u64,
+            workers,
+            sim_cache_lookups: cache.lookups,
+            sim_cache_hits: cache.hits,
+            sim_cache_misses: cache.misses,
+            total_queries: records.iter().map(|r| r.queries).sum(),
+            total_simulated: records.iter().map(|r| r.simulated).sum(),
+            total_kriged: records.iter().map(|r| r.kriged).sum(),
+            wall_ms,
+        }
+    }
+}
+
+/// Output options for [`write_jsonl`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkOptions {
+    /// Include scheduling-dependent fields (wall-clock, worker count).
+    /// These are inherently nondeterministic across invocations, so this
+    /// defaults to off; byte-identical output across runs and worker
+    /// counts holds only when it stays off.
+    pub include_timing: bool,
+}
+
+fn tagged(tag: &str, record_value: Value) -> Value {
+    let mut fields = vec![("type".to_string(), Value::String(tag.to_string()))];
+    match record_value {
+        Value::Object(entries) => fields.extend(entries),
+        other => fields.push(("value".to_string(), other)),
+    }
+    Value::Object(fields)
+}
+
+fn strip_scheduling(value: &mut Value) {
+    if let Value::Object(entries) = value {
+        for (key, v) in entries.iter_mut() {
+            // Wall-clock and the worker count are execution metadata: they
+            // vary across machines and invocations while the results do
+            // not, so the deterministic output nulls both.
+            if key == "wall_ms" || key == "workers" {
+                *v = Value::Null;
+            }
+        }
+    }
+}
+
+/// Writes the campaign as JSON lines: each run record (in index order),
+/// then the summary.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_jsonl(
+    out: &mut dyn Write,
+    records: &[RunRecord],
+    summary: &SummaryRecord,
+    options: SinkOptions,
+) -> io::Result<()> {
+    let mut lines: Vec<Value> = Vec::with_capacity(records.len() + 1);
+    for r in records {
+        lines.push(tagged("run", r.serialize_to_value()));
+    }
+    lines.push(tagged("summary", summary.serialize_to_value()));
+    for mut line in lines {
+        if !options.include_timing {
+            strip_scheduling(&mut line);
+        }
+        let text = serde_json::to_string(&line).map_err(io::Error::other)?;
+        writeln!(out, "{text}")?;
+    }
+    Ok(())
+}
+
+/// Renders records to a JSONL string (convenience over [`write_jsonl`]).
+///
+/// # Panics
+///
+/// Never panics: writing to a `Vec<u8>` cannot fail and records are
+/// always serializable.
+pub fn to_jsonl_string(
+    records: &[RunRecord],
+    summary: &SummaryRecord,
+    options: SinkOptions,
+) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, records, summary, options).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("JSON output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(index: u64) -> RunRecord {
+        RunRecord {
+            index,
+            benchmark: "fir64".to_string(),
+            metric: "noise power".to_string(),
+            scale: "fast".to_string(),
+            optimizer: "auto".to_string(),
+            variogram: "pilot".to_string(),
+            nv: 2,
+            d: 3.0,
+            min_neighbors: 3,
+            lambda_min: 28.0,
+            seed: 0,
+            repeat: 0,
+            solution: vec![9, 8],
+            lambda: 28.4,
+            iterations: 7,
+            queries: 40,
+            simulated: 30,
+            kriged: 8,
+            session_cache_hits: 2,
+            kriging_failures: 0,
+            p_percent: 20.0,
+            mean_neighbors: 4.5,
+            audit_mean_eps: 0.2,
+            audit_max_eps: 0.8,
+            audit_count: 8,
+            pilot_sims: 25,
+            wall_ms: Some(12.5),
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_tagged_and_ordered() {
+        let records = vec![sample_record(0), sample_record(1)];
+        let summary = SummaryRecord::from_records(
+            "t",
+            &records,
+            CacheStats {
+                lookups: 100,
+                hits: 40,
+                misses: 60,
+            },
+            4,
+            None,
+        );
+        let text = to_jsonl_string(&records, &summary, SinkOptions::default());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"type\":\"run\",\"index\":0,"));
+        assert!(lines[1].starts_with("{\"type\":\"run\",\"index\":1,"));
+        assert!(lines[2].starts_with("{\"type\":\"summary\","));
+        assert!(lines[2].contains("\"sim_cache_hits\":40"));
+    }
+
+    #[test]
+    fn timing_is_stripped_unless_requested() {
+        let records = vec![sample_record(0)];
+        let summary =
+            SummaryRecord::from_records("t", &records, CacheStats::default(), 1, Some(99.0));
+        let quiet = to_jsonl_string(&records, &summary, SinkOptions::default());
+        assert!(quiet.contains("\"wall_ms\":null"));
+        assert!(quiet.contains("\"workers\":null"));
+        assert!(!quiet.contains("12.5"));
+        let timed = to_jsonl_string(
+            &records,
+            &summary,
+            SinkOptions {
+                include_timing: true,
+            },
+        );
+        assert!(timed.contains("\"wall_ms\":12.5"));
+        assert!(timed.contains("\"wall_ms\":99.0"));
+    }
+
+    #[test]
+    fn run_record_json_roundtrip() {
+        let r = sample_record(3);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn summary_totals_sum_over_records() {
+        let records = vec![sample_record(0), sample_record(1)];
+        let s = SummaryRecord::from_records("x", &records, CacheStats::default(), 2, None);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.total_queries, 80);
+        assert_eq!(s.total_simulated, 60);
+        assert_eq!(s.total_kriged, 16);
+    }
+}

@@ -1,0 +1,454 @@
+//! Declarative campaign descriptions and their expansion into runs.
+//!
+//! A [`CampaignSpec`] is the serializable description of an experiment
+//! grid: which benchmarks, which optimizer, which `d` / `N_n,min` /
+//! `λ_min` values to sweep, the variogram policy, the distance metric and
+//! the seed. [`CampaignSpec::expand`] turns it into the flat, ordered list
+//! of [`RunSpec`]s the executor consumes; the expansion order (benchmark →
+//! repeat → d → N_n,min → λ_min) is part of the format, because run
+//! indices identify rows in the JSONL output.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::suite::Problem;
+use crate::Scale;
+
+/// Which optimizer drives the design-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerSpec {
+    /// Pick the problem's canonical optimizer: min+1 for word-length
+    /// problems, steepest-descent budgeting for the sensitivity problem.
+    Auto,
+    /// Force plain min+1 (word-length problems only).
+    MinPlusOne,
+    /// min+1 with tie-break-by-simulation in the refine phase: kriged
+    /// candidates within `tolerance` of the best are re-simulated before
+    /// the greedy choice commits.
+    TieBreak {
+        /// Tie window in metric units (dB or rate).
+        tolerance: f64,
+    },
+    /// Force steepest-descent error budgeting (sensitivity problem only).
+    Descent,
+}
+
+impl OptimizerSpec {
+    /// Short label for records and progress lines.
+    pub fn label(&self) -> String {
+        match self {
+            OptimizerSpec::Auto => "auto".to_string(),
+            OptimizerSpec::MinPlusOne => "minplusone".to_string(),
+            OptimizerSpec::TieBreak { tolerance } => format!("tiebreak({tolerance})"),
+            OptimizerSpec::Descent => "descent".to_string(),
+        }
+    }
+}
+
+/// How each run obtains its variogram model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VariogramSpec {
+    /// The Table I protocol: a pure-simulation **pilot** run of the same
+    /// optimizer identifies the model once, then the hybrid run uses it as
+    /// fixed. Pilot simulations go through the shared campaign cache, so
+    /// sweeping `d` repeats the pilot at near-zero cost.
+    Pilot,
+    /// Identify online, once `min_samples` simulations have accumulated
+    /// (the hybrid evaluator's own fit-after policy).
+    FitAfter {
+        /// Simulations required before the first identification.
+        min_samples: usize,
+    },
+    /// Re-identify every `every` simulations after the first fit.
+    Refit {
+        /// Simulations required before the first identification.
+        min_samples: usize,
+        /// Refit period (in simulations).
+        every: usize,
+    },
+    /// Skip identification entirely: a fixed linear model `γ(d) = s·d`.
+    FixedLinear {
+        /// Slope `s`.
+        slope: f64,
+    },
+    /// Skip identification entirely: an arbitrary fixed model (used by the
+    /// variogram-family ablation to force spherical/exponential/Gaussian
+    /// fits).
+    Fixed {
+        /// The model every run uses verbatim.
+        model: krigeval_core::VariogramModel,
+    },
+}
+
+impl VariogramSpec {
+    /// Short label for records and progress lines.
+    pub fn label(&self) -> String {
+        match self {
+            VariogramSpec::Pilot => "pilot".to_string(),
+            VariogramSpec::FitAfter { min_samples } => format!("fit({min_samples})"),
+            VariogramSpec::Refit { min_samples, every } => {
+                format!("refit({min_samples},{every})")
+            }
+            VariogramSpec::FixedLinear { slope } => format!("linear({slope})"),
+            VariogramSpec::Fixed { model } => {
+                use krigeval_core::VariogramModel as M;
+                let family = match model {
+                    M::Nugget { .. } => "nugget",
+                    M::Linear { .. } => "linear",
+                    M::Power { .. } => "power",
+                    M::Spherical { .. } => "spherical",
+                    M::Exponential { .. } => "exponential",
+                    M::Gaussian { .. } => "gaussian",
+                    _ => "other",
+                };
+                format!("fixed({family})")
+            }
+        }
+    }
+}
+
+/// A declarative experiment campaign: the cross product of benchmarks,
+/// repeats, distances, neighbour minima and constraints, under one
+/// optimizer / variogram / metric policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (recorded in the JSONL summary).
+    pub name: String,
+    /// Benchmark names, as accepted by `Problem::parse` (e.g. `"fir"`).
+    pub benchmarks: Vec<String>,
+    /// `"fast"` or `"paper"`.
+    pub scale: String,
+    /// Which optimizer drives each run.
+    pub optimizer: OptimizerSpec,
+    /// Neighbour radii `d` to sweep (the paper uses `{2, 3, 4, 5}`).
+    pub distances: Vec<f64>,
+    /// Minimum neighbour counts `N_n,min` to sweep (the paper uses 3, and
+    /// 2 in the closing ablation).
+    pub min_neighbors: Vec<usize>,
+    /// Accuracy constraints `λ_min` to sweep; empty keeps each problem's
+    /// canonical constraint.
+    pub lambda_min: Vec<f64>,
+    /// Variogram identification policy.
+    pub variogram: VariogramSpec,
+    /// Configuration distance metric: `"l1"` (paper), `"l2"` or `"linf"`.
+    pub metric: String,
+    /// Base seed; repeat `r` perturbs it so repeated runs see independent
+    /// benchmark inputs, and `seed = 0, repeats = 1` reproduces the
+    /// repository's canonical instances.
+    pub seed: u64,
+    /// Number of repeats per grid cell (different derived seeds).
+    pub repeats: u32,
+    /// Audit mode: re-simulate every kriged query and record Eq. 11/12
+    /// errors (the Table I protocol).
+    pub audit: bool,
+    /// Cap on neighbours per kriging system; `0` means unlimited.
+    pub max_neighbors: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> CampaignSpec {
+        CampaignSpec {
+            name: "table1".to_string(),
+            benchmarks: vec!["fir".to_string(), "iir".to_string()],
+            scale: "fast".to_string(),
+            optimizer: OptimizerSpec::Auto,
+            distances: vec![2.0, 3.0, 4.0, 5.0],
+            min_neighbors: vec![3],
+            lambda_min: Vec::new(),
+            variogram: VariogramSpec::Pilot,
+            metric: "l1".to_string(),
+            seed: 0,
+            repeats: 1,
+            audit: true,
+            max_neighbors: 32,
+        }
+    }
+}
+
+/// One fully-resolved run: a single cell of the campaign grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Position in the campaign's expansion order (row index in the
+    /// JSONL output).
+    pub index: u64,
+    /// The benchmark problem.
+    pub problem: Problem,
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Optimizer choice.
+    pub optimizer: OptimizerSpec,
+    /// Neighbour radius `d`.
+    pub distance: f64,
+    /// Minimum neighbour count `N_n,min`.
+    pub min_neighbors: usize,
+    /// Constraint override; `None` keeps the problem's canonical `λ_min`.
+    pub lambda_min: Option<f64>,
+    /// Variogram policy.
+    pub variogram: VariogramSpec,
+    /// Configuration distance metric.
+    pub metric: krigeval_core::DistanceMetric,
+    /// Derived seed for this run's benchmark instance (base seed ⊕ repeat
+    /// hash). Runs sharing `(problem, scale, run_seed)` simulate identical
+    /// surfaces and therefore share cache entries.
+    pub run_seed: u64,
+    /// Which repeat this run belongs to.
+    pub repeat: u32,
+    /// Audit mode.
+    pub audit: bool,
+    /// Neighbour cap (`None` = unlimited).
+    pub max_neighbors: Option<usize>,
+}
+
+/// A malformed campaign specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> SpecError {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid campaign spec: {}", self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+impl CampaignSpec {
+    /// Expands the grid into the ordered run list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for unknown benchmark / scale / metric names,
+    /// empty sweep axes, zero repeats, non-finite or non-positive
+    /// distances, or an optimizer incompatible with a selected benchmark.
+    pub fn expand(&self) -> Result<Vec<RunSpec>, SpecError> {
+        let scale = Scale::parse(&self.scale)
+            .ok_or_else(|| SpecError::new(format!("unknown scale {:?}", self.scale)))?;
+        let metric = parse_metric(&self.metric)?;
+        if self.benchmarks.is_empty() {
+            return Err(SpecError::new("no benchmarks selected"));
+        }
+        if self.distances.is_empty() {
+            return Err(SpecError::new("no distances selected"));
+        }
+        if self.min_neighbors.is_empty() {
+            return Err(SpecError::new("no min_neighbors selected"));
+        }
+        if self.repeats == 0 {
+            return Err(SpecError::new("repeats must be at least 1"));
+        }
+        for &d in &self.distances {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(SpecError::new(format!("invalid distance {d}")));
+            }
+        }
+        let mut problems = Vec::new();
+        for name in &self.benchmarks {
+            let p = Problem::parse(name)
+                .ok_or_else(|| SpecError::new(format!("unknown benchmark {name:?}")))?;
+            match self.optimizer {
+                OptimizerSpec::Descent if p != Problem::Squeezenet => {
+                    return Err(SpecError::new(format!(
+                        "descent optimizer requires the sensitivity problem, got {name:?}"
+                    )));
+                }
+                OptimizerSpec::MinPlusOne | OptimizerSpec::TieBreak { .. }
+                    if p == Problem::Squeezenet =>
+                {
+                    return Err(SpecError::new(
+                        "min+1 optimizers cannot drive the sensitivity problem",
+                    ));
+                }
+                _ => {}
+            }
+            problems.push(p);
+        }
+        let mut runs = Vec::new();
+        for &problem in &problems {
+            for repeat in 0..self.repeats {
+                let run_seed = derive_seed(self.seed, repeat);
+                for &distance in &self.distances {
+                    for &min_neighbors in &self.min_neighbors {
+                        let lambdas: Vec<Option<f64>> = if self.lambda_min.is_empty() {
+                            vec![None]
+                        } else {
+                            self.lambda_min.iter().map(|&l| Some(l)).collect()
+                        };
+                        for lambda_min in lambdas {
+                            runs.push(RunSpec {
+                                index: runs.len() as u64,
+                                problem,
+                                scale,
+                                optimizer: self.optimizer,
+                                distance,
+                                min_neighbors,
+                                lambda_min,
+                                variogram: self.variogram,
+                                metric,
+                                run_seed,
+                                repeat,
+                                audit: self.audit,
+                                max_neighbors: if self.max_neighbors == 0 {
+                                    None
+                                } else {
+                                    Some(self.max_neighbors)
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(runs)
+    }
+
+    /// Parses a spec from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on malformed JSON or missing fields.
+    pub fn from_json(json: &str) -> Result<CampaignSpec, SpecError> {
+        serde_json::from_str(json).map_err(|e| SpecError::new(e.to_string()))
+    }
+
+    /// Serializes the spec as pretty JSON (the `campaign template` output).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
+    }
+}
+
+/// Derives the per-repeat seed. Repeat 0 keeps the base seed untouched so
+/// `seed = 0` reproduces the canonical instances; later repeats mix the
+/// repeat index through splitmix64-style odd multipliers to decorrelate.
+fn derive_seed(base: u64, repeat: u32) -> u64 {
+    if repeat == 0 {
+        base
+    } else {
+        base ^ (u64::from(repeat)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+fn parse_metric(name: &str) -> Result<krigeval_core::DistanceMetric, SpecError> {
+    match name.to_ascii_lowercase().as_str() {
+        "l1" => Ok(krigeval_core::DistanceMetric::L1),
+        "l2" => Ok(krigeval_core::DistanceMetric::L2),
+        "linf" | "loo" => Ok(krigeval_core::DistanceMetric::Linf),
+        other => Err(SpecError::new(format!("unknown metric {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_expands_in_documented_order() {
+        let spec = CampaignSpec::default();
+        let runs = spec.expand().unwrap();
+        // 2 benchmarks × 1 repeat × 4 distances × 1 nmin × 1 lambda.
+        assert_eq!(runs.len(), 8);
+        assert_eq!(runs[0].problem, Problem::Fir);
+        assert_eq!(runs[0].distance, 2.0);
+        assert_eq!(runs[3].distance, 5.0);
+        assert_eq!(runs[4].problem, Problem::Iir);
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn lambda_sweep_multiplies_runs() {
+        let spec = CampaignSpec {
+            benchmarks: vec!["fir".to_string()],
+            distances: vec![3.0],
+            lambda_min: vec![20.0, 28.0, 35.0],
+            ..CampaignSpec::default()
+        };
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[1].lambda_min, Some(28.0));
+    }
+
+    #[test]
+    fn repeats_derive_distinct_seeds() {
+        let spec = CampaignSpec {
+            benchmarks: vec!["fir".to_string()],
+            distances: vec![3.0],
+            repeats: 3,
+            seed: 7,
+            ..CampaignSpec::default()
+        };
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].run_seed, 7, "repeat 0 keeps the base seed");
+        assert_ne!(runs[1].run_seed, runs[0].run_seed);
+        assert_ne!(runs[2].run_seed, runs[1].run_seed);
+    }
+
+    #[test]
+    fn expand_rejects_bad_specs() {
+        let bad_bench = CampaignSpec {
+            benchmarks: vec!["warp".to_string()],
+            ..CampaignSpec::default()
+        };
+        assert!(bad_bench.expand().is_err());
+        let bad_scale = CampaignSpec {
+            scale: "huge".to_string(),
+            ..CampaignSpec::default()
+        };
+        assert!(bad_scale.expand().is_err());
+        let bad_metric = CampaignSpec {
+            metric: "manhattan?".to_string(),
+            ..CampaignSpec::default()
+        };
+        assert!(bad_metric.expand().is_err());
+        let no_d = CampaignSpec {
+            distances: Vec::new(),
+            ..CampaignSpec::default()
+        };
+        assert!(no_d.expand().is_err());
+        let descent_on_fir = CampaignSpec {
+            benchmarks: vec!["fir".to_string()],
+            optimizer: OptimizerSpec::Descent,
+            ..CampaignSpec::default()
+        };
+        assert!(descent_on_fir.expand().is_err());
+        let minplusone_on_cnn = CampaignSpec {
+            benchmarks: vec!["squeezenet".to_string()],
+            optimizer: OptimizerSpec::MinPlusOne,
+            ..CampaignSpec::default()
+        };
+        assert!(minplusone_on_cnn.expand().is_err());
+    }
+
+    #[test]
+    fn spec_json_roundtrip_is_lossless() {
+        let spec = CampaignSpec {
+            optimizer: OptimizerSpec::TieBreak { tolerance: 0.5 },
+            variogram: VariogramSpec::FitAfter { min_samples: 12 },
+            lambda_min: vec![30.0],
+            repeats: 2,
+            seed: 42,
+            ..CampaignSpec::default()
+        };
+        let json = spec.to_json();
+        let back = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let err = CampaignSpec::from_json("{\"name\": \"x\"}").unwrap_err();
+        assert!(err.to_string().contains("invalid campaign spec"));
+    }
+}

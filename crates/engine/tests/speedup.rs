@@ -1,0 +1,67 @@
+//! Wall-clock scaling of the campaign executor.
+//!
+//! Ignored by default: asserting a ≥2× speedup needs at least four real
+//! cores, and CI containers (or this repo's 1-CPU dev container) cannot
+//! provide parallel wall-clock no matter how correct the executor is.
+//! Run on a multicore host with:
+//!
+//! ```text
+//! cargo test -p krigeval-engine --release --test speedup -- --ignored
+//! ```
+//!
+//! The `campaign compare` subcommand performs the same measurement from
+//! the command line (and additionally checks record equality).
+
+use krigeval_engine::{run_campaign, CampaignSpec, Progress};
+
+/// Eight independent surfaces (distinct repeat seeds), one cell each —
+/// the embarrassingly-parallel end of the campaign spectrum, where the
+/// executor's scaling is limited only by cores and load balance.
+fn spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "speedup".to_string(),
+        benchmarks: vec!["fft".to_string()],
+        distances: vec![3.0],
+        repeats: 8,
+        ..CampaignSpec::default()
+    }
+}
+
+#[test]
+#[ignore = "wall-clock assertion; requires >= 4 physical cores (see module docs)"]
+fn four_workers_are_at_least_twice_as_fast_on_independent_surfaces() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    assert!(
+        cores >= 4,
+        "this host exposes {cores} core(s); the speedup assertion needs >= 4"
+    );
+    let sequential = run_campaign(&spec(), 1, Progress::Silent).unwrap();
+    let parallel = run_campaign(&spec(), 4, Progress::Silent).unwrap();
+    // Correctness first: the records must not depend on the worker count…
+    let strip = |outcome: &krigeval_engine::CampaignOutcome| {
+        outcome
+            .records
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.wall_ms = None;
+                r
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&sequential), strip(&parallel));
+    // …the shared cache must have fired (pilot + hybrid share surfaces)…
+    assert!(
+        parallel.cache.hits > 0,
+        "no cache hits: {:?}",
+        parallel.cache
+    );
+    // …and four workers must at least halve the wall-clock.
+    let speedup = sequential.wall_ms / parallel.wall_ms.max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "speedup {speedup:.2}x < 2x (sequential {:.0} ms, parallel {:.0} ms)",
+        sequential.wall_ms,
+        parallel.wall_ms
+    );
+}

@@ -43,10 +43,9 @@ impl fmt::Display for FixedPointError {
                 f,
                 "invalid q-format: {integer_bits} integer bits, {fractional_bits} fractional bits"
             ),
-            FixedPointError::InvalidWordLength { index, word_length } => write!(
-                f,
-                "invalid word-length {word_length} for variable {index}"
-            ),
+            FixedPointError::InvalidWordLength { index, word_length } => {
+                write!(f, "invalid word-length {word_length} for variable {index}")
+            }
         }
     }
 }

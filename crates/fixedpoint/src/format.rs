@@ -91,7 +91,10 @@ impl QFormat {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn with_word_length(integer_bits: i32, word_length: i32) -> Result<QFormat, FixedPointError> {
+    pub fn with_word_length(
+        integer_bits: i32,
+        word_length: i32,
+    ) -> Result<QFormat, FixedPointError> {
         QFormat::new(integer_bits, word_length - 1 - integer_bits)
     }
 

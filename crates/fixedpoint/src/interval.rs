@@ -39,7 +39,10 @@ impl Interval {
     ///
     /// Panics if `lo > hi` or either bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Interval {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
         assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
         Interval { lo, hi }
     }
@@ -191,9 +194,8 @@ impl fmt::Display for Interval {
 /// assert_eq!(y.integer_bits(), 0);
 /// ```
 pub fn fir_output_range(taps: &[f64], input: Interval) -> Interval {
-    taps.iter().fold(Interval::point(0.0), |acc, &h| {
-        acc + input.scale(h)
-    })
+    taps.iter()
+        .fold(Interval::point(0.0), |acc, &h| acc + input.scale(h))
 }
 
 #[cfg(test)]

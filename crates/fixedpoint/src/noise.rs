@@ -248,7 +248,9 @@ mod tests {
         // Deterministic pseudo-random input (LCG) to avoid rand dependency here.
         let mut state = 0x2545F4914F6CDD1Du64;
         for _ in 0..200_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 11) as f64) / ((1u64 << 53) as f64); // [0,1)
             let x = 2.0 * u - 1.0 + 1e-9; // (-1, 1)
             let x = x * 0.999;

@@ -83,7 +83,11 @@ impl Quantizer {
     }
 
     /// Creates a quantizer with explicit rounding and overflow behaviour.
-    pub fn with_modes(format: QFormat, rounding: RoundingMode, overflow: OverflowMode) -> Quantizer {
+    pub fn with_modes(
+        format: QFormat,
+        rounding: RoundingMode,
+        overflow: OverflowMode,
+    ) -> Quantizer {
         Quantizer {
             format,
             rounding,

@@ -66,10 +66,7 @@ impl FftBenchmark {
         let frames: Vec<Vec<Complex>> = (0..num_frames)
             .map(|i| complex_white_noise(seed.wrapping_add(i as u64), FFT_SIZE, 0.95))
             .collect();
-        let references = frames
-            .iter()
-            .map(|f| fft_reference(f))
-            .collect();
+        let references = frames.iter().map(|f| fft_reference(f)).collect();
         FftBenchmark { frames, references }
     }
 
@@ -169,14 +166,8 @@ fn run_stage(
                 )
             };
             // Butterfly with 1/2 scaling to prevent overflow.
-            data[group + k] = (
-                q_add(stage, (ar + tr) * 0.5),
-                q_add(stage, (ai + ti) * 0.5),
-            );
-            data[group + k + half] = (
-                q_add(stage, (ar - tr) * 0.5),
-                q_add(stage, (ai - ti) * 0.5),
-            );
+            data[group + k] = (q_add(stage, (ar + tr) * 0.5), q_add(stage, (ai + ti) * 0.5));
+            data[group + k + half] = (q_add(stage, (ar - tr) * 0.5), q_add(stage, (ai - ti) * 0.5));
         }
     }
 }
@@ -194,12 +185,20 @@ impl WordLengthBenchmark for FftBenchmark {
         self.validate(word_lengths)?;
         // Scaled data stays in (−1, 1): 0 integer bits everywhere.
         let add_q: Vec<Quantizer> = (0..STAGES)
-            .map(|s| Ok(Quantizer::new(QFormat::with_word_length(0, word_lengths[s])?)))
+            .map(|s| {
+                Ok(Quantizer::new(QFormat::with_word_length(
+                    0,
+                    word_lengths[s],
+                )?))
+            })
             .collect::<Result<_, KernelError>>()?;
         let mpy_q: Vec<Quantizer> = TWIDDLE_STAGES
             .map(|s| {
                 let idx = STAGES + (s - TWIDDLE_STAGES.start);
-                Ok(Quantizer::new(QFormat::with_word_length(0, word_lengths[idx])?))
+                Ok(Quantizer::new(QFormat::with_word_length(
+                    0,
+                    word_lengths[idx],
+                )?))
             })
             .collect::<Result<_, KernelError>>()?;
         let q_in = Quantizer::new(QFormat::new(0, 15)?);
@@ -288,8 +287,12 @@ mod tests {
         // Noise injected at stage 5 hits the output directly; stage-0 noise
         // is attenuated by five subsequent 1/2 scalings.
         let b = small();
-        let narrow_first = b.noise_power(&[8, 14, 14, 14, 14, 14, 14, 14, 14, 14]).unwrap();
-        let narrow_last = b.noise_power(&[14, 14, 14, 14, 14, 8, 14, 14, 14, 14]).unwrap();
+        let narrow_first = b
+            .noise_power(&[8, 14, 14, 14, 14, 14, 14, 14, 14, 14])
+            .unwrap();
+        let narrow_last = b
+            .noise_power(&[14, 14, 14, 14, 14, 8, 14, 14, 14, 14])
+            .unwrap();
         assert!(
             narrow_last.db() > narrow_first.db(),
             "first {} dB, last {} dB",

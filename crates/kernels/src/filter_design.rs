@@ -129,7 +129,10 @@ fn complex_poly(coeffs: &[f64], w: f64) -> (f64, f64) {
 /// assert!(sections.iter().all(|s| s.is_stable()));
 /// ```
 pub fn butterworth_lowpass(order: usize, cutoff: f64) -> Vec<Biquad> {
-    assert!(order > 0 && order.is_multiple_of(2), "order must be even and positive");
+    assert!(
+        order > 0 && order.is_multiple_of(2),
+        "order must be even and positive"
+    );
     assert!(
         cutoff > 0.0 && cutoff < 0.5,
         "cutoff must be in (0, 0.5), got {cutoff}"

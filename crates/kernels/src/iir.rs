@@ -109,9 +109,8 @@ impl WordLengthBenchmark for IirBenchmark {
         for (n, &sample) in self.input.iter().enumerate() {
             let mut v = sample;
             for (i, s) in self.sections.iter().enumerate() {
-                let y = s.b[0] * v + s.b[1] * x1[i] + s.b[2] * x2[i]
-                    - s.a[0] * y1[i]
-                    - s.a[1] * y2[i];
+                let y =
+                    s.b[0] * v + s.b[1] * x1[i] + s.b[2] * x2[i] - s.a[0] * y1[i] - s.a[1] * y2[i];
                 let y = section_q[i].quantize(y);
                 x2[i] = x1[i];
                 x1[i] = v;

@@ -45,8 +45,8 @@
 #![allow(clippy::needless_range_loop)]
 
 mod benchmark;
-mod error;
 pub mod dct;
+mod error;
 pub mod fft;
 pub mod filter_design;
 pub mod fir;

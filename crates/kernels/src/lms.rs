@@ -198,8 +198,8 @@ mod tests {
         let mut err = NoiseMeter::new();
         err.record_slices(&b.desired[tail..], &b.reference_output[tail..]);
         let mse = err.noise_power().linear();
-        let sig: f64 = b.desired[tail..].iter().map(|v| v * v).sum::<f64>()
-            / (b.desired.len() - tail) as f64;
+        let sig: f64 =
+            b.desired[tail..].iter().map(|v| v * v).sum::<f64>() / (b.desired.len() - tail) as f64;
         assert!(
             mse < sig * 0.05,
             "LMS failed to converge: mse {mse:e} vs signal {sig:e}"

@@ -292,12 +292,8 @@ mod tests {
 
     #[test]
     fn solves_well_conditioned_system() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
         let b = [11.0, -16.0, 17.0];
         let x = lu_solve(&a, &b).unwrap();
         assert!(residual(&a, &x, &b) < 1e-10);
@@ -308,12 +304,7 @@ mod tests {
         // Leading zero pivot: plain Gaussian elimination without pivoting
         // would divide by zero. This is exactly the kriging Γ layout when the
         // first data site coincides in the variogram sense (γ(0) = 0).
-        let a = Matrix::from_rows(&[
-            &[0.0, 1.5, 1.0],
-            &[1.5, 0.0, 1.0],
-            &[1.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[0.0, 1.5, 1.0], &[1.5, 0.0, 1.0], &[1.0, 1.0, 0.0]]).unwrap();
         let b = [2.5, 2.5, 2.0];
         let x = lu_solve(&a, &b).unwrap();
         assert!(residual(&a, &x, &b) < 1e-10);
@@ -361,12 +352,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, 0.0],
-            &[1.0, 3.0, 1.0],
-            &[0.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
         let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
         let prod = a.mul(&inv).unwrap();
         let err = prod.sub(&Matrix::identity(3)).unwrap().max_abs();
@@ -414,7 +400,9 @@ mod tests {
     fn refined_solve_validates_shapes() {
         let a = Matrix::identity(3);
         let lu = LuDecomposition::new(&a).unwrap();
-        assert!(lu.solve_refined(&Matrix::identity(2), &[1.0, 2.0, 3.0]).is_err());
+        assert!(lu
+            .solve_refined(&Matrix::identity(2), &[1.0, 2.0, 3.0])
+            .is_err());
         assert!(lu.solve_refined(&a, &[1.0]).is_err());
     }
 

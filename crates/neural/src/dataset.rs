@@ -40,10 +40,10 @@ pub fn synthetic_images(count: usize, size: usize, seed: u64) -> Vec<Tensor3> {
                 let gratings: Vec<(f64, f64, f64, f64)> = (0..3)
                     .map(|_| {
                         (
-                            rng.gen_range(0.2..2.0),                        // fx (cycles/image)
-                            rng.gen_range(0.2..2.0),                        // fy
-                            rng.gen_range(0.0..std::f64::consts::TAU),      // phase
-                            rng.gen_range(0.2..1.0),                        // amplitude
+                            rng.gen_range(0.2..2.0),                   // fx (cycles/image)
+                            rng.gen_range(0.2..2.0),                   // fy
+                            rng.gen_range(0.0..std::f64::consts::TAU), // phase
+                            rng.gen_range(0.2..1.0),                   // amplitude
                         )
                     })
                     .collect();

@@ -39,7 +39,10 @@ impl Conv2d {
     ///
     /// Panics if any dimension is zero or `kernel` is even.
     pub fn seeded(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Conv2d {
-        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channel counts must be positive"
+        );
         assert!(kernel % 2 == 1, "kernel must be odd for same-padding");
         let mut rng = StdRng::seed_from_u64(seed);
         let fan_in = (in_channels * kernel * kernel) as f64;
@@ -50,7 +53,9 @@ impl Conv2d {
         let weights = (0..out_channels * in_channels * kernel * kernel)
             .map(|_| rng.gen_range(-scale..scale))
             .collect();
-        let bias = (0..out_channels).map(|_| rng.gen_range(-0.01..0.01)).collect();
+        let bias = (0..out_channels)
+            .map(|_| rng.gen_range(-0.01..0.01))
+            .collect();
         Conv2d {
             in_channels,
             out_channels,
@@ -71,11 +76,7 @@ impl Conv2d {
     ///
     /// Panics if `input.channels() != in_channels`.
     pub fn forward(&self, input: &Tensor3) -> Tensor3 {
-        assert_eq!(
-            input.channels(),
-            self.in_channels,
-            "input channel mismatch"
-        );
+        assert_eq!(input.channels(), self.in_channels, "input channel mismatch");
         let (h, w) = (input.height(), input.width());
         let pad = self.kernel / 2;
         let mut out = Tensor3::zeros(self.out_channels, h, w);
@@ -94,11 +95,10 @@ impl Conv2d {
                                 if sx < 0 || sx >= w as isize {
                                     continue;
                                 }
-                                let wgt = self.weights[((oc * self.in_channels + ic)
-                                    * self.kernel
-                                    + ky)
-                                    * self.kernel
-                                    + kx];
+                                let wgt =
+                                    self.weights[((oc * self.in_channels + ic) * self.kernel + ky)
+                                        * self.kernel
+                                        + kx];
                                 acc += wgt * input[(ic, sy as usize, sx as usize)];
                             }
                         }

@@ -336,8 +336,7 @@ mod tests {
         let net = MiniSqueezeNet::seeded(6);
         let img = &synthetic_images(1, 12, 7)[0];
         let clean = net.logits(img);
-        let (_, with_off_sources) =
-            net.classify_with_injection(img, &[f64::NEG_INFINITY; 10], 3);
+        let (_, with_off_sources) = net.classify_with_injection(img, &[f64::NEG_INFINITY; 10], 3);
         assert_eq!(clean, with_off_sources);
     }
 
@@ -359,11 +358,7 @@ mod tests {
         let img = &synthetic_images(1, 12, 11)[0];
         let clean = net.logits(img);
         let (_, noisy) = net.classify_with_injection(img, &[10.0; 10], 0);
-        let diff: f64 = clean
-            .iter()
-            .zip(&noisy)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 = clean.iter().zip(&noisy).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 0.1, "logits barely moved: {diff}");
     }
 

@@ -168,7 +168,6 @@ impl SiteHook for QuantizeHook<'_> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

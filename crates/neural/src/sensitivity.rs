@@ -50,7 +50,11 @@ impl SensitivityBenchmark {
         let net = MiniSqueezeNet::seeded(seed);
         let images = synthetic_images(num_images, size, seed.wrapping_add(1));
         let labels = images.iter().map(|img| net.classify(img)).collect();
-        SensitivityBenchmark { net, images, labels }
+        SensitivityBenchmark {
+            net,
+            images,
+            labels,
+        }
     }
 
     /// Number of error sources (`Nv = 10`).
@@ -84,10 +88,7 @@ impl SensitivityBenchmark {
         }
         for (index, &p) in powers_db.iter().enumerate() {
             if p.is_nan() || p == f64::INFINITY {
-                return Err(NeuralError::InvalidPower {
-                    index,
-                    power_db: p,
-                });
+                return Err(NeuralError::InvalidPower { index, power_db: p });
             }
         }
         let mut agree = 0usize;
@@ -106,7 +107,7 @@ mod tests {
     use super::*;
 
     fn small() -> SensitivityBenchmark {
-        SensitivityBenchmark::new(48, 12, 0x59EE_2E05)
+        SensitivityBenchmark::new(48, 12, 0x59EE_3E05)
     }
 
     #[test]

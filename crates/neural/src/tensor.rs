@@ -113,7 +113,12 @@ impl Tensor3 {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Tensor3::from_vec(self.channels + other.channels, self.height, self.width, data)
+        Tensor3::from_vec(
+            self.channels + other.channels,
+            self.height,
+            self.width,
+            data,
+        )
     }
 
     /// Root-mean-square of all elements (used to scale injected noise

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let err_bits = (p.value - truth).abs() / (10.0 * 2f64.log10());
             worst = worst.max(err_bits);
             if (a + b) % 7 == 0 && shown < 8 {
-                println!("{a:>4} {b:>3} {:>8.2} {:>8.2} {err_bits:>10.3}", p.value, truth);
+                println!(
+                    "{a:>4} {b:>3} {:>8.2} {:>8.2} {err_bits:>10.3}",
+                    p.value, truth
+                );
                 shown += 1;
             }
         }

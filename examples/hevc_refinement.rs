@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  vertical products    {:?}", &result.solution[10..18]);
     println!("  vertical acc/out     {:?}", &result.solution[18..20]);
     println!("  path/final registers {:?}", &result.solution[20..23]);
-    println!("  λ = {:.2} dB after {} greedy iterations", result.lambda, result.iterations);
+    println!(
+        "  λ = {:.2} dB after {} greedy iterations",
+        result.lambda, result.iterations
+    );
 
     let stats = hybrid.stats();
     println!(

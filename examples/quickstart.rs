@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // both faster and far better conditioned).
     let estimator = KrigingEstimator::new(report.model);
     let d = 4.0;
-    println!("\n{:>10} {:>10} {:>10} {:>8}", "target", "kriged", "true", "err");
+    println!(
+        "\n{:>10} {:>10} {:>10} {:>8}",
+        "target", "kriged", "true", "err"
+    );
     for target in [[5.0, 7.0], [7.0, 9.0], [9.0, 5.0], [11.0, 11.0]] {
         let (neighborhood, neighborhood_values): (Vec<Vec<f64>>, Vec<f64>) = sites
             .iter()

@@ -45,13 +45,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = budget_error_sources(&mut hybrid, &opts)?;
     println!("maximal tolerated error powers (p_cl >= 0.9):");
     let names = [
-        "conv1", "maxpool1", "fire1", "fire2", "maxpool2", "fire3", "fire4", "class_conv",
-        "gap", "logits",
+        "conv1",
+        "maxpool1",
+        "fire1",
+        "fire2",
+        "maxpool2",
+        "fire3",
+        "fire4",
+        "class_conv",
+        "gap",
+        "logits",
     ];
     for (name, &level) in names.iter().zip(&result.solution) {
-        println!("  {name:<11} {:>6.0} dB (level {level})", level_to_db(level));
+        println!(
+            "  {name:<11} {:>6.0} dB (level {level})",
+            level_to_db(level)
+        );
     }
-    println!("final p_cl (as seen by the optimizer): {:.3}", result.lambda);
+    println!(
+        "final p_cl (as seen by the optimizer): {:.3}",
+        result.lambda
+    );
     let stats = hybrid.stats();
     println!(
         "{} queries: {} simulated, {} kriged ({:.1} % interpolated)",

@@ -64,12 +64,16 @@ pub use krigeval_neural as neural;
 /// # }
 /// ```
 pub mod prelude {
-    pub use krigeval_core::hybrid::{AuditMetric, HybridEvaluator, HybridSettings, VariogramPolicy};
+    pub use krigeval_core::hybrid::{
+        AuditMetric, HybridEvaluator, HybridSettings, VariogramPolicy,
+    };
     pub use krigeval_core::kriging::{FactoredKriging, KrigingEstimator, SimpleKrigingEstimator};
-    pub use krigeval_core::opt::descent::{budget_error_sources, DescentOptions};
     pub use krigeval_core::opt::cost::CostModel;
+    pub use krigeval_core::opt::descent::{budget_error_sources, DescentOptions};
     pub use krigeval_core::opt::maxminusone::{optimize_descending, MaxMinusOneOptions};
-    pub use krigeval_core::opt::minplusone::{optimize, optimize_with_tie_break, MinPlusOneOptions};
+    pub use krigeval_core::opt::minplusone::{
+        optimize, optimize_with_tie_break, MinPlusOneOptions,
+    };
     pub use krigeval_core::opt::SimulateAll;
     pub use krigeval_core::variogram::{fit_model, EmpiricalVariogram, ModelFamily};
     pub use krigeval_core::{

@@ -64,7 +64,11 @@ fn quantized_cnn_wordlength_optimization_end_to_end() {
     assert!(result.lambda >= 0.9);
     // Optimized word-lengths should be well below the 16-bit ceiling for
     // at least some registers (otherwise the benchmark is degenerate).
-    assert!(result.solution.iter().any(|&w| w < 12), "{:?}", result.solution);
+    assert!(
+        result.solution.iter().any(|&w| w < 12),
+        "{:?}",
+        result.solution
+    );
 }
 
 #[test]
@@ -126,5 +130,8 @@ fn factored_kriging_reconstructs_a_kernel_surface() {
             worst_bits = worst_bits.max((p.value - truth).abs() / (10.0 * 2f64.log10()));
         }
     }
-    assert!(worst_bits < 2.5, "worst reconstruction error {worst_bits} bits");
+    assert!(
+        worst_bits < 2.5,
+        "worst reconstruction error {worst_bits} bits"
+    );
 }

@@ -106,7 +106,11 @@ fn sensitivity_budgeting_respects_quality_floor() {
     assert!(result.lambda >= 0.9);
     // At least one source must have been raised above the floor, otherwise
     // the benchmark is degenerate.
-    assert!(result.solution.iter().any(|&l| l > 0), "{:?}", result.solution);
+    assert!(
+        result.solution.iter().any(|&l| l > 0),
+        "{:?}",
+        result.solution
+    );
 }
 
 #[test]

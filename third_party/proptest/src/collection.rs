@@ -1,0 +1,157 @@
+//! Collection strategies: `vec` and `btree_set` with flexible size specs.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// How many elements a collection strategy produces (stub counterpart of
+/// `proptest::collection::SizeRange`): an inclusive-lower, exclusive-upper
+/// bound pair.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.min < self.max_exclusive);
+        let span = (self.max_exclusive - self.min) as u64;
+        self.min + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// A strategy for `Vec<E::Value>` with a size drawn from `size`.
+pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<E> {
+    element: E,
+    size: SizeRange,
+}
+
+impl<E: Strategy> Strategy for VecStrategy<E> {
+    type Value = Vec<E::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `BTreeSet<E::Value>` with a size drawn from `size`.
+///
+/// As in the real crate, the element strategy must be able to produce enough
+/// distinct values to reach the minimum size; generation panics after a
+/// bounded number of duplicate draws otherwise.
+pub fn btree_set<E>(element: E, size: impl Into<SizeRange>) -> BTreeSetStrategy<E>
+where
+    E: Strategy,
+    E::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<E> {
+    element: E,
+    size: SizeRange,
+}
+
+impl<E> Strategy for BTreeSetStrategy<E>
+where
+    E: Strategy,
+    E::Value: Ord,
+{
+    type Value = BTreeSet<E::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<E::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        let max_attempts = 100 * (target + 1);
+        while set.len() < target {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+            assert!(
+                attempts < max_attempts,
+                "btree_set strategy could not reach {target} distinct elements \
+                 after {attempts} draws"
+            );
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_fixed_size_is_exact() {
+        let s = vec(-10.0f64..10.0, 25usize);
+        let mut rng = TestRng::for_case("vec_fixed", 0);
+        assert_eq!(s.generate(&mut rng).len(), 25);
+    }
+
+    #[test]
+    fn vec_ranged_size_stays_in_range() {
+        let s = vec(0i32..5, 1..50);
+        for case in 0..200 {
+            let mut rng = TestRng::for_case("vec_ranged", case);
+            let v = s.generate(&mut rng);
+            assert!((1..50).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_with_distinct_elements() {
+        let s = btree_set(-20i32..20, 3..8);
+        for case in 0..200 {
+            let mut rng = TestRng::for_case("btree", case);
+            let set = s.generate(&mut rng);
+            assert!((3..8).contains(&set.len()), "len {}", set.len());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros, the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, range and tuple
+//! strategies, and `collection::{vec, btree_set}`.
+//!
+//! Differences from the real crate, deliberate for an offline stub:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message's seed and case index) but is not minimized.
+//! * **Deterministic cases.** Each test's stream is a pure function of the
+//!   test name and case index, so failures reproduce exactly across runs
+//!   and machines — there is no `proptest-regressions` persistence because
+//!   none is needed.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `fn` runs `ProptestConfig::cases` times
+/// with fresh inputs drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( @cfg($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut rng,
+                        );
+                    )*
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            e,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current property case instead of panicking
+/// directly (the runner adds the case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    format!("assertion failed: {}", stringify!($cond)),
+                ),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    format!($($fmt)+),
+                ),
+            );
+        }
+    };
+}
+
+/// Discards the current case when `cond` does not hold. The real crate
+/// counts rejections and fails after too many; this stub simply skips the
+/// case, which is equivalent for the low rejection rates the workspace's
+/// properties have.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// `assert_eq!` for property cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// `assert_ne!` for property cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn int_ranges_in_bounds(x in -64i32..64, y in 2i32..17) {
+            prop_assert!((-64..64).contains(&x));
+            prop_assert!((2..17).contains(&y));
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(x in -8.0f64..8.0) {
+            prop_assert!((-8.0..8.0).contains(&x));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0i32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!((0..20).contains(&v));
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(
+            (a, b) in (-100.0f64..100.0, 0.0f64..50.0),
+        ) {
+            prop_assert!((-100.0..100.0).contains(&a));
+            prop_assert!((0.0..50.0).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn config_override_is_accepted(x in 0i32..5) {
+            prop_assert!((0..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let s = 0i64..1_000_000_000;
+        let a: Vec<i64> = (0..10)
+            .map(|i| s.generate(&mut crate::test_runner::TestRng::for_case("t", i)))
+            .collect();
+        let b: Vec<i64> = (0..10)
+            .map(|i| s.generate(&mut crate::test_runner::TestRng::for_case("t", i)))
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<i64> = (0..10)
+            .map(|i| s.generate(&mut crate::test_runner::TestRng::for_case("u", i)))
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0i32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,402 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal, API-compatible subset of serde (see `third_party/README.md`).
+//! Instead of the real crate's visitor-based zero-copy architecture, this
+//! stub round-trips everything through an owned JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`Value`];
+//! * [`Deserialize`] rebuilds a type from a [`Value`];
+//! * the vendored `serde_json` prints/parses [`Value`] as JSON text.
+//!
+//! The derive macros (`#[derive(Serialize, Deserialize)]`) are re-exported
+//! from the vendored `serde_derive` and cover non-generic structs and enums
+//! with serde's externally-tagged enum representation, which keeps the JSON
+//! written by this workspace byte-compatible with the real serde for the
+//! types it contains.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// The traits deliberately share the derive macros' names, exactly as in the
+// real serde crate (trait and macro live in different namespaces).
+mod value;
+
+pub use value::{Number, Value};
+
+/// Deserialization error: what was expected, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An arbitrary error message.
+    pub fn custom(message: impl Into<String>) -> DeError {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, ty: &str) -> DeError {
+        DeError {
+            message: format!("expected {what} while deserializing {ty}"),
+        }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> DeError {
+        DeError {
+            message: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> DeError {
+        DeError {
+            message: format!("unknown variant `{variant}` of {ty}"),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into a [`Value`] tree (stub counterpart of
+/// `serde::Serialize`).
+pub trait Serialize {
+    /// Converts to the intermediate value tree.
+    fn serialize_to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`] tree (stub counterpart of
+/// `serde::Deserialize` / `DeserializeOwned`).
+pub trait Deserialize: Sized {
+    /// Converts from the intermediate value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Ordered-object field lookup used by the derive macros.
+#[doc(hidden)]
+pub fn __get_field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_to_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_to_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        let n = value
+            .as_u64()
+            .ok_or_else(|| DeError::expected("unsigned integer", "usize"))?;
+        usize::try_from(n).map_err(|_| DeError::expected("in-range integer", "usize"))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_to_value(&self) -> Value {
+        (*self as i64).serialize_to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        let n = value
+            .as_i64()
+            .ok_or_else(|| DeError::expected("integer", "isize"))?;
+        isize::try_from(n).map_err(|_| DeError::expected("in-range integer", "isize"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_to_value(&self) -> Value {
+        (**self).serialize_to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_to_value(&self) -> Value {
+        (**self).serialize_to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        T::deserialize_from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_from_value).collect(),
+            _ => Err(DeError::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_to_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_to_value(),
+            self.1.serialize_to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == 2 => Ok((
+                A::deserialize_from_value(&items[0])?,
+                B::deserialize_from_value(&items[1])?,
+            )),
+            _ => Err(DeError::expected("2-element array", "tuple")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(
+            i32::deserialize_from_value(&7i32.serialize_to_value()),
+            Ok(7)
+        );
+        assert_eq!(
+            i32::deserialize_from_value(&(-7i32).serialize_to_value()),
+            Ok(-7)
+        );
+        assert_eq!(
+            u64::deserialize_from_value(&u64::MAX.serialize_to_value()),
+            Ok(u64::MAX)
+        );
+        assert_eq!(
+            f64::deserialize_from_value(&1.5f64.serialize_to_value()),
+            Ok(1.5)
+        );
+        assert_eq!(
+            String::deserialize_from_value(&"hi".to_string().serialize_to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn integers_deserialize_as_floats() {
+        // JSON "3" must satisfy an f64 field.
+        let v = 3i32.serialize_to_value();
+        assert_eq!(f64::deserialize_from_value(&v), Ok(3.0));
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<Vec<i32>> = Some(vec![1, -2, 3]);
+        let tree = v.serialize_to_value();
+        assert_eq!(Option::<Vec<i32>>::deserialize_from_value(&tree), Ok(v));
+        let none: Option<i32> = None;
+        assert_eq!(none.serialize_to_value(), Value::Null);
+        assert_eq!(
+            Option::<i32>::deserialize_from_value(&Value::Null),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        let big = Value::Number(Number::PosInt(300));
+        assert!(u8::deserialize_from_value(&big).is_err());
+        let neg = Value::Number(Number::NegInt(-1));
+        assert!(u32::deserialize_from_value(&neg).is_err());
+    }
+}

@@ -1,0 +1,468 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no network access and no vendored crates.io
+//! sources, so the workspace ships a minimal, API-compatible subset of the
+//! serde ecosystem under `third_party/` (see `third_party/README.md`).
+//!
+//! This proc-macro crate implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the vendored `serde` crate's value-tree
+//! traits. It parses the item token stream by hand (no `syn`/`quote`) and
+//! supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums whose variants are unit, named-field, or tuple — serialized with
+//!   serde's externally-tagged representation (`"Variant"` /
+//!   `{"Variant": {...}}`).
+//!
+//! Generic type parameters and `#[serde(...)]` attributes are *not*
+//! supported; deriving on such an item produces a compile error naming this
+//! file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let generated = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("::core::compile_error!({:?});", msg),
+    };
+    generated
+        .parse()
+        .unwrap_or_else(|e| panic!("serde_derive stub produced unparsable code: {e}\n{generated}"))
+}
+
+/// The shapes we can derive for.
+enum Item {
+    Named {
+        name: String,
+        fields: Vec<String>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Unit {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Variant {
+    Unit(String),
+    Named { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generic type `{name}` \
+             (see third_party/serde_derive/src/lib.rs)"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Named {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Tuple {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Unit { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past any `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skips a type (or any token run) up to the next comma at angle-bracket
+/// depth zero; returns the index *of* that comma or `toks.len()`.
+fn skip_to_toplevel_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.get(i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    loop {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(tok) = toks.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected field name, found {tok:?}"));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        i = skip_to_toplevel_comma(&toks, i);
+        i += 1; // past the comma (or the end)
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        i = skip_to_toplevel_comma(&toks, i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    loop {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(tok) = toks.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected variant name, found {tok:?}"));
+        };
+        let name = id.to_string();
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Named {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                });
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                });
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip an optional explicit discriminant, then the separating comma.
+        i = skip_to_toplevel_comma(&toks, i);
+        i += 1;
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Named { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::serialize_to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(__fields)\n}}\n}}"
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::serialize_to_value(&self.0)\n}}\n}}"
+        ),
+        Item::Tuple { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|k| format!("::serde::Serialize::serialize_to_value(&self.{k}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Array(vec![{items}])\n}}\n}}"
+            )
+        }
+        Item::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Value::Null\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => {
+                        format!("{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n")
+                    }
+                    Variant::Named { name: vn, fields } => {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__fields.push(({f:?}.to_string(), \
+                                     ::serde::Serialize::serialize_to_value({f})));"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\n\
+                             ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Object(__fields))])\n}}\n"
+                        )
+                    }
+                    Variant::Tuple { name: vn, arity: 1 } => format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::serialize_to_value(__f0))]),\n"
+                    ),
+                    Variant::Tuple { name: vn, arity } => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Array(vec![{items}]))]),\n",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn named_field_reads(owner: &str, fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match ::serde::__get_field({src}, {f:?}) {{\n\
+                 Some(__x) => ::serde::Deserialize::deserialize_from_value(__x)?,\n\
+                 None => return ::core::result::Result::Err(\
+                 ::serde::DeError::missing_field({f:?}, {owner:?})),\n}},\n"
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Named { name, fields } => {
+            let reads = named_field_reads(name, fields, "__obj");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_from_value(__v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", {name:?}))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{reads}\n}})\n}}\n}}"
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_from_value(__v: &::serde::Value) -> \
+             ::core::result::Result<Self, ::serde::DeError> {{\n\
+             ::core::result::Result::Ok({name}(\
+             ::serde::Deserialize::deserialize_from_value(__v)?))\n}}\n}}"
+        ),
+        Item::Tuple { name, arity } => {
+            let reads: String = (0..*arity)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::deserialize_from_value(\
+                         __items.get({k}).ok_or_else(|| \
+                         ::serde::DeError::expected(\"array element\", {name:?}))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_from_value(__v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", {name:?}))?;\n\
+                 ::core::result::Result::Ok({name}({reads}))\n}}\n}}"
+            )
+        }
+        Item::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_from_value(_: &::serde::Value) -> \
+             ::core::result::Result<Self, ::serde::DeError> {{\n\
+             ::core::result::Result::Ok({name})\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Named { name: vn, fields } => {
+                        let reads = named_field_reads(name, fields, "__obj");
+                        Some(format!(
+                            "{vn:?} => {{\nlet __obj = __val.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", {name:?}))?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n{reads}\n}})\n}}\n"
+                        ))
+                    }
+                    Variant::Tuple { name: vn, arity: 1 } => Some(format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_from_value(__val)?)),\n"
+                    )),
+                    Variant::Tuple { name: vn, arity } => {
+                        let reads: String = (0..*arity)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::deserialize_from_value(\
+                                     __items.get({k}).ok_or_else(|| \
+                                     ::serde::DeError::expected(\"array element\", {name:?}))?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{vn:?} => {{\nlet __items = __val.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\", {name:?}))?;\n\
+                             ::core::result::Result::Ok({name}::{vn}({reads}))\n}}\n"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_from_value(__v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, {name:?})),\n}},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__key, __val) = &__entries[0];\n\
+                 match __key.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, {name:?})),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::DeError::expected(\
+                 \"variant string or single-key object\", {name:?})),\n}}\n}}\n}}"
+            )
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Prints and parses JSON text over the vendored serde's [`Value`] tree.
+//! Numbers keep their integer/float identity (`u64`/`i64`/`f64`), floats use
+//! Rust's shortest-roundtrip `{}` formatting (equivalent to the real crate's
+//! `float_roundtrip` feature), and object keys keep insertion order, so
+//! output is deterministic.
+
+pub use serde::{Number, Value};
+
+mod parse;
+mod print;
+
+/// A JSON serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn at(message: impl Into<String>, offset: usize) -> Error {
+        Error {
+            message: format!("{} at byte {offset}", message.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the types this workspace serializes; the `Result` mirrors
+/// the real serde_json signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    print::write_value(&mut out, &value.serialize_to_value());
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (2-space indent, as the
+/// real serde_json).
+///
+/// # Errors
+///
+/// Never fails for the types this workspace serializes.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    print::write_value_pretty(&mut out, &value.serialize_to_value(), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON to an `io::Write` sink.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or when the parsed shape does not
+/// match `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::deserialize_from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_print_as_json() {
+        assert_eq!(to_string(&Value::Null).unwrap(), "null");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 2.5e17, f64::MAX, -0.0] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_a_float_marker() {
+        // 2.0 must not print as "2": it would come back as an integer and
+        // change Value equality.
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        let back: Value = from_str("2.0").unwrap();
+        assert_eq!(back, Value::Number(Number::Float(2.0)));
+    }
+
+    #[test]
+    fn non_finite_floats_print_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn arrays_and_objects_round_trip() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("fir".to_string())),
+            (
+                "levels".to_string(),
+                Value::Array(vec![
+                    Value::Number(Number::PosInt(4)),
+                    Value::Number(Number::PosInt(9)),
+                ]),
+            ),
+            ("model".to_string(), Value::Null),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"name":"fir","levels":[4,9],"model":null}"#);
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let v = Value::Object(vec![(
+            "a".to_string(),
+            Value::Array(vec![Value::Bool(true)]),
+        )]);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    true\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn parses_whitespace_escapes_and_unicode() {
+        let v: Value = from_str(" { \"k\" : \"\\u0041\\t\\\\\" , \"n\" : -12e2 } ").unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_str), Some("A\t\\"));
+        assert_eq!(v.get("n"), Some(&Value::Number(Number::Float(-1200.0))));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let text = to_string(&u64::MAX).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, u64::MAX);
+    }
+}

@@ -1,0 +1,117 @@
+//! JSON text output: compact and pretty writers over [`Value`].
+
+use serde::{Number, Value};
+
+pub(crate) fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn write_value_pretty(out: &mut String, value: &Value, depth: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                indent(out, depth + 1);
+                write_value_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                indent(out, depth + 1);
+                write_string(out, key);
+                out.push_str(": ");
+                write_value_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    use std::fmt::Write;
+    match *n {
+        Number::PosInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::NegInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(f) => {
+            if !f.is_finite() {
+                // JSON has no NaN/Infinity; the real serde_json errors here,
+                // but for diagnostics output null is friendlier than a panic.
+                out.push_str("null");
+            } else if f == f.trunc() && f.abs() < 1e16 {
+                // Keep a ".0" marker so the value re-parses as a float.
+                let _ = write!(out, "{f:.1}");
+            } else {
+                // Rust's `{}` for f64 is shortest-roundtrip.
+                let _ = write!(out, "{f}");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
