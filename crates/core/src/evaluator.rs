@@ -79,6 +79,71 @@ impl<T: AccuracyEvaluator + ?Sized> AccuracyEvaluator for Box<T> {
     }
 }
 
+/// Rejects non-finite metric values at the evaluator boundary.
+///
+/// A simulator that returns `NaN` or `±∞` (overflowed accumulator, division
+/// by a zero reference, an injected fault) must not leak the value into the
+/// hybrid evaluator: a non-finite λ stored as kriging data corrupts every
+/// later interpolation that uses it as a neighbour, and a non-finite value
+/// fed to an optimizer corrupts its comparisons. `FiniteGuard` converts such
+/// values into a deterministic [`EvalError`] instead, so callers handle them
+/// through the ordinary failure path (retry, skip, or abort) and the kriging
+/// data set stays finite by construction.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::{AccuracyEvaluator, FiniteGuard, FnEvaluator};
+///
+/// let mut ev = FiniteGuard::new(FnEvaluator::new(1, |w| {
+///     Ok(if w[0] == 0 { f64::NAN } else { f64::from(w[0]) })
+/// }));
+/// assert_eq!(ev.evaluate(&vec![3]).unwrap(), 3.0);
+/// assert!(ev.evaluate(&vec![0]).is_err());
+/// ```
+#[derive(Debug)]
+pub struct FiniteGuard<E> {
+    inner: E,
+}
+
+impl<E: AccuracyEvaluator> FiniteGuard<E> {
+    /// Wraps `inner`.
+    pub fn new(inner: E) -> FiniteGuard<E> {
+        FiniteGuard { inner }
+    }
+
+    /// Borrows the wrapped evaluator.
+    pub fn inner_ref(&self) -> &E {
+        &self.inner
+    }
+
+    /// Consumes the guard and returns the inner evaluator.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: AccuracyEvaluator> AccuracyEvaluator for FiniteGuard<E> {
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
+        let value = self.inner.evaluate(config)?;
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(EvalError::msg(format!(
+                "non-finite metric value {value} for configuration {config:?}"
+            )))
+        }
+    }
+
+    fn num_variables(&self) -> usize {
+        self.inner.num_variables()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.inner.evaluations()
+    }
+}
+
 /// Adapts a closure into an [`AccuracyEvaluator`], counting calls.
 ///
 /// # Examples
@@ -169,6 +234,37 @@ mod tests {
         let wrapped = EvalError::wrap(std::io::Error::other("inner"));
         assert!(Error::source(&wrapped).is_some());
         assert!(wrapped.to_string().contains("inner"));
+    }
+
+    #[test]
+    fn finite_guard_passes_finite_and_rejects_nan_and_inf() {
+        let mut ev = FiniteGuard::new(FnEvaluator::new(1, |w: &Config| {
+            Ok(match w[0] {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                n => f64::from(n),
+            })
+        }));
+        assert_eq!(ev.evaluate(&vec![5]).unwrap(), 5.0);
+        for bad in 0..3 {
+            let err = ev.evaluate(&vec![bad]).unwrap_err();
+            assert!(err.to_string().contains("non-finite metric value"), "{err}");
+        }
+        // The guard is transparent for accounting: all four calls reached
+        // the simulator.
+        assert_eq!(ev.evaluations(), 4);
+        assert_eq!(ev.num_variables(), 1);
+        assert_eq!(ev.into_inner().evaluations(), 4);
+    }
+
+    #[test]
+    fn finite_guard_error_message_is_deterministic() {
+        let mut ev = FiniteGuard::new(FnEvaluator::new(2, |_: &Config| Ok(f64::NAN)));
+        let a = ev.evaluate(&vec![3, 4]).unwrap_err().to_string();
+        let b = ev.evaluate(&vec![3, 4]).unwrap_err().to_string();
+        assert_eq!(a, b);
+        assert!(a.contains("[3, 4]"), "{a}");
     }
 
     #[test]

@@ -430,6 +430,7 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
                     for (&i, p) in members.iter().zip(&predictions) {
                         let slot = pending[i].slot;
                         if !p.value.is_finite()
+                            || !p.variance.is_finite()
                             || p.value < lo - 2.0 * spread
                             || p.value > hi + 2.0 * spread
                         {
@@ -530,7 +531,11 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let spread = (hi - lo).max(1e-9);
-        if !p.value.is_finite() || p.value < lo - 2.0 * spread || p.value > hi + 2.0 * spread {
+        if !p.value.is_finite()
+            || !p.variance.is_finite()
+            || p.value < lo - 2.0 * spread
+            || p.value > hi + 2.0 * spread
+        {
             return Err(crate::CoreError::SingularSystem { sites: sites.len() });
         }
         Ok((p.value, p.variance))
@@ -859,6 +864,80 @@ mod tests {
         }
         assert!(h.model().is_some());
         assert!(h.fit_report().is_some());
+    }
+
+    #[test]
+    fn near_duplicate_sites_do_not_escalate_to_errors() {
+        // A restored session can hold the same configuration twice with
+        // noisy values (merged journals of a stochastic simulator). The
+        // kriging matrix then has duplicate rows — classically singular.
+        // The per-prediction contract: the system is either regularized or
+        // the query falls back to simulation (counted in
+        // `kriging_failures`); a `CoreError::SingularSystem` must never
+        // surface as an optimizer-level error.
+        let mut s = settings(5.0);
+        s.variogram = VariogramPolicy::Fixed(VariogramModel::linear(1.0));
+        let mut h = HybridEvaluator::new(smooth_eval(), s);
+        h.restore(crate::hybrid_snapshot::SessionSnapshot {
+            configs: vec![vec![8, 8], vec![8, 8], vec![9, 8], vec![8, 9], vec![7, 8]],
+            values: vec![60.0, 60.3, 54.0, 55.0, 66.0],
+            model: None,
+            stats: HybridStats {
+                queries: 5,
+                simulated: 5,
+                ..HybridStats::default()
+            },
+        });
+        let out = h.evaluate(&vec![9, 9]).expect("query must not error");
+        // Whichever way the solver resolved it, the query was answered and
+        // the accounting stayed consistent.
+        let s = h.stats();
+        assert_eq!(s.queries, 6);
+        assert_eq!(s.queries, s.simulated + s.kriged + s.cache_hits);
+        let _ = out;
+    }
+
+    #[test]
+    fn implausible_prediction_falls_back_to_simulation_per_query() {
+        // Colinear sites under an ultra-smooth Gaussian model make the
+        // extrapolation weights oscillate (polynomial-extrapolation
+        // behaviour); with near-constant jittered values the prediction
+        // leaves the plausibility envelope. That must be a *per-query*
+        // fall-back-to-simulation decision counted in `kriging_failures`,
+        // not an error.
+        let mut s = settings(10.0);
+        s.variogram =
+            VariogramPolicy::Fixed(VariogramModel::gaussian(0.0, 1.0, 50.0).expect("valid model"));
+        let configs: Vec<Config> = (4..=11).map(|a| vec![a, 8]).collect();
+        let values: Vec<f64> = (0..configs.len())
+            .map(|i| 60.0 + if i % 2 == 0 { 1e-3 } else { -1e-3 })
+            .collect();
+        let n = configs.len() as u64;
+        let mut h = HybridEvaluator::new(FnEvaluator::new(2, |_: &Config| Ok(60.0)), s);
+        h.restore(crate::hybrid_snapshot::SessionSnapshot {
+            configs,
+            values,
+            model: None,
+            stats: HybridStats {
+                queries: n,
+                simulated: n,
+                ..HybridStats::default()
+            },
+        });
+        // Extrapolate past the end of the line.
+        let out = h.evaluate(&vec![14, 8]).expect("fallback, not an error");
+        assert!(
+            matches!(out, Outcome::Simulated { .. }),
+            "expected simulation fallback, got {out:?}"
+        );
+        assert_eq!(h.stats().kriging_failures, 1, "fallback must be counted");
+        // The session remains usable: an interior query still kriges.
+        let interior = h.evaluate(&vec![7, 8]).unwrap();
+        let _ = interior;
+        assert_eq!(
+            h.stats().queries,
+            h.stats().simulated + h.stats().kriged + h.stats().cache_hits
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod variogram;
 
 pub use distance::DistanceMetric;
 pub use error::CoreError;
-pub use evaluator::{AccuracyEvaluator, EvalError, FnEvaluator};
+pub use evaluator::{AccuracyEvaluator, EvalError, FiniteGuard, FnEvaluator};
 pub use hybrid::{HybridEvaluator, HybridSettings, HybridStats, Outcome, VariogramPolicy};
 pub use hybrid_snapshot::SessionSnapshot;
 pub use kriging::KrigingEstimator;

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     krigeval_engine::write_jsonl(
         &mut stdout,
         &outcome.records,
+        &outcome.failures,
         &outcome.summary(&spec.name, false),
         SinkOptions::default(),
     )?;

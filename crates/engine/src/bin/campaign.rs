@@ -24,18 +24,31 @@
 //! --repeats N        repeats per cell with derived seeds (default 1)
 //! --workers N        worker threads           (default 4)
 //! --out FILE         write JSONL to FILE instead of stdout
-//! --timing           include wall-clock fields in the JSONL
+//! --on-error P       fail-fast | skip | retry:N  (default fail-fast;
+//!                    overrides the spec's on_error field)
+//! --resume           continue an interrupted campaign from the journal
+//!                    in --out: rows already journalled are replayed,
+//!                    only the missing runs execute (requires --out)
+//! --timing           include wall-clock fields in the JSONL (off keeps
+//!                    output byte-identical across worker counts and
+//!                    resumes)
 //! --quiet            suppress stderr progress lines
 //! ```
+//!
+//! With `--out`, `run` streams every completed row to the file as a
+//! flushed journal line and rewrites the file in finalized form (rows
+//! in index order plus the summary) on success — killing the process
+//! mid-campaign leaves a valid journal for `--resume`.
 
 use std::fs;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use krigeval_engine::executor::{run_campaign, Progress};
-use krigeval_engine::sink::{to_jsonl_string, SinkOptions};
+use krigeval_engine::executor::{run_campaign, run_specs_opts, ExecOptions, Progress};
+use krigeval_engine::fault::FaultPolicy;
+use krigeval_engine::sink::{load_journal, to_jsonl_string, JournalWriter, SinkOptions};
 use krigeval_engine::spec::{CampaignSpec, OptimizerSpec, VariogramSpec};
-use krigeval_engine::RunRecord;
+use krigeval_engine::{RunRecord, SummaryRecord};
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("campaign: {message}");
@@ -126,6 +139,7 @@ struct Cli {
     out: Option<String>,
     timing: bool,
     quiet: bool,
+    resume: bool,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -135,6 +149,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         out: None,
         timing: false,
         quiet: false,
+        resume: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -167,6 +182,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--no-audit" => cli.spec.audit = false,
             "--workers" => cli.workers = value()?.parse().map_err(|_| "bad --workers")?,
             "--out" => cli.out = Some(value()?.to_string()),
+            "--on-error" => cli.spec.on_error = Some(FaultPolicy::parse(value()?)?),
+            "--resume" => cli.resume = true,
             "--timing" => cli.timing = true,
             "--quiet" => cli.quiet = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -191,24 +208,96 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
     } else {
         Progress::Stderr
     };
-    let outcome = run_campaign(&cli.spec, cli.workers, progress).map_err(|e| e.to_string())?;
-    let summary = outcome.summary(&cli.spec.name, cli.timing);
     let options = SinkOptions {
         include_timing: cli.timing,
     };
-    emit(cli, &to_jsonl_string(&outcome.records, &summary, options))?;
+
+    // Resume: replay the journalled rows, execute only the remainder.
+    let (mut records, mut failures) = if cli.resume {
+        let path = cli
+            .out
+            .as_deref()
+            .ok_or_else(|| "--resume needs --out (the journal to continue)".to_string())?;
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read journal {path}: {e}"))?;
+        load_journal(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let done: std::collections::HashSet<u64> = records
+        .iter()
+        .map(|r| r.index)
+        .chain(failures.iter().map(|f| f.index))
+        .collect();
+
+    let all_runs = cli.spec.expand().map_err(|e| e.to_string())?;
+    let total = all_runs.len();
+    let runs: Vec<_> = all_runs
+        .into_iter()
+        .filter(|r| !done.contains(&r.index))
+        .collect();
+    if cli.resume && !cli.quiet {
+        eprintln!(
+            "resuming {:?}: {} of {total} rows journalled, {} to run",
+            cli.spec.name,
+            done.len(),
+            runs.len()
+        );
+    }
+
+    // With --out, stream every completed row to the file so a killed
+    // campaign can resume; the file is rewritten finalized below.
+    let journal = match (&cli.out, cli.resume) {
+        (Some(path), false) => {
+            Some(JournalWriter::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
+        }
+        (Some(path), true) => {
+            Some(JournalWriter::append(path).map_err(|e| format!("cannot append {path}: {e}"))?)
+        }
+        (None, _) => None,
+    };
+    let outcome = run_specs_opts(
+        runs,
+        ExecOptions {
+            workers: cli.workers,
+            progress,
+            policy: cli.spec.on_error.unwrap_or_default(),
+            journal: journal.as_ref(),
+            journal_options: options,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    drop(journal);
+
+    records.extend(outcome.records.iter().cloned());
+    records.sort_by_key(|r| r.index);
+    failures.extend(outcome.failures.iter().cloned());
+    failures.sort_by_key(|f| f.index);
+    let summary = SummaryRecord::from_records(
+        &cli.spec.name,
+        &records,
+        &failures,
+        outcome.cache,
+        outcome.workers,
+        cli.timing.then_some(outcome.wall_ms),
+    );
+    emit(
+        cli,
+        &to_jsonl_string(&records, &failures, &summary, options),
+    )?;
     if !cli.quiet {
         eprintln!(
-            "campaign {:?}: {} runs on {} workers in {:.0} ms; sims {} / kriges {}; \
-             shared cache {} hits / {} lookups",
+            "campaign {:?}: {} runs ({} failed) on {} workers in {:.0} ms; \
+             sims {} / kriges {}; shared cache {} hits / {} lookups",
             cli.spec.name,
-            outcome.records.len(),
+            records.len(),
+            failures.len(),
             outcome.workers,
             outcome.wall_ms,
             summary.total_simulated,
             summary.total_kriged,
-            summary.sim_cache_hits,
-            summary.sim_cache_lookups,
+            outcome.cache.hits,
+            outcome.cache.lookups,
         );
     }
     Ok(())

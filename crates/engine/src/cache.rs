@@ -24,10 +24,17 @@
 //! points must never feed back into kriging data, and a cached value is
 //! indistinguishable from a fresh simulation), so enabling it changes
 //! wall-clock time, not results.
+//!
+//! **Failure containment:** a computation that returns `Err` *or panics*
+//! withdraws its pending marker and wakes every waiter, so one crashed
+//! simulation can never wedge concurrent runs of the same configuration —
+//! they retry the computation themselves. Shard locks recover from
+//! poisoning (see [`Shard::lock`]): a panicking holder leaves the map
+//! consistent, never half-written.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use krigeval_core::evaluator::{AccuracyEvaluator, EvalError};
 use krigeval_core::Config;
@@ -50,6 +57,49 @@ enum Slot {
 struct Shard {
     map: Mutex<HashMap<Key, Slot>>,
     ready: Condvar,
+}
+
+impl Shard {
+    /// Locks the shard map, **recovering from poisoning**.
+    ///
+    /// Poison recovery is sound here because every critical section performs
+    /// a single `HashMap` operation (`get` / `insert` / `remove`), each of
+    /// which leaves the map structurally consistent even if the holding
+    /// thread panics immediately after: a poisoned shard never contains a
+    /// half-written entry, only complete `Pending`/`Ready` slots. Stale
+    /// `Pending` markers left by a panicked computation are cleared by
+    /// [`PendingGuard`], not by lock poisoning.
+    fn lock(&self) -> MutexGuard<'_, HashMap<Key, Slot>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Clears a `Pending` marker if the computing closure unwinds.
+///
+/// Without this, a panic inside `compute` would leave the marker in place
+/// forever and every concurrent [`SimCache::get_or_compute`] on the same key
+/// would block on the condvar indefinitely. Dropping the guard during unwind
+/// removes the marker and wakes all waiters, so they race to retry the
+/// computation instead of wedging.
+struct PendingGuard<'a> {
+    shard: &'a Shard,
+    key: Option<Key>,
+}
+
+impl PendingGuard<'_> {
+    /// Disarms the guard: the caller has taken over the marker.
+    fn disarm(&mut self) -> Key {
+        self.key.take().expect("pending guard disarmed twice")
+    }
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.shard.lock().remove(&key);
+            self.shard.ready.notify_all();
+        }
+    }
 }
 
 /// Aggregate cache counters, defined so they are **deterministic** for a
@@ -100,7 +150,7 @@ impl SimCache {
     pub fn get(&self, namespace: &str, config: &Config) -> Option<f64> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard(namespace, config);
-        let map = shard.map.lock().expect("cache poisoned");
+        let map = shard.lock();
         match map.get(&(namespace.to_string(), config.clone())) {
             Some(Slot::Ready(v)) => Some(*v),
             _ => None,
@@ -111,7 +161,7 @@ impl SimCache {
     /// racing on the same key store the same deterministic value).
     pub fn insert(&self, namespace: &str, config: &Config, value: f64) {
         let shard = self.shard(namespace, config);
-        let mut map = shard.map.lock().expect("cache poisoned");
+        let mut map = shard.lock();
         map.insert((namespace.to_string(), config.clone()), Slot::Ready(value));
         shard.ready.notify_all();
     }
@@ -124,7 +174,10 @@ impl SimCache {
     /// # Errors
     ///
     /// Propagates `compute`'s error; the pending marker is withdrawn so a
-    /// later caller retries the computation.
+    /// later caller retries the computation. The marker is likewise
+    /// withdrawn — and waiters woken — if `compute` **panics**, so a crashed
+    /// simulation can never wedge concurrent runs of the same configuration
+    /// (the panic itself continues to unwind to the caller).
     pub fn get_or_compute(
         &self,
         namespace: &str,
@@ -134,12 +187,12 @@ impl SimCache {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard(namespace, config);
         let key: Key = (namespace.to_string(), config.clone());
-        let mut map = shard.map.lock().expect("cache poisoned");
+        let mut map = shard.lock();
         loop {
             match map.get(&key) {
                 Some(Slot::Ready(v)) => return Ok((*v, true)),
                 Some(Slot::Pending) => {
-                    map = shard.ready.wait(map).expect("cache poisoned");
+                    map = shard.ready.wait(map).unwrap_or_else(|e| e.into_inner());
                 }
                 None => {
                     map.insert(key.clone(), Slot::Pending);
@@ -148,8 +201,14 @@ impl SimCache {
             }
         }
         drop(map);
+        // Armed across `compute`: clears the marker on unwind.
+        let mut pending = PendingGuard {
+            shard,
+            key: Some(key),
+        };
         let outcome = compute();
-        let mut map = shard.map.lock().expect("cache poisoned");
+        let key = pending.disarm();
+        let mut map = shard.lock();
         match outcome {
             Ok(value) => {
                 map.insert(key, Slot::Ready(value));
@@ -169,9 +228,7 @@ impl SimCache {
         self.shards
             .iter()
             .map(|s| {
-                s.map
-                    .lock()
-                    .expect("cache poisoned")
+                s.lock()
                     .values()
                     .filter(|slot| matches!(slot, Slot::Ready(_)))
                     .count()
@@ -380,6 +437,79 @@ mod tests {
             }
         });
         assert_eq!(cache.len(), 200);
+    }
+
+    #[test]
+    fn panicking_computation_clears_the_pending_marker() {
+        let cache = Arc::new(SimCache::new());
+        let w = vec![9];
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_compute("ns", &w, || panic!("injected simulator crash"));
+        }));
+        assert!(panicked.is_err(), "panic must propagate to the caller");
+        // The marker is gone: a later caller computes instead of wedging.
+        let (v, hit) = cache.get_or_compute("ns", &w, || Ok(4.0)).unwrap();
+        assert_eq!((v, hit), (4.0, false));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn panicking_computation_wakes_concurrent_waiters() {
+        use std::sync::atomic::AtomicU64;
+        let cache = Arc::new(SimCache::new());
+        let w = vec![3];
+        let computes = AtomicU64::new(0);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            // Crasher: takes the pending marker, signals the waiter, then
+            // panics mid-computation.
+            scope.spawn(|| {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = cache.get_or_compute("ns", &w, || {
+                        barrier.wait();
+                        // Give the waiter time to block on the condvar.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("injected simulator crash")
+                    });
+                }));
+            });
+            // Waiter: arrives while the marker is held; must be woken by the
+            // crasher's unwind and retry the computation itself.
+            scope.spawn(|| {
+                barrier.wait();
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let (v, _) = cache
+                    .get_or_compute("ns", &w, || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        Ok(11.0)
+                    })
+                    .unwrap();
+                assert_eq!(v, 11.0);
+            });
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1, "waiter retried");
+        assert_eq!(cache.get("ns", &w), Some(11.0));
+    }
+
+    #[test]
+    fn poisoned_shard_lock_is_recovered() {
+        // Poison a shard mutex by panicking while holding it (via the map
+        // lock inside a catch_unwind), then verify the cache still serves
+        // reads and writes instead of propagating the poison.
+        let cache = Arc::new(SimCache::new());
+        let w = vec![7];
+        cache.insert("ns", &w, 1.0);
+        let c2 = Arc::clone(&cache);
+        let w2 = w.clone();
+        let handle = std::thread::spawn(move || {
+            let shard = c2.shard("ns", &w2);
+            let _guard = shard.lock();
+            panic!("poison the shard");
+        });
+        assert!(handle.join().is_err());
+        assert_eq!(cache.get("ns", &w), Some(1.0));
+        cache.insert("ns", &vec![8], 2.0);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -3,10 +3,22 @@
 //! A fixed pool of worker threads (scoped, no detached threads) pulls run
 //! indices from a shared atomic counter — the simplest work queue that
 //! balances the heavily skewed per-cell costs — and executes each cell
-//! via [`crate::runner::run_single`] against one shared [`SimCache`].
-//! Results land in their pre-assigned slots, so the record order (and,
-//! with timing off, the JSONL bytes) is independent of worker count and
-//! scheduling.
+//! via [`crate::runner::run_single_attempt`] against one shared
+//! [`SimCache`]. Results land in their pre-assigned slots, so the record
+//! order (and, with timing off, the JSONL bytes) is independent of
+//! worker count and scheduling.
+//!
+//! # Failure containment
+//!
+//! Every attempt runs inside `catch_unwind`: a panicking simulation
+//! becomes a structured [`RunError::Panicked`] instead of tearing down
+//! the worker (the cache's pending markers are cleaned by its own drop
+//! guard, so waiters never wedge). What happens next is the campaign's
+//! [`FaultPolicy`]: fail fast (the strict default), skip the run with a
+//! tagged failure row, or retry transient failures with deterministic
+//! attempt-counted backoff — never wall-clock, so retried campaigns
+//! remain reproducible. Completed rows stream to an optional
+//! [`JournalWriter`] (flush per line) for crash-resume.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -15,8 +27,9 @@ use std::time::Instant;
 use krigeval_core::opt::OptError;
 
 use crate::cache::{CacheStats, SimCache};
-use crate::runner::run_single;
-use crate::sink::{RunRecord, SummaryRecord};
+use crate::fault::FaultPolicy;
+use crate::runner::run_single_attempt;
+use crate::sink::{FailureRecord, JournalWriter, RunRecord, SinkOptions, SummaryRecord};
 use crate::spec::{CampaignSpec, RunSpec, SpecError};
 
 /// Progress reporting for a campaign.
@@ -35,6 +48,9 @@ pub enum Progress {
 pub struct CampaignOutcome {
     /// Completed records, sorted by run index.
     pub records: Vec<RunRecord>,
+    /// Runs that failed permanently under a skip/retry policy, sorted by
+    /// run index (always empty under fail-fast).
+    pub failures: Vec<FailureRecord>,
     /// Aggregate shared-cache counters.
     pub cache: CacheStats,
     /// Worker threads used.
@@ -49,10 +65,65 @@ impl CampaignOutcome {
         SummaryRecord::from_records(
             name,
             &self.records,
+            &self.failures,
             self.cache,
             self.workers,
             include_timing.then_some(self.wall_ms),
         )
+    }
+}
+
+/// Why one run failed: a structured optimizer error, or a panic caught
+/// at the run boundary.
+#[derive(Debug)]
+pub enum RunError {
+    /// The optimizer (or an evaluation underneath it) returned an error.
+    Opt(OptError),
+    /// The run panicked; the payload's message, when it carried one.
+    Panicked {
+        /// Panic payload rendered to text (`"opaque panic payload"` for
+        /// non-string payloads).
+        message: String,
+    },
+}
+
+impl RunError {
+    /// Whether a retry could plausibly succeed: panics and evaluation
+    /// errors are transient (under fault injection they *are* — the next
+    /// attempt draws a fresh stream — and organically they usually
+    /// indicate an environmental hiccup); infeasible constraints and
+    /// non-convergence are properties of the cell and retrying them
+    /// wastes deterministic work on a deterministic failure.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            RunError::Panicked { .. } => true,
+            RunError::Opt(OptError::Eval(_)) => true,
+            RunError::Opt(_) => false,
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Opt(e) => write!(f, "{e}"),
+            RunError::Panicked { message } => write!(f, "run panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Opt(e) => Some(e),
+            RunError::Panicked { .. } => None,
+        }
+    }
+}
+
+impl From<OptError> for RunError {
+    fn from(e: OptError) -> RunError {
+        RunError::Opt(e)
     }
 }
 
@@ -65,8 +136,8 @@ pub enum EngineError {
     Run {
         /// Index of the failing run in the expansion.
         index: u64,
-        /// The optimizer error.
-        source: OptError,
+        /// The run error.
+        source: RunError,
     },
 }
 
@@ -107,8 +178,29 @@ fn progress_line(done: usize, total: usize, record: &RunRecord, cache: CacheStat
     );
 }
 
+/// Execution options for [`run_specs_opts`]: worker count, progress
+/// reporting, the failure policy, and an optional crash journal that
+/// receives every completed row (flushed per line, in completion
+/// order).
+#[derive(Debug, Default)]
+pub struct ExecOptions<'a> {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Progress reporting.
+    pub progress: Progress,
+    /// What to do when a run fails.
+    pub policy: FaultPolicy,
+    /// Crash journal; journal I/O errors are reported on stderr but do
+    /// not abort the campaign (the journal is an aid, not a dependency).
+    pub journal: Option<&'a JournalWriter>,
+    /// Serialization options for journal lines (keep timing off for
+    /// byte-identical resume).
+    pub journal_options: SinkOptions,
+}
+
 /// Runs every cell of `spec` on `workers` threads and collects the
-/// records in expansion order.
+/// records in expansion order, honouring the spec's own `on_error`
+/// policy (fail fast when unset).
 ///
 /// The outcome is deterministic in everything except wall-clock fields:
 /// a fixed spec yields identical records for any worker count.
@@ -124,11 +216,20 @@ pub fn run_campaign(
     progress: Progress,
 ) -> Result<CampaignOutcome, EngineError> {
     let runs = spec.expand()?;
-    run_specs(runs, workers, progress)
+    run_specs_opts(
+        runs,
+        ExecOptions {
+            workers,
+            progress,
+            policy: spec.on_error.unwrap_or_default(),
+            ..ExecOptions::default()
+        },
+    )
 }
 
-/// Runs an explicit list of [`RunSpec`]s (the engine half of
-/// [`run_campaign`]; useful for callers that post-process the expansion).
+/// Runs an explicit list of [`RunSpec`]s under the strict fail-fast
+/// policy (the engine half of [`run_campaign`]; useful for callers that
+/// post-process the expansion).
 ///
 /// # Errors
 ///
@@ -138,15 +239,68 @@ pub fn run_specs(
     workers: usize,
     progress: Progress,
 ) -> Result<CampaignOutcome, EngineError> {
+    run_specs_opts(
+        runs,
+        ExecOptions {
+            workers,
+            progress,
+            ..ExecOptions::default()
+        },
+    )
+}
+
+/// One run's terminal state inside the worker pool. The record is
+/// boxed so the slot vector stays failure-variant-sized.
+enum RunOutcome {
+    Done(Box<RunRecord>),
+    Skipped(FailureRecord),
+    Fatal(RunError),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Deterministic backoff: attempt-counted cooperative yields, never
+/// wall-clock. The point is to let a transient resource hiccup clear
+/// without introducing a timing dependency — sleeping would make retry
+/// schedules differ across machines while changing no result.
+fn backoff(attempt: u32) {
+    for _ in 0..(1u32 << attempt.min(6)) {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs an explicit list of [`RunSpec`]s with full control over policy
+/// and journaling. See the module docs for the failure-containment
+/// contract.
+///
+/// # Errors
+///
+/// Under [`FaultPolicy::FailFast`], returns the lowest-index
+/// [`EngineError::Run`] failure. Under skip/retry policies run failures
+/// land in [`CampaignOutcome::failures`] instead and only spec-level
+/// problems error.
+pub fn run_specs_opts(
+    runs: Vec<RunSpec>,
+    options: ExecOptions<'_>,
+) -> Result<CampaignOutcome, EngineError> {
     let started = Instant::now();
-    let workers = workers.max(1);
+    let workers = options.workers.max(1);
     let total = runs.len();
     let cache = Arc::new(SimCache::new());
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
-    let slots: Mutex<Vec<Option<Result<RunRecord, OptError>>>> =
-        Mutex::new((0..total).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<RunOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
+    let max_retries = options.policy.max_retries();
+    let fail_fast = options.policy == FaultPolicy::FailFast;
 
     std::thread::scope(|scope| {
         for _ in 0..workers.min(total.max(1)) {
@@ -158,45 +312,111 @@ pub fn run_specs(
                 if i >= total {
                     break;
                 }
-                let outcome = run_single(&runs[i], &cache);
-                if outcome.is_err() {
-                    failed.store(true, Ordering::Relaxed);
+                let run = &runs[i];
+                let mut attempt: u32 = 0;
+                let outcome = loop {
+                    // The catch_unwind boundary turns a panicking
+                    // simulation into a structured error; the cache's own
+                    // drop guard has already cleared any pending marker
+                    // by the time the unwind reaches us.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_single_attempt(run, &cache, attempt)
+                    }));
+                    let error = match caught {
+                        Ok(Ok(record)) => break RunOutcome::Done(Box::new(record)),
+                        Ok(Err(e)) => RunError::Opt(e),
+                        Err(payload) => RunError::Panicked {
+                            message: panic_message(payload),
+                        },
+                    };
+                    if error.is_transient() && attempt < max_retries {
+                        attempt += 1;
+                        backoff(attempt);
+                        continue;
+                    }
+                    break if fail_fast {
+                        RunOutcome::Fatal(error)
+                    } else {
+                        RunOutcome::Skipped(FailureRecord::from_run(run, &error, attempt + 1))
+                    };
+                };
+                match &outcome {
+                    RunOutcome::Done(record) => {
+                        if let Some(journal) = options.journal {
+                            if let Err(e) = journal.record(record, options.journal_options) {
+                                eprintln!("journal write failed for run {}: {e}", run.index);
+                            }
+                        }
+                        if progress_on(options.progress) {
+                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            progress_line(finished, total, record, cache.stats());
+                        }
+                    }
+                    RunOutcome::Skipped(failure) => {
+                        if let Some(journal) = options.journal {
+                            if let Err(e) = journal.failure(failure, options.journal_options) {
+                                eprintln!("journal write failed for run {}: {e}", run.index);
+                            }
+                        }
+                        if progress_on(options.progress) {
+                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            eprintln!(
+                                "[{finished}/{total}] {} d={} rep={}: FAILED after {} \
+                                 attempt(s): {}",
+                                failure.benchmark,
+                                failure.d,
+                                failure.repeat,
+                                failure.attempts,
+                                failure.error,
+                            );
+                        }
+                    }
+                    RunOutcome::Fatal(_) => {
+                        failed.store(true, Ordering::Relaxed);
+                    }
                 }
-                if let (Progress::Stderr, Ok(record)) = (progress, &outcome) {
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    progress_line(finished, total, record, cache.stats());
-                }
-                slots.lock().expect("result slots poisoned")[i] = Some(outcome);
+                // Poison recovery: writing an Option into a pre-sized Vec
+                // slot cannot leave the Vec inconsistent, so a panicking
+                // peer (only possible outside catch_unwind, i.e. a bug)
+                // must not cascade into losing everyone else's results.
+                slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(outcome);
             });
         }
     });
 
     let mut records = Vec::with_capacity(total);
+    let mut failures = Vec::new();
     for (i, slot) in slots
         .into_inner()
-        .expect("result slots poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .enumerate()
     {
         match slot {
-            Some(Ok(record)) => records.push(record),
-            Some(Err(source)) => {
+            Some(RunOutcome::Done(record)) => records.push(*record),
+            Some(RunOutcome::Skipped(failure)) => failures.push(failure),
+            Some(RunOutcome::Fatal(source)) => {
                 return Err(EngineError::Run {
                     index: i as u64,
                     source,
                 })
             }
-            // Abandoned after a failure elsewhere; the error slot below
-            // (or above) is reported instead.
+            // Abandoned after a fatal failure elsewhere; the error slot
+            // below (or above) is reported instead.
             None => continue,
         }
     }
     Ok(CampaignOutcome {
         records,
+        failures,
         cache: cache.stats(),
         workers,
         wall_ms: started.elapsed().as_secs_f64() * 1000.0,
     })
+}
+
+fn progress_on(progress: Progress) -> bool {
+    progress == Progress::Stderr
 }
 
 /// Applies `f` to every item on a fixed worker pool, preserving input

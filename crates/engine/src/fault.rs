@@ -1,0 +1,463 @@
+//! Failure policies and deterministic fault injection.
+//!
+//! The campaign executor treats a run as an all-or-nothing transaction:
+//! an attempt either produces a complete [`crate::sink::RunRecord`] or
+//! fails (an optimizer error, or a panic somewhere inside the
+//! simulation stack). What happens next is governed by a
+//! [`FaultPolicy`]; how failures are *manufactured* for testing is
+//! governed by a [`FaultConfig`] driving a [`FaultInjectingEvaluator`].
+//!
+//! # Determinism contract
+//!
+//! Fault injection draws from a [splitmix64] stream seeded purely by
+//! `(fault seed, run index, attempt, phase)` and advanced once per
+//! evaluator call. No wall clock, no OS entropy, no scheduling input:
+//! the i-th evaluator call of attempt `a` of run `r` sees the same
+//! fate on every machine, every worker count, every execution. Two
+//! consequences the chaos test suite relies on:
+//!
+//! * a run that completes under injection produces the **same record**
+//!   as a fault-free run (an attempt that survives its draws makes
+//!   exactly the fault-free call sequence, and records contain no
+//!   scheduling-dependent fields with timing off);
+//! * the injector sits **outside** the shared [`crate::cache::SimCache`]
+//!   wrapper, so whether a value happens to be served from cache (a
+//!   scheduling accident) cannot change which calls draw faults.
+//!
+//! Injected `NaN` values are converted to errors by the
+//! [`krigeval_core::FiniteGuard`] stacked above the injector before
+//! they can reach the hybrid store or the cache — injected values are
+//! never memoized and never feed the variogram.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use serde::{Deserialize, Serialize};
+
+use krigeval_core::evaluator::{AccuracyEvaluator, EvalError};
+use krigeval_core::Config;
+
+/// What the executor does when a run fails (after any retries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultPolicy {
+    /// Abort the campaign on the first failed run (the strict default:
+    /// an unexpected failure indicates a mis-specified experiment and
+    /// should surface, not be papered over).
+    #[default]
+    FailFast,
+    /// Record the failure as a tagged `"failed"` JSONL row and keep
+    /// executing the remaining runs.
+    Skip,
+    /// Re-attempt *transient* failures (panics and evaluation errors) up
+    /// to `max` additional times with deterministic attempt-counted
+    /// backoff, then degrade to [`FaultPolicy::Skip`] semantics.
+    /// Permanent failures (infeasible constraints, non-convergence) are
+    /// never retried.
+    Retry {
+        /// Maximum additional attempts per run (0 behaves like `Skip`).
+        max: u32,
+    },
+}
+
+impl FaultPolicy {
+    /// Parses the CLI syntax: `fail-fast`, `skip` or `retry:N`.
+    pub fn parse(value: &str) -> Result<FaultPolicy, String> {
+        match value.split_once(':') {
+            None => match value {
+                "fail-fast" => Ok(FaultPolicy::FailFast),
+                "skip" => Ok(FaultPolicy::Skip),
+                "retry" => Err("retry needs a count, e.g. retry:3".to_string()),
+                other => Err(format!("unknown fault policy {other:?}")),
+            },
+            Some(("retry", n)) => n
+                .parse()
+                .map(|max| FaultPolicy::Retry { max })
+                .map_err(|_| format!("bad retry count {n:?}")),
+            Some((other, _)) => Err(format!("unknown fault policy {other:?}")),
+        }
+    }
+
+    /// Short label (inverse of [`FaultPolicy::parse`]).
+    pub fn label(&self) -> String {
+        match self {
+            FaultPolicy::FailFast => "fail-fast".to_string(),
+            FaultPolicy::Skip => "skip".to_string(),
+            FaultPolicy::Retry { max } => format!("retry:{max}"),
+        }
+    }
+
+    /// Maximum additional attempts this policy grants a transient
+    /// failure.
+    pub fn max_retries(&self) -> u32 {
+        match self {
+            FaultPolicy::Retry { max } => *max,
+            _ => 0,
+        }
+    }
+}
+
+/// Deterministic fault-injection rates for chaos testing.
+///
+/// Each evaluator call draws one uniform number `u ∈ [0, 1)` from the
+/// per-`(seed, run, attempt, phase)` stream and partitions it:
+/// `u < panic_rate` panics, then `error_rate` returns a transient
+/// [`EvalError`], then `nan_rate` returns `NaN` (rejected upstream by
+/// [`krigeval_core::FiniteGuard`]); otherwise the real simulator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a call panics.
+    pub panic_rate: f64,
+    /// Probability that a call returns a transient evaluation error.
+    pub error_rate: f64,
+    /// Probability that a call returns a non-finite metric value.
+    pub nan_rate: f64,
+    /// Seed of the injection stream (independent of the benchmark seed).
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            panic_rate: 0.0,
+            error_rate: 0.0,
+            nan_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Validates the rates: each finite and in `[0, 1]`, sum ≤ 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("panic_rate", self.panic_rate),
+            ("error_rate", self.error_rate),
+            ("nan_rate", self.nan_rate),
+        ] {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault {name} must be in [0, 1], got {rate}"));
+            }
+        }
+        let total = self.panic_rate + self.error_rate + self.nan_rate;
+        if total > 1.0 {
+            return Err(format!("fault rates sum to {total}, which exceeds 1"));
+        }
+        Ok(())
+    }
+
+    /// Whether any injection can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.panic_rate > 0.0 || self.error_rate > 0.0 || self.nan_rate > 0.0
+    }
+}
+
+/// Which half of a run an injector is wired into. Part of the stream
+/// seed, so the pilot and hybrid phases draw independent fault
+/// sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPhase {
+    /// The variogram pilot run.
+    Pilot,
+    /// The hybrid optimization run.
+    Hybrid,
+}
+
+/// splitmix64: the standard 64-bit mixing generator. Chosen because it
+/// is seedable from a single word, has no state beyond that word, and
+/// its output is fully determined by (seed, draw index) — exactly the
+/// reproducibility contract fault injection needs.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Derives the injection stream seed for one `(run, attempt, phase)`.
+/// Distinct odd multipliers decorrelate the coordinates; the splitmix
+/// finalizer then whitens the combination.
+fn stream_seed(seed: u64, run_index: u64, attempt: u32, phase: FaultPhase) -> u64 {
+    let phase = match phase {
+        FaultPhase::Pilot => 0u64,
+        FaultPhase::Hybrid => 1u64,
+    };
+    let mut mixer = SplitMix64::new(
+        seed ^ run_index.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+            ^ u64::from(attempt).wrapping_mul(0xCA5A_8268_59FD_1E3B)
+            ^ phase.wrapping_mul(0xA076_1D64_78BD_642F),
+    );
+    mixer.next_u64()
+}
+
+/// Wraps an evaluator with deterministic fault injection (see the
+/// module docs for the determinism contract). With inactive rates the
+/// wrapper is a transparent pass-through.
+pub struct FaultInjectingEvaluator<E> {
+    inner: E,
+    config: FaultConfig,
+    rng: SplitMix64,
+    run_index: u64,
+    attempt: u32,
+    calls: u64,
+}
+
+impl<E: AccuracyEvaluator> FaultInjectingEvaluator<E> {
+    /// Wraps `inner`; `config = None` disables injection entirely.
+    pub fn new(
+        inner: E,
+        config: Option<FaultConfig>,
+        run_index: u64,
+        attempt: u32,
+        phase: FaultPhase,
+    ) -> FaultInjectingEvaluator<E> {
+        let config = config.unwrap_or_default();
+        FaultInjectingEvaluator {
+            inner,
+            rng: SplitMix64::new(stream_seed(config.seed, run_index, attempt, phase)),
+            config,
+            run_index,
+            attempt,
+            calls: 0,
+        }
+    }
+
+    /// Borrows the wrapped evaluator.
+    pub fn inner_ref(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: AccuracyEvaluator> AccuracyEvaluator for FaultInjectingEvaluator<E> {
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
+        if !self.config.is_active() {
+            return self.inner.evaluate(config);
+        }
+        let call = self.calls;
+        self.calls += 1;
+        let u = self.rng.next_f64();
+        if u < self.config.panic_rate {
+            panic!(
+                "injected panic (run {}, attempt {}, call {call})",
+                self.run_index, self.attempt
+            );
+        }
+        if u < self.config.panic_rate + self.config.error_rate {
+            return Err(EvalError::msg(format!(
+                "injected transient error (run {}, attempt {}, call {call})",
+                self.run_index, self.attempt
+            )));
+        }
+        if u < self.config.panic_rate + self.config.error_rate + self.config.nan_rate {
+            // Caught by the FiniteGuard stacked above this wrapper; the
+            // raw value must never reach the cache or the kriging store.
+            return Ok(f64::NAN);
+        }
+        self.inner.evaluate(config)
+    }
+
+    fn num_variables(&self) -> usize {
+        self.inner.num_variables()
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.inner.evaluations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krigeval_core::{FiniteGuard, FnEvaluator};
+
+    fn counting() -> FnEvaluator<impl FnMut(&Config) -> Result<f64, EvalError>> {
+        FnEvaluator::new(1, |w: &Config| Ok(f64::from(w[0])))
+    }
+
+    #[test]
+    fn policy_parse_roundtrips() {
+        for p in [
+            FaultPolicy::FailFast,
+            FaultPolicy::Skip,
+            FaultPolicy::Retry { max: 3 },
+        ] {
+            assert_eq!(FaultPolicy::parse(&p.label()).unwrap(), p);
+        }
+        assert!(FaultPolicy::parse("retry").is_err());
+        assert!(FaultPolicy::parse("retry:x").is_err());
+        assert!(FaultPolicy::parse("explode").is_err());
+        assert_eq!(FaultPolicy::default().max_retries(), 0);
+        assert_eq!(FaultPolicy::Retry { max: 5 }.max_retries(), 5);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_rates() {
+        let ok = FaultConfig {
+            panic_rate: 0.1,
+            error_rate: 0.2,
+            nan_rate: 0.3,
+            seed: 1,
+        };
+        assert!(ok.validate().is_ok());
+        assert!(ok.is_active());
+        assert!(!FaultConfig::default().is_active());
+        let negative = FaultConfig {
+            panic_rate: -0.1,
+            ..FaultConfig::default()
+        };
+        assert!(negative.validate().unwrap_err().contains("panic_rate"));
+        let nan = FaultConfig {
+            error_rate: f64::NAN,
+            ..FaultConfig::default()
+        };
+        assert!(nan.validate().unwrap_err().contains("error_rate"));
+        let oversum = FaultConfig {
+            panic_rate: 0.5,
+            error_rate: 0.4,
+            nan_rate: 0.3,
+            seed: 0,
+        };
+        assert!(oversum.validate().unwrap_err().contains("exceeds 1"));
+    }
+
+    #[test]
+    fn inactive_config_is_a_transparent_passthrough() {
+        let mut ev = FaultInjectingEvaluator::new(counting(), None, 7, 0, FaultPhase::Hybrid);
+        for i in 0..20 {
+            assert_eq!(ev.evaluate(&vec![i]).unwrap(), f64::from(i));
+        }
+        assert_eq!(ev.evaluations(), 20);
+        assert_eq!(ev.num_variables(), 1);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_stream() {
+        let config = Some(FaultConfig {
+            panic_rate: 0.0,
+            error_rate: 0.3,
+            nan_rate: 0.2,
+            seed: 42,
+        });
+        let fates = |attempt: u32| -> Vec<u8> {
+            let mut ev =
+                FaultInjectingEvaluator::new(counting(), config, 3, attempt, FaultPhase::Hybrid);
+            (0..200)
+                .map(|i| match ev.evaluate(&vec![i]) {
+                    Ok(v) if v.is_nan() => 2,
+                    Ok(_) => 0,
+                    Err(_) => 1,
+                })
+                .collect()
+        };
+        assert_eq!(fates(0), fates(0), "same stream, same fates");
+        assert_ne!(fates(0), fates(1), "a retry draws a fresh stream");
+        let observed = fates(0);
+        assert!(observed.contains(&1), "errors were injected");
+        assert!(observed.contains(&2), "NaNs were injected");
+        assert!(observed.contains(&0), "real calls got through");
+    }
+
+    #[test]
+    fn phases_draw_independent_streams() {
+        let seed = stream_seed(9, 4, 0, FaultPhase::Pilot);
+        assert_ne!(seed, stream_seed(9, 4, 0, FaultPhase::Hybrid));
+        assert_ne!(seed, stream_seed(9, 5, 0, FaultPhase::Pilot));
+        assert_ne!(seed, stream_seed(9, 4, 1, FaultPhase::Pilot));
+        assert_ne!(seed, stream_seed(10, 4, 0, FaultPhase::Pilot));
+    }
+
+    #[test]
+    fn injected_panic_has_a_deterministic_message() {
+        let config = Some(FaultConfig {
+            panic_rate: 1.0,
+            error_rate: 0.0,
+            nan_rate: 0.0,
+            seed: 0,
+        });
+        let message = |_: ()| -> String {
+            let mut ev = FaultInjectingEvaluator::new(counting(), config, 11, 2, FaultPhase::Pilot);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = ev.evaluate(&vec![1]);
+            }))
+            .unwrap_err();
+            caught.downcast_ref::<String>().cloned().unwrap_or_default()
+        };
+        assert_eq!(message(()), "injected panic (run 11, attempt 2, call 0)");
+    }
+
+    #[test]
+    fn injected_nan_is_stopped_by_the_finite_guard() {
+        let config = Some(FaultConfig {
+            panic_rate: 0.0,
+            error_rate: 0.0,
+            nan_rate: 1.0,
+            seed: 0,
+        });
+        let mut ev = FiniteGuard::new(FaultInjectingEvaluator::new(
+            counting(),
+            config,
+            0,
+            0,
+            FaultPhase::Hybrid,
+        ));
+        let err = ev.evaluate(&vec![5]).unwrap_err();
+        assert!(err.to_string().contains("non-finite metric value"), "{err}");
+        // The injected call never reached the real simulator.
+        assert_eq!(ev.evaluations(), 0);
+    }
+
+    #[test]
+    fn rates_are_honoured_to_first_order() {
+        let config = Some(FaultConfig {
+            panic_rate: 0.0,
+            error_rate: 0.5,
+            nan_rate: 0.0,
+            seed: 1234,
+        });
+        let mut ev = FaultInjectingEvaluator::new(counting(), config, 0, 0, FaultPhase::Hybrid);
+        let errors = (0..2000)
+            .filter(|&i| ev.evaluate(&vec![i]).is_err())
+            .count();
+        // A fixed stream: the count is a constant, just sanity-band it.
+        assert!(
+            (800..1200).contains(&errors),
+            "error_rate 0.5 produced {errors}/2000 errors"
+        );
+    }
+
+    #[test]
+    fn fault_config_json_roundtrips() {
+        let c = FaultConfig {
+            panic_rate: 0.01,
+            error_rate: 0.05,
+            nan_rate: 0.02,
+            seed: 99,
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FaultConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        let p = FaultPolicy::Retry { max: 2 };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

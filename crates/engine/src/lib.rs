@@ -23,6 +23,7 @@
 
 pub mod cache;
 pub mod executor;
+pub mod fault;
 pub mod runner;
 pub mod sink;
 pub mod spec;
@@ -59,8 +60,14 @@ impl Scale {
 }
 
 pub use cache::{CacheStats, CachedEvaluator, SimCache};
-pub use executor::{parallel_map, run_campaign, run_specs, CampaignOutcome, EngineError, Progress};
-pub use sink::{write_jsonl, RunRecord, SinkOptions, SummaryRecord};
+pub use executor::{
+    parallel_map, run_campaign, run_specs, run_specs_opts, CampaignOutcome, EngineError,
+    ExecOptions, Progress, RunError,
+};
+pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultPhase, FaultPolicy};
+pub use sink::{
+    load_journal, write_jsonl, FailureRecord, JournalWriter, RunRecord, SinkOptions, SummaryRecord,
+};
 pub use spec::{CampaignSpec, OptimizerSpec, RunSpec, SpecError, VariogramSpec};
 
 #[cfg(test)]

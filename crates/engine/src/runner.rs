@@ -12,14 +12,16 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use krigeval_core::evaluator::AccuracyEvaluator;
 use krigeval_core::hybrid::{HybridEvaluator, HybridSettings, VariogramPolicy};
 use krigeval_core::opt::descent::{budget_error_sources, DescentOptions};
 use krigeval_core::opt::minplusone::{optimize, optimize_with_tie_break, MinPlusOneOptions};
 use krigeval_core::opt::{DseEvaluator, OptError, OptimizationResult, SimulateAll};
 use krigeval_core::variogram::{fit_model, EmpiricalVariogram, ModelFamily};
-use krigeval_core::VariogramModel;
+use krigeval_core::{FiniteGuard, VariogramModel};
 
 use crate::cache::{CachedEvaluator, SimCache};
+use crate::fault::{FaultInjectingEvaluator, FaultPhase};
 use crate::sink::RunRecord;
 use crate::spec::{OptimizerSpec, RunSpec, VariogramSpec};
 use crate::suite::{build_seeded, ProblemInstance};
@@ -34,6 +36,29 @@ pub fn cache_namespace(run: &RunSpec) -> String {
         run.scale.label(),
         run.run_seed
     )
+}
+
+/// The full per-phase evaluator stack, ordered so each layer's contract
+/// holds: the shared cache memoizes only real simulator output, the
+/// fault injector sits *outside* the cache (so scheduling accidents —
+/// which worker's lookup happens to miss — can never change which calls
+/// draw faults), and the finite guard sits outermost, converting any
+/// non-finite value (injected or organic) into an error before it can
+/// reach the cache consumer's store or the optimizer.
+fn stacked_evaluator(
+    evaluator: Box<dyn AccuracyEvaluator + Send>,
+    run: &RunSpec,
+    cache: &Arc<SimCache>,
+    attempt: u32,
+    phase: FaultPhase,
+) -> FiniteGuard<FaultInjectingEvaluator<CachedEvaluator<Box<dyn AccuracyEvaluator + Send>>>> {
+    FiniteGuard::new(FaultInjectingEvaluator::new(
+        CachedEvaluator::new(evaluator, Arc::clone(cache), cache_namespace(run)),
+        run.fault,
+        run.index,
+        attempt,
+        phase,
+    ))
 }
 
 fn resolved_instance(run: &RunSpec) -> ProblemInstance {
@@ -85,12 +110,18 @@ fn drive(
 /// trajectory. Returns the model and the number of **distinct** pilot
 /// configurations (the deterministic measure of pilot cost — repeat pilots
 /// across grid cells are served by the shared cache).
-fn pilot_model(run: &RunSpec, cache: &Arc<SimCache>) -> Result<(VariogramModel, u64), OptError> {
+fn pilot_model(
+    run: &RunSpec,
+    cache: &Arc<SimCache>,
+    attempt: u32,
+) -> Result<(VariogramModel, u64), OptError> {
     let instance = resolved_instance(run);
-    let mut pilot = SimulateAll(CachedEvaluator::new(
+    let mut pilot = SimulateAll(stacked_evaluator(
         instance.evaluator,
-        Arc::clone(cache),
-        cache_namespace(run),
+        run,
+        cache,
+        attempt,
+        FaultPhase::Pilot,
     ));
     let result = drive(
         &mut pilot,
@@ -124,10 +155,11 @@ fn pilot_model(run: &RunSpec, cache: &Arc<SimCache>) -> Result<(VariogramModel, 
 fn variogram_policy(
     run: &RunSpec,
     cache: &Arc<SimCache>,
+    attempt: u32,
 ) -> Result<(VariogramPolicy, u64), OptError> {
     Ok(match run.variogram {
         VariogramSpec::Pilot => {
-            let (model, pilot_sims) = pilot_model(run, cache)?;
+            let (model, pilot_sims) = pilot_model(run, cache, attempt)?;
             (VariogramPolicy::Fixed(model), pilot_sims)
         }
         VariogramSpec::FitAfter { min_samples } => (
@@ -162,8 +194,27 @@ fn variogram_policy(
 /// hybrid run; an infeasible constraint indicates a mis-specified cell and
 /// should surface, not be masked.
 pub fn run_single(run: &RunSpec, cache: &Arc<SimCache>) -> Result<RunRecord, OptError> {
+    run_single_attempt(run, cache, 0)
+}
+
+/// Runs one campaign cell as a specific retry attempt. The attempt
+/// number feeds the fault-injection stream (each retry draws fresh
+/// faults) and nothing else: a successful attempt produces the same
+/// record regardless of its attempt number, because every record field
+/// derives from the run's own deterministic session, never from shared
+/// scheduling state.
+///
+/// # Errors
+///
+/// Propagates optimizer failures ([`OptError`]) from the pilot or the
+/// hybrid run.
+pub fn run_single_attempt(
+    run: &RunSpec,
+    cache: &Arc<SimCache>,
+    attempt: u32,
+) -> Result<RunRecord, OptError> {
     let started = Instant::now();
-    let (policy, pilot_sims) = variogram_policy(run, cache)?;
+    let (policy, pilot_sims) = variogram_policy(run, cache, attempt)?;
     let instance = resolved_instance(run);
     let lambda_min = instance
         .minplusone
@@ -180,7 +231,7 @@ pub fn run_single(run: &RunSpec, cache: &Arc<SimCache>) -> Result<RunRecord, Opt
         audit: run.audit.then(|| run.problem.audit_metric()),
     };
     let mut hybrid = HybridEvaluator::new(
-        CachedEvaluator::new(instance.evaluator, Arc::clone(cache), cache_namespace(run)),
+        stacked_evaluator(instance.evaluator, run, cache, attempt, FaultPhase::Hybrid),
         settings,
     );
     let result = drive(

@@ -1,18 +1,32 @@
 //! JSONL result sink: one line per run plus a campaign summary line.
 //!
-//! Lines are objects tagged with a `"type"` field (`"run"` / `"summary"`)
-//! so consumers can stream-filter them. Records are written in run-index
-//! order regardless of completion order, and all scheduling-dependent
-//! quantities (wall-clock, per-run cache attribution) live in optional
-//! fields disabled by default — with [`SinkOptions::include_timing`]
-//! off, a fixed-seed campaign serializes byte-identically across runs
-//! and worker counts.
+//! Lines are objects tagged with a `"type"` field (`"run"` /
+//! `"failed"` / `"summary"`) so consumers can stream-filter them.
+//! Records are written in run-index order regardless of completion
+//! order, and all scheduling-dependent quantities (wall-clock, worker
+//! count, shared-cache counters) live in fields nulled by default —
+//! with [`SinkOptions::include_timing`] off, a fixed-seed campaign
+//! serializes byte-identically across runs, worker counts **and
+//! journal resumes** (a resumed campaign re-executes only part of the
+//! work, so anything measuring execution rather than results must stay
+//! out of the deterministic output).
+//!
+//! The same serialization doubles as the **crash journal**: a
+//! [`JournalWriter`] appends each completed line (in completion order)
+//! with an immediate flush, and [`load_journal`] parses a possibly
+//! truncated journal back into records so an interrupted campaign can
+//! resume from where it stopped.
 
+use std::fs::OpenOptions;
 use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize, Value};
 
 use crate::cache::CacheStats;
+use crate::executor::RunError;
+use crate::spec::RunSpec;
 
 /// One completed run: the resolved grid cell plus the outcome and the
 /// hybrid session statistics (the raw material of a Table I row).
@@ -77,6 +91,52 @@ pub struct RunRecord {
     pub wall_ms: Option<f64>,
 }
 
+/// A run that failed permanently (after any retries) under a
+/// non-fail-fast [`crate::fault::FaultPolicy`]. Serialized as a tagged
+/// `"failed"` JSONL row so downstream tables can tell "no result"
+/// apart from "never ran". Every field is deterministic for a fixed
+/// spec and fault seed — failed rows replay byte-identically from a
+/// resume journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Position in the campaign expansion (stable row id, shared with
+    /// [`RunRecord::index`]).
+    pub index: u64,
+    /// Benchmark label.
+    pub benchmark: String,
+    /// `"fast"` or `"paper"`.
+    pub scale: String,
+    /// Neighbour radius `d`.
+    pub d: f64,
+    /// Minimum neighbour count `N_n,min`.
+    pub min_neighbors: usize,
+    /// Derived seed of this run's benchmark instance.
+    pub seed: u64,
+    /// Repeat index within the campaign.
+    pub repeat: u32,
+    /// Human-readable description of the final error.
+    pub error: String,
+    /// Attempts consumed (1 = no retries granted or needed).
+    pub attempts: u32,
+}
+
+impl FailureRecord {
+    /// Distils a run's final error into its failure row.
+    pub fn from_run(run: &RunSpec, error: &RunError, attempts: u32) -> FailureRecord {
+        FailureRecord {
+            index: run.index,
+            benchmark: run.problem.label().to_string(),
+            scale: run.scale.label().to_string(),
+            d: run.distance,
+            min_neighbors: run.min_neighbors,
+            seed: run.run_seed,
+            repeat: run.repeat,
+            error: error.to_string(),
+            attempts,
+        }
+    }
+}
+
 /// The campaign-level trailer record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SummaryRecord {
@@ -84,6 +144,8 @@ pub struct SummaryRecord {
     pub name: String,
     /// Number of runs completed.
     pub runs: u64,
+    /// Number of runs that failed permanently (skip / retry policies).
+    pub failed: u64,
     /// Worker threads used (informational; does not affect results).
     pub workers: usize,
     /// Shared-cache lookups across all runs.
@@ -104,10 +166,12 @@ pub struct SummaryRecord {
 }
 
 impl SummaryRecord {
-    /// Builds the trailer from completed records and cache counters.
+    /// Builds the trailer from completed records, failure rows and cache
+    /// counters.
     pub fn from_records(
         name: impl Into<String>,
         records: &[RunRecord],
+        failures: &[FailureRecord],
         cache: CacheStats,
         workers: usize,
         wall_ms: Option<f64>,
@@ -115,6 +179,7 @@ impl SummaryRecord {
         SummaryRecord {
             name: name.into(),
             runs: records.len() as u64,
+            failed: failures.len() as u64,
             workers,
             sim_cache_lookups: cache.lookups,
             sim_cache_hits: cache.hits,
@@ -149,18 +214,32 @@ fn tagged(tag: &str, record_value: Value) -> Value {
 fn strip_scheduling(value: &mut Value) {
     if let Value::Object(entries) = value {
         for (key, v) in entries.iter_mut() {
-            // Wall-clock and the worker count are execution metadata: they
-            // vary across machines and invocations while the results do
-            // not, so the deterministic output nulls both.
-            if key == "wall_ms" || key == "workers" {
+            // Wall-clock, the worker count and the shared-cache counters
+            // are execution metadata: they vary across machines,
+            // invocations and (for the cache counters) journal resumes —
+            // a resumed campaign does not redo the cached simulations of
+            // the runs it replays — while the results do not, so the
+            // deterministic output nulls them all.
+            if matches!(
+                key.as_str(),
+                "wall_ms" | "workers" | "sim_cache_lookups" | "sim_cache_hits" | "sim_cache_misses"
+            ) {
                 *v = Value::Null;
             }
         }
     }
 }
 
-/// Writes the campaign as JSON lines: each run record (in index order),
-/// then the summary.
+fn render_line(tag: &str, value: Value, options: SinkOptions) -> io::Result<String> {
+    let mut line = tagged(tag, value);
+    if !options.include_timing {
+        strip_scheduling(&mut line);
+    }
+    serde_json::to_string(&line).map_err(io::Error::other)
+}
+
+/// Writes the campaign as JSON lines: run and failure records merged in
+/// index order, then the summary.
 ///
 /// # Errors
 ///
@@ -168,21 +247,30 @@ fn strip_scheduling(value: &mut Value) {
 pub fn write_jsonl(
     out: &mut dyn Write,
     records: &[RunRecord],
+    failures: &[FailureRecord],
     summary: &SummaryRecord,
     options: SinkOptions,
 ) -> io::Result<()> {
-    let mut lines: Vec<Value> = Vec::with_capacity(records.len() + 1);
-    for r in records {
-        lines.push(tagged("run", r.serialize_to_value()));
-    }
-    lines.push(tagged("summary", summary.serialize_to_value()));
-    for mut line in lines {
-        if !options.include_timing {
-            strip_scheduling(&mut line);
-        }
-        let text = serde_json::to_string(&line).map_err(io::Error::other)?;
+    // Merge the two sorted-by-index streams so each campaign row appears
+    // at its expansion position whether it succeeded or failed.
+    let (mut r, mut f) = (0, 0);
+    while r < records.len() || f < failures.len() {
+        let run_next = match (records.get(r), failures.get(f)) {
+            (Some(rec), Some(fail)) => rec.index <= fail.index,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        let text = if run_next {
+            r += 1;
+            render_line("run", records[r - 1].serialize_to_value(), options)?
+        } else {
+            f += 1;
+            render_line("failed", failures[f - 1].serialize_to_value(), options)?
+        };
         writeln!(out, "{text}")?;
     }
+    let text = render_line("summary", summary.serialize_to_value(), options)?;
+    writeln!(out, "{text}")?;
     Ok(())
 }
 
@@ -194,12 +282,145 @@ pub fn write_jsonl(
 /// always serializable.
 pub fn to_jsonl_string(
     records: &[RunRecord],
+    failures: &[FailureRecord],
     summary: &SummaryRecord,
     options: SinkOptions,
 ) -> String {
     let mut buf = Vec::new();
-    write_jsonl(&mut buf, records, summary, options).expect("in-memory write cannot fail");
+    write_jsonl(&mut buf, records, failures, summary, options)
+        .expect("in-memory write cannot fail");
     String::from_utf8(buf).expect("JSON output is UTF-8")
+}
+
+/// An append-only, flush-per-line crash journal shared by campaign
+/// workers.
+///
+/// Each completed run (or permanent failure) is serialized as exactly
+/// the JSONL line the final output would contain and flushed before the
+/// executor moves on, so a killed campaign leaves a journal of every
+/// finished row — in completion order, which is fine because rows carry
+/// their index. A torn final line (the process died mid-write) is
+/// tolerated by [`load_journal`].
+pub struct JournalWriter {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter").finish_non_exhaustive()
+    }
+}
+
+impl JournalWriter {
+    /// Opens `path` truncated (a fresh campaign).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JournalWriter> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(JournalWriter::from_writer(file))
+    }
+
+    /// Opens `path` for appending (a resumed campaign keeps extending
+    /// the existing journal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open errors.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<JournalWriter> {
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(JournalWriter::from_writer(file))
+    }
+
+    /// Wraps any writer (tests journal into memory buffers).
+    pub fn from_writer(out: impl Write + Send + 'static) -> JournalWriter {
+        JournalWriter {
+            out: Mutex::new(Box::new(out)),
+        }
+    }
+
+    fn write_line(&self, text: &str) -> io::Result<()> {
+        // Poison recovery: a writer panicking mid-line could at worst
+        // leave a torn line, which load_journal tolerates; later lines
+        // remain valid because each write starts at a line boundary
+        // only after a successful earlier write.
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        writeln!(out, "{text}")?;
+        out.flush()
+    }
+
+    /// Appends one completed run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (the executor surfaces them on stderr but
+    /// does not abort the campaign — the journal is an aid, not a
+    /// dependency).
+    pub fn record(&self, record: &RunRecord, options: SinkOptions) -> io::Result<()> {
+        self.write_line(&render_line("run", record.serialize_to_value(), options)?)
+    }
+
+    /// Appends one permanent failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn failure(&self, failure: &FailureRecord, options: SinkOptions) -> io::Result<()> {
+        self.write_line(&render_line(
+            "failed",
+            failure.serialize_to_value(),
+            options,
+        )?)
+    }
+}
+
+/// Parses a journal (or finalized output file) back into run and
+/// failure records, each sorted by index. `"summary"` lines are
+/// ignored — a resume recomputes the summary from the merged records. A
+/// malformed **final** line is tolerated (the writing process was
+/// killed mid-line); malformed earlier lines are reported as errors.
+///
+/// # Errors
+///
+/// Returns a description of the first non-terminal malformed line.
+pub fn load_journal(text: &str) -> Result<(Vec<RunRecord>, Vec<FailureRecord>), String> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut records: Vec<RunRecord> = Vec::new();
+    let mut failures: Vec<FailureRecord> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let last = i + 1 == lines.len();
+        let parsed: Result<Value, _> = serde_json::from_str(line);
+        let value = match parsed {
+            Ok(v) => v,
+            Err(_) if last => break, // torn tail from a killed writer
+            Err(e) => return Err(format!("journal line {}: {e}", i + 1)),
+        };
+        let tag = value.get("type").and_then(Value::as_str).unwrap_or("");
+        let entry = match tag {
+            "run" => RunRecord::deserialize_from_value(&value)
+                .map(|r| records.push(r))
+                .map_err(|e| e.to_string()),
+            "failed" => FailureRecord::deserialize_from_value(&value)
+                .map(|f| failures.push(f))
+                .map_err(|e| e.to_string()),
+            "summary" => Ok(()),
+            other => Err(format!("unknown record type {other:?}")),
+        };
+        if let Err(e) = entry {
+            if last {
+                break;
+            }
+            return Err(format!("journal line {}: {e}", i + 1));
+        }
+    }
+    records.sort_by_key(|r| r.index);
+    failures.sort_by_key(|f| f.index);
+    Ok((records, failures))
 }
 
 #[cfg(test)]
@@ -238,12 +459,28 @@ mod tests {
         }
     }
 
+    fn sample_failure(index: u64) -> FailureRecord {
+        FailureRecord {
+            index,
+            benchmark: "fir64".to_string(),
+            scale: "fast".to_string(),
+            d: 3.0,
+            min_neighbors: 3,
+            seed: 0,
+            repeat: 0,
+            error: "injected transient error (run 1, attempt 0, call 4)".to_string(),
+            attempts: 3,
+        }
+    }
+
     #[test]
     fn jsonl_lines_are_tagged_and_ordered() {
-        let records = vec![sample_record(0), sample_record(1)];
+        let records = vec![sample_record(0), sample_record(2)];
+        let failures = vec![sample_failure(1)];
         let summary = SummaryRecord::from_records(
             "t",
             &records,
+            &failures,
             CacheStats {
                 lookups: 100,
                 hits: 40,
@@ -252,26 +489,51 @@ mod tests {
             4,
             None,
         );
-        let text = to_jsonl_string(&records, &summary, SinkOptions::default());
+        let text = to_jsonl_string(
+            &records,
+            &failures,
+            &summary,
+            SinkOptions {
+                include_timing: true,
+            },
+        );
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("{\"type\":\"run\",\"index\":0,"));
-        assert!(lines[1].starts_with("{\"type\":\"run\",\"index\":1,"));
-        assert!(lines[2].starts_with("{\"type\":\"summary\","));
-        assert!(lines[2].contains("\"sim_cache_hits\":40"));
+        assert!(lines[1].starts_with("{\"type\":\"failed\",\"index\":1,"));
+        assert!(lines[2].starts_with("{\"type\":\"run\",\"index\":2,"));
+        assert!(lines[3].starts_with("{\"type\":\"summary\","));
+        assert!(lines[3].contains("\"sim_cache_hits\":40"));
+        assert!(lines[3].contains("\"failed\":1"));
     }
 
     #[test]
     fn timing_is_stripped_unless_requested() {
         let records = vec![sample_record(0)];
-        let summary =
-            SummaryRecord::from_records("t", &records, CacheStats::default(), 1, Some(99.0));
-        let quiet = to_jsonl_string(&records, &summary, SinkOptions::default());
+        let summary = SummaryRecord::from_records(
+            "t",
+            &records,
+            &[],
+            CacheStats {
+                lookups: 9,
+                hits: 4,
+                misses: 5,
+            },
+            1,
+            Some(99.0),
+        );
+        let quiet = to_jsonl_string(&records, &[], &summary, SinkOptions::default());
         assert!(quiet.contains("\"wall_ms\":null"));
         assert!(quiet.contains("\"workers\":null"));
+        // Shared-cache counters measure execution (and change across
+        // journal resumes), so the deterministic output nulls them too.
+        assert!(quiet.contains("\"sim_cache_lookups\":null"));
+        assert!(quiet.contains("\"sim_cache_hits\":null"));
+        assert!(quiet.contains("\"sim_cache_misses\":null"));
         assert!(!quiet.contains("12.5"));
         let timed = to_jsonl_string(
             &records,
+            &[],
             &summary,
             SinkOptions {
                 include_timing: true,
@@ -279,6 +541,7 @@ mod tests {
         );
         assert!(timed.contains("\"wall_ms\":12.5"));
         assert!(timed.contains("\"wall_ms\":99.0"));
+        assert!(timed.contains("\"sim_cache_hits\":4"));
     }
 
     #[test]
@@ -287,15 +550,106 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+        let f = sample_failure(5);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FailureRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
     }
 
     #[test]
     fn summary_totals_sum_over_records() {
         let records = vec![sample_record(0), sample_record(1)];
-        let s = SummaryRecord::from_records("x", &records, CacheStats::default(), 2, None);
+        let s = SummaryRecord::from_records("x", &records, &[], CacheStats::default(), 2, None);
         assert_eq!(s.runs, 2);
+        assert_eq!(s.failed, 0);
         assert_eq!(s.total_queries, 80);
         assert_eq!(s.total_simulated, 60);
         assert_eq!(s.total_kriged, 16);
+    }
+
+    #[test]
+    fn journal_roundtrips_through_load() {
+        let buf = SharedBuf::default();
+        let journal = {
+            let journal = JournalWriter::from_writer(buf.clone());
+            // Completion order is scrambled on purpose: rows carry their
+            // index, load re-sorts.
+            journal
+                .record(&sample_record(2), SinkOptions::default())
+                .unwrap();
+            journal
+                .failure(&sample_failure(1), SinkOptions::default())
+                .unwrap();
+            journal
+                .record(&sample_record(0), SinkOptions::default())
+                .unwrap();
+            journal
+        };
+        drop(journal);
+        let text = buf.contents();
+        let (records, failures) = load_journal(&text).unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 1);
+        // Timing was stripped on write.
+        assert!(records.iter().all(|r| r.wall_ms.is_none()));
+    }
+
+    #[test]
+    fn load_journal_tolerates_a_torn_tail_only() {
+        let good = {
+            let buf = SharedBuf::default();
+            let journal = JournalWriter::from_writer(buf.clone());
+            journal
+                .record(&sample_record(0), SinkOptions::default())
+                .unwrap();
+            buf.contents()
+        };
+        let torn = format!("{good}{{\"type\":\"run\",\"index\":1,\"bench");
+        let (records, failures) = load_journal(&torn).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(failures.is_empty());
+        let mid_corruption = format!("not json at all\n{good}");
+        assert!(load_journal(&mid_corruption).is_err());
+        let unknown = format!("{{\"type\":\"mystery\"}}\n{good}");
+        assert!(load_journal(&unknown)
+            .unwrap_err()
+            .contains("unknown record type"));
+    }
+
+    #[test]
+    fn load_journal_ignores_summary_lines() {
+        let records = vec![sample_record(0)];
+        let summary =
+            SummaryRecord::from_records("t", &records, &[], CacheStats::default(), 1, None);
+        let text = to_jsonl_string(&records, &[], &summary, SinkOptions::default());
+        let (loaded, failures) = load_journal(&text).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(failures.is_empty());
+    }
+
+    /// A cloneable in-memory writer so tests can journal and then read
+    /// back what was written.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
     }
 }

@@ -13,6 +13,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultConfig, FaultPolicy};
 use crate::suite::Problem;
 use crate::Scale;
 
@@ -145,6 +146,12 @@ pub struct CampaignSpec {
     pub audit: bool,
     /// Cap on neighbours per kriging system; `0` means unlimited.
     pub max_neighbors: usize,
+    /// What to do when a run fails; `None` means fail fast (the strict
+    /// historical behaviour). Absent from older spec files.
+    pub on_error: Option<FaultPolicy>,
+    /// Deterministic fault injection for chaos testing; `None` (the
+    /// production value) injects nothing. Absent from older spec files.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for CampaignSpec {
@@ -163,6 +170,8 @@ impl Default for CampaignSpec {
             repeats: 1,
             audit: true,
             max_neighbors: 32,
+            on_error: None,
+            faults: None,
         }
     }
 }
@@ -199,6 +208,9 @@ pub struct RunSpec {
     pub audit: bool,
     /// Neighbour cap (`None` = unlimited).
     pub max_neighbors: Option<usize>,
+    /// Deterministic fault injection (chaos testing only; `None` in
+    /// production).
+    pub fault: Option<FaultConfig>,
 }
 
 /// A malformed campaign specification.
@@ -252,6 +264,9 @@ impl CampaignSpec {
                 return Err(SpecError::new(format!("invalid distance {d}")));
             }
         }
+        if let Some(faults) = &self.faults {
+            faults.validate().map_err(SpecError::new)?;
+        }
         let mut problems = Vec::new();
         for name in &self.benchmarks {
             let p = Problem::parse(name)
@@ -303,6 +318,7 @@ impl CampaignSpec {
                                 } else {
                                     Some(self.max_neighbors)
                                 },
+                                fault: self.faults,
                             });
                         }
                     }
@@ -429,6 +445,92 @@ mod tests {
             ..CampaignSpec::default()
         };
         assert!(minplusone_on_cnn.expand().is_err());
+    }
+
+    #[test]
+    fn expand_rejects_edge_cases_with_actionable_messages() {
+        let zero_repeats = CampaignSpec {
+            repeats: 0,
+            ..CampaignSpec::default()
+        };
+        assert_eq!(
+            zero_repeats.expand().unwrap_err().to_string(),
+            "invalid campaign spec: repeats must be at least 1"
+        );
+        let no_benchmarks = CampaignSpec {
+            benchmarks: Vec::new(),
+            ..CampaignSpec::default()
+        };
+        assert_eq!(
+            no_benchmarks.expand().unwrap_err().to_string(),
+            "invalid campaign spec: no benchmarks selected"
+        );
+        let no_nmin = CampaignSpec {
+            min_neighbors: Vec::new(),
+            ..CampaignSpec::default()
+        };
+        assert_eq!(
+            no_nmin.expand().unwrap_err().to_string(),
+            "invalid campaign spec: no min_neighbors selected"
+        );
+        for bad_d in [-3.0, 0.0, f64::NAN, f64::INFINITY] {
+            let spec = CampaignSpec {
+                distances: vec![2.0, bad_d],
+                ..CampaignSpec::default()
+            };
+            let message = spec.expand().unwrap_err().to_string();
+            assert!(
+                message.starts_with("invalid campaign spec: invalid distance"),
+                "d = {bad_d}: {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn expand_validates_fault_rates() {
+        let bad_rate = CampaignSpec {
+            faults: Some(FaultConfig {
+                panic_rate: 1.5,
+                ..FaultConfig::default()
+            }),
+            ..CampaignSpec::default()
+        };
+        let message = bad_rate.expand().unwrap_err().to_string();
+        assert!(
+            message.contains("panic_rate must be in [0, 1]"),
+            "{message}"
+        );
+        let good = CampaignSpec {
+            faults: Some(FaultConfig {
+                error_rate: 0.01,
+                seed: 5,
+                ..FaultConfig::default()
+            }),
+            on_error: Some(FaultPolicy::Retry { max: 2 }),
+            ..CampaignSpec::default()
+        };
+        let runs = good.expand().unwrap();
+        assert_eq!(runs[0].fault, good.faults, "faults propagate to each run");
+    }
+
+    #[test]
+    fn specs_without_failure_fields_still_parse() {
+        // Spec files written before the fault-policy fields existed must
+        // keep loading; the absent fields default to the strict policy.
+        let legacy = CampaignSpec::default();
+        let mut json = legacy.to_json();
+        json = json
+            .lines()
+            .filter(|line| !line.contains("on_error") && !line.contains("faults"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            // The field before the removed trailing pair must not keep a
+            // dangling comma.
+            .replace("\"max_neighbors\": 32,", "\"max_neighbors\": 32");
+        let back = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(back.on_error, None);
+        assert_eq!(back.faults, None);
+        assert_eq!(back, legacy);
     }
 
     #[test]

@@ -17,6 +17,7 @@ fn campaign_jsonl(workers: usize) -> String {
     let outcome = run_campaign(&spec(), workers, Progress::Silent).expect("campaign runs");
     krigeval_engine::sink::to_jsonl_string(
         &outcome.records,
+        &outcome.failures,
         &outcome.summary("determinism", false),
         SinkOptions::default(),
     )

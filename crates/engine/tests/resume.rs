@@ -1,0 +1,229 @@
+//! Journal-based resume: an interrupted campaign, continued from its
+//! crash journal, must produce byte-identical finalized output to an
+//! uninterrupted execution — while re-executing only the missing runs.
+//!
+//! Two layers are covered: the library path (`load_journal` +
+//! `run_specs_opts` with an appending `JournalWriter`, the same calls
+//! `campaign run --resume` makes) and the CLI binary end-to-end
+//! (truncate a journal as a killed process would leave it, re-invoke
+//! with `--resume`, diff the bytes).
+
+use std::collections::HashSet;
+
+use krigeval_engine::sink::to_jsonl_string;
+use krigeval_engine::{
+    load_journal, run_campaign, run_specs_opts, CampaignSpec, ExecOptions, JournalWriter, Progress,
+    SinkOptions, SummaryRecord,
+};
+
+fn spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "resume".to_string(),
+        benchmarks: vec!["fir".to_string(), "iir".to_string()],
+        distances: vec![2.0, 3.0],
+        ..CampaignSpec::default()
+    }
+}
+
+/// The uninterrupted campaign's finalized JSONL (the reference bytes).
+fn uninterrupted_jsonl() -> String {
+    let outcome = run_campaign(&spec(), 2, Progress::Silent).expect("campaign runs");
+    to_jsonl_string(
+        &outcome.records,
+        &outcome.failures,
+        &outcome.summary("resume", false),
+        SinkOptions::default(),
+    )
+}
+
+#[test]
+fn resumed_campaign_is_byte_identical_and_only_runs_the_remainder() {
+    let expected = uninterrupted_jsonl();
+
+    // Phase 1: run the full campaign with a journal, then keep only the
+    // first K lines — exactly what a process killed mid-campaign leaves
+    // behind (journal lines are flushed whole, in completion order).
+    let buf = SharedBuf::default();
+    {
+        let journal = JournalWriter::from_writer(buf.clone());
+        let runs = spec().expand().expect("valid spec");
+        run_specs_opts(
+            runs,
+            ExecOptions {
+                workers: 2,
+                journal: Some(&journal),
+                ..ExecOptions::default()
+            },
+        )
+        .expect("first execution");
+    }
+    let full_journal = buf.contents();
+    assert_eq!(full_journal.lines().count(), 4, "one journal line per run");
+    let torn: String = full_journal
+        .lines()
+        .take(2)
+        .map(|l| format!("{l}\n"))
+        .collect();
+
+    // Phase 2: load the torn journal and execute only the missing runs,
+    // appending to the same journal (as `campaign run --resume` does).
+    let (mut records, mut failures) = load_journal(&torn).expect("journal parses");
+    assert_eq!(records.len(), 2, "2 of 4 rows survived the kill");
+    let done: HashSet<u64> = records.iter().map(|r| r.index).collect();
+    let runs: Vec<_> = spec()
+        .expand()
+        .expect("valid spec")
+        .into_iter()
+        .filter(|r| !done.contains(&r.index))
+        .collect();
+    assert_eq!(runs.len(), 2, "only the remainder is re-executed");
+
+    let resumed_buf = SharedBuf::default();
+    let outcome = {
+        let journal = JournalWriter::from_writer(resumed_buf.clone());
+        run_specs_opts(
+            runs,
+            ExecOptions {
+                workers: 2,
+                journal: Some(&journal),
+                ..ExecOptions::default()
+            },
+        )
+        .expect("resumed execution")
+    };
+    let resumed: Vec<u64> = outcome.records.iter().map(|r| r.index).collect();
+    assert_eq!(outcome.records.len(), 2);
+    assert!(resumed.iter().all(|i| !done.contains(i)));
+    assert_eq!(
+        resumed_buf.contents().lines().count(),
+        2,
+        "the resumed half journals exactly the re-executed runs"
+    );
+
+    // Phase 3: merge and finalize — byte-identical to never crashing.
+    records.extend(outcome.records.iter().cloned());
+    records.sort_by_key(|r| r.index);
+    failures.extend(outcome.failures.iter().cloned());
+    failures.sort_by_key(|f| f.index);
+    let summary = SummaryRecord::from_records(
+        "resume",
+        &records,
+        &failures,
+        outcome.cache,
+        outcome.workers,
+        None,
+    );
+    let merged = to_jsonl_string(&records, &failures, &summary, SinkOptions::default());
+    assert_eq!(merged, expected);
+}
+
+#[test]
+fn resume_replays_failed_rows_without_retrying_them() {
+    // A journalled `failed` row is a terminal verdict: resume must not
+    // re-execute that cell. Seed the journal with a fabricated failure
+    // for index 1 and completed rows for 0 and 2; only index 3 remains.
+    let full = uninterrupted_jsonl();
+    let runs_only: Vec<&str> = full
+        .lines()
+        .filter(|l| l.contains("\"type\":\"run\""))
+        .collect();
+    let failed_line = concat!(
+        "{\"type\":\"failed\",\"index\":1,\"benchmark\":\"iir8\",\"scale\":\"fast\",",
+        "\"d\":2.0,\"min_neighbors\":3,\"seed\":0,\"repeat\":0,",
+        "\"error\":\"injected transient error (run 1, attempt 0, call 3)\",\"attempts\":1}"
+    );
+    let journal = format!("{}\n{}\n{}\n", runs_only[0], failed_line, runs_only[2]);
+    let (records, failures) = load_journal(&journal).expect("journal parses");
+    let done: HashSet<u64> = records
+        .iter()
+        .map(|r| r.index)
+        .chain(failures.iter().map(|f| f.index))
+        .collect();
+    assert_eq!(done.len(), 3);
+    let remainder: Vec<u64> = spec()
+        .expand()
+        .expect("valid spec")
+        .into_iter()
+        .filter(|r| !done.contains(&r.index))
+        .map(|r| r.index)
+        .collect();
+    assert_eq!(remainder, vec![3], "the failed row is not re-run");
+}
+
+#[test]
+fn cli_resume_is_byte_identical_end_to_end() {
+    let bin = env!("CARGO_BIN_EXE_campaign");
+    let dir = std::env::temp_dir().join(format!("krigeval-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let reference = dir.join("reference.jsonl");
+    let resumed = dir.join("resumed.jsonl");
+    let args = |out: &std::path::Path| -> Vec<String> {
+        vec![
+            "run".to_string(),
+            "--benchmarks".to_string(),
+            "fir,iir".to_string(),
+            "--d".to_string(),
+            "2,3".to_string(),
+            "--name".to_string(),
+            "resume".to_string(),
+            "--workers".to_string(),
+            "2".to_string(),
+            "--quiet".to_string(),
+            "--out".to_string(),
+            out.display().to_string(),
+        ]
+    };
+
+    // Reference: one uninterrupted execution, finalized in place.
+    let status = std::process::Command::new(bin)
+        .args(args(&reference))
+        .status()
+        .expect("campaign binary runs");
+    assert!(status.success());
+    let expected = std::fs::read_to_string(&reference).expect("reference output");
+
+    // "Kill" a campaign after 2 of 4 rows: the journal is the finalized
+    // file minus its summary, so truncating it to 2 rows reproduces the
+    // on-disk state of a mid-campaign crash (plus a torn final line,
+    // which load_journal discards).
+    let torn: String = expected
+        .lines()
+        .filter(|l| l.contains("\"type\":\"run\""))
+        .take(2)
+        .map(|l| format!("{l}\n"))
+        .collect::<String>()
+        + "{\"type\":\"run\",\"index\":9,\"torn";
+    std::fs::write(&resumed, torn).expect("write torn journal");
+
+    let status = std::process::Command::new(bin)
+        .args(args(&resumed))
+        .arg("--resume")
+        .status()
+        .expect("campaign binary resumes");
+    assert!(status.success());
+    let actual = std::fs::read_to_string(&resumed).expect("resumed output");
+    assert_eq!(actual, expected, "resume diverged from uninterrupted run");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A cloneable in-memory writer standing in for the journal file.
+#[derive(Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}

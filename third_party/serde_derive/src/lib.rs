@@ -343,14 +343,22 @@ fn gen_serialize(item: &Item) -> String {
 }
 
 fn named_field_reads(owner: &str, fields: &[String], src: &str) -> String {
+    // A missing key first tries to deserialize from `Null` — which succeeds
+    // exactly for types with a null representation (`Option<T>` → `None`) —
+    // so adding `Option` fields to a struct stays backward-compatible with
+    // JSON written before the field existed. All other types still report
+    // the missing field.
     fields
         .iter()
         .map(|f| {
             format!(
                 "{f}: match ::serde::__get_field({src}, {f:?}) {{\n\
                  Some(__x) => ::serde::Deserialize::deserialize_from_value(__x)?,\n\
-                 None => return ::core::result::Result::Err(\
-                 ::serde::DeError::missing_field({f:?}, {owner:?})),\n}},\n"
+                 None => match ::serde::Deserialize::deserialize_from_value(\
+                 &::serde::Value::Null) {{\n\
+                 ::core::result::Result::Ok(__d) => __d,\n\
+                 ::core::result::Result::Err(_) => return ::core::result::Result::Err(\
+                 ::serde::DeError::missing_field({f:?}, {owner:?})),\n}},\n}},\n"
             )
         })
         .collect()
