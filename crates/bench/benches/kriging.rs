@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use krigeval_core::kriging::KrigingEstimator;
-use krigeval_core::variogram::{fit_model, EmpiricalVariogram, ModelFamily};
+use krigeval_core::variogram::{fit_model, EmpiricalVariogram, ModelFamily, VariogramAccumulator};
 use krigeval_core::{DistanceMetric, VariogramModel};
 
 /// A deterministic cloud of `n` 10-D integer configurations with a smooth
@@ -61,6 +61,69 @@ fn bench_variogram(c: &mut Criterion) {
         b.iter(|| {
             let report = fit_model(black_box(&emp), &ModelFamily::all()).expect("fits");
             black_box(report.weighted_sse)
+        })
+    });
+}
+
+fn bench_incremental_variogram(c: &mut Criterion) {
+    // Refitting after 5 new simulations: the accumulator folds only the
+    // 5 × 60 new pairs, where a batch rebuild redoes all 65 × 64 / 2.
+    let (configs, values) = cloud(65);
+    let mut warm = VariogramAccumulator::new(DistanceMetric::L1);
+    warm.sync(&configs[..60], &values[..60]);
+    c.bench_function("variogram_refit_incremental_60plus5", |b| {
+        b.iter(|| {
+            // The clone restores the 60-site state each iteration; a
+            // bin-map clone is tens of entries, negligible next to the
+            // 5 × 60 pair folds it enables us to re-measure.
+            let mut acc = black_box(&warm).clone();
+            acc.sync(black_box(&configs), black_box(&values));
+            let v = acc.snapshot().expect("non-degenerate");
+            black_box(v.total_pairs())
+        })
+    });
+    c.bench_function("variogram_refit_batch_65", |b| {
+        b.iter(|| {
+            let v = EmpiricalVariogram::from_configs(
+                black_box(&configs),
+                black_box(&values),
+                DistanceMetric::L1,
+            )
+            .expect("non-degenerate");
+            black_box(v.total_pairs())
+        })
+    });
+}
+
+fn bench_hybrid_steady_state(c: &mut Criterion) {
+    use krigeval_core::{FnEvaluator, HybridEvaluator, HybridSettings, VariogramPolicy};
+    // A dense seeded grid and an unseen probe: each iteration replays the
+    // full kriged path (neighbour search, γ-table lookups, LDLT solve)
+    // with warm buffers — the steady state the zero-allocation test pins.
+    let eval = FnEvaluator::new(2, |w: &Vec<i32>| {
+        let p = 1.5 * 2f64.powi(-2 * w[0]) + 0.8 * 2f64.powi(-2 * w[1]);
+        Ok(-10.0 * p.log10())
+    });
+    let settings = HybridSettings {
+        variogram: VariogramPolicy::FitAfter {
+            min_samples: 30,
+            families: ModelFamily::all().to_vec(),
+            fallback: VariogramModel::linear(1.0),
+        },
+        ..HybridSettings::default()
+    };
+    let mut hybrid = HybridEvaluator::new(eval, settings);
+    for a in 4..10 {
+        for b in 4..9 {
+            hybrid.evaluate(&vec![a, b]).expect("seed");
+        }
+    }
+    assert!(hybrid.model().is_some());
+    let probe = vec![10, 6];
+    c.bench_function("hybrid_steady_state_kriged_evaluate", |b| {
+        b.iter(|| {
+            let out = hybrid.evaluate(black_box(&probe)).expect("kriged");
+            black_box(out.value())
         })
     });
 }
@@ -139,6 +202,8 @@ criterion_group!(
     benches,
     bench_kriging_solve,
     bench_variogram,
+    bench_incremental_variogram,
+    bench_hybrid_steady_state,
     bench_model_eval,
     bench_neighbor_index,
     bench_factored_kriging

@@ -1,0 +1,301 @@
+//! Perf smoke: re-measures the kriging hot paths with plain `Instant`
+//! loops and writes `BENCH_kriging.json` (repo root) with before/after
+//! numbers, so the optimization work stays pinned to a tracked baseline.
+//!
+//! ```text
+//! perfsmoke [--out PATH] [--skip-table1] [--workers N]
+//! ```
+//!
+//! "Before" values are frozen measurements from the pre-overhaul commit
+//! (one-shot dense-LU solves, batch variogram rebuilds, allocating query
+//! path) taken on the same container; "after" is measured live. CI runs
+//! this with `--skip-table1` as a cheap regression smoke; the committed
+//! JSON includes the Table I fast-scale wall time as well.
+
+use std::time::Instant;
+
+use krigeval_bench::suite::Problem;
+use krigeval_bench::table1::run_table_parallel;
+use krigeval_bench::Scale;
+use krigeval_core::kriging::KrigingEstimator;
+use krigeval_core::variogram::{ModelFamily, VariogramAccumulator};
+use krigeval_core::{
+    Config, DistanceMetric, FnEvaluator, HybridEvaluator, HybridSettings, VariogramModel,
+    VariogramPolicy,
+};
+use serde_json::{Number, Value};
+
+/// Frozen pre-overhaul medians (µs unless noted), measured with the same
+/// loops at the last commit before the hot-path rewrite.
+mod baseline {
+    /// `KrigingEstimator::predict_config`, 16 sites, 10-D.
+    pub const KRIGING_SOLVE_N16_US: f64 = 12.575;
+    /// Same, 32 sites.
+    pub const KRIGING_SOLVE_N32_US: f64 = 60.9;
+    /// Variogram refit = full `from_configs` rebuild over 60 sites (the
+    /// only refit path that existed).
+    pub const VARIOGRAM_REFIT_US: f64 = 81.078;
+    /// `KrigingEstimator::predict` over 24 f64 sites.
+    pub const ONESHOT_PREDICT_24_US: f64 = 31.165;
+    /// `table1 --scale fast --workers 4` wall clock (seconds).
+    pub const TABLE1_FAST_WALL_S: f64 = 28.141;
+}
+
+/// The criterion bench's deterministic 10-D cloud, duplicated here so the
+/// smoke numbers are comparable with `benches/kriging.rs`.
+fn cloud(n: usize) -> (Vec<Config>, Vec<f64>) {
+    let mut configs = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        let config: Config = (0..10)
+            .map(|k| 6 + (((i * (k + 3)).wrapping_mul(2654435761) >> 7) % 9) as i32)
+            .collect();
+        let value = config.iter().map(|&w| 6.0 * f64::from(w)).sum::<f64>() / 10.0;
+        configs.push(config);
+        values.push(value);
+    }
+    (configs, values)
+}
+
+/// Median of `batches` timed batches of `iters` calls, in µs per call.
+fn measure_us(mut routine: impl FnMut(), iters: usize, batches: usize) -> f64 {
+    for _ in 0..iters {
+        routine(); // warm-up: fault in code and grow scratch buffers
+    }
+    let mut samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn num(v: f64) -> Value {
+    Value::Number(Number::Float(v))
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn metric(before: Option<f64>, after: f64) -> Value {
+    match before {
+        Some(b) => obj(vec![
+            ("before", num(b)),
+            ("after", num(after)),
+            ("speedup", num(b / after)),
+        ]),
+        None => obj(vec![("before", Value::Null), ("after", num(after))]),
+    }
+}
+
+fn kriging_solve_us(n: usize) -> f64 {
+    let (configs, values) = cloud(n);
+    let estimator = KrigingEstimator::new(VariogramModel::linear(2.0));
+    let target = vec![9; 10];
+    measure_us(
+        || {
+            let p = estimator
+                .predict_config(&configs, &values, &target)
+                .expect("solvable system");
+            std::hint::black_box(p.value);
+        },
+        2048,
+        15,
+    )
+}
+
+fn oneshot_predict_24_us() -> f64 {
+    let (configs, values) = cloud(24);
+    let sites: Vec<Vec<f64>> = configs
+        .iter()
+        .map(|cfg| cfg.iter().map(|&x| f64::from(x)).collect())
+        .collect();
+    let estimator = KrigingEstimator::new(VariogramModel::linear(2.0));
+    let target: Vec<f64> = vec![9.0; 10];
+    measure_us(
+        || {
+            let p = estimator
+                .predict(&sites, &values, &target)
+                .expect("solvable system");
+            std::hint::black_box(p.value);
+        },
+        2048,
+        15,
+    )
+}
+
+fn variogram_refit_us() -> f64 {
+    // Refit after 5 new simulations on top of 60: the accumulator folds
+    // only the new pairs. Compared against the frozen cost of the full
+    // rebuild the old path performed on every refit.
+    let (configs, values) = cloud(65);
+    let mut warm = VariogramAccumulator::new(DistanceMetric::L1);
+    warm.sync(&configs[..60], &values[..60]);
+    measure_us(
+        || {
+            let mut acc = warm.clone();
+            acc.sync(&configs, &values);
+            let v = acc.snapshot().expect("non-degenerate");
+            std::hint::black_box(v.total_pairs());
+        },
+        1024,
+        15,
+    )
+}
+
+fn hybrid_steady_state_us() -> f64 {
+    let eval = FnEvaluator::new(2, |w: &Config| {
+        let p = 1.5 * 2f64.powi(-2 * w[0]) + 0.8 * 2f64.powi(-2 * w[1]);
+        Ok(-10.0 * p.log10())
+    });
+    let settings = HybridSettings {
+        variogram: VariogramPolicy::FitAfter {
+            min_samples: 30,
+            families: ModelFamily::all().to_vec(),
+            fallback: VariogramModel::linear(1.0),
+        },
+        ..HybridSettings::default()
+    };
+    let mut hybrid = HybridEvaluator::new(eval, settings);
+    for a in 4..10 {
+        for b in 4..9 {
+            hybrid.evaluate(&vec![a, b]).expect("seed simulation");
+        }
+    }
+    assert!(hybrid.model().is_some(), "variogram must be identified");
+    let probe: Config = vec![10, 6];
+    measure_us(
+        || {
+            let out = hybrid.evaluate(&probe).expect("kriged evaluate");
+            std::hint::black_box(out.value());
+        },
+        4096,
+        15,
+    )
+}
+
+fn table1_fast_wall_s(workers: usize) -> f64 {
+    let start = Instant::now();
+    let table = run_table_parallel(
+        Problem::all().as_ref(),
+        Scale::Fast,
+        &[2.0, 3.0, 4.0, 5.0],
+        3,
+        workers,
+    )
+    .expect("table1 fast campaign");
+    std::hint::black_box(table.rows.len());
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_kriging.json".to_string();
+    let mut skip_table1 = false;
+    let mut workers = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            "--skip-table1" => skip_table1 = true,
+            "--workers" => {
+                i += 1;
+                workers = args[i].parse().expect("--workers takes a number");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perfsmoke [--out PATH] [--skip-table1] [--workers N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("perfsmoke: measuring kriging hot paths ...");
+    let n16 = kriging_solve_us(16);
+    eprintln!("  kriging solve n=16        {n16:>10.3} us");
+    let n32 = kriging_solve_us(32);
+    eprintln!("  kriging solve n=32        {n32:>10.3} us");
+    let oneshot = oneshot_predict_24_us();
+    eprintln!("  one-shot predict 24 sites {oneshot:>10.3} us");
+    let refit = variogram_refit_us();
+    eprintln!("  variogram refit (+5 @ 60) {refit:>10.3} us");
+    let hybrid = hybrid_steady_state_us();
+    eprintln!("  hybrid kriged evaluate    {hybrid:>10.3} us");
+    let table1 = if skip_table1 {
+        None
+    } else {
+        eprintln!("  table1 fast campaign ({workers} workers) ...");
+        let s = table1_fast_wall_s(workers);
+        eprintln!("  table1 fast wall          {s:>10.3} s");
+        Some(s)
+    };
+
+    let mut metrics = vec![
+        (
+            "kriging_solve_n16_us",
+            metric(Some(baseline::KRIGING_SOLVE_N16_US), n16),
+        ),
+        (
+            "kriging_solve_n32_us",
+            metric(Some(baseline::KRIGING_SOLVE_N32_US), n32),
+        ),
+        (
+            "oneshot_predict_24sites_us",
+            metric(Some(baseline::ONESHOT_PREDICT_24_US), oneshot),
+        ),
+        (
+            "variogram_refit_us",
+            metric(Some(baseline::VARIOGRAM_REFIT_US), refit),
+        ),
+        ("hybrid_steady_state_evaluate_us", metric(None, hybrid)),
+    ];
+    if let Some(s) = table1 {
+        metrics.push((
+            "table1_fast_wall_s",
+            metric(Some(baseline::TABLE1_FAST_WALL_S), s),
+        ));
+    }
+
+    let doc = obj(vec![
+        ("tool", Value::String("perfsmoke".to_string())),
+        (
+            "baseline_note",
+            Value::String(
+                "frozen medians from the pre-overhaul commit (dense one-shot LU \
+                 solves, batch variogram rebuilds), same container, release profile"
+                    .to_string(),
+            ),
+        ),
+        (
+            "units",
+            Value::String("microseconds unless the key says otherwise".to_string()),
+        ),
+        ("metrics", obj(metrics)),
+    ]);
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&out_path, rendered + "\n").expect("write BENCH_kriging.json");
+    eprintln!("perfsmoke: wrote {out_path}");
+
+    // Regression gate: the headline criterion from the issue — the n=16
+    // solve must hold at least a 2x margin over the frozen baseline.
+    let required = baseline::KRIGING_SOLVE_N16_US / 2.0;
+    if n16 > required {
+        eprintln!("perfsmoke: FAIL kriging solve n=16 is {n16:.3} us (budget {required:.3} us)");
+        std::process::exit(1);
+    }
+    eprintln!("perfsmoke: ok (n=16 solve {n16:.3} us <= budget {required:.3} us)");
+}

@@ -22,10 +22,12 @@ use krigeval_fixedpoint::metrics::ErrorStats;
 use serde::{Deserialize, Serialize};
 
 use crate::evaluator::{AccuracyEvaluator, EvalError};
-use crate::kriging::KrigingEstimator;
+use crate::kriging::{KrigingEstimator, KrigingScratch};
 use crate::neighbors::NeighborIndex;
 use crate::trace::Source;
-use crate::variogram::{fit_model, EmpiricalVariogram, FitReport, ModelFamily, VariogramModel};
+use crate::variogram::{
+    fit_model, FitReport, GammaTable, ModelFamily, VariogramAccumulator, VariogramModel,
+};
 use crate::{Config, DistanceMetric};
 
 /// How the variogram model is obtained (paper Section III-A: "the
@@ -229,6 +231,18 @@ pub struct HybridEvaluator<E> {
     /// Store size at the time of the last (re-)identification.
     fitted_at: usize,
     stats: HybridStats,
+    /// Grow-only solve workspace; with the buffers below it makes the
+    /// steady-state kriged path allocation-free.
+    krige_scratch: KrigingScratch,
+    /// Memoized γ over lattice distances, re-targeted on model change.
+    gamma_table: Option<GammaTable>,
+    /// Reused `(store position, distance)` buffer for the radius search.
+    neighbor_buf: Vec<(usize, f64)>,
+    /// Reused neighbour-value buffer for interpolation.
+    value_buf: Vec<f64>,
+    /// Running empirical-variogram sums; each refit folds in only the
+    /// sites simulated since the previous one.
+    vario_acc: Option<VariogramAccumulator>,
 }
 
 impl<E: AccuracyEvaluator> HybridEvaluator<E> {
@@ -247,6 +261,11 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
             fit_report: None,
             fitted_at: 0,
             stats: HybridStats::default(),
+            krige_scratch: KrigingScratch::new(),
+            gamma_table: None,
+            neighbor_buf: Vec::new(),
+            value_buf: Vec::new(),
+            vario_acc: None,
         }
     }
 
@@ -269,23 +288,38 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
             });
         }
 
-        if self.model.is_some() {
+        if let Some(model) = self.model {
             // Gather simulated neighbours within distance d (paper lines
-            // 7–16); the index returns them sorted by distance already.
-            let mut neighbors: Vec<(usize, f64)> = self
-                .store
-                .within(config, self.settings.distance)
-                .iter()
-                .map(|n| (n.index, n.distance))
-                .collect();
-            if neighbors.len() > self.settings.min_neighbors {
+            // 7–16) into the reused buffer; the index returns them sorted by
+            // distance already.
+            self.store
+                .within_into(config, self.settings.distance, &mut self.neighbor_buf);
+            if self.neighbor_buf.len() > self.settings.min_neighbors {
                 if let Some(cap) = self.settings.max_neighbors {
-                    neighbors.truncate(cap);
+                    self.neighbor_buf.truncate(cap);
                 }
-                match self.krige(config, &neighbors) {
+                let metric = self.settings.metric;
+                let table = match &mut self.gamma_table {
+                    Some(t) => {
+                        if !t.matches(&model, metric) {
+                            t.reset(model, metric);
+                        }
+                        t
+                    }
+                    slot @ None => slot.insert(GammaTable::new(model, metric)),
+                };
+                let n_neighbors = self.neighbor_buf.len();
+                match krige_with(
+                    &mut self.krige_scratch,
+                    table,
+                    &self.store,
+                    &mut self.value_buf,
+                    &self.neighbor_buf,
+                    config,
+                ) {
                     Ok((value, variance)) => {
                         self.stats.kriged += 1;
-                        self.stats.neighbor_sum += neighbors.len() as u64;
+                        self.stats.neighbor_sum += n_neighbors as u64;
                         let true_value = if let Some(metric) = self.settings.audit {
                             let t = self.inner.evaluate(config)?;
                             self.stats.errors.record(audit_error(metric, value, t));
@@ -296,7 +330,7 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
                         return Ok(Outcome::Kriged {
                             value,
                             variance,
-                            neighbors: neighbors.len(),
+                            neighbors: n_neighbors,
                             true_value,
                         });
                     }
@@ -398,19 +432,32 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
         // Pass 2 — group deferred queries by (model, neighbour set) and solve
         // each group's system once. Kriging never mutates the store, so group
         // order is irrelevant to the results.
-        // BTreeMap, not HashMap: deterministic group order keeps audit-error
-        // accumulation (floating-point sums) byte-stable across runs.
-        type GroupKey = (Vec<u64>, Vec<usize>);
-        let mut groups: std::collections::BTreeMap<GroupKey, Vec<usize>> =
-            std::collections::BTreeMap::new();
-        for (i, p) in pending.iter().enumerate() {
-            groups
-                .entry((model_bits(&p.model), p.neighbors.clone()))
-                .or_default()
-                .push(i);
-        }
+        // Sorting indices into `pending` (stable, so members stay in batch
+        // order) puts equal keys in adjacent runs without cloning each
+        // neighbour Vec into a map key; the (model bits, neighbours) order
+        // keeps audit-error accumulation (floating-point sums) byte-stable
+        // across runs.
+        let mut order: Vec<usize> = (0..pending.len()).collect();
+        order.sort_by(|&x, &y| {
+            model_bits(&pending[x].model)
+                .cmp(&model_bits(&pending[y].model))
+                .then_with(|| pending[x].neighbors.cmp(&pending[y].neighbors))
+        });
         let mut fallback: Vec<usize> = Vec::new();
-        for ((_, neighbors), members) in groups {
+        let mut group_start = 0;
+        while group_start < order.len() {
+            let head = &pending[order[group_start]];
+            let head_bits = model_bits(&head.model);
+            let group_end = order[group_start..]
+                .iter()
+                .position(|&i| {
+                    model_bits(&pending[i].model) != head_bits
+                        || pending[i].neighbors != head.neighbors
+                })
+                .map_or(order.len(), |off| group_start + off);
+            let members = &order[group_start..group_end];
+            group_start = group_end;
+            let neighbors = &pending[members[0]].neighbors;
             let model = pending[members[0]].model;
             let sites: Vec<Vec<f64>> = neighbors
                 .iter()
@@ -454,7 +501,7 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
                         });
                     }
                 }
-                Err(_) => fallback.extend(&members),
+                Err(_) => fallback.extend(members),
             }
         }
 
@@ -508,53 +555,20 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
         Ok(value)
     }
 
-    fn krige(
-        &self,
-        config: &Config,
-        neighbors: &[(usize, f64)],
-    ) -> Result<(f64, f64), crate::CoreError> {
-        let model = self.model.expect("krige called before identification");
-        let estimator = KrigingEstimator::new(model).with_metric(self.settings.metric);
-        let sites: Vec<Config> = neighbors
-            .iter()
-            .map(|&(j, _)| self.store.configs()[j].clone())
-            .collect();
-        let values: Vec<f64> = neighbors
-            .iter()
-            .map(|&(j, _)| self.store.values()[j])
-            .collect();
-        let p = estimator.predict_config(&sites, &values, config)?;
-        // Plausibility envelope: a short-range interpolation has no business
-        // leaving the neighbourhood's value range by more than its spread.
-        // Violations indicate a mis-fit variogram or ill conditioning; the
-        // caller falls back to simulation (counted as a kriging failure).
-        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let spread = (hi - lo).max(1e-9);
-        if !p.value.is_finite()
-            || !p.variance.is_finite()
-            || p.value < lo - 2.0 * spread
-            || p.value > hi + 2.0 * spread
-        {
-            return Err(crate::CoreError::SingularSystem { sites: sites.len() });
-        }
-        Ok((p.value, p.variance))
-    }
-
     fn maybe_identify_variogram(&mut self) {
-        let (min_samples, families, fallback, refit_every) = match &self.settings.variogram {
+        let (min_samples, fallback, refit_every) = match &self.settings.variogram {
             VariogramPolicy::Fixed(_) => return,
             VariogramPolicy::FitAfter {
                 min_samples,
-                families,
                 fallback,
-            } => (*min_samples, families.clone(), *fallback, None),
+                ..
+            } => (*min_samples, *fallback, None),
             VariogramPolicy::Refit {
                 min_samples,
                 every,
-                families,
                 fallback,
-            } => (*min_samples, families.clone(), *fallback, Some(*every)),
+                ..
+            } => (*min_samples, *fallback, Some(*every)),
         };
         let due = if self.model.is_none() {
             self.store.len() >= min_samples
@@ -566,12 +580,19 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
         if !due {
             return;
         }
-        let fitted = EmpiricalVariogram::from_configs(
-            self.store.configs(),
-            self.store.values(),
-            self.settings.metric,
-        )
-        .and_then(|emp| fit_model(&emp, &families));
+        let families = match &self.settings.variogram {
+            VariogramPolicy::FitAfter { families, .. }
+            | VariogramPolicy::Refit { families, .. } => families,
+            VariogramPolicy::Fixed(_) => unreachable!("handled above"),
+        };
+        // Fold only the sites simulated since the last sync into the running
+        // bin sums — O(new·N) pair updates instead of a full O(N²) pass.
+        let metric = self.settings.metric;
+        let acc = self
+            .vario_acc
+            .get_or_insert_with(|| VariogramAccumulator::new(metric));
+        acc.sync(self.store.configs(), self.store.values());
+        let fitted = acc.snapshot().and_then(|emp| fit_model(&emp, families));
         self.fitted_at = self.store.len();
         match fitted {
             Ok(report) => {
@@ -636,33 +657,80 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
     }
 }
 
+/// One sequential kriged prediction over the reused scratch buffers: solve
+/// the neighbour system through the γ-table, interpolate, and apply the
+/// plausibility envelope. A short-range interpolation has no business
+/// leaving the neighbourhood's value range by more than its spread;
+/// violations indicate a mis-fit variogram or ill conditioning, and the
+/// caller falls back to simulation (counted as a kriging failure).
+///
+/// Free function over disjoint `HybridEvaluator` fields so the borrow of the
+/// neighbour buffer can coexist with the mutable scratch borrows.
+fn krige_with(
+    scratch: &mut KrigingScratch,
+    table: &mut GammaTable,
+    store: &NeighborIndex,
+    value_buf: &mut Vec<f64>,
+    neighbors: &[(usize, f64)],
+    target: &Config,
+) -> Result<(f64, f64), crate::CoreError> {
+    let configs = store.configs();
+    let values = store.values();
+    let n = neighbors.len();
+    value_buf.clear();
+    value_buf.extend(neighbors.iter().map(|&(j, _)| values[j]));
+    scratch.solve_with(n, |i, j| {
+        let a = &configs[neighbors[i].0];
+        if j == n {
+            table.gamma_pair(a, target)
+        } else {
+            table.gamma_pair(a, &configs[neighbors[j].0])
+        }
+    })?;
+    let value = scratch.interpolate(value_buf);
+    let variance = scratch.variance();
+    let lo = value_buf.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = value_buf.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let spread = (hi - lo).max(1e-9);
+    if !value.is_finite()
+        || !variance.is_finite()
+        || value < lo - 2.0 * spread
+        || value > hi + 2.0 * spread
+    {
+        return Err(crate::CoreError::SingularSystem { sites: n });
+    }
+    Ok((value, variance))
+}
+
 /// Encodes a variogram model as an orderable bit pattern so batch groups can
 /// key on it (`f64` is not `Ord`; two models are the same group exactly when
-/// every parameter is bit-identical).
-fn model_bits(m: &VariogramModel) -> Vec<u64> {
+/// every parameter is bit-identical). Zero-padded fixed array: models with
+/// different tags differ in the first element, and equal tags imply equal
+/// arity, so the ordering matches the previous variable-length encoding.
+fn model_bits(m: &VariogramModel) -> [u64; 4] {
     match *m {
-        VariogramModel::Nugget { nugget } => vec![0, nugget.to_bits()],
-        VariogramModel::Linear { nugget, slope } => vec![1, nugget.to_bits(), slope.to_bits()],
+        VariogramModel::Nugget { nugget } => [0, nugget.to_bits(), 0, 0],
+        VariogramModel::Linear { nugget, slope } => [1, nugget.to_bits(), slope.to_bits(), 0],
         VariogramModel::Power {
             nugget,
             scale,
             exponent,
-        } => vec![2, nugget.to_bits(), scale.to_bits(), exponent.to_bits()],
+        } => [2, nugget.to_bits(), scale.to_bits(), exponent.to_bits()],
         VariogramModel::Spherical {
             nugget,
             sill,
             range,
-        } => vec![3, nugget.to_bits(), sill.to_bits(), range.to_bits()],
+        } => [3, nugget.to_bits(), sill.to_bits(), range.to_bits()],
         VariogramModel::Exponential {
             nugget,
             sill,
             range,
-        } => vec![4, nugget.to_bits(), sill.to_bits(), range.to_bits()],
+        } => [4, nugget.to_bits(), sill.to_bits(), range.to_bits()],
         VariogramModel::Gaussian {
             nugget,
             sill,
             range,
-        } => vec![5, nugget.to_bits(), sill.to_bits(), range.to_bits()],
+        } => [5, nugget.to_bits(), sill.to_bits(), range.to_bits()],
     }
 }
 

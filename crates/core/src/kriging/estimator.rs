@@ -1,8 +1,16 @@
 //! User-facing kriging estimator.
 
-use crate::kriging::system::solve_kriging_system;
-use crate::variogram::VariogramModel;
-use crate::{CoreError, DistanceMetric};
+use std::cell::RefCell;
+
+use crate::kriging::system::{solve_points_into, with_scratch};
+use crate::variogram::{GammaTable, VariogramModel};
+use crate::{Config, CoreError, DistanceMetric};
+
+thread_local! {
+    /// Per-thread γ-table reused across `predict_config` calls; re-targeted
+    /// when the model or metric changes.
+    static TABLE: RefCell<Option<GammaTable>> = const { RefCell::new(None) };
+}
 
 /// One kriging prediction.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,27 +103,81 @@ impl KrigingEstimator {
                 detail: format!("{} sites vs {} values", sites.len(), values.len()),
             });
         }
-        let w = solve_kriging_system(sites, target, &self.model, self.metric)?;
-        Ok(Prediction {
-            value: w.interpolate(values),
-            variance: w.variance(),
-            weights: w.weights.clone(),
+        with_scratch(|scratch| {
+            solve_points_into(scratch, sites, target, &self.model, self.metric)?;
+            Ok(Prediction {
+                value: scratch.interpolate(values),
+                variance: scratch.variance(),
+                weights: scratch.weights().to_vec(),
+            })
         })
     }
 
     /// Predicts at an integer configuration (the optimizers' native type).
+    ///
+    /// Runs on the integer lattice: γ values come from a thread-local
+    /// [`GammaTable`] keyed by lattice distance, skipping both the `f64`
+    /// site conversion and repeated variogram evaluation. Results are
+    /// bitwise identical to converting and calling
+    /// [`KrigingEstimator::predict`].
     ///
     /// # Errors
     ///
     /// See [`KrigingEstimator::predict`].
     pub fn predict_config(
         &self,
-        configs: &[Vec<i32>],
+        configs: &[Config],
         values: &[f64],
         target: &[i32],
     ) -> Result<Prediction, CoreError> {
-        let sites: Vec<Vec<f64>> = configs.iter().map(|c| crate::config_to_point(c)).collect();
-        self.predict(&sites, values, &crate::config_to_point(target))
+        if configs.len() != values.len() {
+            return Err(CoreError::DimensionMismatch {
+                what: "kriging prediction".into(),
+                detail: format!("{} sites vs {} values", configs.len(), values.len()),
+            });
+        }
+        for (i, c) in configs.iter().enumerate() {
+            if c.len() != target.len() {
+                return Err(CoreError::DimensionMismatch {
+                    what: "kriging system".into(),
+                    detail: format!(
+                        "site {i} has dimension {}, target has {}",
+                        c.len(),
+                        target.len()
+                    ),
+                });
+            }
+        }
+        if configs.is_empty() {
+            return Err(CoreError::NoData);
+        }
+        let n = configs.len();
+        TABLE.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let table = match slot.as_mut() {
+                Some(t) => {
+                    if !t.matches(&self.model, self.metric) {
+                        t.reset(self.model, self.metric);
+                    }
+                    t
+                }
+                None => slot.insert(GammaTable::new(self.model, self.metric)),
+            };
+            with_scratch(|scratch| {
+                scratch.solve_with(n, |i, j| {
+                    if j == n {
+                        table.gamma_pair(&configs[i], target)
+                    } else {
+                        table.gamma_pair(&configs[i], &configs[j])
+                    }
+                })?;
+                Ok(Prediction {
+                    value: scratch.interpolate(values),
+                    variance: scratch.variance(),
+                    weights: scratch.weights().to_vec(),
+                })
+            })
+        })
     }
 
     /// Predicts the field at many targets sharing one site set.

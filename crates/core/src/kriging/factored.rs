@@ -7,7 +7,7 @@
 //! once and back-substituting per target turns `O(k·n³)` into
 //! `O(n³ + k·n²)`.
 
-use krigeval_linalg::{LuDecomposition, Matrix};
+use krigeval_linalg::LdltWorkspace;
 
 use crate::kriging::Prediction;
 use crate::variogram::VariogramModel;
@@ -43,7 +43,8 @@ pub struct FactoredKriging {
     metric: DistanceMetric,
     sites: Vec<Vec<f64>>,
     values: Vec<f64>,
-    lu: LuDecomposition,
+    /// Bunch–Kaufman LDLᵀ of the (jittered) saddle-point Γ.
+    ldlt: LdltWorkspace,
 }
 
 impl FactoredKriging {
@@ -83,41 +84,54 @@ impl FactoredKriging {
             }
         }
         let n = sites.len();
+        let ns = n + 1;
+        // Assemble the jitter-free Γ once; retries only re-add the jitter.
+        let mut base = vec![0.0; ns * ns];
         let mut scale = 1.0f64;
         for i in 0..n {
-            for j in (i + 1)..n {
-                scale = scale.max(model.evaluate(metric.eval(&sites[i], &sites[j])));
+            for j in 0..i {
+                let g = model.evaluate(metric.eval(&sites[i], &sites[j]));
+                base[i * ns + j] = g;
+                base[j * ns + i] = g;
+                scale = scale.max(g);
             }
+            base[i * ns + n] = 1.0;
+            base[n * ns + i] = 1.0;
         }
-        let build = |jitter: f64| -> Matrix {
-            Matrix::from_fn(n + 1, n + 1, |i, j| {
-                if i == n && j == n {
-                    0.0
-                } else if i == n || j == n {
-                    1.0
-                } else if i == j {
-                    0.0
-                } else {
-                    model.evaluate(metric.eval(&sites[i], &sites[j])) + jitter
-                }
-            })
-        };
+        let mut ldlt = LdltWorkspace::new();
+        let mut work = Vec::with_capacity(ns * ns);
+        let mut factored = false;
         for jitter in [0.0, 1e-10, 1e-6, 1e-3].map(|j| j * scale) {
-            match LuDecomposition::new(&build(jitter)) {
-                Ok(lu) => {
-                    return Ok(FactoredKriging {
-                        model,
-                        metric,
-                        sites,
-                        values,
-                        lu,
-                    })
+            work.clear();
+            work.extend_from_slice(&base);
+            if jitter != 0.0 {
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            work[i * ns + j] += jitter;
+                        }
+                    }
+                }
+            }
+            match ldlt.factor(&work, ns) {
+                Ok(()) => {
+                    factored = true;
+                    break;
                 }
                 Err(krigeval_linalg::LinalgError::Singular { .. }) => continue,
                 Err(e) => return Err(e.into()),
             }
         }
-        Err(CoreError::SingularSystem { sites: n })
+        if !factored {
+            return Err(CoreError::SingularSystem { sites: n });
+        }
+        Ok(FactoredKriging {
+            model,
+            metric,
+            sites,
+            values,
+            ldlt,
+        })
     }
 
     /// Number of data sites.
@@ -143,14 +157,14 @@ impl FactoredKriging {
             });
         }
         let n = self.sites.len();
-        let mut rhs: Vec<f64> = self
+        let mut solution: Vec<f64> = self
             .sites
             .iter()
             .map(|s| self.model.evaluate(self.metric.eval(s, target)))
             .collect();
-        let gamma_target = rhs.clone();
-        rhs.push(1.0);
-        let solution = self.lu.solve(&rhs)?;
+        let gamma_target = solution.clone();
+        solution.push(1.0);
+        self.ldlt.solve_in_place(&mut solution)?;
         let (weights, rest) = solution.split_at(n);
         let value = weights
             .iter()

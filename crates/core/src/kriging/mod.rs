@@ -8,4 +8,4 @@ mod system;
 pub use estimator::{KrigingEstimator, Prediction};
 pub use factored::FactoredKriging;
 pub use simple::SimpleKrigingEstimator;
-pub use system::{solve_kriging_system, KrigingWeights};
+pub use system::{solve_kriging_system, KrigingScratch, KrigingWeights};

@@ -1,6 +1,8 @@
 //! Assembly and solution of the ordinary-kriging system (paper Eqs. 7–10).
 
-use krigeval_linalg::{LuDecomposition, Matrix};
+use std::cell::RefCell;
+
+use krigeval_linalg::LdltWorkspace;
 
 use crate::variogram::VariogramModel;
 use crate::{CoreError, DistanceMetric};
@@ -47,28 +49,179 @@ impl KrigingWeights {
     }
 }
 
-/// Builds and solves the ordinary-kriging system for `target` given data
-/// `sites`, under `model` and `metric`:
+/// Reusable workspace for ordinary-kriging solves.
 ///
-/// ```text
-/// Γ · [μ; m] = [γᵢ; 1]        (Γ as in Eq. 9, γᵢ as in Eq. 8)
-/// ```
+/// All buffers — the base Γ matrix, the jittered working copy, the
+/// right-hand side, the solution, and the [`LdltWorkspace`] — are grow-only
+/// and reused across calls, so a steady-state solve performs **zero heap
+/// allocations**. Γ is assembled once per neighbor set; regularization
+/// retries only re-add the jitter to the working copy instead of
+/// re-evaluating the variogram for every entry.
 ///
-/// If the plain system is singular (e.g. nearly-duplicate sites), it is
-/// retried with a small nugget jitter added to every off-diagonal entry —
-/// the standard regularization — before giving up.
-///
-/// # Errors
-///
-/// * [`CoreError::NoData`] if `sites` is empty.
-/// * [`CoreError::DimensionMismatch`] if the sites/target dimensions differ.
-/// * [`CoreError::SingularSystem`] if both attempts fail.
-pub fn solve_kriging_system(
+/// The accessors ([`weights`](KrigingScratch::weights), etc.) are valid after
+/// a successful [`solve_with`](KrigingScratch::solve_with) and refer to that
+/// solve until the next call.
+#[derive(Debug, Clone, Default)]
+pub struct KrigingScratch {
+    ldlt: LdltWorkspace,
+    /// Base (n+1)² saddle-point matrix, row-major, jitter-free.
+    base: Vec<f64>,
+    /// Jittered working copy consumed by the factorization.
+    work: Vec<f64>,
+    /// `[γ(dᵢ, target); 1]`.
+    rhs: Vec<f64>,
+    /// `[μ; m]` after a successful solve.
+    sol: Vec<f64>,
+    /// Number of data sites of the last solve.
+    n: usize,
+}
+
+impl KrigingScratch {
+    /// Creates an empty workspace.
+    pub fn new() -> KrigingScratch {
+        KrigingScratch::default()
+    }
+
+    /// Assembles and solves the ordinary-kriging system for `n` sites.
+    ///
+    /// `gamma(i, j)` must return the semi-variogram between site `i` and
+    /// site `j` for `j < n`, and between site `i` and the *target* for
+    /// `j == n`. It is called once per unordered site pair and once per site
+    /// for the target — Γ's symmetry is exploited, unlike the previous
+    /// full-matrix assembly.
+    ///
+    /// Singular or ill-conditioned systems (weight mass above the
+    /// `16 + 2n` budget) escalate through the nugget-jitter ladder by
+    /// mutating only the working copy.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoData`] if `n == 0`.
+    /// * [`CoreError::SingularSystem`] if every jitter rung fails.
+    /// * [`CoreError::Linalg`] on non-finite Γ entries.
+    pub fn solve_with(
+        &mut self,
+        n: usize,
+        mut gamma: impl FnMut(usize, usize) -> f64,
+    ) -> Result<(), CoreError> {
+        if n == 0 {
+            return Err(CoreError::NoData);
+        }
+        let ns = n + 1;
+        self.n = n;
+        self.base.clear();
+        self.base.resize(ns * ns, 0.0);
+        for i in 0..n {
+            for j in 0..i {
+                let g = gamma(i, j);
+                self.base[i * ns + j] = g;
+                self.base[j * ns + i] = g;
+            }
+            // Diagonal stays 0 (γ(0) = 0); unit Lagrange border.
+            self.base[i * ns + n] = 1.0;
+            self.base[n * ns + i] = 1.0;
+        }
+        self.rhs.clear();
+        for i in 0..n {
+            self.rhs.push(gamma(i, n));
+        }
+        self.rhs.push(1.0);
+
+        // The jitter scale follows the system's own magnitude. Beyond exact
+        // singularity, near-duplicate sites in high-dimensional configuration
+        // spaces produce *ill-conditioned* systems whose "solutions" carry
+        // enormous oscillating weights; those interpolate garbage, so they
+        // are rejected and retried with a stronger nugget jitter.
+        let scale = self.rhs[..n]
+            .iter()
+            .fold(0.0f64, |m, g| m.max(g.abs()))
+            .max(1.0);
+        let weight_budget = 16.0 + 2.0 * n as f64; // Σ|μ| cap; honest weights are O(1)
+        for jitter in [0.0, 1e-10, 1e-6, 1e-3, 1e-1].map(|j| j * scale) {
+            self.work.clear();
+            self.work.extend_from_slice(&self.base);
+            if jitter != 0.0 {
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            self.work[i * ns + j] += jitter;
+                        }
+                    }
+                }
+            }
+            match self.ldlt.factor(&self.work, ns) {
+                Ok(()) => {}
+                Err(krigeval_linalg::LinalgError::Singular { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            }
+            self.sol.clear();
+            self.sol.extend_from_slice(&self.rhs);
+            self.ldlt.solve_in_place(&mut self.sol)?;
+            let l1: f64 = self.sol[..n].iter().map(|w| w.abs()).sum();
+            if !l1.is_finite() || l1 > weight_budget {
+                continue; // ill-conditioned: escalate the jitter
+            }
+            return Ok(());
+        }
+        Err(CoreError::SingularSystem { sites: n })
+    }
+
+    /// The kriging weights `μ` of the last successful solve.
+    pub fn weights(&self) -> &[f64] {
+        &self.sol[..self.n]
+    }
+
+    /// The Lagrange multiplier `m` of the last successful solve.
+    pub fn lagrange(&self) -> f64 {
+        self.sol[self.n]
+    }
+
+    /// `γ(dᵢ, target)` of the last successful solve.
+    pub fn gamma_target(&self) -> &[f64] {
+        &self.rhs[..self.n]
+    }
+
+    /// `Σ μₖ·λ(eᵏ)` (Eq. 10) over the last solve's weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of weights.
+    pub fn interpolate(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.n, "value count must match weight count");
+        self.weights().iter().zip(values).map(|(w, v)| w * v).sum()
+    }
+
+    /// The ordinary-kriging variance of the last solve, clamped at zero.
+    pub fn variance(&self) -> f64 {
+        let v: f64 = self
+            .weights()
+            .iter()
+            .zip(self.gamma_target())
+            .map(|(w, g)| w * g)
+            .sum::<f64>()
+            + self.lagrange();
+        v.max(0.0)
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<KrigingScratch> = RefCell::new(KrigingScratch::new());
+}
+
+/// Runs `f` with this thread's shared [`KrigingScratch`].
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut KrigingScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Validates `sites` against `target` and solves into `scratch` using direct
+/// variogram evaluation on `f64` points.
+pub(crate) fn solve_points_into(
+    scratch: &mut KrigingScratch,
     sites: &[Vec<f64>],
     target: &[f64],
     model: &VariogramModel,
     metric: DistanceMetric,
-) -> Result<KrigingWeights, CoreError> {
+) -> Result<(), CoreError> {
     if sites.is_empty() {
         return Err(CoreError::NoData);
     }
@@ -85,58 +238,47 @@ pub fn solve_kriging_system(
         }
     }
     let n = sites.len();
-    let gamma_target: Vec<f64> = sites
-        .iter()
-        .map(|s| model.evaluate(metric.eval(s, target)))
-        .collect();
-
-    let build = |jitter: f64| -> Matrix {
-        Matrix::from_fn(n + 1, n + 1, |i, j| {
-            if i == n && j == n {
-                0.0
-            } else if i == n || j == n {
-                1.0
-            } else if i == j {
-                0.0 // γ(0) = 0 on the diagonal
-            } else {
-                model.evaluate(metric.eval(&sites[i], &sites[j])) + jitter
-            }
-        })
-    };
-    let mut rhs: Vec<f64> = gamma_target.clone();
-    rhs.push(1.0);
-
-    // The jitter scale follows the system's own magnitude. Beyond exact
-    // singularity, near-duplicate sites in high-dimensional configuration
-    // spaces produce *ill-conditioned* systems whose "solutions" carry
-    // enormous oscillating weights; those interpolate garbage, so they are
-    // rejected and retried with a stronger nugget jitter.
-    let scale = gamma_target
-        .iter()
-        .fold(0.0f64, |m, g| m.max(g.abs()))
-        .max(1.0);
-    let weight_budget = 16.0 + 2.0 * n as f64; // Σ|μ| cap; honest weights are O(1)
-    for jitter in [0.0, 1e-10, 1e-6, 1e-3, 1e-1].map(|j| j * scale) {
-        let gamma_matrix = build(jitter);
-        match LuDecomposition::new(&gamma_matrix) {
-            Ok(lu) => {
-                let solution = lu.solve(&rhs)?;
-                let (weights, rest) = solution.split_at(n);
-                let l1: f64 = weights.iter().map(|w| w.abs()).sum();
-                if !l1.is_finite() || l1 > weight_budget {
-                    continue; // ill-conditioned: escalate the jitter
-                }
-                return Ok(KrigingWeights {
-                    weights: weights.to_vec(),
-                    lagrange: rest[0],
-                    gamma_target,
-                });
-            }
-            Err(krigeval_linalg::LinalgError::Singular { .. }) => continue,
-            Err(e) => return Err(e.into()),
+    scratch.solve_with(n, |i, j| {
+        if j == n {
+            model.evaluate(metric.eval(&sites[i], target))
+        } else {
+            model.evaluate(metric.eval(&sites[i], &sites[j]))
         }
-    }
-    Err(CoreError::SingularSystem { sites: n })
+    })
+}
+
+/// Builds and solves the ordinary-kriging system for `target` given data
+/// `sites`, under `model` and `metric`:
+///
+/// ```text
+/// Γ · [μ; m] = [γᵢ; 1]        (Γ as in Eq. 9, γᵢ as in Eq. 8)
+/// ```
+///
+/// If the plain system is singular (e.g. nearly-duplicate sites), it is
+/// retried with a small nugget jitter added to every off-diagonal entry —
+/// the standard regularization — before giving up. The heavy lifting runs in
+/// a thread-local [`KrigingScratch`], so repeated calls reuse the factored
+/// workspace and Γ buffers.
+///
+/// # Errors
+///
+/// * [`CoreError::NoData`] if `sites` is empty.
+/// * [`CoreError::DimensionMismatch`] if the sites/target dimensions differ.
+/// * [`CoreError::SingularSystem`] if all regularization attempts fail.
+pub fn solve_kriging_system(
+    sites: &[Vec<f64>],
+    target: &[f64],
+    model: &VariogramModel,
+    metric: DistanceMetric,
+) -> Result<KrigingWeights, CoreError> {
+    with_scratch(|scratch| {
+        solve_points_into(scratch, sites, target, model, metric)?;
+        Ok(KrigingWeights {
+            weights: scratch.weights().to_vec(),
+            lagrange: scratch.lagrange(),
+            gamma_target: scratch.gamma_target().to_vec(),
+        })
+    })
 }
 
 #[cfg(test)]
@@ -238,5 +380,91 @@ mod tests {
         let sites = vec![vec![0.0], vec![1.0]];
         let w = solve_kriging_system(&sites, &[0.5], &model(), DistanceMetric::L1).unwrap();
         let _ = w.interpolate(&[1.0]);
+    }
+
+    #[test]
+    fn jitter_retry_reuse_matches_rebuilt_matrices() {
+        // The scratch adds jitter to a cached base Γ; the pre-overhaul path
+        // re-evaluated the variogram and computed `γ + jitter` entry by
+        // entry for every retry. Both must agree bitwise.
+        let m = model();
+        let metric = DistanceMetric::L1;
+        // Duplicate sites force the ladder past the jitter-free rung.
+        let sites = vec![vec![1.0], vec![1.0], vec![3.0], vec![8.0]];
+        let target = [2.0];
+        let n = sites.len();
+        let ns = n + 1;
+
+        // Reference: rebuild the full matrix from scratch at every rung.
+        let rhs: Vec<f64> = sites
+            .iter()
+            .map(|s| m.evaluate(metric.eval(s, &target)))
+            .chain([1.0])
+            .collect();
+        let scale = rhs[..n]
+            .iter()
+            .fold(0.0f64, |acc, g| acc.max(g.abs()))
+            .max(1.0);
+        let budget = 16.0 + 2.0 * n as f64;
+        let mut reference: Option<Vec<f64>> = None;
+        for jitter in [0.0, 1e-10, 1e-6, 1e-3, 1e-1].map(|j| j * scale) {
+            let mut a = vec![0.0; ns * ns];
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        a[i * ns + j] = m.evaluate(metric.eval(&sites[i], &sites[j])) + jitter;
+                    }
+                }
+                a[i * ns + n] = 1.0;
+                a[n * ns + i] = 1.0;
+            }
+            let mut ws = krigeval_linalg::LdltWorkspace::new();
+            if ws.factor(&a, ns).is_err() {
+                continue;
+            }
+            let mut sol = rhs.clone();
+            ws.solve_in_place(&mut sol).unwrap();
+            if sol[..n].iter().map(|w| w.abs()).sum::<f64>() > budget {
+                continue;
+            }
+            reference = Some(sol);
+            break;
+        }
+        let reference = reference.expect("reference ladder must converge");
+
+        let mut scratch = KrigingScratch::new();
+        solve_points_into(&mut scratch, &sites, &target, &m, metric).unwrap();
+        assert_eq!(scratch.weights(), &reference[..n]);
+        assert_eq!(scratch.lagrange().to_bits(), reference[n].to_bits());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_workspace() {
+        // Regression for the Γ-reuse-across-jitter-retries design: a scratch
+        // that has already served many solves (including regularized ones)
+        // must produce bitwise-identical weights to a fresh workspace.
+        let m = model();
+        let cases: Vec<(Vec<Vec<f64>>, Vec<f64>)> = vec![
+            (vec![vec![0.0], vec![2.0], vec![6.0], vec![10.0]], vec![4.0]),
+            // Duplicate sites: forces the jitter ladder past rung 0.
+            (vec![vec![1.0], vec![1.0], vec![3.0]], vec![2.0]),
+            (
+                vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 3.0]],
+                vec![1.0, 1.0],
+            ),
+        ];
+        let mut reused = KrigingScratch::new();
+        for (sites, target) in &cases {
+            // Warm the reused scratch with unrelated solves first.
+            let warm = vec![vec![0.0], vec![5.0], vec![9.0], vec![13.0], vec![20.0]];
+            solve_points_into(&mut reused, &warm, &[7.0], &m, DistanceMetric::L1).unwrap();
+
+            let mut fresh = KrigingScratch::new();
+            solve_points_into(&mut fresh, sites, target, &m, DistanceMetric::L1).unwrap();
+            solve_points_into(&mut reused, sites, target, &m, DistanceMetric::L1).unwrap();
+            assert_eq!(fresh.weights(), reused.weights());
+            assert_eq!(fresh.lagrange().to_bits(), reused.lagrange().to_bits());
+            assert_eq!(fresh.gamma_target(), reused.gamma_target());
+        }
     }
 }

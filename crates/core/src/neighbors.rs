@@ -8,13 +8,18 @@
 //!
 //! for any two configurations, `|Σa − Σb| ≤ ‖a − b‖₁`, so a candidate whose
 //! coordinate sum differs from the target's by more than `d` can never be a
-//! neighbor. Sorting the store by coordinate sum turns the scan into a
+//! neighbor. Bucketing the store by coordinate sum turns the scan into a
 //! window lookup. (For L2/L∞ the bound adapts: `‖·‖₂ ≥ |Σa−Σb|/√n` and
 //! `‖·‖∞ ≥ |Σa−Σb|/n`.)
+
+use std::collections::BTreeMap;
 
 use crate::{Config, DistanceMetric};
 
 /// An incrementally built radius-search index over integer configurations.
+///
+/// Insertion is amortized `O(log N)`: positions live in per-coordinate-sum
+/// buckets of a `BTreeMap`, so no sorted-vector shifting occurs.
 ///
 /// # Examples
 ///
@@ -32,8 +37,8 @@ use crate::{Config, DistanceMetric};
 #[derive(Debug, Clone, Default)]
 pub struct NeighborIndex {
     metric: DistanceMetric,
-    /// `(coordinate sum, store position)`, kept sorted by sum.
-    by_sum: Vec<(i64, usize)>,
+    /// Coordinate sum -> store positions with that sum, oldest first.
+    by_sum: BTreeMap<i64, Vec<usize>>,
     configs: Vec<Config>,
     values: Vec<f64>,
 }
@@ -51,12 +56,16 @@ pub struct Neighbor<'a> {
     pub distance: f64,
 }
 
+fn coordinate_sum(config: &[i32]) -> i64 {
+    config.iter().map(|&x| i64::from(x)).sum()
+}
+
 impl NeighborIndex {
     /// Creates an empty index for the given metric.
     pub fn new(metric: DistanceMetric) -> NeighborIndex {
         NeighborIndex {
             metric,
-            by_sum: Vec::new(),
+            by_sum: BTreeMap::new(),
             configs: Vec::new(),
             values: Vec::new(),
         }
@@ -75,30 +84,51 @@ impl NeighborIndex {
     /// Inserts a configuration with its metric value, returning its
     /// insertion-order index.
     pub fn insert(&mut self, config: Config, value: f64) -> usize {
-        let sum: i64 = config.iter().map(|&x| i64::from(x)).sum();
+        let sum = coordinate_sum(&config);
         let position = self.configs.len();
-        let at = self.by_sum.partition_point(|&(s, _)| s < sum);
-        self.by_sum.insert(at, (sum, position));
+        self.by_sum.entry(sum).or_default().push(position);
         self.configs.push(config);
         self.values.push(value);
         position
     }
 
     /// Exact-match lookup (for the duplicate cache).
+    ///
+    /// When a configuration was stored more than once, the most recent
+    /// insertion wins.
     pub fn position_of(&self, config: &[i32]) -> Option<usize> {
         // Candidates share the exact coordinate sum; check only those.
-        let sum: i64 = config.iter().map(|&x| i64::from(x)).sum();
-        let lo = self.by_sum.partition_point(|&(s, _)| s < sum);
-        self.by_sum[lo..]
+        let bucket = self.by_sum.get(&coordinate_sum(config))?;
+        bucket
             .iter()
-            .take_while(|&&(s, _)| s == sum)
-            .map(|&(_, pos)| pos)
+            .rev()
+            .copied()
             .find(|&pos| self.configs[pos] == config)
     }
 
     /// All stored configurations within `radius` of `target`.
     pub fn within(&self, target: &[i32], radius: f64) -> Vec<Neighbor<'_>> {
-        let sum: i64 = target.iter().map(|&x| i64::from(x)).sum();
+        let mut buf = Vec::new();
+        self.within_into(target, radius, &mut buf);
+        buf.into_iter()
+            .map(|(pos, distance)| Neighbor {
+                index: pos,
+                config: &self.configs[pos],
+                value: self.values[pos],
+                distance,
+            })
+            .collect()
+    }
+
+    /// [`within`](NeighborIndex::within) into a caller-owned buffer of
+    /// `(store position, distance)` pairs, sorted by increasing distance
+    /// (ties broken by position).
+    ///
+    /// The buffer is cleared first; reusing it across queries makes the
+    /// steady-state search allocation-free.
+    pub fn within_into(&self, target: &[i32], radius: f64, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        let sum = coordinate_sum(target);
         // Sum-window that the metric's lower bound cannot exclude.
         let n = target.len().max(1) as f64;
         let window = match self.metric {
@@ -107,26 +137,19 @@ impl NeighborIndex {
             DistanceMetric::Linf => radius * n,
         };
         let window = window.floor() as i64;
-        let lo = self.by_sum.partition_point(|&(s, _)| s < sum - window);
-        let hi = self.by_sum.partition_point(|&(s, _)| s <= sum + window);
-        let mut hits: Vec<Neighbor<'_>> = self.by_sum[lo..hi]
-            .iter()
-            .filter_map(|&(_, pos)| {
+        let lo = sum.saturating_sub(window);
+        let hi = sum.saturating_add(window);
+        for bucket in self.by_sum.range(lo..=hi).map(|(_, b)| b) {
+            for &pos in bucket {
                 let distance = self.metric.eval_config(&self.configs[pos], target);
-                (distance <= radius).then(|| Neighbor {
-                    index: pos,
-                    config: &self.configs[pos],
-                    value: self.values[pos],
-                    distance,
-                })
-            })
-            .collect();
-        hits.sort_by(|a, b| {
-            a.distance
-                .total_cmp(&b.distance)
-                .then(a.index.cmp(&b.index))
-        });
-        hits
+                if distance <= radius {
+                    out.push((pos, distance));
+                }
+            }
+        }
+        // sort_unstable: a stable slice sort allocates a merge buffer, and
+        // the (distance, position) key is already a total order.
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     }
 
     /// Stored configurations, in insertion order.
@@ -201,6 +224,28 @@ mod tests {
     }
 
     #[test]
+    fn within_into_reuses_the_buffer() {
+        let mut index = NeighborIndex::new(DistanceMetric::L1);
+        for i in 0..20 {
+            index.insert(vec![i, i], f64::from(i));
+        }
+        let mut buf = Vec::new();
+        index.within_into(&[5, 5], 4.0, &mut buf);
+        let first: Vec<(usize, f64)> = buf.clone();
+        assert!(!first.is_empty());
+        let cap = buf.capacity();
+        for _ in 0..10 {
+            index.within_into(&[5, 5], 4.0, &mut buf);
+        }
+        assert_eq!(buf, first);
+        assert_eq!(buf.capacity(), cap);
+        // Matches the allocating API.
+        let hits = index.within(&[5, 5], 4.0);
+        let pairs: Vec<(usize, f64)> = hits.iter().map(|h| (h.index, h.distance)).collect();
+        assert_eq!(buf, pairs);
+    }
+
+    #[test]
     fn position_of_finds_exact_matches_only() {
         let mut index = NeighborIndex::new(DistanceMetric::L1);
         let a = index.insert(vec![4, 5, 6], 0.5);
@@ -209,6 +254,14 @@ mod tests {
         assert_eq!(index.position_of(&[6, 5, 4]), Some(b));
         assert_eq!(index.position_of(&[5, 5, 5]), None); // same sum, not stored
         assert_eq!(index.position_of(&[9, 9, 9]), None);
+    }
+
+    #[test]
+    fn position_of_prefers_the_newest_duplicate() {
+        let mut index = NeighborIndex::new(DistanceMetric::L1);
+        index.insert(vec![7, 7], 1.0);
+        let newer = index.insert(vec![7, 7], 2.0);
+        assert_eq!(index.position_of(&[7, 7]), Some(newer));
     }
 
     #[test]

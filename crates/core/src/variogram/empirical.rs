@@ -1,6 +1,8 @@
-//! Empirical semi-variogram (paper Eq. 4).
+//! Empirical semi-variogram (paper Eq. 4), batch and incremental.
 
-use crate::{CoreError, DistanceMetric};
+use crate::variogram::table::{lattice_distance, lattice_key};
+use crate::{Config, CoreError, DistanceMetric};
+use std::collections::BTreeMap;
 
 /// One distance bin of the empirical semi-variogram.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,8 +88,7 @@ impl EmpiricalVariogram {
         }
 
         // bin index -> (Σ squared diff, Σ distance, count)
-        let mut acc: std::collections::BTreeMap<u64, (f64, f64, usize)> =
-            std::collections::BTreeMap::new();
+        let mut acc: BTreeMap<u64, (f64, f64, usize)> = BTreeMap::new();
         for j in 0..sites.len() {
             for k in (j + 1)..sites.len() {
                 let d = metric.eval(&sites[j], &sites[k]);
@@ -112,16 +113,40 @@ impl EmpiricalVariogram {
 
     /// Convenience constructor for integer configurations with unit bins.
     ///
+    /// Runs on the integer lattice directly (no per-site `f64` conversion)
+    /// via [`VariogramAccumulator`].
+    ///
     /// # Errors
     ///
     /// See [`EmpiricalVariogram::from_samples`].
     pub fn from_configs(
-        configs: &[Vec<i32>],
+        configs: &[Config],
         values: &[f64],
         metric: DistanceMetric,
     ) -> Result<EmpiricalVariogram, CoreError> {
-        let sites: Vec<Vec<f64>> = configs.iter().map(|c| crate::config_to_point(c)).collect();
-        EmpiricalVariogram::from_samples(&sites, values, metric, 1.0)
+        if configs.len() != values.len() {
+            return Err(CoreError::DimensionMismatch {
+                what: "empirical variogram".into(),
+                detail: format!("{} sites vs {} values", configs.len(), values.len()),
+            });
+        }
+        if configs.len() < 2 {
+            return Err(CoreError::FitFailed {
+                reason: "need at least two sites to form a pair".into(),
+            });
+        }
+        let dim = configs[0].len();
+        for (i, c) in configs.iter().enumerate() {
+            if c.len() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    what: "empirical variogram".into(),
+                    detail: format!("site {i} has dimension {} (expected {dim})", c.len()),
+                });
+            }
+        }
+        let mut acc = VariogramAccumulator::new(metric);
+        acc.sync(configs, values);
+        acc.snapshot()
     }
 
     /// The distance bins, sorted by increasing distance.
@@ -137,6 +162,135 @@ impl EmpiricalVariogram {
     /// Total number of pairs across all bins.
     pub fn total_pairs(&self) -> usize {
         self.bins.iter().map(|b| b.pairs).sum()
+    }
+}
+
+/// Incremental empirical semi-variogram over integer configurations with
+/// unit bins.
+///
+/// The hybrid evaluator refits its variogram repeatedly as the store grows.
+/// Recomputing all `N·(N-1)/2` pairs on each refit is O(N²) per refit;
+/// this accumulator keeps per-bin running sums and folds in only the sites
+/// appended since the last [`sync`](VariogramAccumulator::sync) — O(new·N)
+/// pair updates per refit instead.
+///
+/// Pair sums are accumulated in a different order than the batch
+/// [`EmpiricalVariogram::from_samples`] loop (new-site-major rather than
+/// low-index-major), so bin statistics agree to floating-point reassociation
+/// accuracy (≈1e-15 relative), not bitwise.
+///
+/// # Examples
+///
+/// ```
+/// use krigeval_core::variogram::VariogramAccumulator;
+/// use krigeval_core::DistanceMetric;
+///
+/// let configs = vec![vec![0], vec![1], vec![2]];
+/// let values = vec![0.0, 1.0, 2.0];
+/// let mut acc = VariogramAccumulator::new(DistanceMetric::L1);
+/// acc.sync(&configs[..2], &values[..2]); // first two sites
+/// acc.sync(&configs, &values); // one new site: only 2 new pairs folded in
+/// let v = acc.snapshot().unwrap();
+/// assert_eq!(v.total_pairs(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VariogramAccumulator {
+    metric: DistanceMetric,
+    /// bin index -> (Σ squared diff, Σ distance, count)
+    acc: BTreeMap<u64, (f64, f64, usize)>,
+    /// How many leading sites of the backing store have been folded in.
+    consumed: usize,
+}
+
+impl VariogramAccumulator {
+    /// Creates an empty accumulator for `metric` with unit bins.
+    pub fn new(metric: DistanceMetric) -> VariogramAccumulator {
+        VariogramAccumulator {
+            metric,
+            acc: BTreeMap::new(),
+            consumed: 0,
+        }
+    }
+
+    /// The metric pairs are measured with.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// How many sites have been folded in so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Drops all accumulated pairs.
+    pub fn clear(&mut self) {
+        self.acc.clear();
+        self.consumed = 0;
+    }
+
+    /// Folds the sites appended since the last call into the running sums.
+    ///
+    /// `configs`/`values` must be the same grow-only sequence across calls:
+    /// the first [`consumed`](VariogramAccumulator::consumed) entries are
+    /// assumed unchanged and only `configs[consumed..]` are paired (each
+    /// against every earlier site).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` and `values` have different lengths, if the
+    /// sequence shrank below what was already consumed, or if configurations
+    /// have inconsistent dimensions.
+    pub fn sync(&mut self, configs: &[Config], values: &[f64]) {
+        assert_eq!(
+            configs.len(),
+            values.len(),
+            "configuration and value counts must match"
+        );
+        assert!(
+            configs.len() >= self.consumed,
+            "accumulator backing store shrank ({} sites, {} consumed)",
+            configs.len(),
+            self.consumed
+        );
+        for j in self.consumed..configs.len() {
+            for k in 0..j {
+                let key = lattice_key(self.metric, &configs[j], &configs[k]);
+                let d = lattice_distance(self.metric, key);
+                let diff = values[j] - values[k];
+                let bin = d.round() as u64;
+                let e = self.acc.entry(bin).or_insert((0.0, 0.0, 0));
+                e.0 += diff * diff;
+                e.1 += d;
+                e.2 += 1;
+            }
+        }
+        self.consumed = configs.len();
+    }
+
+    /// Materializes the current sums as an [`EmpiricalVariogram`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FitFailed`] if no pair has been accumulated yet.
+    pub fn snapshot(&self) -> Result<EmpiricalVariogram, CoreError> {
+        if self.acc.is_empty() {
+            return Err(CoreError::FitFailed {
+                reason: "need at least two sites to form a pair".into(),
+            });
+        }
+        let bins = self
+            .acc
+            .iter()
+            .map(|(_, &(sum_sq, sum_d, pairs))| VariogramBin {
+                distance: sum_d / pairs as f64,
+                gamma: sum_sq / (2.0 * pairs as f64),
+                pairs,
+            })
+            .collect();
+        Ok(EmpiricalVariogram {
+            bins,
+            metric: self.metric,
+        })
     }
 }
 
@@ -219,6 +373,54 @@ mod tests {
     }
 
     #[test]
+    fn accumulator_matches_batch_on_each_prefix() {
+        let configs: Vec<Config> = (0..12).map(|i| vec![i % 5, (i * 3) % 7]).collect();
+        let values: Vec<f64> = (0..12).map(|i| f64::from(i).sin() * 4.0).collect();
+        for metric in [DistanceMetric::L1, DistanceMetric::L2, DistanceMetric::Linf] {
+            let mut acc = VariogramAccumulator::new(metric);
+            for n in 1..=configs.len() {
+                acc.sync(&configs[..n], &values[..n]);
+                assert_eq!(acc.consumed(), n);
+                if n < 2 {
+                    assert!(acc.snapshot().is_err());
+                    continue;
+                }
+                let batch =
+                    EmpiricalVariogram::from_configs(&configs[..n], &values[..n], metric).unwrap();
+                let inc = acc.snapshot().unwrap();
+                assert_eq!(inc.bins().len(), batch.bins().len());
+                for (a, b) in inc.bins().iter().zip(batch.bins()) {
+                    assert_eq!(a.pairs, b.pairs);
+                    assert!((a.distance - b.distance).abs() < 1e-12);
+                    assert!((a.gamma - b.gamma).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_clear_starts_over() {
+        let configs = vec![vec![0], vec![2], vec![5]];
+        let values = vec![1.0, 2.0, 4.0];
+        let mut acc = VariogramAccumulator::new(DistanceMetric::L1);
+        acc.sync(&configs, &values);
+        assert_eq!(acc.snapshot().unwrap().total_pairs(), 3);
+        acc.clear();
+        assert_eq!(acc.consumed(), 0);
+        assert!(acc.snapshot().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shrank")]
+    fn accumulator_rejects_shrinking_store() {
+        let configs = vec![vec![0], vec![2], vec![5]];
+        let values = vec![1.0, 2.0, 4.0];
+        let mut acc = VariogramAccumulator::new(DistanceMetric::L1);
+        acc.sync(&configs, &values);
+        acc.sync(&configs[..1], &values[..1]);
+    }
+
+    #[test]
     fn from_configs_uses_unit_bins() {
         let configs = vec![vec![8, 8], vec![9, 8], vec![8, 9], vec![9, 9]];
         let values = vec![1.0, 2.0, 2.0, 3.0];
@@ -230,5 +432,69 @@ mod tests {
         // γ(1) = (1+1+1+1)/(2·4) = 0.5; γ(2) = (4+0)/(2·2) = 1.
         assert!((v.bins()[0].gamma - 0.5).abs() < 1e-12);
         assert!((v.bins()[1].gamma - 1.0).abs() < 1e-12);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The satellite contract: running accumulators, refit at random
+            // interleaving points, must agree with the batch path to 1e-9
+            // under every metric.
+            #[test]
+            fn interleaved_sync_matches_batch_from_samples(
+                dim in 1usize..5,
+                raw in proptest::collection::vec(
+                    (proptest::collection::vec(-12i32..12, 4usize), -50.0f64..50.0),
+                    2..25,
+                ),
+                refit_mask in proptest::collection::vec(0u8..2, 25usize),
+            ) {
+                let (configs, values): (Vec<Config>, Vec<f64>) = raw
+                    .into_iter()
+                    .map(|(c, v)| (c[..dim].to_vec(), v))
+                    .unzip();
+                for metric in [DistanceMetric::L1, DistanceMetric::L2, DistanceMetric::Linf] {
+                    let mut acc = VariogramAccumulator::new(metric);
+                    for n in 1..=configs.len() {
+                        // Interleave: only some prefixes trigger a sync, so
+                        // each sync folds in a random-size batch of sites.
+                        let last = n == configs.len();
+                        if !last && refit_mask.get(n - 1).copied().unwrap_or(0) == 0 {
+                            continue;
+                        }
+                        acc.sync(&configs[..n], &values[..n]);
+                        let sites: Vec<Vec<f64>> = configs[..n]
+                            .iter()
+                            .map(|c| crate::config_to_point(c))
+                            .collect();
+                        let batch = EmpiricalVariogram::from_samples(
+                            &sites, &values[..n], metric, 1.0);
+                        let inc = acc.snapshot();
+                        match (inc, batch) {
+                            (Ok(inc), Ok(batch)) => {
+                                prop_assert_eq!(inc.bins().len(), batch.bins().len());
+                                prop_assert_eq!(inc.metric(), batch.metric());
+                                for (a, b) in inc.bins().iter().zip(batch.bins()) {
+                                    prop_assert_eq!(a.pairs, b.pairs);
+                                    let dscale = b.distance.abs().max(1.0);
+                                    let gscale = b.gamma.abs().max(1.0);
+                                    prop_assert!((a.distance - b.distance).abs() / dscale < 1e-9);
+                                    prop_assert!((a.gamma - b.gamma).abs() / gscale < 1e-9);
+                                }
+                            }
+                            (Err(_), Err(_)) => {} // both degenerate (n < 2)
+                            (inc, batch) => {
+                                prop_assert!(
+                                    false,
+                                    "paths disagree at n={n}: inc {inc:?} vs batch {batch:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -12,7 +12,9 @@
 mod empirical;
 mod fit;
 mod model;
+mod table;
 
-pub use empirical::{EmpiricalVariogram, VariogramBin};
+pub use empirical::{EmpiricalVariogram, VariogramAccumulator, VariogramBin};
 pub use fit::{fit_model, FitReport, ModelFamily};
 pub use model::VariogramModel;
+pub use table::{lattice_distance, lattice_key, GammaTable};

@@ -42,6 +42,7 @@
 
 mod cholesky;
 mod error;
+pub mod ldlt;
 pub mod lu;
 mod matrix;
 pub mod qr;
@@ -49,6 +50,7 @@ mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
+pub use ldlt::LdltWorkspace;
 pub use lu::{lu_solve, LuDecomposition};
 pub use matrix::Matrix;
 pub use qr::{least_squares, QrDecomposition};
