@@ -12,17 +12,20 @@
 //! this with `--skip-table1` as a cheap regression smoke; the committed
 //! JSON includes the Table I fast-scale wall time as well.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use krigeval_bench::suite::Problem;
+use krigeval_bench::suite::{build_seeded, Problem};
 use krigeval_bench::table1::run_table_parallel;
 use krigeval_bench::Scale;
 use krigeval_core::kriging::KrigingEstimator;
+use krigeval_core::opt::minplusone::optimize;
 use krigeval_core::variogram::{ModelFamily, VariogramAccumulator};
 use krigeval_core::{
     Config, DistanceMetric, FnEvaluator, HybridEvaluator, HybridSettings, VariogramModel,
     VariogramPolicy,
 };
+use krigeval_engine::{EngineBackend, SimCache};
 use serde_json::{Number, Value};
 
 /// Frozen pre-overhaul medians (µs unless noted), measured with the same
@@ -184,6 +187,49 @@ fn hybrid_steady_state_us() -> f64 {
     )
 }
 
+/// End-to-end min+1 on the paper-scale IIR-8 instance through the hybrid
+/// evaluator. `workers = None` drives the inline backend (the evaluator
+/// itself); `Some(n)` drives the engine backend's worker pool over a fresh
+/// shared cache. Pool construction happens outside the timer — in a
+/// campaign it amortizes over many runs, and what this measures is the
+/// plan/fulfill fan-out cost. Median of 3 fresh sessions, milliseconds.
+/// Wall-clock speedup at 4 workers requires 4 host cores; on fewer the
+/// pool can only break even, so the enforced gate is the 1-worker
+/// overhead bound and the JSON records `host_cores` alongside the
+/// timings so the speedup number is interpretable.
+fn minplusone_iir8_ms(workers: Option<usize>) -> f64 {
+    let run = || {
+        let instance = build_seeded(Problem::Iir, Scale::Paper, 0);
+        let options = instance.minplusone.expect("iir is a word-length problem");
+        let result = match workers {
+            None => {
+                let mut hybrid =
+                    HybridEvaluator::new(instance.evaluator, HybridSettings::default());
+                let start = Instant::now();
+                let result = optimize(&mut hybrid, &options).expect("min+1 converges");
+                (start.elapsed(), result)
+            }
+            Some(n) => {
+                let backend = EngineBackend::new(
+                    || build_seeded(Problem::Iir, Scale::Paper, 0).evaluator,
+                    n,
+                    Arc::new(SimCache::new()),
+                    "perfsmoke",
+                );
+                let mut hybrid = HybridEvaluator::new(backend, HybridSettings::default());
+                let start = Instant::now();
+                let result = optimize(&mut hybrid, &options).expect("min+1 converges");
+                (start.elapsed(), result)
+            }
+        };
+        std::hint::black_box(result.1.lambda);
+        result.0.as_secs_f64() * 1e3
+    };
+    let mut samples: Vec<f64> = (0..3).map(|_| run()).collect();
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
 fn table1_fast_wall_s(workers: usize) -> f64 {
     let start = Instant::now();
     let table = run_table_parallel(
@@ -224,7 +270,8 @@ fn main() {
         i += 1;
     }
 
-    eprintln!("perfsmoke: measuring kriging hot paths ...");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("perfsmoke: measuring kriging hot paths ({host_cores} host cores) ...");
     let n16 = kriging_solve_us(16);
     eprintln!("  kriging solve n=16        {n16:>10.3} us");
     let n32 = kriging_solve_us(32);
@@ -235,6 +282,12 @@ fn main() {
     eprintln!("  variogram refit (+5 @ 60) {refit:>10.3} us");
     let hybrid = hybrid_steady_state_us();
     eprintln!("  hybrid kriged evaluate    {hybrid:>10.3} us");
+    let mp_serial = minplusone_iir8_ms(None);
+    eprintln!("  min+1 iir8 inline         {mp_serial:>10.3} ms");
+    let mp_engine1 = minplusone_iir8_ms(Some(1));
+    eprintln!("  min+1 iir8 engine @1      {mp_engine1:>10.3} ms");
+    let mp_engine4 = minplusone_iir8_ms(Some(4));
+    eprintln!("  min+1 iir8 engine @4      {mp_engine4:>10.3} ms");
     let table1 = if skip_table1 {
         None
     } else {
@@ -262,6 +315,20 @@ fn main() {
             metric(Some(baseline::VARIOGRAM_REFIT_US), refit),
         ),
         ("hybrid_steady_state_evaluate_us", metric(None, hybrid)),
+        (
+            "minplusone_iir8_end_to_end",
+            obj(vec![
+                ("serial_inline_ms", num(mp_serial)),
+                ("engine_1worker_ms", num(mp_engine1)),
+                ("engine_4workers_ms", num(mp_engine4)),
+                ("speedup_4workers", num(mp_serial / mp_engine4)),
+                ("overhead_1worker", num(mp_engine1 / mp_serial)),
+                (
+                    "host_cores",
+                    Value::Number(Number::PosInt(host_cores as u64)),
+                ),
+            ]),
+        ),
     ];
     if let Some(s) = table1 {
         metrics.push((
@@ -295,6 +362,17 @@ fn main() {
     let required = baseline::KRIGING_SOLVE_N16_US / 2.0;
     if n16 > required {
         eprintln!("perfsmoke: FAIL kriging solve n=16 is {n16:.3} us (budget {required:.3} us)");
+        std::process::exit(1);
+    }
+    // Second gate: the engine backend at 1 worker stays on the caller's
+    // thread, so it may not cost more than a modest cache-hashing overhead
+    // over the inline backend.
+    let backend_budget = mp_serial * 1.3;
+    if mp_engine1 > backend_budget {
+        eprintln!(
+            "perfsmoke: FAIL engine backend @1 worker is {mp_engine1:.3} ms \
+             (inline {mp_serial:.3} ms, budget {backend_budget:.3} ms)"
+        );
         std::process::exit(1);
     }
     eprintln!("perfsmoke: ok (n=16 solve {n16:.3} us <= budget {required:.3} us)");

@@ -17,11 +17,27 @@
 //! The optional **audit mode** also simulates every kriged configuration —
 //! without feeding the result back — to measure the interpolation error ε
 //! of Eqs. 11/12. That is exactly the paper's Table I protocol.
+//!
+//! # Plan/fulfill batches
+//!
+//! Batch evaluation is split into two phases. [`HybridEvaluator::plan_batch`]
+//! classifies a candidate frontier — without touching the simulator or any
+//! session state — into cache hits, krigeable queries (with the exact
+//! neighbour set and variogram epoch each will use), and a deduplicated list
+//! of [`SimulationRequest`]s. The requests are then *fulfilled* by the
+//! wrapped [`EvalBackend`] (inline, or fanned out over a worker pool), and
+//! [`HybridEvaluator::commit_batch`] applies the results in input-index
+//! order. Because planning predicts mid-batch variogram fits from sample
+//! *counts* alone and commit replays them with the real values, the batch
+//! path reproduces the sequential query-by-query semantics while leaving the
+//! simulations free to run in any order — the basis of the determinism
+//! contract for in-run parallelism (DESIGN.md §8).
 
 use krigeval_fixedpoint::metrics::ErrorStats;
 use serde::{Deserialize, Serialize};
 
-use crate::evaluator::{AccuracyEvaluator, EvalError};
+use crate::eval_backend::{EvalBackend, SimulationRequest};
+use crate::evaluator::EvalError;
 use crate::kriging::{KrigingEstimator, KrigingScratch};
 use crate::neighbors::NeighborIndex;
 use crate::trace::Source;
@@ -198,6 +214,85 @@ impl Outcome {
     }
 }
 
+/// How one slot of a planned batch gets its value.
+#[derive(Debug, Clone, PartialEq)]
+enum SlotPlan {
+    /// Exact duplicate of a stored configuration.
+    CacheHit {
+        /// Store position of the duplicate.
+        position: usize,
+    },
+    /// Exact duplicate of an earlier simulation request in the same batch
+    /// (the sequential path would find it in the store by then).
+    Alias {
+        /// Index into the plan's request list.
+        request: usize,
+    },
+    /// Needs a fresh simulation.
+    Simulate {
+        /// Index into the plan's request list.
+        request: usize,
+    },
+    /// Krigeable: the neighbour set and variogram epoch the sequential path
+    /// would use. Neighbour indices `>= planned_at` refer to pending
+    /// requests (`planned_at + request index`); `epoch` counts the virtual
+    /// (re-)fits that precede this slot in the batch.
+    Krige {
+        /// Combined store/request neighbour positions, closest first.
+        neighbors: Vec<usize>,
+        /// Number of mid-batch variogram fits preceding this slot.
+        epoch: usize,
+    },
+}
+
+/// The output of the planning phase: a read-only classification of a batch
+/// of candidate configurations (see [`HybridEvaluator::plan_batch`]).
+///
+/// The only part a fulfillment backend needs is [`BatchPlan::requests`] —
+/// the deduplicated simulations the batch requires. The rest is consumed by
+/// [`HybridEvaluator::commit_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    slots: Vec<SlotPlan>,
+    requests: Vec<SimulationRequest>,
+    /// Virtual store lengths at which a variogram (re-)identification fires
+    /// while the requests are inserted, in order.
+    fit_points: Vec<usize>,
+    /// Store size the plan was computed against (staleness check).
+    planned_at: usize,
+}
+
+impl BatchPlan {
+    /// The deduplicated simulations this batch requires, in first-occurrence
+    /// order. Fulfill these (in any order) and hand the values to
+    /// [`HybridEvaluator::commit_batch`] in request order.
+    pub fn requests(&self) -> &[SimulationRequest] {
+        &self.requests
+    }
+
+    /// Number of planned slots (the size of the input batch).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots answered without simulation or kriging (store duplicates and
+    /// intra-batch request duplicates).
+    pub fn num_cache_hits(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, SlotPlan::CacheHit { .. } | SlotPlan::Alias { .. }))
+            .count()
+    }
+
+    /// Slots planned for kriging interpolation.
+    pub fn num_krigeable(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, SlotPlan::Krige { .. }))
+            .count()
+    }
+}
+
 /// The hybrid kriging/simulation evaluator.
 ///
 /// # Examples
@@ -245,8 +340,11 @@ pub struct HybridEvaluator<E> {
     vario_acc: Option<VariogramAccumulator>,
 }
 
-impl<E: AccuracyEvaluator> HybridEvaluator<E> {
-    /// Wraps a simulation evaluator.
+impl<E: EvalBackend> HybridEvaluator<E> {
+    /// Wraps an evaluation backend. Any
+    /// [`AccuracyEvaluator`](crate::evaluator::AccuracyEvaluator) works here
+    /// directly (the inline backend); pass an engine-side parallel backend
+    /// to fan batched simulation requests over a worker pool instead.
     pub fn new(inner: E, settings: HybridSettings) -> HybridEvaluator<E> {
         let model = match &settings.variogram {
             VariogramPolicy::Fixed(m) => Some(*m),
@@ -321,7 +419,7 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
                         self.stats.kriged += 1;
                         self.stats.neighbor_sum += n_neighbors as u64;
                         let true_value = if let Some(metric) = self.settings.audit {
-                            let t = self.inner.evaluate(config)?;
+                            let t = self.inner.fulfill_one(config)?;
                             self.stats.errors.record(audit_error(metric, value, t));
                             Some(t)
                         } else {
@@ -343,7 +441,7 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
         }
 
         // Simulate and record (paper lines 19–23).
-        let value = self.inner.evaluate(config)?;
+        let value = self.inner.fulfill_one(config)?;
         self.store.insert(config.clone(), value);
         self.stats.simulated += 1;
         self.maybe_identify_variogram();
@@ -359,15 +457,18 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
         Ok(self.evaluate(config)?.value())
     }
 
-    /// Evaluates many configurations, solving each distinct kriging system
-    /// **once**.
+    /// Evaluates many configurations through the plan/fulfill protocol,
+    /// solving each distinct kriging system **once**.
     ///
-    /// Queries are classified exactly as sequential [`HybridEvaluator::evaluate`]
-    /// calls would (in input order, with simulations feeding the store as
-    /// they happen); the kriging solves are then deferred and grouped by
-    /// neighbour set, so a batch whose queries share neighbourhoods — the
-    /// min+1 candidate scan, surface replay — factors Γ once per group via
-    /// [`crate::kriging::FactoredKriging`] instead of once per query.
+    /// Equivalent to [`HybridEvaluator::plan_batch`] → backend
+    /// [`EvalBackend::fulfill`] → [`HybridEvaluator::commit_batch`].
+    /// Queries are classified exactly as sequential
+    /// [`HybridEvaluator::evaluate`] calls would (in input order, with
+    /// pending simulations visible as neighbours and mid-batch variogram
+    /// fits replayed at commit); the kriging solves are grouped by neighbour
+    /// set, so a batch whose queries share neighbourhoods — the min+1
+    /// candidate scan, surface replay — factors Γ once per group instead of
+    /// once per query.
     ///
     /// Semantics differ from the sequential path in one documented corner:
     /// a kriging attempt that fails numerically falls back to simulation at
@@ -377,160 +478,437 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
     ///
     /// # Errors
     ///
-    /// Propagates the first inner-evaluator [`EvalError`]; the session state
-    /// then reflects the queries processed before the failure.
+    /// Propagates the backend's [`EvalError`]. The batch is
+    /// **all-or-nothing**: on error no query is counted, no value is stored,
+    /// and the session state is exactly what it was before the call
+    /// (simulator-side invocation counters excepted).
     pub fn evaluate_batch(&mut self, configs: &[Config]) -> Result<Vec<Outcome>, EvalError> {
-        // Pass 1 — classify in order. Simulations run inline (so later
-        // queries see them, exactly as sequentially); kriging-eligible
-        // queries are deferred with the neighbour set they observed.
-        struct PendingKrige {
-            slot: usize,
-            neighbors: Vec<usize>,
-            // The model active when this query was classified. A mid-batch
-            // simulation can (re)identify the variogram; queries classified
-            // before it must krige with the earlier model, exactly as the
-            // sequential path would.
-            model: VariogramModel,
-        }
-        let mut outcomes: Vec<Option<Outcome>> = (0..configs.len()).map(|_| None).collect();
-        let mut pending: Vec<PendingKrige> = Vec::new();
-        for (slot, config) in configs.iter().enumerate() {
-            self.stats.queries += 1;
-            if let Some(pos) = self.store.position_of(config) {
-                self.stats.cache_hits += 1;
-                outcomes[slot] = Some(Outcome::Simulated {
-                    value: self.store.values()[pos],
-                });
+        let plan = self.plan_batch(configs);
+        let values = self.inner.fulfill(plan.requests())?;
+        self.commit_batch(&plan, configs, &values)
+    }
+
+    /// Plans a batch of queries without mutating any session state.
+    ///
+    /// Each slot is classified exactly as a sequential
+    /// [`HybridEvaluator::evaluate`] call would handle it: store duplicates
+    /// become cache hits, intra-batch duplicates of pending simulations
+    /// alias the earlier request, krigeable queries record the neighbour set
+    /// they would observe (pending requests included, as pseudo-positions
+    /// `store length + request index`), and everything else becomes a
+    /// deduplicated [`SimulationRequest`]. Variogram (re-)identification is
+    /// triggered by sample *counts* alone, so the planner tracks a virtual
+    /// fit timeline — it knows *when* a mid-batch fit will fire and tags
+    /// each krigeable slot with its fit epoch without needing the simulated
+    /// values; [`HybridEvaluator::commit_batch`] replays the fits with the
+    /// real values.
+    pub fn plan_batch(&self, configs: &[Config]) -> BatchPlan {
+        let planned_at = self.store.len();
+        let mut slots: Vec<SlotPlan> = Vec::with_capacity(configs.len());
+        let mut requests: Vec<SimulationRequest> = Vec::new();
+        let mut fit_points: Vec<usize> = Vec::new();
+        let (min_samples, refit_every, fit_enabled) = match &self.settings.variogram {
+            VariogramPolicy::Fixed(_) => (0, None, false),
+            VariogramPolicy::FitAfter { min_samples, .. } => (*min_samples, None, true),
+            VariogramPolicy::Refit {
+                min_samples, every, ..
+            } => (*min_samples, Some(*every), true),
+        };
+        let mut virt_has_model = self.model.is_some();
+        let mut virt_fitted_at = self.fitted_at;
+        let mut neighbor_buf: Vec<(usize, f64)> = Vec::new();
+        for config in configs {
+            if let Some(position) = self.store.position_of(config) {
+                slots.push(SlotPlan::CacheHit { position });
                 continue;
             }
-            if let Some(model) = self.model {
-                let mut neighbors: Vec<usize> = self
-                    .store
-                    .within(config, self.settings.distance)
-                    .iter()
-                    .map(|n| n.index)
-                    .collect();
-                if neighbors.len() > self.settings.min_neighbors {
-                    if let Some(cap) = self.settings.max_neighbors {
-                        neighbors.truncate(cap);
+            if let Some(request) = requests.iter().position(|r| &r.config == config) {
+                // The sequential path would have simulated and stored this
+                // configuration by now, so the duplicate is a cache hit.
+                slots.push(SlotPlan::Alias { request });
+                continue;
+            }
+            if virt_has_model {
+                self.store
+                    .within_into(config, self.settings.distance, &mut neighbor_buf);
+                // Pending requests are neighbours too: by the time the
+                // sequential path reached this query they would be in the
+                // store at positions `planned_at + request index`. The
+                // merged sort reproduces `within_into`'s (distance,
+                // position) order, ties included.
+                for (ri, r) in requests.iter().enumerate() {
+                    let distance = self.settings.metric.eval_config(&r.config, config);
+                    if distance <= self.settings.distance {
+                        neighbor_buf.push((planned_at + ri, distance));
                     }
-                    pending.push(PendingKrige {
-                        slot,
-                        neighbors,
-                        model,
+                }
+                neighbor_buf.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                if neighbor_buf.len() > self.settings.min_neighbors {
+                    if let Some(cap) = self.settings.max_neighbors {
+                        neighbor_buf.truncate(cap);
+                    }
+                    slots.push(SlotPlan::Krige {
+                        neighbors: neighbor_buf.iter().map(|&(p, _)| p).collect(),
+                        epoch: fit_points.len(),
                     });
                     continue;
                 }
             }
-            let value = self.inner.evaluate(config)?;
-            self.store.insert(config.clone(), value);
-            self.stats.simulated += 1;
-            self.maybe_identify_variogram();
-            outcomes[slot] = Some(Outcome::Simulated { value });
+            requests.push(SimulationRequest::new(config.clone()));
+            slots.push(SlotPlan::Simulate {
+                request: requests.len() - 1,
+            });
+            if fit_enabled {
+                // Advance the virtual fit timeline past this insertion —
+                // the exact `maybe_identify_variogram` trigger, which only
+                // reads sample counts (a failed fit still installs the
+                // fallback model, so has-model is count-predictable too).
+                let virt_len = planned_at + requests.len();
+                let due = if !virt_has_model {
+                    virt_len >= min_samples
+                } else if let Some(every) = refit_every {
+                    virt_len >= virt_fitted_at + every
+                } else {
+                    false
+                };
+                if due {
+                    fit_points.push(virt_len);
+                    virt_fitted_at = virt_len;
+                    virt_has_model = true;
+                }
+            }
+        }
+        BatchPlan {
+            slots,
+            requests,
+            fit_points,
+            planned_at,
+        }
+    }
+
+    /// Commits a fulfilled batch: applies the simulated `values` (one per
+    /// planned request, in request order), solves the planned kriging
+    /// systems, and updates the store, statistics, and variogram state in
+    /// input-index order — so traces and counters are identical no matter
+    /// how (or on how many workers) the requests were fulfilled.
+    ///
+    /// Fallback simulations (implausible or failed kriging solves) and
+    /// audit simulations are fulfilled through the backend as additional
+    /// rounds *before* any state is mutated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`EvalError`] from the fallback or audit
+    /// rounds. The commit is all-or-nothing: on error, no session state has
+    /// changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was produced against a different store size (a
+    /// query or another commit ran between planning and commit), or if the
+    /// lengths of `configs`/`values` do not match the plan.
+    pub fn commit_batch(
+        &mut self,
+        plan: &BatchPlan,
+        configs: &[Config],
+        values: &[f64],
+    ) -> Result<Vec<Outcome>, EvalError> {
+        assert_eq!(
+            plan.slots.len(),
+            configs.len(),
+            "commit_batch: config count does not match the plan"
+        );
+        assert_eq!(
+            values.len(),
+            plan.requests.len(),
+            "commit_batch: one value per planned request required"
+        );
+        assert_eq!(
+            plan.planned_at,
+            self.store.len(),
+            "commit_batch: plan is stale (the store changed since planning)"
+        );
+        let planned_at = plan.planned_at;
+
+        // Round 1 — replay the mid-batch variogram fits with the real
+        // values. Planning promised a fit once the virtual store reached
+        // each `fit_points` length; the staged accumulator folds the same
+        // site prefixes the sequential path would have seen.
+        let mut epoch_models: Vec<VariogramModel> = Vec::new();
+        let mut staged_acc: Option<VariogramAccumulator> = None;
+        let mut staged_fitted_at = self.fitted_at;
+        let mut staged_model = self.model;
+        let mut staged_report: Option<FitReport> = None;
+        if !plan.fit_points.is_empty() {
+            let (families, fallback) = match &self.settings.variogram {
+                VariogramPolicy::FitAfter {
+                    families, fallback, ..
+                }
+                | VariogramPolicy::Refit {
+                    families, fallback, ..
+                } => (families.clone(), *fallback),
+                VariogramPolicy::Fixed(_) => {
+                    unreachable!("fixed-model plans never schedule fits")
+                }
+            };
+            let mut combined_configs: Vec<Config> = self.store.configs().to_vec();
+            let mut combined_values: Vec<f64> = self.store.values().to_vec();
+            combined_configs.extend(plan.requests.iter().map(|r| r.config.clone()));
+            combined_values.extend_from_slice(values);
+            let mut acc = self
+                .vario_acc
+                .clone()
+                .unwrap_or_else(|| VariogramAccumulator::new(self.settings.metric));
+            for &len in &plan.fit_points {
+                acc.sync(&combined_configs[..len], &combined_values[..len]);
+                let fitted = acc.snapshot().and_then(|emp| fit_model(&emp, &families));
+                staged_fitted_at = len;
+                match fitted {
+                    Ok(report) => {
+                        staged_model = Some(report.model);
+                        epoch_models.push(report.model);
+                        staged_report = Some(report);
+                    }
+                    Err(_) => {
+                        staged_model = Some(fallback);
+                        epoch_models.push(fallback);
+                    }
+                }
+            }
+            staged_acc = Some(acc);
         }
 
-        // Pass 2 — group deferred queries by (model, neighbour set) and solve
-        // each group's system once. Kriging never mutates the store, so group
-        // order is irrelevant to the results.
-        // Sorting indices into `pending` (stable, so members stay in batch
-        // order) puts equal keys in adjacent runs without cloning each
-        // neighbour Vec into a map key; the (model bits, neighbours) order
-        // keeps audit-error accumulation (floating-point sums) byte-stable
-        // across runs.
-        let mut order: Vec<usize> = (0..pending.len()).collect();
-        order.sort_by(|&x, &y| {
-            model_bits(&pending[x].model)
-                .cmp(&model_bits(&pending[y].model))
-                .then_with(|| pending[x].neighbors.cmp(&pending[y].neighbors))
-        });
-        let mut fallback: Vec<usize> = Vec::new();
-        let mut group_start = 0;
-        while group_start < order.len() {
-            let head = &pending[order[group_start]];
-            let head_bits = model_bits(&head.model);
-            let group_end = order[group_start..]
+        // Round 2 — solve the planned kriging systems, grouped by
+        // (model bits, neighbour set) exactly as before. Nothing here
+        // mutates session state; implausible predictions and failed solves
+        // are collected for the fallback round.
+        let mut krige_results: Vec<Option<(f64, f64)>> = vec![None; configs.len()];
+        let mut fallback_slots: Vec<usize> = Vec::new();
+        {
+            let cfg_at = |j: usize| -> &Config {
+                if j < planned_at {
+                    &self.store.configs()[j]
+                } else {
+                    &plan.requests[j - planned_at].config
+                }
+            };
+            let val_at = |j: usize| -> f64 {
+                if j < planned_at {
+                    self.store.values()[j]
+                } else {
+                    values[j - planned_at]
+                }
+            };
+            let resolve_model = |epoch: usize| -> VariogramModel {
+                if epoch == 0 {
+                    self.model
+                        .expect("krige slot planned without an active model")
+                } else {
+                    epoch_models[epoch - 1]
+                }
+            };
+            fn krige_parts(slot: &SlotPlan) -> (&Vec<usize>, usize) {
+                match slot {
+                    SlotPlan::Krige { neighbors, epoch } => (neighbors, *epoch),
+                    _ => unreachable!("krige_order holds only krige slots"),
+                }
+            }
+            let mut krige_order: Vec<usize> = plan
+                .slots
                 .iter()
-                .position(|&i| {
-                    model_bits(&pending[i].model) != head_bits
-                        || pending[i].neighbors != head.neighbors
-                })
-                .map_or(order.len(), |off| group_start + off);
-            let members = &order[group_start..group_end];
-            group_start = group_end;
-            let neighbors = &pending[members[0]].neighbors;
-            let model = pending[members[0]].model;
-            let sites: Vec<Vec<f64>> = neighbors
-                .iter()
-                .map(|&j| crate::config_to_point(&self.store.configs()[j]))
+                .enumerate()
+                .filter(|(_, s)| matches!(s, SlotPlan::Krige { .. }))
+                .map(|(i, _)| i)
                 .collect();
-            let values: Vec<f64> = neighbors.iter().map(|&j| self.store.values()[j]).collect();
-            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let spread = (hi - lo).max(1e-9);
-            let estimator = KrigingEstimator::new(model).with_metric(self.settings.metric);
-            let targets: Vec<Vec<f64>> = members
-                .iter()
-                .map(|&i| crate::config_to_point(&configs[pending[i].slot]))
-                .collect();
-            match estimator.predict_batch(&sites, &values, &targets) {
-                Ok(predictions) => {
-                    for (&i, p) in members.iter().zip(&predictions) {
-                        let slot = pending[i].slot;
-                        if !p.value.is_finite()
-                            || !p.variance.is_finite()
-                            || p.value < lo - 2.0 * spread
-                            || p.value > hi + 2.0 * spread
-                        {
-                            fallback.push(i);
-                            continue;
+            // Stable sort: members of a group stay in input order, and the
+            // (model bits, neighbours) group order keeps the float-summing
+            // side effects byte-stable across runs.
+            krige_order.sort_by(|&x, &y| {
+                let (nx, ex) = krige_parts(&plan.slots[x]);
+                let (ny, ey) = krige_parts(&plan.slots[y]);
+                model_bits(&resolve_model(ex))
+                    .cmp(&model_bits(&resolve_model(ey)))
+                    .then_with(|| nx.cmp(ny))
+            });
+            let mut group_start = 0;
+            while group_start < krige_order.len() {
+                let (head_neighbors, head_epoch) =
+                    krige_parts(&plan.slots[krige_order[group_start]]);
+                let head_model = resolve_model(head_epoch);
+                let head_bits = model_bits(&head_model);
+                let group_end = krige_order[group_start..]
+                    .iter()
+                    .position(|&s| {
+                        let (n, e) = krige_parts(&plan.slots[s]);
+                        model_bits(&resolve_model(e)) != head_bits || n != head_neighbors
+                    })
+                    .map_or(krige_order.len(), |off| group_start + off);
+                let members = &krige_order[group_start..group_end];
+                group_start = group_end;
+                let sites: Vec<Vec<f64>> = head_neighbors
+                    .iter()
+                    .map(|&j| crate::config_to_point(cfg_at(j)))
+                    .collect();
+                let neighbor_values: Vec<f64> = head_neighbors.iter().map(|&j| val_at(j)).collect();
+                let lo = neighbor_values
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
+                let hi = neighbor_values
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let spread = (hi - lo).max(1e-9);
+                let estimator = KrigingEstimator::new(head_model).with_metric(self.settings.metric);
+                let targets: Vec<Vec<f64>> = members
+                    .iter()
+                    .map(|&s| crate::config_to_point(&configs[s]))
+                    .collect();
+                match estimator.predict_batch(&sites, &neighbor_values, &targets) {
+                    Ok(predictions) => {
+                        for (&s, p) in members.iter().zip(&predictions) {
+                            if !p.value.is_finite()
+                                || !p.variance.is_finite()
+                                || p.value < lo - 2.0 * spread
+                                || p.value > hi + 2.0 * spread
+                            {
+                                fallback_slots.push(s);
+                            } else {
+                                krige_results[s] = Some((p.value, p.variance));
+                            }
                         }
+                    }
+                    Err(_) => fallback_slots.extend_from_slice(members),
+                }
+            }
+            fallback_slots.sort_unstable();
+        }
+
+        // Round 3 — fulfill the fallback simulations (deduplicated in
+        // first-occurrence order; a fallback whose configuration is already
+        // a planned request reuses that value, as the sequential fallback
+        // path would find it in the store).
+        enum FallbackValue {
+            Request(usize),
+            Fresh(usize),
+        }
+        let mut fallback_requests: Vec<SimulationRequest> = Vec::new();
+        let mut fallback_of: std::collections::HashMap<usize, FallbackValue> =
+            std::collections::HashMap::new();
+        for &slot in &fallback_slots {
+            let config = &configs[slot];
+            let value = if let Some(r) = plan.requests.iter().position(|r| &r.config == config) {
+                FallbackValue::Request(r)
+            } else if let Some(i) = fallback_requests.iter().position(|r| &r.config == config) {
+                FallbackValue::Fresh(i)
+            } else {
+                fallback_requests.push(SimulationRequest::new(config.clone()));
+                FallbackValue::Fresh(fallback_requests.len() - 1)
+            };
+            fallback_of.insert(slot, value);
+        }
+        let fallback_values: Vec<f64> = if fallback_requests.is_empty() {
+            Vec::new()
+        } else {
+            self.inner.fulfill(&fallback_requests)?
+        };
+
+        // Round 4 — fulfill the audit simulations for every successfully
+        // kriged slot, in input order (audited results are never stored).
+        let audit_metric = self.settings.audit;
+        let audit_values: Vec<f64> = if audit_metric.is_some() {
+            let audit_requests: Vec<SimulationRequest> = plan
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|&(s, slot)| {
+                    matches!(slot, SlotPlan::Krige { .. }) && krige_results[s].is_some()
+                })
+                .map(|(s, _)| SimulationRequest::new(configs[s].clone()))
+                .collect();
+            if audit_requests.is_empty() {
+                Vec::new()
+            } else {
+                self.inner.fulfill(&audit_requests)?
+            }
+        } else {
+            Vec::new()
+        };
+
+        // Commit — from here on nothing can fail. State mutates in input
+        // order: per-slot counters and outcomes first, then the request
+        // insertions, the staged variogram state, and the fallback
+        // insertions (whose live fit checks see the staged state).
+        self.stats.queries += configs.len() as u64;
+        let mut audit_iter = audit_values.into_iter();
+        let mut outcomes: Vec<Outcome> = Vec::with_capacity(configs.len());
+        for (s, slot) in plan.slots.iter().enumerate() {
+            match slot {
+                SlotPlan::CacheHit { position } => {
+                    self.stats.cache_hits += 1;
+                    outcomes.push(Outcome::Simulated {
+                        value: self.store.values()[*position],
+                    });
+                }
+                SlotPlan::Alias { request } => {
+                    self.stats.cache_hits += 1;
+                    outcomes.push(Outcome::Simulated {
+                        value: values[*request],
+                    });
+                }
+                SlotPlan::Simulate { request } => {
+                    outcomes.push(Outcome::Simulated {
+                        value: values[*request],
+                    });
+                }
+                SlotPlan::Krige { neighbors, .. } => match krige_results[s] {
+                    Some((value, variance)) => {
                         self.stats.kriged += 1;
                         self.stats.neighbor_sum += neighbors.len() as u64;
-                        let true_value = if let Some(metric) = self.settings.audit {
-                            let t = self.inner.evaluate(&configs[slot])?;
-                            self.stats.errors.record(audit_error(metric, p.value, t));
-                            Some(t)
-                        } else {
-                            None
-                        };
-                        outcomes[slot] = Some(Outcome::Kriged {
-                            value: p.value,
-                            variance: p.variance,
+                        let true_value = audit_metric.map(|metric| {
+                            let t = audit_iter.next().expect("one audit value per kriged slot");
+                            self.stats.errors.record(audit_error(metric, value, t));
+                            t
+                        });
+                        outcomes.push(Outcome::Kriged {
+                            value,
+                            variance,
                             neighbors: neighbors.len(),
                             true_value,
                         });
                     }
-                }
-                Err(_) => fallback.extend(members),
+                    None => {
+                        self.stats.kriging_failures += 1;
+                        let value = match fallback_of
+                            .get(&s)
+                            .expect("every fallback slot has a value source")
+                        {
+                            FallbackValue::Request(r) => values[*r],
+                            FallbackValue::Fresh(i) => fallback_values[*i],
+                        };
+                        outcomes.push(Outcome::Simulated { value });
+                    }
+                },
             }
         }
-
-        // Failed solves and implausible predictions fall back to simulation,
-        // exactly as the sequential path (but batched at the end).
-        fallback.sort_unstable();
-        for i in fallback {
-            let slot = pending[i].slot;
-            let config = &configs[slot];
-            self.stats.kriging_failures += 1;
-            let value = if let Some(pos) = self.store.position_of(config) {
-                // An earlier fallback in this batch simulated the same
-                // configuration; reuse it (the query was already counted in
-                // pass 1, so no counter changes here).
-                self.store.values()[pos]
-            } else {
-                let value = self.inner.evaluate(config)?;
-                self.store.insert(config.clone(), value);
-                self.stats.simulated += 1;
-                self.maybe_identify_variogram();
-                value
-            };
-            outcomes[slot] = Some(Outcome::Simulated { value });
+        for (request, &value) in plan.requests.iter().zip(values) {
+            self.store.insert(request.config.clone(), value);
         }
-
-        Ok(outcomes
-            .into_iter()
-            .map(|o| o.expect("every batch slot resolved"))
-            .collect())
+        self.stats.simulated += plan.requests.len() as u64;
+        if !plan.fit_points.is_empty() {
+            self.vario_acc = staged_acc;
+            self.fitted_at = staged_fitted_at;
+            self.model = staged_model;
+            if staged_report.is_some() {
+                self.fit_report = staged_report;
+            }
+        }
+        for (request, &value) in fallback_requests.iter().zip(&fallback_values) {
+            self.store.insert(request.config.clone(), value);
+            self.stats.simulated += 1;
+            self.maybe_identify_variogram();
+        }
+        Ok(outcomes)
     }
 
     /// Forces a **simulation** of `config`, bypassing kriging, and stores
@@ -548,7 +926,7 @@ impl<E: AccuracyEvaluator> HybridEvaluator<E> {
             self.stats.cache_hits += 1;
             return Ok(self.store.values()[pos]);
         }
-        let value = self.inner.evaluate(config)?;
+        let value = self.inner.fulfill_one(config)?;
         self.store.insert(config.clone(), value);
         self.stats.simulated += 1;
         self.maybe_identify_variogram();
@@ -747,6 +1125,7 @@ fn audit_error(metric: AuditMetric, interpolated: f64, real: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::AccuracyEvaluator;
     use crate::FnEvaluator;
 
     fn smooth_eval() -> FnEvaluator<impl FnMut(&Config) -> Result<f64, EvalError>> {
@@ -1159,9 +1538,136 @@ mod tests {
     }
 
     #[test]
+    fn failed_batch_commits_nothing() {
+        // Satellite contract: a batch that errors is all-or-nothing — no
+        // counters, no stored configurations, no model state.
+        let mut h = HybridEvaluator::new(
+            FnEvaluator::new(2, |w: &Config| {
+                if w[0] >= 12 {
+                    Err(EvalError::msg("simulator rejects w0 >= 12"))
+                } else {
+                    let p = 1.5 * 2f64.powi(-2 * w[0]) + 0.8 * 2f64.powi(-2 * w[1]);
+                    Ok(-10.0 * p.log10())
+                }
+            }),
+            settings(3.0),
+        );
+        h.evaluate(&vec![8, 8]).unwrap();
+        let stats_before = h.stats().clone();
+        let stored_before = h.simulated_configs().to_vec();
+        let err = h
+            .evaluate_batch(&[vec![9, 8], vec![12, 8], vec![10, 8]])
+            .unwrap_err();
+        assert!(err.to_string().contains("rejects"), "{err}");
+        assert_eq!(h.stats(), &stats_before, "counters must be untouched");
+        assert_eq!(h.simulated_configs(), stored_before.as_slice());
+        assert!(h.model().is_none(), "no fit may have been committed");
+        // The session stays fully usable afterwards.
+        let ok = h.evaluate_batch(&[vec![9, 8], vec![10, 8]]).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(h.stats().queries, stats_before.queries + 2);
+    }
+
+    #[test]
+    fn plan_batch_is_pure_and_commit_matches_fulfill() {
+        // Driving plan → fulfill → commit by hand gives the same results
+        // and state as evaluate_batch.
+        let mut by_hand = HybridEvaluator::new(smooth_eval(), settings(3.0));
+        let mut reference = HybridEvaluator::new(smooth_eval(), settings(3.0));
+        for a in 4..12 {
+            by_hand.evaluate(&vec![a, 8]).unwrap();
+            reference.evaluate(&vec![a, 8]).unwrap();
+        }
+        let batch: Vec<Config> = vec![vec![7, 9], vec![5, 8], vec![13, 9], vec![5, 8]];
+        let plan = by_hand.plan_batch(&batch);
+        let stats_after_plan = by_hand.stats().clone();
+        assert_eq!(
+            &stats_after_plan,
+            reference.stats(),
+            "planning must not mutate state"
+        );
+        assert_eq!(plan.num_slots(), 4);
+        assert_eq!(plan.num_cache_hits(), 2, "[5,8] is stored; both copies hit");
+        // Fulfill through a separate simulator, then commit.
+        let mut sim = smooth_eval();
+        let values: Vec<f64> = plan
+            .requests()
+            .iter()
+            .map(|r| sim.evaluate(&r.config).unwrap())
+            .collect();
+        let by_hand_out = by_hand.commit_batch(&plan, &batch, &values).unwrap();
+        let reference_out = reference.evaluate_batch(&batch).unwrap();
+        assert_eq!(by_hand_out, reference_out);
+        assert_eq!(by_hand.stats(), reference.stats());
+        assert_eq!(by_hand.simulated_configs(), reference.simulated_configs());
+    }
+
+    #[test]
+    fn stale_plans_are_rejected() {
+        let mut h = HybridEvaluator::new(smooth_eval(), settings(3.0));
+        let batch = vec![vec![8, 8]];
+        let plan = h.plan_batch(&batch);
+        h.evaluate(&vec![9, 9]).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h.commit_batch(&plan, &batch, &[60.0])
+        }));
+        assert!(
+            result.is_err(),
+            "stale commit must panic, not corrupt state"
+        );
+    }
+
+    #[test]
+    fn mid_batch_fits_match_sequential() {
+        // A batch long enough to cross the FitAfter threshold mid-way: the
+        // planner schedules the fit, commit replays it, and both the model
+        // and the post-fit kriging decisions match the sequential path. A
+        // linear surface keeps every prediction inside the plausibility
+        // envelope, so no fallback simulations muddy the comparison (a
+        // fallback is the one documented divergence between the paths).
+        let lin = || {
+            FnEvaluator::new(2, |w: &Config| {
+                Ok(6.0 * f64::from(w[0]) + 3.0 * f64::from(w[1]))
+            })
+        };
+        let mut seq = HybridEvaluator::new(lin(), settings(4.0));
+        let mut bat = HybridEvaluator::new(lin(), settings(4.0));
+        // Warm both sessions one short of the 10-sample fit threshold with a
+        // well-spread 2-D grid (stable kriging geometry), then stream a
+        // batch whose first simulation triggers the fit.
+        for a in [4, 6, 8] {
+            for b in [4, 6, 8] {
+                seq.evaluate(&vec![a, b]).unwrap();
+                bat.evaluate(&vec![a, b]).unwrap();
+            }
+        }
+        let stream: Vec<Config> = vec![
+            vec![5, 5],
+            vec![5, 6],
+            vec![6, 5],
+            vec![6, 6],
+            vec![7, 6],
+            vec![6, 7],
+            vec![5, 7],
+            vec![7, 5],
+        ];
+        for c in &stream {
+            seq.evaluate(c).unwrap();
+        }
+        let outcomes = bat.evaluate_batch(&stream).unwrap();
+        assert_eq!(seq.stats().kriging_failures, 0, "{:?}", seq.stats());
+        assert_eq!(bat.stats().kriging_failures, 0, "{:?}", bat.stats());
+        assert!(seq.model().is_some() && bat.model().is_some());
+        assert_eq!(bat.model(), seq.model(), "replayed fit must match");
+        assert_eq!(bat.stats().kriged, seq.stats().kriged);
+        assert_eq!(bat.stats().simulated, seq.stats().simulated);
+        assert!(outcomes.iter().any(|o| o.source() == Source::Kriged));
+    }
+
+    #[test]
     fn into_inner_returns_the_simulator() {
         let h = HybridEvaluator::new(smooth_eval(), settings(2.0));
         let inner = h.into_inner();
-        assert_eq!(inner.num_variables(), 2);
+        assert_eq!(AccuracyEvaluator::num_variables(&inner), 2);
     }
 }

@@ -37,7 +37,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::evaluator::AccuracyEvaluator;
+use crate::eval_backend::EvalBackend;
 use crate::hybrid::{HybridEvaluator, HybridSettings, HybridStats};
 use crate::variogram::VariogramModel;
 use crate::{Config, CoreError};
@@ -55,7 +55,7 @@ pub struct SessionSnapshot {
     pub stats: HybridStats,
 }
 
-impl<E: AccuracyEvaluator> HybridEvaluator<E> {
+impl<E: EvalBackend> HybridEvaluator<E> {
     /// Captures the session state for persistence.
     pub fn snapshot(&self) -> SessionSnapshot {
         SessionSnapshot {

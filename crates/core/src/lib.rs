@@ -19,6 +19,10 @@
 //!   `N_n,min` are available, simulate (and record) otherwise; with an
 //!   *audit mode* that also simulates kriged points to measure the
 //!   interpolation error ε of Eqs. 11–12 (this is how Table I is produced).
+//! * [`eval_backend`] — the fulfillment half of the plan/fulfill batch
+//!   protocol: [`eval_backend::EvalBackend`] executes the deduplicated
+//!   [`eval_backend::SimulationRequest`]s a planned batch produced, either
+//!   inline (any [`evaluator::AccuracyEvaluator`]) or on a worker pool.
 //! * [`opt`] — the host optimizers: the min+1 bit word-length algorithm
 //!   (Algorithms 1 and 2) and the steepest-descent error-budgeting
 //!   algorithm used for the SqueezeNet sensitivity analysis.
@@ -50,6 +54,7 @@
 
 mod distance;
 mod error;
+pub mod eval_backend;
 pub mod evaluator;
 pub mod hybrid;
 pub mod hybrid_snapshot;
@@ -63,8 +68,11 @@ pub mod variogram;
 
 pub use distance::DistanceMetric;
 pub use error::CoreError;
+pub use eval_backend::{EvalBackend, SimulationRequest};
 pub use evaluator::{AccuracyEvaluator, EvalError, FiniteGuard, FnEvaluator};
-pub use hybrid::{HybridEvaluator, HybridSettings, HybridStats, Outcome, VariogramPolicy};
+pub use hybrid::{
+    BatchPlan, HybridEvaluator, HybridSettings, HybridStats, Outcome, VariogramPolicy,
+};
 pub use hybrid_snapshot::SessionSnapshot;
 pub use kriging::KrigingEstimator;
 pub use variogram::VariogramModel;

@@ -88,15 +88,20 @@ pub fn budget_error_sources(
             return Err(OptError::DidNotConverge { iterations });
         }
         // Tentatively raise each source one level; keep the gentlest slope
-        // that still satisfies the constraint.
+        // that still satisfies the constraint. The whole frontier goes
+        // through `query_batch` so a hybrid evaluator plans it as one batch.
+        let scan: Vec<(usize, Config)> = (0..nv)
+            .filter(|&i| levels[i] < options.level_max)
+            .map(|i| {
+                let mut candidate = levels.clone();
+                candidate[i] += 1;
+                (i, candidate)
+            })
+            .collect();
+        let configs: Vec<Config> = scan.iter().map(|(_, c)| c.clone()).collect();
+        let results = evaluator.query_batch(&configs)?;
         let mut best: Option<(usize, f64)> = None;
-        for i in 0..nv {
-            if levels[i] >= options.level_max {
-                continue;
-            }
-            let mut candidate = levels.clone();
-            candidate[i] += 1;
-            let (li, source) = evaluator.query(&candidate)?;
+        for ((i, candidate), (li, source)) in scan.into_iter().zip(results) {
             trace.record(&candidate, li, source);
             if li >= options.lambda_min && best.is_none_or(|(_, lb)| li > lb) {
                 best = Some((i, li));
@@ -157,15 +162,20 @@ pub fn budget_error_sources_verified(
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }
-        // Rank candidates by their (possibly kriged) metric.
+        // Rank candidates by their (possibly kriged) metric; the scan is one
+        // planned batch, the verification below stays sequential and exact.
+        let scan: Vec<(usize, Config)> = (0..nv)
+            .filter(|&i| levels[i] < options.level_max)
+            .map(|i| {
+                let mut candidate = levels.clone();
+                candidate[i] += 1;
+                (i, candidate)
+            })
+            .collect();
+        let configs: Vec<Config> = scan.iter().map(|(_, c)| c.clone()).collect();
+        let results = evaluator.query_batch(&configs)?;
         let mut candidates: Vec<(usize, f64)> = Vec::new();
-        for i in 0..nv {
-            if levels[i] >= options.level_max {
-                continue;
-            }
-            let mut candidate = levels.clone();
-            candidate[i] += 1;
-            let (li, source) = evaluator.query(&candidate)?;
+        for ((i, candidate), (li, source)) in scan.into_iter().zip(results) {
             trace.record(&candidate, li, source);
             if li >= options.lambda_min {
                 candidates.push((i, li));

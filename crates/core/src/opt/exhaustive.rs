@@ -92,45 +92,59 @@ pub fn optimize_exhaustive(
     let mut best: Option<(Config, f64, f64)> = None; // (w, λ, cost)
     let mut w: Config = vec![options.w_floor; nv];
     let mut evaluated = 0u64;
-    loop {
-        let (lambda, source) = evaluator.query(&w)?;
-        trace.record(&w, lambda, source);
-        evaluated += 1;
-        if lambda >= options.lambda_min {
-            let cost = cost_model.cost(&w);
-            let better = match &best {
-                None => true,
-                Some((_, lb, cb)) => cost < *cb || (cost == *cb && lambda > *lb),
-            };
-            if better {
-                best = Some((w.clone(), lambda, cost));
+    let mut done = false;
+    // Enumerate in chunks so the cube goes through `query_batch`: a hybrid
+    // evaluator plans each chunk as one batch (kriging systems factored per
+    // neighbourhood, simulations free to fan out), while results are still
+    // processed in strict enumeration order.
+    const CHUNK: usize = 64;
+    while !done {
+        let mut chunk: Vec<Config> = Vec::with_capacity(CHUNK);
+        while chunk.len() < CHUNK && !done {
+            chunk.push(w.clone());
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == nv {
+                    done = true;
+                    break;
+                }
+                if w[i] < options.w_max {
+                    w[i] += 1;
+                    break;
+                }
+                w[i] = options.w_floor;
+                i += 1;
             }
         }
-        // Odometer increment.
-        let mut i = 0;
-        loop {
-            if i == nv {
-                let Some((solution, lambda, _)) = best else {
-                    return Err(OptError::Infeasible {
-                        best_lambda: f64::NEG_INFINITY,
-                        lambda_min: options.lambda_min,
-                    });
+        let results = evaluator.query_batch(&chunk)?;
+        for (config, (lambda, source)) in chunk.iter().zip(results) {
+            trace.record(config, lambda, source);
+            evaluated += 1;
+            if lambda >= options.lambda_min {
+                let cost = cost_model.cost(config);
+                let better = match &best {
+                    None => true,
+                    Some((_, lb, cb)) => cost < *cb || (cost == *cb && lambda > *lb),
                 };
-                return Ok(OptimizationResult {
-                    solution,
-                    lambda,
-                    iterations: evaluated,
-                    trace,
-                });
+                if better {
+                    best = Some((config.clone(), lambda, cost));
+                }
             }
-            if w[i] < options.w_max {
-                w[i] += 1;
-                break;
-            }
-            w[i] = options.w_floor;
-            i += 1;
         }
     }
+    let Some((solution, lambda, _)) = best else {
+        return Err(OptError::Infeasible {
+            best_lambda: f64::NEG_INFINITY,
+            lambda_min: options.lambda_min,
+        });
+    };
+    Ok(OptimizationResult {
+        solution,
+        lambda,
+        iterations: evaluated,
+        trace,
+    })
 }
 
 #[cfg(test)]

@@ -74,6 +74,32 @@ pub fn optimize_descending(
     evaluator: &mut dyn DseEvaluator,
     options: &MaxMinusOneOptions,
 ) -> Result<OptimizationResult, OptError> {
+    optimize_descending_inner(evaluator, options, None)
+}
+
+/// Runs the max−1 descent with **tie-breaking by simulation** — the
+/// descending counterpart of
+/// [`crate::opt::minplusone::optimize_with_tie_break`]: when several
+/// feasible decrements land within `tie_tolerance` of the best *and* at
+/// least one was kriged, the tied candidates are re-evaluated exactly and
+/// the winner chosen from the exact (and exactly-feasible) values.
+///
+/// # Errors
+///
+/// See [`optimize_descending`].
+pub fn optimize_descending_with_tie_break(
+    evaluator: &mut dyn DseEvaluator,
+    options: &MaxMinusOneOptions,
+    tie_tolerance: f64,
+) -> Result<OptimizationResult, OptError> {
+    optimize_descending_inner(evaluator, options, Some(tie_tolerance))
+}
+
+fn optimize_descending_inner(
+    evaluator: &mut dyn DseEvaluator,
+    options: &MaxMinusOneOptions,
+    tie_tolerance: Option<f64>,
+) -> Result<OptimizationResult, OptError> {
     let nv = evaluator.num_variables();
     let mut trace = OptimizationTrace::new();
     let mut w: Config = vec![options.w_max; nv];
@@ -91,17 +117,54 @@ pub fn optimize_descending(
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..nv {
-            if w[i] <= options.w_floor {
-                continue;
-            }
-            let mut candidate = w.clone();
-            candidate[i] -= 1;
-            let (li, source) = evaluator.query(&candidate)?;
+        // The whole decrement frontier goes through `query_batch`, so a
+        // hybrid evaluator plans it as one batch: shared neighbourhoods are
+        // solved once and the simulations can fan out over a worker pool.
+        let scan: Vec<(usize, Config)> = (0..nv)
+            .filter(|&i| w[i] > options.w_floor)
+            .map(|i| {
+                let mut candidate = w.clone();
+                candidate[i] -= 1;
+                (i, candidate)
+            })
+            .collect();
+        let configs: Vec<Config> = scan.iter().map(|(_, c)| c.clone()).collect();
+        let results = evaluator.query_batch(&configs)?;
+        let mut candidates: Vec<(usize, f64, crate::trace::Source)> = Vec::new();
+        for ((i, candidate), (li, source)) in scan.into_iter().zip(results) {
             trace.record(&candidate, li, source);
+            candidates.push((i, li, source));
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for &(i, li, _) in &candidates {
             if li >= options.lambda_min && best.is_none_or(|(_, lb)| li > lb) {
                 best = Some((i, li));
+            }
+        }
+        if let (Some(tol), Some((_, lb))) = (tie_tolerance, best) {
+            let tied: Vec<(usize, f64, crate::trace::Source)> = candidates
+                .iter()
+                .filter(|&&(_, l, _)| l >= options.lambda_min && l >= lb - tol)
+                .copied()
+                .collect();
+            let any_kriged = tied
+                .iter()
+                .any(|&(_, _, s)| s == crate::trace::Source::Kriged);
+            if tied.len() > 1 && any_kriged {
+                // Resolve the tie with real simulations; only exactly
+                // feasible decrements may win.
+                let mut exact_best: Option<(usize, f64)> = None;
+                for &(i, _, _) in &tied {
+                    let mut candidate = w.clone();
+                    candidate[i] -= 1;
+                    let exact = evaluator.query_exact(&candidate)?;
+                    if exact >= options.lambda_min && exact_best.is_none_or(|(_, le)| exact > le) {
+                        exact_best = Some((i, exact));
+                    }
+                }
+                // Every tied decrement may turn out truly infeasible: then
+                // there is no provably safe step and the descent stops.
+                best = exact_best;
             }
         }
         let Some((jc, lj)) = best else {
@@ -113,6 +176,65 @@ pub fn optimize_descending(
         if w.iter().all(|&x| x <= options.w_floor) {
             break;
         }
+    }
+    Ok(OptimizationResult {
+        solution: w,
+        lambda,
+        iterations,
+        trace,
+    })
+}
+
+/// Verifies a (possibly kriging-driven) max−1 solution by exact simulation
+/// and **repairs** it if the true metric violates the constraint — the
+/// descending counterpart of
+/// [`crate::opt::minplusone::verify_and_repair`]: greedy ascent with exact
+/// evaluations only, incrementing the most helpful variable until the
+/// verified constraint holds.
+///
+/// # Errors
+///
+/// * [`OptError::Eval`] if a simulation fails.
+/// * [`OptError::Infeasible`] if every variable reaches `N_max` without
+///   meeting the constraint.
+/// * [`OptError::DidNotConverge`] if `max_iterations` is exhausted.
+pub fn verify_and_repair(
+    evaluator: &mut dyn DseEvaluator,
+    solution: &Config,
+    options: &MaxMinusOneOptions,
+) -> Result<OptimizationResult, OptError> {
+    let mut w = solution.clone();
+    let mut lambda = evaluator.query_exact(&w)?;
+    let mut trace = OptimizationTrace::new();
+    trace.record(&w, lambda, crate::trace::Source::Simulated);
+    let mut iterations = 0u64;
+    while lambda < options.lambda_min {
+        iterations += 1;
+        if iterations > options.max_iterations {
+            return Err(OptError::DidNotConverge { iterations });
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..w.len() {
+            if w[i] >= options.w_max {
+                continue;
+            }
+            let mut candidate = w.clone();
+            candidate[i] += 1;
+            let li = evaluator.query_exact(&candidate)?;
+            trace.record(&candidate, li, crate::trace::Source::Simulated);
+            if best.is_none_or(|(_, lb)| li > lb) {
+                best = Some((i, li));
+            }
+        }
+        let Some((jc, lj)) = best else {
+            return Err(OptError::Infeasible {
+                best_lambda: lambda,
+                lambda_min: options.lambda_min,
+            });
+        };
+        w[jc] += 1;
+        lambda = lj;
+        trace.record_decision(jc);
     }
     Ok(OptimizationResult {
         solution: w,
@@ -197,6 +319,65 @@ mod tests {
         };
         let result = optimize_descending(&mut ev, &opts).unwrap();
         assert!(result.solution.iter().all(|&w| w >= 4));
+    }
+
+    #[test]
+    fn tie_break_by_simulation_matches_pure_run() {
+        use crate::hybrid::{HybridEvaluator, HybridSettings};
+        let make = || additive_model(vec![1.0, 4.0, 0.25]);
+        let opts = MaxMinusOneOptions::new(55.0);
+        let mut pure = SimulateAll(make());
+        let reference = optimize_descending(&mut pure, &opts).unwrap();
+        let mut hybrid = HybridEvaluator::new(
+            make(),
+            HybridSettings {
+                distance: 5.0,
+                ..HybridSettings::default()
+            },
+        );
+        let result = optimize_descending_with_tie_break(&mut hybrid, &opts, 0.5).unwrap();
+        // Exactly-feasible by construction of the tie-break path.
+        let mut check = make();
+        let truth = check.evaluate(&result.solution).unwrap();
+        assert!(truth >= 55.0, "tie-broken solution truly at {truth}");
+        let cost_ref: i32 = reference.solution.iter().sum();
+        let cost_tie: i32 = result.solution.iter().sum();
+        assert!(
+            (cost_tie - cost_ref).abs() <= 2,
+            "ref {:?} vs tie-break {:?}",
+            reference.solution,
+            result.solution
+        );
+    }
+
+    #[test]
+    fn verify_and_repair_fixes_infeasible_hybrid_solutions() {
+        use crate::hybrid::{HybridEvaluator, HybridSettings};
+        let make = || additive_model(vec![1.0, 4.0, 0.25]);
+        let opts = MaxMinusOneOptions::new(55.0);
+        let mut hybrid = HybridEvaluator::new(
+            make(),
+            HybridSettings {
+                distance: 5.0,
+                ..HybridSettings::default()
+            },
+        );
+        let raw = optimize_descending(&mut hybrid, &opts).unwrap();
+        let repaired = verify_and_repair(&mut hybrid, &raw.solution, &opts).unwrap();
+        let mut check = make();
+        let truth = check.evaluate(&repaired.solution).unwrap();
+        assert!(truth >= 55.0, "repaired solution truly at {truth}");
+        assert_eq!(truth, repaired.lambda);
+    }
+
+    #[test]
+    fn verify_and_repair_is_noop_on_feasible_solutions() {
+        let mut ev = SimulateAll(additive_model(vec![1.0, 1.0]));
+        let opts = MaxMinusOneOptions::new(45.0);
+        let result = optimize_descending(&mut ev, &opts).unwrap();
+        let repaired = verify_and_repair(&mut ev, &result.solution, &opts).unwrap();
+        assert_eq!(repaired.solution, result.solution);
+        assert_eq!(repaired.iterations, 0);
     }
 
     #[test]

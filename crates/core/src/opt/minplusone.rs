@@ -81,25 +81,40 @@ pub fn minimum_word_lengths(
 ) -> Result<Config, OptError> {
     let nv = evaluator.num_variables();
     let mut wmin = vec![options.w_max; nv];
-    for i in 0..nv {
-        let mut w = vec![options.w_max; nv];
-        wmin[i] = options.w_max;
-        loop {
-            let (lambda, source) = evaluator.query(&w)?;
+    // Each variable's probes depend only on its own progress (everything
+    // else sits at `N_max`), so the `nv` descents advance in lockstep: each
+    // round emits one planned batch holding every active variable's next
+    // probe, which a batched backend is free to fulfill in parallel.
+    let mut probe: Vec<i32> = vec![options.w_max; nv];
+    let mut active: Vec<usize> = (0..nv).collect();
+    while !active.is_empty() {
+        let scan: Vec<(usize, Config)> = active
+            .iter()
+            .map(|&i| {
+                let mut w = vec![options.w_max; nv];
+                w[i] = probe[i];
+                (i, w)
+            })
+            .collect();
+        let configs: Vec<Config> = scan.iter().map(|(_, w)| w.clone()).collect();
+        let results = evaluator.query_batch(&configs)?;
+        let mut still_active = Vec::new();
+        for ((i, w), (lambda, source)) in scan.into_iter().zip(results) {
             trace.record(&w, lambda, source);
             if lambda >= options.lambda_min {
-                wmin[i] = w[i];
-                if w[i] <= options.w_floor {
-                    break; // even the floor satisfies the constraint
+                wmin[i] = probe[i];
+                if probe[i] > options.w_floor {
+                    probe[i] -= 1;
+                    still_active.push(i);
                 }
-                w[i] -= 1;
+                // else: even the floor satisfies the constraint.
             } else {
                 // The previous word-length was the last satisfying one (or
                 // N_max itself never satisfied it; refine will handle that).
-                wmin[i] = (w[i] + 1).min(options.w_max);
-                break;
+                wmin[i] = (probe[i] + 1).min(options.w_max);
             }
         }
+        active = still_active;
     }
     Ok(wmin)
 }

@@ -22,7 +22,8 @@ pub mod minplusone;
 use std::error::Error;
 use std::fmt;
 
-use crate::evaluator::{AccuracyEvaluator, EvalError};
+use crate::eval_backend::{EvalBackend, SimulationRequest};
+use crate::evaluator::EvalError;
 use crate::hybrid::HybridEvaluator;
 use crate::trace::{OptimizationTrace, Source};
 use crate::Config;
@@ -52,15 +53,22 @@ pub trait DseEvaluator {
     }
 
     /// Evaluates many configurations at once, returning values and
-    /// provenances in input order. The default loops over
-    /// [`DseEvaluator::query`]; evaluators with a cheaper batched path (the
-    /// hybrid evaluator factors each kriging system once per batch)
-    /// override it. Optimizers use this for per-iteration candidate scans.
+    /// provenances in input order. Optimizers use this for per-iteration
+    /// candidate scans; evaluators with a cheaper batched path (the hybrid
+    /// evaluator plans the whole batch, fulfills the deduplicated
+    /// simulations through its backend, and factors each kriging system
+    /// once) override it.
     ///
     /// # Errors
     ///
-    /// Returns the first [`EvalError`] encountered; earlier configurations
-    /// in the batch have already been evaluated (and counted) by then.
+    /// Returns an [`EvalError`] if any configuration fails. The contract is
+    /// **all-or-nothing**: a session-stateful implementation must either
+    /// commit the entire batch or leave its observable state (stores,
+    /// query/trace counters) untouched — both in-tree stateful
+    /// implementations ([`HybridEvaluator`] and [`SimulateAll`]) do the
+    /// latter. The default loops over [`DseEvaluator::query`], which
+    /// satisfies the contract only for implementations without per-query
+    /// commit state; stateful implementors must override it.
     fn query_batch(&mut self, configs: &[Config]) -> Result<Vec<(f64, Source)>, EvalError> {
         configs.iter().map(|c| self.query(c)).collect()
     }
@@ -69,7 +77,7 @@ pub trait DseEvaluator {
     fn num_variables(&self) -> usize;
 }
 
-impl<E: AccuracyEvaluator> DseEvaluator for HybridEvaluator<E> {
+impl<E: EvalBackend> DseEvaluator for HybridEvaluator<E> {
     fn query(&mut self, config: &Config) -> Result<(f64, Source), EvalError> {
         let outcome = self.evaluate(config)?;
         Ok((outcome.value(), outcome.source()))
@@ -93,8 +101,10 @@ impl<E: AccuracyEvaluator> DseEvaluator for HybridEvaluator<E> {
     }
 }
 
-/// Adapts any pure [`AccuracyEvaluator`] into a [`DseEvaluator`] whose
-/// queries are all simulations — the kriging-free baseline.
+/// Adapts any [`EvalBackend`] (and therefore any pure
+/// [`crate::AccuracyEvaluator`]) into a [`DseEvaluator`] whose queries are
+/// all simulations — the kriging-free baseline. With a parallel backend,
+/// batch queries fan out over its worker pool.
 ///
 /// # Examples
 ///
@@ -113,9 +123,26 @@ impl<E: AccuracyEvaluator> DseEvaluator for HybridEvaluator<E> {
 #[derive(Debug)]
 pub struct SimulateAll<E>(pub E);
 
-impl<E: AccuracyEvaluator> DseEvaluator for SimulateAll<E> {
+impl<E: EvalBackend> DseEvaluator for SimulateAll<E> {
     fn query(&mut self, config: &Config) -> Result<(f64, Source), EvalError> {
-        Ok((self.0.evaluate(config)?, Source::Simulated))
+        Ok((self.0.fulfill_one(config)?, Source::Simulated))
+    }
+
+    fn query_batch(&mut self, configs: &[Config]) -> Result<Vec<(f64, Source)>, EvalError> {
+        // Every config becomes a request (no dedup: the pure baseline
+        // simulates each query, so `N_λ` accounting stays faithful); the
+        // backend decides how to schedule them. All-or-nothing by
+        // construction — this wrapper holds no commit state.
+        let requests: Vec<SimulationRequest> = configs
+            .iter()
+            .map(|c| SimulationRequest::new(c.clone()))
+            .collect();
+        Ok(self
+            .0
+            .fulfill(&requests)?
+            .into_iter()
+            .map(|v| (v, Source::Simulated))
+            .collect())
     }
 
     fn num_variables(&self) -> usize {

@@ -1,0 +1,404 @@
+//! The engine-backed fulfillment backend: planned simulation batches fan
+//! out over a persistent worker pool.
+//!
+//! [`EngineBackend`] implements [`krigeval_core::EvalBackend`] on top of
+//! the engine's existing machinery: one private simulator instance per
+//! worker, the shared in-flight-deduplicating [`SimCache`], and an
+//! attempt-counted retry loop for transient failures — the same
+//! deterministic backoff the campaign executor uses. The worker threads
+//! are spawned **once** at construction and parked on a condition
+//! variable between batches; optimizer scan batches are narrow (one
+//! candidate per variable), so per-batch thread spawns would cost as much
+//! as the simulations they fan out.
+//!
+//! # Determinism
+//!
+//! The backend honours the [`EvalBackend`] contract: values are returned
+//! in request order, and a failed batch reports the error of the
+//! lowest-indexed failing request regardless of which worker observed it
+//! first. Because each request's value is a pure function of its
+//! configuration (fixed-seed simulators) and the cache only memoizes
+//! values the simulators would produce anyway, results are bitwise
+//! identical across worker counts — the backend-parity suite pins this
+//! for all four optimizers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use krigeval_core::{AccuracyEvaluator, Config, EvalBackend, EvalError, SimulationRequest};
+
+use crate::cache::SimCache;
+
+/// One unit of pool work: simulate `config`, report under `index`.
+struct Job {
+    index: usize,
+    config: Config,
+}
+
+/// State shared between the backend and its worker threads.
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    cache: Arc<SimCache>,
+    namespace: String,
+    max_retries: AtomicU32,
+    /// Underlying simulator invocations across all workers and the local
+    /// serial evaluator (cache hits do not count).
+    evaluations: AtomicU64,
+}
+
+impl PoolShared {
+    /// Computes one configuration through the shared cache with the
+    /// deterministic (yield-counted, never wall-clock) retry backoff.
+    fn compute(
+        &self,
+        evaluator: &mut (dyn AccuracyEvaluator + Send),
+        config: &Config,
+    ) -> Result<f64, EvalError> {
+        let max_retries = self.max_retries.load(Ordering::Relaxed);
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self.cache.get_or_compute(&self.namespace, config, || {
+                self.evaluations.fetch_add(1, Ordering::Relaxed);
+                evaluator.evaluate(config)
+            });
+            match result {
+                Ok((value, _cached)) => return Ok(value),
+                Err(e) => {
+                    if attempt >= max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    for _ in 0..(1u32 << attempt.min(6)) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    shared: &PoolShared,
+    mut evaluator: Box<dyn AccuracyEvaluator + Send>,
+    results: &Sender<(usize, Result<f64, EvalError>)>,
+) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let result = shared.compute(&mut *evaluator, &job.config);
+        if results.send((job.index, result)).is_err() {
+            return; // backend dropped mid-batch
+        }
+    }
+}
+
+/// A parallel [`EvalBackend`] over a persistent worker pool and the
+/// engine's shared simulation cache. See the module docs for the
+/// determinism contract.
+pub struct EngineBackend {
+    shared: Arc<PoolShared>,
+    /// Serial-path evaluator, used for single-request batches, for
+    /// `fulfill_one`, and whenever `workers <= 1`.
+    local: Box<dyn AccuracyEvaluator + Send>,
+    results: Receiver<(usize, Result<f64, EvalError>)>,
+    handles: Vec<JoinHandle<()>>,
+    num_variables: usize,
+    workers: usize,
+}
+
+impl std::fmt::Debug for EngineBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBackend")
+            .field("workers", &self.workers)
+            .field("namespace", &self.shared.namespace)
+            .field("num_variables", &self.num_variables)
+            .field(
+                "max_retries",
+                &self.shared.max_retries.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineBackend {
+    /// Builds a backend with one simulator per worker plus one for the
+    /// calling thread (the factory runs `workers + 1` times up front when
+    /// `workers > 1`, once otherwise) sharing `cache` under `namespace`.
+    /// `workers` is clamped to at least 1; worker threads are spawned here
+    /// and live until the backend is dropped.
+    pub fn new(
+        factory: impl Fn() -> Box<dyn AccuracyEvaluator + Send>,
+        workers: usize,
+        cache: Arc<SimCache>,
+        namespace: impl Into<String>,
+    ) -> EngineBackend {
+        let workers = workers.max(1);
+        let local = factory();
+        let num_variables = AccuracyEvaluator::num_variables(&local);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache,
+            namespace: namespace.into(),
+            max_retries: AtomicU32::new(0),
+            evaluations: AtomicU64::new(0),
+        });
+        let (tx, results) = std::sync::mpsc::channel();
+        let handles = if workers > 1 {
+            (0..workers)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    let tx = tx.clone();
+                    let evaluator = factory();
+                    std::thread::spawn(move || worker_loop(&shared, evaluator, &tx))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        EngineBackend {
+            shared,
+            local,
+            results,
+            handles,
+            num_variables,
+            workers,
+        }
+    }
+
+    /// Retries transient evaluation failures up to `max_retries` times per
+    /// request, with the executor's deterministic (yield-counted, never
+    /// wall-clock) backoff between attempts.
+    #[must_use]
+    pub fn with_max_retries(self, max_retries: u32) -> EngineBackend {
+        self.shared
+            .max_retries
+            .store(max_retries, Ordering::Relaxed);
+        self
+    }
+
+    /// Worker threads the backend fans batches over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Drop for EngineBackend {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl EvalBackend for EngineBackend {
+    fn fulfill(&mut self, requests: &[SimulationRequest]) -> Result<Vec<f64>, EvalError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.workers <= 1 || requests.len() <= 1 {
+            // No fan-out to pay for: stay on the caller's thread (the cache
+            // still deduplicates against concurrent sessions).
+            return requests
+                .iter()
+                .map(|r| self.shared.compute(&mut *self.local, &r.config))
+                .collect();
+        }
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.extend(requests.iter().enumerate().map(|(index, r)| Job {
+                index,
+                config: r.config.clone(),
+            }));
+        }
+        self.shared.available.notify_all();
+        let mut slots: Vec<Option<Result<f64, EvalError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for _ in 0..requests.len() {
+            let (index, result) = self
+                .results
+                .recv()
+                .expect("a pool worker died while the batch was in flight");
+            slots[index] = Some(result);
+        }
+        // Deterministic error selection: the lowest-indexed failure wins,
+        // no matter which worker hit it first.
+        let mut values = Vec::with_capacity(slots.len());
+        for slot in slots {
+            values.push(slot.expect("every index was reported once")?);
+        }
+        Ok(values)
+    }
+
+    fn fulfill_one(&mut self, config: &Config) -> Result<f64, EvalError> {
+        self.shared.compute(&mut *self.local, config)
+    }
+
+    fn num_variables(&self) -> usize {
+        self.num_variables
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.shared.evaluations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use krigeval_core::FnEvaluator;
+
+    fn requests(configs: &[Vec<i32>]) -> Vec<SimulationRequest> {
+        configs
+            .iter()
+            .map(|c| SimulationRequest::new(c.clone()))
+            .collect()
+    }
+
+    fn factory() -> impl Fn() -> Box<dyn AccuracyEvaluator + Send> {
+        || {
+            Box::new(FnEvaluator::new(2, |w: &Config| {
+                Ok(f64::from(w[0] * 10 + w[1]))
+            }))
+        }
+    }
+
+    #[test]
+    fn values_match_inline_evaluation_at_any_worker_count() {
+        let configs: Vec<Config> = (0..25).map(|i| vec![i / 5, i % 5]).collect();
+        let expected: Vec<f64> = configs
+            .iter()
+            .map(|w| f64::from(w[0] * 10 + w[1]))
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            let mut backend =
+                EngineBackend::new(factory(), workers, Arc::new(SimCache::new()), "t");
+            assert_eq!(backend.fulfill(&requests(&configs)).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_batches() {
+        let mut backend = EngineBackend::new(factory(), 4, Arc::new(SimCache::new()), "t");
+        for round in 0..10 {
+            let configs: Vec<Config> = (0..5).map(|i| vec![round, i]).collect();
+            let expected: Vec<f64> = configs
+                .iter()
+                .map(|w| f64::from(w[0] * 10 + w[1]))
+                .collect();
+            assert_eq!(backend.fulfill(&requests(&configs)).unwrap(), expected);
+        }
+        assert_eq!(backend.evaluations(), 50);
+    }
+
+    #[test]
+    fn shared_cache_spares_the_second_backend_all_simulations() {
+        let cache = Arc::new(SimCache::new());
+        let configs: Vec<Config> = (0..8).map(|i| vec![i, i]).collect();
+        let mut first = EngineBackend::new(factory(), 2, Arc::clone(&cache), "shared");
+        let a = first.fulfill(&requests(&configs)).unwrap();
+        let mut second = EngineBackend::new(factory(), 2, Arc::clone(&cache), "shared");
+        let b = second.fulfill(&requests(&configs)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(second.evaluations(), 0, "everything came from the cache");
+        assert_eq!(first.evaluations(), 8);
+    }
+
+    #[test]
+    fn lowest_indexed_failure_is_reported() {
+        let flaky = || -> Box<dyn AccuracyEvaluator + Send> {
+            Box::new(FnEvaluator::new(1, |w: &Config| {
+                if w[0] % 3 == 0 {
+                    Err(EvalError::msg(format!("bad config {}", w[0])))
+                } else {
+                    Ok(f64::from(w[0]))
+                }
+            }))
+        };
+        let configs: Vec<Config> = (1..20).map(|i| vec![i]).collect(); // fails at 3, 6, 9, …
+        for workers in [1, 4] {
+            let mut backend = EngineBackend::new(flaky, workers, Arc::new(SimCache::new()), "t");
+            let err = backend.fulfill(&requests(&configs)).unwrap_err();
+            assert!(err.to_string().contains("bad config 3"), "{err}");
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let failures = Arc::new(AtomicU64::new(2));
+        let counter = Arc::clone(&failures);
+        let flaky = move || -> Box<dyn AccuracyEvaluator + Send> {
+            let counter = Arc::clone(&counter);
+            Box::new(FnEvaluator::new(1, move |w: &Config| {
+                if counter
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    Err(EvalError::msg("transient"))
+                } else {
+                    Ok(f64::from(w[0]))
+                }
+            }))
+        };
+        let mut backend =
+            EngineBackend::new(flaky, 1, Arc::new(SimCache::new()), "t").with_max_retries(3);
+        assert_eq!(backend.fulfill_one(&vec![7]).unwrap(), 7.0);
+
+        failures.store(10, Ordering::SeqCst);
+        let mut strict = EngineBackend::new(
+            {
+                let counter = Arc::clone(&failures);
+                move || -> Box<dyn AccuracyEvaluator + Send> {
+                    let counter = Arc::clone(&counter);
+                    Box::new(FnEvaluator::new(1, move |w: &Config| {
+                        if counter
+                            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                            .is_ok()
+                        {
+                            Err(EvalError::msg("transient"))
+                        } else {
+                            Ok(f64::from(w[0]))
+                        }
+                    }))
+                }
+            },
+            1,
+            Arc::new(SimCache::new()),
+            "t",
+        );
+        assert!(
+            strict.fulfill_one(&vec![7]).is_err(),
+            "no retries by default"
+        );
+    }
+
+    #[test]
+    fn debug_shows_shape_not_contents() {
+        let backend = EngineBackend::new(factory(), 3, Arc::new(SimCache::new()), "ns");
+        let s = format!("{backend:?}");
+        assert!(s.contains("workers: 3") && s.contains("\"ns\""), "{s}");
+    }
+}

@@ -22,7 +22,12 @@
 //! --optimizer O      auto | minplusone | tiebreak:TOL | descent
 //! --seed N           base seed                (default 0)
 //! --repeats N        repeats per cell with derived seeds (default 1)
-//! --workers N        worker threads           (default 4)
+//! --workers N        worker threads, one run per worker (default 4)
+//! --threads N        in-run evaluation threads: each run's planned
+//!                    simulation batches fan out over N workers via the
+//!                    engine backend (default 1 = inline backend; results
+//!                    are identical for any value; incompatible with
+//!                    active fault injection)
 //! --out FILE         write JSONL to FILE instead of stdout
 //! --on-error P       fail-fast | skip | retry:N  (default fail-fast;
 //!                    overrides the spec's on_error field)
@@ -181,6 +186,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--name" => cli.spec.name = value()?.to_string(),
             "--no-audit" => cli.spec.audit = false,
             "--workers" => cli.workers = value()?.parse().map_err(|_| "bad --workers")?,
+            "--threads" => cli.spec.threads = Some(value()?.parse().map_err(|_| "bad --threads")?),
             "--out" => cli.out = Some(value()?.to_string()),
             "--on-error" => cli.spec.on_error = Some(FaultPolicy::parse(value()?)?),
             "--resume" => cli.resume = true,

@@ -429,17 +429,33 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_workers(items, workers, |_, item| f(item))
+}
+
+/// Like [`parallel_map`], but tells `f` which worker (0-based, dense) is
+/// calling, so callers can give each worker exclusive resources — e.g. one
+/// simulator instance per worker in the engine-backed evaluation backend —
+/// without locking a shared pool.
+pub fn parallel_map_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let workers = workers.max(1).min(items.len().max(1));
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for w in 0..workers {
+            let f = &f;
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let out = f(&items[i]);
+                let out = f(w, &items[i]);
                 slots.lock().expect("map slots poisoned")[i] = Some(out);
             });
         }
@@ -508,6 +524,16 @@ mod tests {
         assert_eq!(summary.sim_cache_hits, outcome.cache.hits);
         assert!(summary.wall_ms.is_none());
         assert!(outcome.summary("table1", true).wall_ms.is_some());
+    }
+
+    #[test]
+    fn parallel_map_workers_passes_dense_worker_ids() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_workers(&items, 4, |w, &x| {
+            assert!(w < 4, "worker id {w} out of range");
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
     }
 
     #[test]

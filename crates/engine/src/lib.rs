@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod executor;
 pub mod fault;
@@ -59,10 +60,11 @@ impl Scale {
     }
 }
 
+pub use backend::EngineBackend;
 pub use cache::{CacheStats, CachedEvaluator, SimCache};
 pub use executor::{
-    parallel_map, run_campaign, run_specs, run_specs_opts, CampaignOutcome, EngineError,
-    ExecOptions, Progress, RunError,
+    parallel_map, parallel_map_workers, run_campaign, run_specs, run_specs_opts, CampaignOutcome,
+    EngineError, ExecOptions, Progress, RunError,
 };
 pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultPhase, FaultPolicy};
 pub use sink::{

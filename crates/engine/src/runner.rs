@@ -13,13 +13,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use krigeval_core::evaluator::AccuracyEvaluator;
-use krigeval_core::hybrid::{HybridEvaluator, HybridSettings, VariogramPolicy};
+use krigeval_core::hybrid::{HybridEvaluator, HybridSettings, HybridStats, VariogramPolicy};
 use krigeval_core::opt::descent::{budget_error_sources, DescentOptions};
 use krigeval_core::opt::minplusone::{optimize, optimize_with_tie_break, MinPlusOneOptions};
 use krigeval_core::opt::{DseEvaluator, OptError, OptimizationResult, SimulateAll};
 use krigeval_core::variogram::{fit_model, EmpiricalVariogram, ModelFamily};
-use krigeval_core::{FiniteGuard, VariogramModel};
+use krigeval_core::{EvalBackend, FiniteGuard, VariogramModel};
 
+use crate::backend::EngineBackend;
 use crate::cache::{CachedEvaluator, SimCache};
 use crate::fault::{FaultInjectingEvaluator, FaultPhase};
 use crate::sink::RunRecord;
@@ -59,6 +60,25 @@ fn stacked_evaluator(
         attempt,
         phase,
     ))
+}
+
+/// The parallel counterpart of [`stacked_evaluator`] for `threads > 1`
+/// runs: one fresh simulator per worker (each behind its own
+/// [`FiniteGuard`], so non-finite values error before they can be cached),
+/// fanning planned batches out while deduplicating through the same shared
+/// cache namespace. Spec validation guarantees fault injection is inactive
+/// on this path — the injector's call-ordered draw stream is the one layer
+/// that cannot be parallelized.
+fn engine_backend(run: &RunSpec, cache: &Arc<SimCache>) -> EngineBackend {
+    EngineBackend::new(
+        || {
+            Box::new(FiniteGuard::new(resolved_instance(run).evaluator))
+                as Box<dyn AccuracyEvaluator + Send>
+        },
+        run.threads,
+        Arc::clone(cache),
+        cache_namespace(run),
+    )
 }
 
 fn resolved_instance(run: &RunSpec) -> ProblemInstance {
@@ -116,25 +136,36 @@ fn pilot_model(
     attempt: u32,
 ) -> Result<(VariogramModel, u64), OptError> {
     let instance = resolved_instance(run);
-    let mut pilot = SimulateAll(stacked_evaluator(
-        instance.evaluator,
-        run,
-        cache,
-        attempt,
-        FaultPhase::Pilot,
-    ));
-    let result = drive(
-        &mut pilot,
-        // Tie-breaking re-simulates ties, which is a no-op distinction under
-        // pure simulation; the plain optimizer gives the identical pilot
-        // trajectory at lower bookkeeping cost.
-        match run.optimizer {
-            OptimizerSpec::TieBreak { .. } => OptimizerSpec::MinPlusOne,
-            other => other,
-        },
-        instance.minplusone.as_ref(),
-        instance.descent.as_ref(),
-    )?;
+    // Tie-breaking re-simulates ties, which is a no-op distinction under
+    // pure simulation; the plain optimizer gives the identical pilot
+    // trajectory at lower bookkeeping cost.
+    let optimizer = match run.optimizer {
+        OptimizerSpec::TieBreak { .. } => OptimizerSpec::MinPlusOne,
+        other => other,
+    };
+    let result = if run.threads > 1 {
+        let mut pilot = SimulateAll(engine_backend(run, cache));
+        drive(
+            &mut pilot,
+            optimizer,
+            instance.minplusone.as_ref(),
+            instance.descent.as_ref(),
+        )?
+    } else {
+        let mut pilot = SimulateAll(stacked_evaluator(
+            instance.evaluator,
+            run,
+            cache,
+            attempt,
+            FaultPhase::Pilot,
+        ));
+        drive(
+            &mut pilot,
+            optimizer,
+            instance.minplusone.as_ref(),
+            instance.descent.as_ref(),
+        )?
+    };
     // Deduplicate configurations (revisits would create zero-distance pairs).
     let mut configs: Vec<Vec<i32>> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
@@ -186,6 +217,23 @@ fn variogram_policy(
     })
 }
 
+/// Drives the optimizer through a hybrid evaluator over `backend` and
+/// returns the result together with the session statistics. Generic over
+/// the backend so the inline evaluator stack and the parallel
+/// [`EngineBackend`] share one code path.
+fn drive_hybrid<E: EvalBackend>(
+    run: &RunSpec,
+    minplusone: Option<&MinPlusOneOptions>,
+    descent: Option<&DescentOptions>,
+    settings: HybridSettings,
+    backend: E,
+) -> Result<(OptimizationResult, HybridStats), OptError> {
+    let mut hybrid = HybridEvaluator::new(backend, settings);
+    let result = drive(&mut hybrid, run.optimizer, minplusone, descent)?;
+    let stats = hybrid.stats().clone();
+    Ok((result, stats))
+}
+
 /// Runs one campaign cell to completion.
 ///
 /// # Errors
@@ -230,17 +278,26 @@ pub fn run_single_attempt(
         max_neighbors: run.max_neighbors,
         audit: run.audit.then(|| run.problem.audit_metric()),
     };
-    let mut hybrid = HybridEvaluator::new(
-        stacked_evaluator(instance.evaluator, run, cache, attempt, FaultPhase::Hybrid),
-        settings,
-    );
-    let result = drive(
-        &mut hybrid,
-        run.optimizer,
-        instance.minplusone.as_ref(),
-        instance.descent.as_ref(),
-    )?;
-    let stats = hybrid.stats();
+    let minplusone = instance.minplusone;
+    let descent = instance.descent;
+    let (result, stats) = if run.threads > 1 {
+        drive_hybrid(
+            run,
+            minplusone.as_ref(),
+            descent.as_ref(),
+            settings,
+            engine_backend(run, cache),
+        )?
+    } else {
+        drive_hybrid(
+            run,
+            minplusone.as_ref(),
+            descent.as_ref(),
+            settings,
+            stacked_evaluator(instance.evaluator, run, cache, attempt, FaultPhase::Hybrid),
+        )?
+    };
+    let stats = &stats;
     Ok(RunRecord {
         index: run.index,
         benchmark: run.problem.label().to_string(),
@@ -336,6 +393,19 @@ mod tests {
         let record = run_single(&run, &cache).unwrap();
         assert!(record.optimizer.starts_with("tiebreak"));
         assert!(record.lambda >= record.lambda_min);
+    }
+
+    #[test]
+    fn threaded_runs_reproduce_inline_records() {
+        let inline = run_single(&fir_run(3.0), &Arc::new(SimCache::new())).unwrap();
+        let mut threaded_run = fir_run(3.0);
+        threaded_run.threads = 4;
+        let threaded = run_single(&threaded_run, &Arc::new(SimCache::new())).unwrap();
+        let strip = |mut r: RunRecord| {
+            r.wall_ms = None;
+            r
+        };
+        assert_eq!(strip(inline), strip(threaded));
     }
 
     #[test]

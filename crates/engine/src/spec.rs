@@ -144,6 +144,12 @@ pub struct CampaignSpec {
     /// Audit mode: re-simulate every kriged query and record Eq. 11/12
     /// errors (the Table I protocol).
     pub audit: bool,
+    /// In-run evaluation threads: each run's planned simulation batches fan
+    /// out over this many workers (the plan/fulfill `EngineBackend`). `1`
+    /// (the default) keeps the zero-overhead inline backend. Orthogonal to
+    /// the executor's `--workers` (runs in parallel); results are identical
+    /// for any value. `None` (and absent-from-older-spec-files) means 1.
+    pub threads: Option<usize>,
     /// Cap on neighbours per kriging system; `0` means unlimited.
     pub max_neighbors: usize,
     /// What to do when a run fails; `None` means fail fast (the strict
@@ -169,6 +175,7 @@ impl Default for CampaignSpec {
             seed: 0,
             repeats: 1,
             audit: true,
+            threads: None,
             max_neighbors: 32,
             on_error: None,
             faults: None,
@@ -206,6 +213,8 @@ pub struct RunSpec {
     pub repeat: u32,
     /// Audit mode.
     pub audit: bool,
+    /// In-run evaluation threads (1 = inline backend).
+    pub threads: usize,
     /// Neighbour cap (`None` = unlimited).
     pub max_neighbors: Option<usize>,
     /// Deterministic fault injection (chaos testing only; `None` in
@@ -264,8 +273,17 @@ impl CampaignSpec {
                 return Err(SpecError::new(format!("invalid distance {d}")));
             }
         }
+        let threads = self.threads.unwrap_or(1).max(1);
         if let Some(faults) = &self.faults {
             faults.validate().map_err(SpecError::new)?;
+            // Fault injection draws from a call-ordered deterministic
+            // stream; fanning evaluations over threads would reorder the
+            // draws and break reproducibility.
+            if threads > 1 && faults.is_active() {
+                return Err(SpecError::new(
+                    "threads > 1 cannot be combined with active fault injection",
+                ));
+            }
         }
         let mut problems = Vec::new();
         for name in &self.benchmarks {
@@ -313,6 +331,7 @@ impl CampaignSpec {
                                 run_seed,
                                 repeat,
                                 audit: self.audit,
+                                threads,
                                 max_neighbors: if self.max_neighbors == 0 {
                                     None
                                 } else {
@@ -531,6 +550,48 @@ mod tests {
         assert_eq!(back.on_error, None);
         assert_eq!(back.faults, None);
         assert_eq!(back, legacy);
+    }
+
+    #[test]
+    fn specs_without_threads_default_to_inline() {
+        let legacy = CampaignSpec::default();
+        let json = legacy
+            .to_json()
+            .lines()
+            .filter(|line| !line.contains("\"threads\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(back.threads, None);
+        assert_eq!(back.expand().unwrap()[0].threads, 1);
+        assert_eq!(back, legacy);
+    }
+
+    #[test]
+    fn threads_cannot_combine_with_active_faults() {
+        let spec = CampaignSpec {
+            threads: Some(4),
+            faults: Some(FaultConfig {
+                error_rate: 0.01,
+                seed: 5,
+                ..FaultConfig::default()
+            }),
+            on_error: Some(FaultPolicy::Retry { max: 2 }),
+            ..CampaignSpec::default()
+        };
+        let message = spec.expand().unwrap_err().to_string();
+        assert!(
+            message.contains("threads > 1 cannot be combined"),
+            "{message}"
+        );
+        // Inactive fault config (all rates zero) is fine.
+        let inactive = CampaignSpec {
+            threads: Some(4),
+            faults: Some(FaultConfig::default()),
+            ..CampaignSpec::default()
+        };
+        let runs = inactive.expand().unwrap();
+        assert_eq!(runs[0].threads, 4);
     }
 
     #[test]

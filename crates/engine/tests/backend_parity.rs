@@ -1,0 +1,189 @@
+//! Backend-parity suite: the engine-backed parallel fulfillment backend
+//! must be **bitwise indistinguishable** from the inline backend.
+//!
+//! Every optimizer emits its per-iteration candidate frontier as one
+//! planned batch; the hybrid evaluator fulfills the deduplicated
+//! simulation requests through whichever [`EvalBackend`] it was built on
+//! and commits results in input-index order. Because each request's value
+//! is a pure function of its configuration, the full
+//! [`OptimizationResult`] (solution, λ, iteration count, every trace
+//! entry) and the session's [`HybridStats`] must match the inline run for
+//! any worker count — this suite pins that for all four optimizers on the
+//! FIR and IIR kernels at 1, 2, 4 and 8 workers.
+
+use std::sync::Arc;
+
+use krigeval_core::opt::cost::CostModel;
+use krigeval_core::opt::descent::{budget_error_sources, DescentOptions};
+use krigeval_core::opt::exhaustive::{optimize_exhaustive, ExhaustiveOptions};
+use krigeval_core::opt::maxminusone::{optimize_descending, MaxMinusOneOptions};
+use krigeval_core::opt::minplusone::optimize;
+use krigeval_core::opt::{DseEvaluator, OptError, OptimizationResult};
+use krigeval_core::{
+    AccuracyEvaluator, Config, EvalBackend, EvalError, HybridEvaluator, HybridSettings, HybridStats,
+};
+use krigeval_engine::suite::{build_seeded, Problem};
+use krigeval_engine::{EngineBackend, Scale, SimCache};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Optimizer {
+    MinPlusOne,
+    MaxMinusOne,
+    Descent,
+    Exhaustive,
+}
+
+/// Maps the descent optimizer's monotone-increasing levels onto the
+/// word-length kernels (level 0 = widest word), so the error-budgeting
+/// algorithm can drive the same FIR/IIR simulators as the word-length
+/// optimizers.
+struct LevelAdapter {
+    inner: Box<dyn AccuracyEvaluator + Send>,
+    top: i32,
+}
+
+impl AccuracyEvaluator for LevelAdapter {
+    fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
+        let words: Config = config.iter().map(|&level| self.top - level).collect();
+        self.inner.evaluate(&words)
+    }
+
+    fn num_variables(&self) -> usize {
+        AccuracyEvaluator::num_variables(&self.inner)
+    }
+
+    fn evaluations(&self) -> u64 {
+        AccuracyEvaluator::evaluations(&self.inner)
+    }
+}
+
+/// A deterministic fresh simulator for `(optimizer, problem)` — the same
+/// instance every call, so the inline backend and every pool worker see
+/// identical surfaces.
+fn fresh_evaluator(optimizer: Optimizer, problem: Problem) -> Box<dyn AccuracyEvaluator + Send> {
+    let evaluator = build_seeded(problem, Scale::Fast, 0).evaluator;
+    match optimizer {
+        Optimizer::Descent => Box::new(LevelAdapter {
+            inner: evaluator,
+            top: 16,
+        }),
+        _ => evaluator,
+    }
+}
+
+/// Small cubes keep full enumeration fast: FIR 6..=10 over 2 variables
+/// (25 configs), IIR 8..=9 over 5 variables (32 configs). The constraint
+/// sits midway between the cube's corner accuracies, so roughly half the
+/// cube is feasible — comfortably away from both the infeasible edge and
+/// kriging's smoothing of the extreme corners.
+fn exhaustive_options(problem: Problem) -> ExhaustiveOptions {
+    let (w_floor, w_max) = match problem {
+        Problem::Fir => (6, 10),
+        _ => (8, 9),
+    };
+    let mut probe = build_seeded(problem, Scale::Fast, 0).evaluator;
+    let nv = AccuracyEvaluator::num_variables(&probe);
+    let bottom = probe
+        .evaluate(&vec![w_floor; nv])
+        .expect("probe simulation succeeds");
+    let top = probe
+        .evaluate(&vec![w_max; nv])
+        .expect("probe simulation succeeds");
+    ExhaustiveOptions {
+        lambda_min: (bottom + top) / 2.0,
+        w_floor,
+        w_max,
+        max_configs: 10_000,
+    }
+}
+
+fn drive(
+    optimizer: Optimizer,
+    problem: Problem,
+    evaluator: &mut dyn DseEvaluator,
+) -> Result<OptimizationResult, OptError> {
+    let options = build_seeded(problem, Scale::Fast, 0)
+        .minplusone
+        .expect("FIR/IIR are word-length problems");
+    match optimizer {
+        Optimizer::MinPlusOne => optimize(evaluator, &options),
+        Optimizer::MaxMinusOne => optimize_descending(
+            evaluator,
+            &MaxMinusOneOptions {
+                lambda_min: options.lambda_min,
+                w_floor: options.w_floor,
+                w_max: options.w_max,
+                max_iterations: options.max_iterations,
+            },
+        ),
+        Optimizer::Descent => budget_error_sources(
+            evaluator,
+            &DescentOptions {
+                lambda_min: options.lambda_min,
+                level_floor: 0,
+                level_max: options.w_max - options.w_floor,
+                max_iterations: options.max_iterations,
+            },
+        ),
+        Optimizer::Exhaustive => {
+            let nv = evaluator.num_variables();
+            optimize_exhaustive(
+                evaluator,
+                &exhaustive_options(problem),
+                &CostModel::unit(nv),
+            )
+        }
+    }
+}
+
+fn run_one(
+    optimizer: Optimizer,
+    problem: Problem,
+    backend: impl EvalBackend,
+) -> (OptimizationResult, HybridStats) {
+    let mut hybrid = HybridEvaluator::new(backend, HybridSettings::default());
+    let result = drive(optimizer, problem, &mut hybrid).expect("optimization succeeds");
+    let stats = hybrid.stats().clone();
+    (result, stats)
+}
+
+fn assert_parity(optimizer: Optimizer) {
+    for problem in [Problem::Fir, Problem::Iir] {
+        let inline = run_one(optimizer, problem, fresh_evaluator(optimizer, problem));
+        for workers in WORKER_COUNTS {
+            let backend = EngineBackend::new(
+                || fresh_evaluator(optimizer, problem),
+                workers,
+                Arc::new(SimCache::new()),
+                "parity",
+            );
+            let parallel = run_one(optimizer, problem, backend);
+            assert_eq!(
+                inline, parallel,
+                "{optimizer:?} on {problem:?} diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn minplusone_engine_backend_matches_inline() {
+    assert_parity(Optimizer::MinPlusOne);
+}
+
+#[test]
+fn maxminusone_engine_backend_matches_inline() {
+    assert_parity(Optimizer::MaxMinusOne);
+}
+
+#[test]
+fn descent_engine_backend_matches_inline() {
+    assert_parity(Optimizer::Descent);
+}
+
+#[test]
+fn exhaustive_engine_backend_matches_inline() {
+    assert_parity(Optimizer::Exhaustive);
+}
