@@ -22,10 +22,11 @@ use krigeval_core::kriging::KrigingEstimator;
 use krigeval_core::opt::minplusone::optimize;
 use krigeval_core::variogram::{ModelFamily, VariogramAccumulator};
 use krigeval_core::{
-    Config, DistanceMetric, FnEvaluator, HybridEvaluator, HybridSettings, VariogramModel,
-    VariogramPolicy,
+    Config, DistanceMetric, EvalError, FnEvaluator, HybridEvaluator, HybridObs, HybridSettings,
+    VariogramModel, VariogramPolicy,
 };
 use krigeval_engine::{EngineBackend, SimCache};
+use krigeval_obs::{Registry, Tracer};
 use serde_json::{Number, Value};
 
 /// Frozen pre-overhaul medians (µs unless noted), measured with the same
@@ -156,11 +157,19 @@ fn variogram_refit_us() -> f64 {
     )
 }
 
-fn hybrid_steady_state_us() -> f64 {
-    let eval = FnEvaluator::new(2, |w: &Config| {
-        let p = 1.5 * 2f64.powi(-2 * w[0]) + 0.8 * 2f64.powi(-2 * w[1]);
-        Ok(-10.0 * p.log10())
-    });
+/// The steady-state session's metric, as a nameable `fn` so base and
+/// obs-attached sessions share one concrete evaluator type.
+fn steady_metric(w: &Config) -> Result<f64, EvalError> {
+    let p = 1.5 * 2f64.powi(-2 * w[0]) + 0.8 * 2f64.powi(-2 * w[1]);
+    Ok(-10.0 * p.log10())
+}
+
+type SteadyEval = FnEvaluator<fn(&Config) -> Result<f64, EvalError>>;
+
+/// A hybrid session seeded into its kriging steady state: variogram
+/// identified, every further probe evaluation kriged.
+fn steady_session() -> HybridEvaluator<SteadyEval> {
+    let eval = FnEvaluator::new(2, steady_metric as fn(&Config) -> Result<f64, EvalError>);
     let settings = HybridSettings {
         variogram: VariogramPolicy::FitAfter {
             min_samples: 30,
@@ -176,6 +185,11 @@ fn hybrid_steady_state_us() -> f64 {
         }
     }
     assert!(hybrid.model().is_some(), "variogram must be identified");
+    hybrid
+}
+
+fn hybrid_steady_state_us() -> f64 {
+    let mut hybrid = steady_session();
     let probe: Config = vec![10, 6];
     measure_us(
         || {
@@ -185,6 +199,43 @@ fn hybrid_steady_state_us() -> f64 {
         4096,
         15,
     )
+}
+
+/// Observability overhead on the kriged hot path: two identical
+/// steady-state sessions, one with a full metrics bundle attached
+/// (registry counters plus a disabled tracer — the configuration every
+/// `--metrics-out` campaign runs with). Batches are interleaved so
+/// frequency drift hits both sides equally; returns the
+/// `(base, with_obs)` medians in µs per evaluate.
+fn hybrid_obs_overhead_us() -> (f64, f64) {
+    const ITERS: usize = 4096;
+    const BATCHES: usize = 15;
+    let registry = Registry::new();
+    let mut base = steady_session();
+    let mut with_obs = steady_session();
+    with_obs.set_obs(Some(HybridObs::new(&registry, Tracer::disabled())));
+    let probe: Config = vec![10, 6];
+    let run = |hybrid: &mut HybridEvaluator<SteadyEval>| {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            let out = hybrid.evaluate(&probe).expect("kriged evaluate");
+            std::hint::black_box(out.value());
+        }
+        start.elapsed().as_secs_f64() * 1e6 / ITERS as f64
+    };
+    for _ in 0..ITERS {
+        base.evaluate(&probe).expect("kriged evaluate");
+        with_obs.evaluate(&probe).expect("kriged evaluate");
+    }
+    let mut base_samples = Vec::with_capacity(BATCHES);
+    let mut obs_samples = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        base_samples.push(run(&mut base));
+        obs_samples.push(run(&mut with_obs));
+    }
+    base_samples.sort_unstable_by(f64::total_cmp);
+    obs_samples.sort_unstable_by(f64::total_cmp);
+    (base_samples[BATCHES / 2], obs_samples[BATCHES / 2])
 }
 
 /// End-to-end min+1 on the paper-scale IIR-8 instance through the hybrid
@@ -282,6 +333,11 @@ fn main() {
     eprintln!("  variogram refit (+5 @ 60) {refit:>10.3} us");
     let hybrid = hybrid_steady_state_us();
     eprintln!("  hybrid kriged evaluate    {hybrid:>10.3} us");
+    let (obs_base, obs_with) = hybrid_obs_overhead_us();
+    let obs_ratio = obs_with / obs_base;
+    eprintln!(
+        "  kriged evaluate + obs     {obs_with:>10.3} us (base {obs_base:.3} us, x{obs_ratio:.3})"
+    );
     let mp_serial = minplusone_iir8_ms(None);
     eprintln!("  min+1 iir8 inline         {mp_serial:>10.3} ms");
     let mp_engine1 = minplusone_iir8_ms(Some(1));
@@ -315,6 +371,14 @@ fn main() {
             metric(Some(baseline::VARIOGRAM_REFIT_US), refit),
         ),
         ("hybrid_steady_state_evaluate_us", metric(None, hybrid)),
+        (
+            "observability",
+            obj(vec![
+                ("kriged_evaluate_base_us", num(obs_base)),
+                ("kriged_evaluate_obs_us", num(obs_with)),
+                ("overhead_ratio", num(obs_ratio)),
+            ]),
+        ),
         (
             "minplusone_iir8_end_to_end",
             obj(vec![
@@ -372,6 +436,15 @@ fn main() {
         eprintln!(
             "perfsmoke: FAIL engine backend @1 worker is {mp_engine1:.3} ms \
              (inline {mp_serial:.3} ms, budget {backend_budget:.3} ms)"
+        );
+        std::process::exit(1);
+    }
+    // Third gate: attaching the metrics bundle may not slow the kriged
+    // hot path by more than 3% — obs is meant to be always-on-able.
+    if obs_ratio > 1.03 {
+        eprintln!(
+            "perfsmoke: FAIL observability overhead is x{obs_ratio:.3} on the kriged \
+             evaluate ({obs_with:.3} us vs {obs_base:.3} us base, budget x1.030)"
         );
         std::process::exit(1);
     }

@@ -33,7 +33,10 @@
 //! simulations free to run in any order — the basis of the determinism
 //! contract for in-run parallelism (DESIGN.md §8).
 
+use std::time::Instant;
+
 use krigeval_fixedpoint::metrics::ErrorStats;
+use krigeval_obs::{Counter, Histogram, Registry, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::eval_backend::{EvalBackend, SimulationRequest};
@@ -293,6 +296,80 @@ impl BatchPlan {
     }
 }
 
+/// Observability bundle for a hybrid-evaluation session: pre-registered
+/// metric handles plus a [`Tracer`] for per-query decision events.
+///
+/// Attach with [`HybridEvaluator::with_obs`]. Counters mirror
+/// [`HybridStats`] exactly (they are incremented at the same decision
+/// points), so counter snapshots are deterministic across worker counts
+/// whenever the stats are. Per-phase timing histograms observe
+/// wall-clock and are recorded only when enabled via
+/// [`HybridObs::with_timing`]; they are excluded from the determinism
+/// contract.
+///
+/// # Event taxonomy
+///
+/// * `query` — one per evaluated configuration, with a `decision` field
+///   of `cache_hit`, `alias` (intra-batch duplicate), `kriged`
+///   (with `neighbors`, and `jitter_retries` on the sequential path),
+///   `simulated`, or `fallback` (kriging failed, simulated instead).
+/// * `batch` — one per planned batch: slot/request/cache-hit/krigeable
+///   counts, plus `plan_us` / `fulfill_us` / `commit_us` when timing is
+///   enabled.
+/// * `variogram_fit` — one per (re-)identification, with the store size
+///   it fired at.
+#[derive(Clone, Debug)]
+pub struct HybridObs {
+    tracer: Tracer,
+    queries: Counter,
+    simulated: Counter,
+    kriged: Counter,
+    cache_hits: Counter,
+    fallbacks: Counter,
+    neighbors: Counter,
+    jitter_retries: Counter,
+    fits: Counter,
+    iterations: Counter,
+    plan_us: Histogram,
+    fulfill_us: Histogram,
+    commit_us: Histogram,
+    timing: bool,
+}
+
+impl HybridObs {
+    /// Registers the hybrid metric set (`hybrid_*`) in `registry` and
+    /// pairs it with `tracer`. Timing histograms start disabled.
+    pub fn new(registry: &Registry, tracer: Tracer) -> HybridObs {
+        HybridObs {
+            tracer,
+            queries: registry.counter("hybrid_queries_total"),
+            simulated: registry.counter("hybrid_simulated_total"),
+            kriged: registry.counter("hybrid_kriged_total"),
+            cache_hits: registry.counter("hybrid_cache_hits_total"),
+            fallbacks: registry.counter("hybrid_kriging_fallbacks_total"),
+            neighbors: registry.counter("hybrid_neighbor_sum"),
+            jitter_retries: registry.counter("hybrid_jitter_retries_total"),
+            fits: registry.counter("hybrid_variogram_fits_total"),
+            iterations: registry.counter("opt_iterations_total"),
+            plan_us: registry.histogram("hybrid_plan_us"),
+            fulfill_us: registry.histogram("hybrid_fulfill_us"),
+            commit_us: registry.histogram("hybrid_commit_us"),
+            timing: false,
+        }
+    }
+
+    /// Enables (or disables) the per-phase wall-clock histograms.
+    pub fn with_timing(mut self, timing: bool) -> HybridObs {
+        self.timing = timing;
+        self
+    }
+
+    /// The tracer events are emitted through.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
 /// The hybrid kriging/simulation evaluator.
 ///
 /// # Examples
@@ -338,6 +415,8 @@ pub struct HybridEvaluator<E> {
     /// Running empirical-variogram sums; each refit folds in only the
     /// sites simulated since the previous one.
     vario_acc: Option<VariogramAccumulator>,
+    /// Optional metrics/trace bundle; `None` costs one branch per query.
+    obs: Option<HybridObs>,
 }
 
 impl<E: EvalBackend> HybridEvaluator<E> {
@@ -364,7 +443,20 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             neighbor_buf: Vec::new(),
             value_buf: Vec::new(),
             vario_acc: None,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability bundle: counters mirror
+    /// [`HybridStats`] and decision events flow to the bundle's tracer.
+    pub fn with_obs(mut self, obs: HybridObs) -> HybridEvaluator<E> {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Replaces (or removes) the observability bundle in place.
+    pub fn set_obs(&mut self, obs: Option<HybridObs>) {
+        self.obs = obs;
     }
 
     /// Evaluates a configuration, kriging when possible.
@@ -376,15 +468,26 @@ impl<E: EvalBackend> HybridEvaluator<E> {
     /// [`HybridStats::kriging_failures`]).
     pub fn evaluate(&mut self, config: &Config) -> Result<Outcome, EvalError> {
         self.stats.queries += 1;
+        if let Some(obs) = &self.obs {
+            obs.queries.inc();
+        }
 
         // Exact duplicate: return the stored value (the optimizer revisits
         // configurations; re-simulating would distort both N_λ and p(%)).
         if let Some(pos) = self.store.position_of(config) {
             self.stats.cache_hits += 1;
+            if let Some(obs) = &self.obs {
+                obs.cache_hits.inc();
+                if obs.tracer.enabled() {
+                    obs.tracer
+                        .emit("query", vec![("decision", "cache_hit".into())]);
+                }
+            }
             return Ok(Outcome::Simulated {
                 value: self.store.values()[pos],
             });
         }
+        let mut fell_back = false;
 
         if let Some(model) = self.model {
             // Gather simulated neighbours within distance d (paper lines
@@ -418,6 +521,24 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     Ok((value, variance)) => {
                         self.stats.kriged += 1;
                         self.stats.neighbor_sum += n_neighbors as u64;
+                        if let Some(obs) = &self.obs {
+                            obs.kriged.inc();
+                            obs.neighbors.add(n_neighbors as u64);
+                            let retries = self.krige_scratch.jitter_retries();
+                            if retries > 0 {
+                                obs.jitter_retries.add(u64::from(retries));
+                            }
+                            if obs.tracer.enabled() {
+                                obs.tracer.emit(
+                                    "query",
+                                    vec![
+                                        ("decision", "kriged".into()),
+                                        ("neighbors", n_neighbors.into()),
+                                        ("jitter_retries", retries.into()),
+                                    ],
+                                );
+                            }
+                        }
                         let true_value = if let Some(metric) = self.settings.audit {
                             let t = self.inner.fulfill_one(config)?;
                             self.stats.errors.record(audit_error(metric, value, t));
@@ -434,6 +555,10 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     }
                     Err(_) => {
                         self.stats.kriging_failures += 1;
+                        fell_back = true;
+                        if let Some(obs) = &self.obs {
+                            obs.fallbacks.inc();
+                        }
                         // fall through to simulation
                     }
                 }
@@ -444,6 +569,14 @@ impl<E: EvalBackend> HybridEvaluator<E> {
         let value = self.inner.fulfill_one(config)?;
         self.store.insert(config.clone(), value);
         self.stats.simulated += 1;
+        if let Some(obs) = &self.obs {
+            obs.simulated.inc();
+            if obs.tracer.enabled() {
+                let decision = if fell_back { "fallback" } else { "simulated" };
+                obs.tracer
+                    .emit("query", vec![("decision", decision.into())]);
+            }
+        }
         self.maybe_identify_variogram();
         Ok(Outcome::Simulated { value })
     }
@@ -483,9 +616,42 @@ impl<E: EvalBackend> HybridEvaluator<E> {
     /// and the session state is exactly what it was before the call
     /// (simulator-side invocation counters excepted).
     pub fn evaluate_batch(&mut self, configs: &[Config]) -> Result<Vec<Outcome>, EvalError> {
+        let timing = self.obs.as_ref().is_some_and(|o| o.timing);
+        if !timing {
+            let plan = self.plan_batch(configs);
+            let values = self.inner.fulfill(plan.requests())?;
+            return self.commit_batch(&plan, configs, &values);
+        }
+        let t0 = Instant::now();
         let plan = self.plan_batch(configs);
+        let t1 = Instant::now();
         let values = self.inner.fulfill(plan.requests())?;
-        self.commit_batch(&plan, configs, &values)
+        let t2 = Instant::now();
+        let outcomes = self.commit_batch(&plan, configs, &values)?;
+        let t3 = Instant::now();
+        if let Some(obs) = &self.obs {
+            let plan_us = t1.duration_since(t0).as_secs_f64() * 1e6;
+            let fulfill_us = t2.duration_since(t1).as_secs_f64() * 1e6;
+            let commit_us = t3.duration_since(t2).as_secs_f64() * 1e6;
+            obs.plan_us.record(plan_us);
+            obs.fulfill_us.record(fulfill_us);
+            obs.commit_us.record(commit_us);
+            if obs.tracer.enabled() {
+                obs.tracer.emit(
+                    "batch",
+                    vec![
+                        ("slots", plan.num_slots().into()),
+                        ("requests", plan.requests().len().into()),
+                        ("cache_hits", plan.num_cache_hits().into()),
+                        ("krigeable", plan.num_krigeable().into()),
+                        ("plan_us", plan_us.into()),
+                        ("fulfill_us", fulfill_us.into()),
+                        ("commit_us", commit_us.into()),
+                    ],
+                );
+            }
+        }
+        Ok(outcomes)
     }
 
     /// Plans a batch of queries without mutating any session state.
@@ -839,6 +1005,11 @@ impl<E: EvalBackend> HybridEvaluator<E> {
         // order: per-slot counters and outcomes first, then the request
         // insertions, the staged variogram state, and the fallback
         // insertions (whose live fit checks see the staged state).
+        // Metric counters are settled from the stats delta once the whole
+        // commit has run, so they track `HybridStats` exactly even through
+        // the fallback-accounting corner cases.
+        let stats_before = self.obs.as_ref().map(|_| self.stats.clone());
+        let trace_slots = self.obs.as_ref().is_some_and(|o| o.tracer.enabled());
         self.stats.queries += configs.len() as u64;
         let mut audit_iter = audit_values.into_iter();
         let mut outcomes: Vec<Outcome> = Vec::with_capacity(configs.len());
@@ -846,17 +1017,26 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             match slot {
                 SlotPlan::CacheHit { position } => {
                     self.stats.cache_hits += 1;
+                    if trace_slots {
+                        self.emit_query_event("cache_hit", None);
+                    }
                     outcomes.push(Outcome::Simulated {
                         value: self.store.values()[*position],
                     });
                 }
                 SlotPlan::Alias { request } => {
                     self.stats.cache_hits += 1;
+                    if trace_slots {
+                        self.emit_query_event("alias", None);
+                    }
                     outcomes.push(Outcome::Simulated {
                         value: values[*request],
                     });
                 }
                 SlotPlan::Simulate { request } => {
+                    if trace_slots {
+                        self.emit_query_event("simulated", None);
+                    }
                     outcomes.push(Outcome::Simulated {
                         value: values[*request],
                     });
@@ -865,6 +1045,9 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     Some((value, variance)) => {
                         self.stats.kriged += 1;
                         self.stats.neighbor_sum += neighbors.len() as u64;
+                        if trace_slots {
+                            self.emit_query_event("kriged", Some(neighbors.len()));
+                        }
                         let true_value = audit_metric.map(|metric| {
                             let t = audit_iter.next().expect("one audit value per kriged slot");
                             self.stats.errors.record(audit_error(metric, value, t));
@@ -879,6 +1062,9 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     }
                     None => {
                         self.stats.kriging_failures += 1;
+                        if trace_slots {
+                            self.emit_query_event("fallback", None);
+                        }
                         let value = match fallback_of
                             .get(&s)
                             .expect("every fallback slot has a value source")
@@ -902,13 +1088,59 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             if staged_report.is_some() {
                 self.fit_report = staged_report;
             }
+            if let Some(obs) = &self.obs {
+                obs.fits.add(plan.fit_points.len() as u64);
+                if obs.tracer.enabled() {
+                    for &len in &plan.fit_points {
+                        obs.tracer.emit("variogram_fit", vec![("at", len.into())]);
+                    }
+                }
+            }
         }
         for (request, &value) in fallback_requests.iter().zip(&fallback_values) {
             self.store.insert(request.config.clone(), value);
             self.stats.simulated += 1;
             self.maybe_identify_variogram();
         }
+        if let (Some(obs), Some(before)) = (&self.obs, stats_before) {
+            obs.queries.add(self.stats.queries - before.queries);
+            obs.simulated.add(self.stats.simulated - before.simulated);
+            obs.kriged.add(self.stats.kriged - before.kriged);
+            obs.cache_hits
+                .add(self.stats.cache_hits - before.cache_hits);
+            obs.fallbacks
+                .add(self.stats.kriging_failures - before.kriging_failures);
+            obs.neighbors
+                .add(self.stats.neighbor_sum - before.neighbor_sum);
+        }
         Ok(outcomes)
+    }
+
+    /// Records one optimizer-iteration marker: counts it and, when
+    /// tracing, emits an `opt_iteration` event that segments the query
+    /// stream by iteration (see
+    /// [`DseEvaluator::observe_iteration`](crate::opt::DseEvaluator::observe_iteration)).
+    pub(crate) fn record_iteration(&self, phase: &'static str, iteration: u64) {
+        if let Some(obs) = &self.obs {
+            obs.iterations.inc();
+            if obs.tracer.enabled() {
+                obs.tracer.emit(
+                    "opt_iteration",
+                    vec![("phase", phase.into()), ("iteration", iteration.into())],
+                );
+            }
+        }
+    }
+
+    /// Emits one per-slot `query` decision event (batch commit path).
+    fn emit_query_event(&self, decision: &'static str, neighbors: Option<usize>) {
+        if let Some(obs) = &self.obs {
+            let mut fields: Vec<krigeval_obs::trace::Field> = vec![("decision", decision.into())];
+            if let Some(n) = neighbors {
+                fields.push(("neighbors", n.into()));
+            }
+            obs.tracer.emit("query", fields);
+        }
     }
 
     /// Forces a **simulation** of `config`, bypassing kriging, and stores
@@ -922,13 +1154,34 @@ impl<E: EvalBackend> HybridEvaluator<E> {
     /// Propagates the inner evaluator's [`EvalError`].
     pub fn simulate_exact(&mut self, config: &Config) -> Result<f64, EvalError> {
         self.stats.queries += 1;
+        if let Some(obs) = &self.obs {
+            obs.queries.inc();
+        }
         if let Some(pos) = self.store.position_of(config) {
             self.stats.cache_hits += 1;
+            if let Some(obs) = &self.obs {
+                obs.cache_hits.inc();
+                if obs.tracer.enabled() {
+                    obs.tracer.emit(
+                        "query",
+                        vec![("decision", "cache_hit".into()), ("forced", true.into())],
+                    );
+                }
+            }
             return Ok(self.store.values()[pos]);
         }
         let value = self.inner.fulfill_one(config)?;
         self.store.insert(config.clone(), value);
         self.stats.simulated += 1;
+        if let Some(obs) = &self.obs {
+            obs.simulated.inc();
+            if obs.tracer.enabled() {
+                obs.tracer.emit(
+                    "query",
+                    vec![("decision", "simulated".into()), ("forced", true.into())],
+                );
+            }
+        }
         self.maybe_identify_variogram();
         Ok(value)
     }
@@ -972,6 +1225,13 @@ impl<E: EvalBackend> HybridEvaluator<E> {
         acc.sync(self.store.configs(), self.store.values());
         let fitted = acc.snapshot().and_then(|emp| fit_model(&emp, families));
         self.fitted_at = self.store.len();
+        if let Some(obs) = &self.obs {
+            obs.fits.inc();
+            if obs.tracer.enabled() {
+                obs.tracer
+                    .emit("variogram_fit", vec![("at", self.store.len().into())]);
+            }
+        }
         match fitted {
             Ok(report) => {
                 self.model = Some(report.model);

@@ -74,6 +74,9 @@ pub struct KrigingScratch {
     sol: Vec<f64>,
     /// Number of data sites of the last solve.
     n: usize,
+    /// Jitter-ladder rungs retried by the last solve (0 = the jitter-free
+    /// system succeeded outright).
+    jitter_retries: u32,
 }
 
 impl KrigingScratch {
@@ -137,7 +140,13 @@ impl KrigingScratch {
             .fold(0.0f64, |m, g| m.max(g.abs()))
             .max(1.0);
         let weight_budget = 16.0 + 2.0 * n as f64; // Σ|μ| cap; honest weights are O(1)
-        for jitter in [0.0, 1e-10, 1e-6, 1e-3, 1e-1].map(|j| j * scale) {
+        self.jitter_retries = 0;
+        for (rung, jitter) in [0.0, 1e-10, 1e-6, 1e-3, 1e-1]
+            .map(|j| j * scale)
+            .into_iter()
+            .enumerate()
+        {
+            self.jitter_retries = rung as u32;
             self.work.clear();
             self.work.extend_from_slice(&self.base);
             if jitter != 0.0 {
@@ -169,6 +178,14 @@ impl KrigingScratch {
     /// The kriging weights `μ` of the last successful solve.
     pub fn weights(&self) -> &[f64] {
         &self.sol[..self.n]
+    }
+
+    /// How many jitter-ladder rungs the last solve had to escalate
+    /// through before succeeding (0 when the jitter-free system was
+    /// well-conditioned). Valid after a successful
+    /// [`solve_with`](KrigingScratch::solve_with).
+    pub fn jitter_retries(&self) -> u32 {
+        self.jitter_retries
     }
 
     /// The Lagrange multiplier `m` of the last successful solve.

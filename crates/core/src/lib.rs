@@ -71,7 +71,7 @@ pub use error::CoreError;
 pub use eval_backend::{EvalBackend, SimulationRequest};
 pub use evaluator::{AccuracyEvaluator, EvalError, FiniteGuard, FnEvaluator};
 pub use hybrid::{
-    BatchPlan, HybridEvaluator, HybridSettings, HybridStats, Outcome, VariogramPolicy,
+    BatchPlan, HybridEvaluator, HybridObs, HybridSettings, HybridStats, Outcome, VariogramPolicy,
 };
 pub use hybrid_snapshot::SessionSnapshot;
 pub use kriging::KrigingEstimator;

@@ -137,6 +137,7 @@ pub fn refine_cost_aware(
     let mut iterations = 0u64;
     while lambda < options.lambda_min {
         iterations += 1;
+        evaluator.observe_iteration("refine_cost", iterations - 1);
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }

@@ -87,6 +87,7 @@ pub fn budget_error_sources(
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }
+        evaluator.observe_iteration("budget", iterations - 1);
         // Tentatively raise each source one level; keep the gentlest slope
         // that still satisfies the constraint. The whole frontier goes
         // through `query_batch` so a hybrid evaluator plans it as one batch.
@@ -162,6 +163,7 @@ pub fn budget_error_sources_verified(
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }
+        evaluator.observe_iteration("budget_verified", iterations - 1);
         // Rank candidates by their (possibly kriged) metric; the scan is one
         // planned batch, the verification below stays sequential and exact.
         let scan: Vec<(usize, Config)> = (0..nv)

@@ -98,7 +98,10 @@ pub fn optimize_exhaustive(
     // neighbourhood, simulations free to fan out), while results are still
     // processed in strict enumeration order.
     const CHUNK: usize = 64;
+    let mut chunk_index = 0u64;
     while !done {
+        evaluator.observe_iteration("enumerate", chunk_index);
+        chunk_index += 1;
         let mut chunk: Vec<Config> = Vec::with_capacity(CHUNK);
         while chunk.len() < CHUNK && !done {
             chunk.push(w.clone());

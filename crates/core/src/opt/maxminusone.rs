@@ -117,6 +117,7 @@ fn optimize_descending_inner(
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }
+        evaluator.observe_iteration("descend", iterations - 1);
         // The whole decrement frontier goes through `query_batch`, so a
         // hybrid evaluator plans it as one batch: shared neighbourhoods are
         // solved once and the simulations can fan out over a worker pool.
@@ -213,6 +214,7 @@ pub fn verify_and_repair(
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }
+        evaluator.observe_iteration("verify_repair", iterations - 1);
         let mut best: Option<(usize, f64)> = None;
         for i in 0..w.len() {
             if w[i] >= options.w_max {

@@ -87,7 +87,10 @@ pub fn minimum_word_lengths(
     // probe, which a batched backend is free to fulfill in parallel.
     let mut probe: Vec<i32> = vec![options.w_max; nv];
     let mut active: Vec<usize> = (0..nv).collect();
+    let mut round = 0u64;
     while !active.is_empty() {
+        evaluator.observe_iteration("wmin_probe", round);
+        round += 1;
         let scan: Vec<(usize, Config)> = active
             .iter()
             .map(|&i| {
@@ -180,6 +183,7 @@ fn refine_inner(
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }
+        evaluator.observe_iteration("refine", iterations - 1);
         // One candidate per incrementable variable; the whole scan goes
         // through `query_batch` so hybrid evaluators can solve each kriging
         // system once for all candidates sharing a neighbourhood.
@@ -330,6 +334,7 @@ pub fn verify_and_repair(
         if iterations > options.max_iterations {
             return Err(OptError::DidNotConverge { iterations });
         }
+        evaluator.observe_iteration("verify_repair", iterations - 1);
         let mut best: Option<(usize, f64)> = None;
         for i in 0..w.len() {
             if w[i] >= options.w_max {

@@ -75,6 +75,15 @@ pub trait DseEvaluator {
 
     /// Number of optimization variables `Nv`.
     fn num_variables(&self) -> usize;
+
+    /// Marks the start of one optimizer iteration (`phase` names the
+    /// algorithm stage, `iteration` its 0-based count). Optimizers call
+    /// this at each loop head so observable evaluators can segment the
+    /// query stream by iteration; the default does nothing, and
+    /// implementations must not let it affect any evaluation result.
+    fn observe_iteration(&mut self, phase: &'static str, iteration: u64) {
+        let _ = (phase, iteration);
+    }
 }
 
 impl<E: EvalBackend> DseEvaluator for HybridEvaluator<E> {
@@ -98,6 +107,10 @@ impl<E: EvalBackend> DseEvaluator for HybridEvaluator<E> {
     fn num_variables(&self) -> usize {
         // The hybrid wrapper does not change the problem dimension.
         self.inner_ref().num_variables()
+    }
+
+    fn observe_iteration(&mut self, phase: &'static str, iteration: u64) {
+        self.record_iteration(phase, iteration);
     }
 }
 

@@ -25,17 +25,22 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use krigeval_core::{AccuracyEvaluator, Config, EvalBackend, EvalError, SimulationRequest};
 
 use crate::cache::SimCache;
+use crate::obs::BackendObs;
 
 /// One unit of pool work: simulate `config`, report under `index`.
 struct Job {
     index: usize,
     config: Config,
+    /// Enqueue instant, carried only when the attached [`BackendObs`]
+    /// records timing (queue-wait histogram).
+    enqueued: Option<Instant>,
 }
 
 /// State shared between the backend and its worker threads.
@@ -49,6 +54,9 @@ struct PoolShared {
     /// Underlying simulator invocations across all workers and the local
     /// serial evaluator (cache hits do not count).
     evaluations: AtomicU64,
+    /// Optional metric bundle (`backend_*`), set once via
+    /// [`EngineBackend::with_obs`] before the first batch.
+    obs: OnceLock<BackendObs>,
 }
 
 impl PoolShared {
@@ -64,13 +72,29 @@ impl PoolShared {
         loop {
             let result = self.cache.get_or_compute(&self.namespace, config, || {
                 self.evaluations.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = self.obs.get() {
+                    obs.evaluations.inc();
+                }
                 evaluator.evaluate(config)
             });
             match result {
-                Ok((value, _cached)) => return Ok(value),
+                Ok((value, cached)) => {
+                    // The hit *total* is deterministic across worker
+                    // counts (hits = lookups − distinct: waiters on an
+                    // in-flight computation count as hits).
+                    if cached {
+                        if let Some(obs) = self.obs.get() {
+                            obs.cache_hits.inc();
+                        }
+                    }
+                    return Ok(value);
+                }
                 Err(e) => {
                     if attempt >= max_retries {
                         return Err(e);
+                    }
+                    if let Some(obs) = self.obs.get() {
+                        obs.retries.inc();
                     }
                     attempt += 1;
                     for _ in 0..(1u32 << attempt.min(6)) {
@@ -103,6 +127,10 @@ fn worker_loop(
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
+        if let (Some(enqueued), Some(obs)) = (job.enqueued, shared.obs.get()) {
+            obs.queue_wait_us
+                .record(enqueued.elapsed().as_secs_f64() * 1e6);
+        }
         let result = shared.compute(&mut *evaluator, &job.config);
         if results.send((job.index, result)).is_err() {
             return; // backend dropped mid-batch
@@ -161,6 +189,7 @@ impl EngineBackend {
             namespace: namespace.into(),
             max_retries: AtomicU32::new(0),
             evaluations: AtomicU64::new(0),
+            obs: OnceLock::new(),
         });
         let (tx, results) = std::sync::mpsc::channel();
         let handles = if workers > 1 {
@@ -196,6 +225,17 @@ impl EngineBackend {
         self
     }
 
+    /// Attaches a worker-pool metric bundle. Counters mirror the
+    /// deterministic fulfillment protocol (batches, jobs, cache-hit and
+    /// evaluation totals, retries); the gauge and histograms observe
+    /// scheduling and are recorded only when the bundle has timing
+    /// enabled. Attach before the first batch; a second call is ignored.
+    #[must_use]
+    pub fn with_obs(self, obs: BackendObs) -> EngineBackend {
+        let _ = self.shared.obs.set(obs);
+        self
+    }
+
     /// Worker threads the backend fans batches over.
     pub fn workers(&self) -> usize {
         self.workers
@@ -217,20 +257,39 @@ impl EvalBackend for EngineBackend {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        let obs = self.shared.obs.get();
+        if let Some(obs) = obs {
+            obs.batches.inc();
+            obs.jobs.add(requests.len() as u64);
+            obs.tracer
+                .emit("batch_fulfill", vec![("requests", requests.len().into())]);
+        }
+        let batch_start = obs.filter(|o| o.timing).map(|_| Instant::now());
+        let finish = |obs: Option<&BackendObs>, batch_start: Option<Instant>| {
+            if let (Some(obs), Some(start)) = (obs, batch_start) {
+                obs.fulfill_us.record(start.elapsed().as_secs_f64() * 1e6);
+            }
+        };
         if self.workers <= 1 || requests.len() <= 1 {
             // No fan-out to pay for: stay on the caller's thread (the cache
             // still deduplicates against concurrent sessions).
-            return requests
+            let values = requests
                 .iter()
                 .map(|r| self.shared.compute(&mut *self.local, &r.config))
                 .collect();
+            finish(obs, batch_start);
+            return values;
         }
         {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             queue.extend(requests.iter().enumerate().map(|(index, r)| Job {
                 index,
                 config: r.config.clone(),
+                enqueued: batch_start.map(|_| Instant::now()),
             }));
+        }
+        if let Some(obs) = obs {
+            obs.queue_depth.set(requests.len() as i64);
         }
         self.shared.available.notify_all();
         let mut slots: Vec<Option<Result<f64, EvalError>>> =
@@ -242,6 +301,10 @@ impl EvalBackend for EngineBackend {
                 .expect("a pool worker died while the batch was in flight");
             slots[index] = Some(result);
         }
+        if let Some(obs) = obs {
+            obs.queue_depth.set(0);
+        }
+        finish(obs, batch_start);
         // Deterministic error selection: the lowest-indexed failure wins,
         // no matter which worker hit it first.
         let mut values = Vec::with_capacity(slots.len());

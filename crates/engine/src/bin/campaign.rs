@@ -37,6 +37,13 @@
 //! --timing           include wall-clock fields in the JSONL (off keeps
 //!                    output byte-identical across worker counts and
 //!                    resumes)
+//! --metrics-out FILE write a campaign metrics snapshot on completion:
+//!                    Prometheus text format when FILE ends in .prom,
+//!                    JSON otherwise (counters only unless --timing)
+//! --trace-out FILE   stream structured trace events (query decisions,
+//!                    run completions, journal errors, ...) to FILE as
+//!                    JSONL; wall-clock fields included only with
+//!                    --timing
 //! --quiet            suppress stderr progress lines
 //! ```
 //!
@@ -47,13 +54,17 @@
 
 use std::fs;
 use std::io::Write as _;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use krigeval_engine::executor::{run_campaign, run_specs_opts, ExecOptions, Progress};
 use krigeval_engine::fault::FaultPolicy;
-use krigeval_engine::sink::{load_journal, to_jsonl_string, JournalWriter, SinkOptions};
+use krigeval_engine::obs::CampaignObs;
+use krigeval_engine::sink::{load_journal, to_jsonl_string_full, JournalWriter, SinkOptions};
 use krigeval_engine::spec::{CampaignSpec, OptimizerSpec, VariogramSpec};
 use krigeval_engine::{RunRecord, SummaryRecord};
+use krigeval_obs::{JsonlSink, Registry, Tracer};
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("campaign: {message}");
@@ -145,6 +156,8 @@ struct Cli {
     timing: bool,
     quiet: bool,
     resume: bool,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -155,6 +168,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         timing: false,
         quiet: false,
         resume: false,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -191,6 +206,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--on-error" => cli.spec.on_error = Some(FaultPolicy::parse(value()?)?),
             "--resume" => cli.resume = true,
             "--timing" => cli.timing = true,
+            "--metrics-out" => cli.metrics_out = Some(value()?.to_string()),
+            "--trace-out" => cli.trace_out = Some(value()?.to_string()),
             "--quiet" => cli.quiet = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -218,6 +235,21 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
         include_timing: cli.timing,
     };
 
+    // Observability: one registry and one tracer for the whole campaign,
+    // built only when requested — the default path carries no obs
+    // bookkeeping at all.
+    let registry = Registry::new();
+    let tracer = match &cli.trace_out {
+        Some(path) => {
+            let sink = JsonlSink::create(Path::new(path), cli.timing)
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+            Tracer::new(vec![Arc::new(sink)])
+        }
+        None => Tracer::disabled(),
+    };
+    let obs = (cli.metrics_out.is_some() || cli.trace_out.is_some())
+        .then(|| CampaignObs::new(&registry, tracer).with_timing(cli.timing));
+
     // Resume: replay the journalled rows, execute only the remainder.
     let (mut records, mut failures) = if cli.resume {
         let path = cli
@@ -242,13 +274,18 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
         .into_iter()
         .filter(|r| !done.contains(&r.index))
         .collect();
-    if cli.resume && !cli.quiet {
-        eprintln!(
-            "resuming {:?}: {} of {total} rows journalled, {} to run",
-            cli.spec.name,
-            done.len(),
-            runs.len()
-        );
+    if cli.resume {
+        if let Some(obs) = &obs {
+            obs.record_resume(done.len() as u64);
+        }
+        if !cli.quiet {
+            eprintln!(
+                "resuming {:?}: {} of {total} rows journalled, {} to run",
+                cli.spec.name,
+                done.len(),
+                runs.len()
+            );
+        }
     }
 
     // With --out, stream every completed row to the file so a killed
@@ -270,6 +307,8 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
             policy: cli.spec.on_error.unwrap_or_default(),
             journal: journal.as_ref(),
             journal_options: options,
+            progress_out: None,
+            obs: obs.as_ref(),
         },
     )
     .map_err(|e| e.to_string())?;
@@ -289,8 +328,26 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
     );
     emit(
         cli,
-        &to_jsonl_string(&records, &failures, &summary, options),
+        &to_jsonl_string_full(
+            &records,
+            &failures,
+            &outcome.journal_errors,
+            &summary,
+            options,
+        ),
     )?;
+    if let Some(path) = &cli.metrics_out {
+        let snapshot = registry.snapshot();
+        let mut text = if path.ends_with(".prom") {
+            snapshot.to_prometheus()
+        } else {
+            snapshot.to_json(cli.timing)
+        };
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        fs::write(path, text).map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+    }
     if !cli.quiet {
         eprintln!(
             "campaign {:?}: {} runs ({} failed) on {} workers in {:.0} ms; \
@@ -305,6 +362,29 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
             outcome.cache.hits,
             outcome.cache.lookups,
         );
+        if obs.is_some() {
+            let snapshot = registry.snapshot();
+            let counter = |name: &str| {
+                snapshot
+                    .counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(0, |(_, v)| *v)
+            };
+            eprintln!(
+                "obs: runs {} ok / {} failed | journal {} writes / {} errors | \
+                 hybrid {} queries ({} sim, {} krig, {} cached) | retries {}",
+                counter("engine_runs_completed_total"),
+                counter("engine_runs_failed_total"),
+                counter("engine_journal_writes_total"),
+                counter("engine_journal_errors_total"),
+                counter("hybrid_queries_total"),
+                counter("hybrid_simulated_total"),
+                counter("hybrid_kriged_total"),
+                counter("hybrid_cache_hits_total"),
+                counter("engine_run_retries_total"),
+            );
+        }
     }
     Ok(())
 }

@@ -19,17 +19,35 @@
 //! attempt-counted backoff — never wall-clock, so retried campaigns
 //! remain reproducible. Completed rows stream to an optional
 //! [`JournalWriter`] (flush per line) for crash-resume.
+//!
+//! Journal writes are subject to the same policy: a failed write aborts
+//! a fail-fast campaign with [`EngineError::Journal`], and under
+//! skip/retry it is recorded in [`CampaignOutcome::journal_errors`] (and
+//! serialized as a tagged `"journal_error"` row) so a silently
+//! incomplete crash journal can never masquerade as a complete one.
+//!
+//! Progress lines and journal-failure notices go through one
+//! line-atomic [`LineWriter`] (stderr by default, injectable via
+//! [`ExecOptions::progress_out`]) so concurrent workers cannot tear
+//! each other's lines. When an [`ExecOptions::obs`] bundle is attached
+//! the executor also counts completions, failures, retries, panics and
+//! journal activity, and emits `run_done` / `run_failed` /
+//! `journal_error` trace events.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use krigeval_core::opt::OptError;
+use krigeval_obs::LineWriter;
 
 use crate::cache::{CacheStats, SimCache};
 use crate::fault::FaultPolicy;
-use crate::runner::run_single_attempt;
-use crate::sink::{FailureRecord, JournalWriter, RunRecord, SinkOptions, SummaryRecord};
+use crate::obs::CampaignObs;
+use crate::runner::run_single_attempt_obs;
+use crate::sink::{
+    FailureRecord, JournalErrorRecord, JournalWriter, RunRecord, SinkOptions, SummaryRecord,
+};
 use crate::spec::{CampaignSpec, RunSpec, SpecError};
 
 /// Progress reporting for a campaign.
@@ -51,6 +69,9 @@ pub struct CampaignOutcome {
     /// Runs that failed permanently under a skip/retry policy, sorted by
     /// run index (always empty under fail-fast).
     pub failures: Vec<FailureRecord>,
+    /// Journal writes that failed under a skip/retry policy, sorted by
+    /// run index (always empty under fail-fast, which aborts instead).
+    pub journal_errors: Vec<JournalErrorRecord>,
     /// Aggregate shared-cache counters.
     pub cache: CacheStats,
     /// Worker threads used.
@@ -139,6 +160,15 @@ pub enum EngineError {
         /// The run error.
         source: RunError,
     },
+    /// A journal write failed under the fail-fast policy. The run itself
+    /// completed, but continuing would leave the crash journal silently
+    /// incomplete — the exact failure mode this error exists to surface.
+    Journal {
+        /// Expansion index of the run whose journal line was lost.
+        index: u64,
+        /// The I/O error, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -148,6 +178,12 @@ impl std::fmt::Display for EngineError {
             // spec" prefix; repeating it here doubled the message.
             EngineError::Spec(e) => write!(f, "{e}"),
             EngineError::Run { index, source } => write!(f, "run {index} failed: {source}"),
+            EngineError::Journal { index, message } => write!(
+                f,
+                "journal write failed for run {index}: {message} \
+                 (aborting under fail-fast; use on_error skip/retry to \
+                 tolerate journal loss)"
+            ),
         }
     }
 }
@@ -160,8 +196,12 @@ impl From<SpecError> for EngineError {
     }
 }
 
-fn progress_line(done: usize, total: usize, record: &RunRecord, cache: CacheStats) {
-    eprintln!(
+/// One completed run's progress line. Rendered to a `String` so the
+/// caller can hand the whole line to a [`LineWriter`] atomically —
+/// per-field `eprintln!` from concurrent workers interleaved torn lines
+/// at 4+ workers.
+fn progress_text(done: usize, total: usize, record: &RunRecord, cache: CacheStats) -> String {
+    format!(
         "[{done}/{total}] {} d={} nmin={} rep={}: N_λ={} sim={} krig={} p={:.1}% \
          cache {}h/{}l ({:.0} ms)",
         record.benchmark,
@@ -175,7 +215,15 @@ fn progress_line(done: usize, total: usize, record: &RunRecord, cache: CacheStat
         cache.hits,
         cache.lookups,
         record.wall_ms.unwrap_or(0.0),
-    );
+    )
+}
+
+/// One permanently-failed run's progress line.
+fn failure_text(done: usize, total: usize, failure: &FailureRecord) -> String {
+    format!(
+        "[{done}/{total}] {} d={} rep={}: FAILED after {} attempt(s): {}",
+        failure.benchmark, failure.d, failure.repeat, failure.attempts, failure.error,
+    )
 }
 
 /// Execution options for [`run_specs_opts`]: worker count, progress
@@ -190,12 +238,22 @@ pub struct ExecOptions<'a> {
     pub progress: Progress,
     /// What to do when a run fails.
     pub policy: FaultPolicy,
-    /// Crash journal; journal I/O errors are reported on stderr but do
-    /// not abort the campaign (the journal is an aid, not a dependency).
+    /// Crash journal. Write failures follow `policy`: fail-fast aborts
+    /// the campaign with [`EngineError::Journal`]; skip/retry records
+    /// the loss in [`CampaignOutcome::journal_errors`].
     pub journal: Option<&'a JournalWriter>,
     /// Serialization options for journal lines (keep timing off for
     /// byte-identical resume).
     pub journal_options: SinkOptions,
+    /// Line-atomic writer for progress lines and journal-failure
+    /// notices; stderr when unset. Injectable so tests can capture the
+    /// stream and callers can redirect it.
+    pub progress_out: Option<&'a LineWriter>,
+    /// Campaign observability bundle: when set, the executor counts
+    /// completions / failures / retries / panics / journal activity into
+    /// its registry and emits `run_done` / `run_failed` /
+    /// `journal_error` events through its tracer.
+    pub obs: Option<&'a CampaignObs>,
 }
 
 /// Runs every cell of `spec` on `workers` threads and collects the
@@ -255,6 +313,61 @@ enum RunOutcome {
     Done(Box<RunRecord>),
     Skipped(FailureRecord),
     Fatal(RunError),
+    /// The run completed but its journal write failed under fail-fast;
+    /// carries the run's expansion index (which can differ from its slot
+    /// position on resume-filtered runs).
+    JournalFatal {
+        index: u64,
+        message: String,
+    },
+}
+
+/// Applies the campaign failure policy to one journal write result.
+///
+/// A failed write is counted, traced as a `journal_error` event, and
+/// reported through the line writer; it then either demands a fail-fast
+/// abort (`Some(message)` is returned) or is queued as a tagged
+/// [`JournalErrorRecord`] for the final output. This is the fix for the
+/// executor's original sin of printing journal errors and dropping them.
+fn journal_outcome(
+    result: std::io::Result<()>,
+    index: u64,
+    fail_fast: bool,
+    obs: Option<&CampaignObs>,
+    out: &LineWriter,
+    journal_errors: &Mutex<Vec<JournalErrorRecord>>,
+) -> Option<String> {
+    match result {
+        Ok(()) => {
+            if let Some(obs) = obs {
+                obs.journal_writes.inc();
+            }
+            None
+        }
+        Err(e) => {
+            let message = e.to_string();
+            if let Some(obs) = obs {
+                obs.journal_errors.inc();
+                obs.tracer().emit(
+                    "journal_error",
+                    vec![("index", index.into()), ("error", message.as_str().into())],
+                );
+            }
+            out.line(&format!("journal write failed for run {index}: {message}"));
+            if fail_fast {
+                Some(message)
+            } else {
+                journal_errors
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(JournalErrorRecord {
+                        index,
+                        error: message,
+                    });
+                None
+            }
+        }
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -299,8 +412,20 @@ pub fn run_specs_opts(
     let done = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let slots: Mutex<Vec<Option<RunOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
+    let journal_errs: Mutex<Vec<JournalErrorRecord>> = Mutex::new(Vec::new());
     let max_retries = options.policy.max_retries();
     let fail_fast = options.policy == FaultPolicy::FailFast;
+    let show_progress = progress_on(options.progress);
+    // One line-atomic writer shared by all workers: progress lines and
+    // journal-failure notices emit whole lines under its internal lock.
+    let default_out;
+    let out: &LineWriter = match options.progress_out {
+        Some(out) => out,
+        None => {
+            default_out = LineWriter::stderr();
+            &default_out
+        }
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..workers.min(total.max(1)) {
@@ -320,16 +445,29 @@ pub fn run_specs_opts(
                     // drop guard has already cleared any pending marker
                     // by the time the unwind reaches us.
                     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_single_attempt(run, &cache, attempt)
+                        run_single_attempt_obs(run, &cache, attempt, options.obs)
                     }));
                     let error = match caught {
                         Ok(Ok(record)) => break RunOutcome::Done(Box::new(record)),
-                        Ok(Err(e)) => RunError::Opt(e),
-                        Err(payload) => RunError::Panicked {
-                            message: panic_message(payload),
-                        },
+                        Ok(Err(e)) => {
+                            if let Some(obs) = options.obs {
+                                obs.run_errors.inc();
+                            }
+                            RunError::Opt(e)
+                        }
+                        Err(payload) => {
+                            if let Some(obs) = options.obs {
+                                obs.run_panics.inc();
+                            }
+                            RunError::Panicked {
+                                message: panic_message(payload),
+                            }
+                        }
                     };
                     if error.is_transient() && attempt < max_retries {
+                        if let Some(obs) = options.obs {
+                            obs.run_retries.inc();
+                        }
                         attempt += 1;
                         backoff(attempt);
                         continue;
@@ -340,41 +478,105 @@ pub fn run_specs_opts(
                         RunOutcome::Skipped(FailureRecord::from_run(run, &error, attempt + 1))
                     };
                 };
-                match &outcome {
+                let outcome = match outcome {
                     RunOutcome::Done(record) => {
-                        if let Some(journal) = options.journal {
-                            if let Err(e) = journal.record(record, options.journal_options) {
-                                eprintln!("journal write failed for run {}: {e}", run.index);
+                        let fatal = options.journal.and_then(|journal| {
+                            journal_outcome(
+                                journal.record(&record, options.journal_options),
+                                run.index,
+                                fail_fast,
+                                options.obs,
+                                out,
+                                &journal_errs,
+                            )
+                        });
+                        if let Some(message) = fatal {
+                            failed.store(true, Ordering::Relaxed);
+                            RunOutcome::JournalFatal {
+                                index: run.index,
+                                message,
                             }
-                        }
-                        if progress_on(options.progress) {
-                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                            progress_line(finished, total, record, cache.stats());
+                        } else {
+                            if let Some(obs) = options.obs {
+                                obs.runs_completed.inc();
+                                if obs.timing() {
+                                    obs.run_wall_us
+                                        .record(record.wall_ms.unwrap_or(0.0) * 1000.0);
+                                }
+                                obs.tracer().emit(
+                                    "run_done",
+                                    vec![
+                                        ("index", record.index.into()),
+                                        ("benchmark", record.benchmark.as_str().into()),
+                                        ("d", record.d.into()),
+                                        ("queries", record.queries.into()),
+                                        ("simulated", record.simulated.into()),
+                                        ("kriged", record.kriged.into()),
+                                        ("wall_ms", record.wall_ms.unwrap_or(0.0).into()),
+                                    ],
+                                );
+                            }
+                            if show_progress {
+                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                out.line(&progress_text(finished, total, &record, cache.stats()));
+                            }
+                            RunOutcome::Done(record)
                         }
                     }
                     RunOutcome::Skipped(failure) => {
-                        if let Some(journal) = options.journal {
-                            if let Err(e) = journal.failure(failure, options.journal_options) {
-                                eprintln!("journal write failed for run {}: {e}", run.index);
-                            }
-                        }
-                        if progress_on(options.progress) {
-                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                            eprintln!(
-                                "[{finished}/{total}] {} d={} rep={}: FAILED after {} \
-                                 attempt(s): {}",
-                                failure.benchmark,
-                                failure.d,
-                                failure.repeat,
-                                failure.attempts,
-                                failure.error,
+                        // `fatal` is always None here: Skipped only
+                        // exists under skip/retry, where journal losses
+                        // queue instead of aborting.
+                        let fatal = options.journal.and_then(|journal| {
+                            journal_outcome(
+                                journal.failure(&failure, options.journal_options),
+                                run.index,
+                                fail_fast,
+                                options.obs,
+                                out,
+                                &journal_errs,
+                            )
+                        });
+                        debug_assert!(fatal.is_none());
+                        if let Some(obs) = options.obs {
+                            obs.runs_failed.inc();
+                            obs.tracer().emit(
+                                "run_failed",
+                                vec![
+                                    ("index", failure.index.into()),
+                                    ("benchmark", failure.benchmark.as_str().into()),
+                                    ("d", failure.d.into()),
+                                    ("attempts", failure.attempts.into()),
+                                    ("error", failure.error.as_str().into()),
+                                    ("fatal", false.into()),
+                                ],
                             );
                         }
+                        if show_progress {
+                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            out.line(&failure_text(finished, total, &failure));
+                        }
+                        RunOutcome::Skipped(failure)
                     }
-                    RunOutcome::Fatal(_) => {
+                    RunOutcome::Fatal(error) => {
                         failed.store(true, Ordering::Relaxed);
+                        if let Some(obs) = options.obs {
+                            obs.runs_failed.inc();
+                            obs.tracer().emit(
+                                "run_failed",
+                                vec![
+                                    ("index", run.index.into()),
+                                    ("error", error.to_string().into()),
+                                    ("fatal", true.into()),
+                                ],
+                            );
+                        }
+                        RunOutcome::Fatal(error)
                     }
-                }
+                    RunOutcome::JournalFatal { .. } => {
+                        unreachable!("the attempt loop never constructs JournalFatal")
+                    }
+                };
                 // Poison recovery: writing an Option into a pre-sized Vec
                 // slot cannot leave the Vec inconsistent, so a panicking
                 // peer (only possible outside catch_unwind, i.e. a bug)
@@ -401,14 +603,20 @@ pub fn run_specs_opts(
                     source,
                 })
             }
+            Some(RunOutcome::JournalFatal { index, message }) => {
+                return Err(EngineError::Journal { index, message })
+            }
             // Abandoned after a fatal failure elsewhere; the error slot
             // below (or above) is reported instead.
             None => continue,
         }
     }
+    let mut journal_errors = journal_errs.into_inner().unwrap_or_else(|e| e.into_inner());
+    journal_errors.sort_by_key(|e| e.index);
     Ok(CampaignOutcome {
         records,
         failures,
+        journal_errors,
         cache: cache.stats(),
         workers,
         wall_ms: started.elapsed().as_secs_f64() * 1000.0,

@@ -25,6 +25,7 @@ pub mod backend;
 pub mod cache;
 pub mod executor;
 pub mod fault;
+pub mod obs;
 pub mod runner;
 pub mod sink;
 pub mod spec;
@@ -67,8 +68,10 @@ pub use executor::{
     EngineError, ExecOptions, Progress, RunError,
 };
 pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultPhase, FaultPolicy};
+pub use obs::{BackendObs, CampaignObs};
 pub use sink::{
-    load_journal, write_jsonl, FailureRecord, JournalWriter, RunRecord, SinkOptions, SummaryRecord,
+    load_journal, write_jsonl, write_jsonl_full, FailureRecord, JournalErrorRecord, JournalWriter,
+    RunRecord, SinkOptions, SummaryRecord,
 };
 pub use spec::{CampaignSpec, OptimizerSpec, RunSpec, SpecError, VariogramSpec};
 

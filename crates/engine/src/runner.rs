@@ -23,6 +23,7 @@ use krigeval_core::{EvalBackend, FiniteGuard, VariogramModel};
 use crate::backend::EngineBackend;
 use crate::cache::{CachedEvaluator, SimCache};
 use crate::fault::{FaultInjectingEvaluator, FaultPhase};
+use crate::obs::CampaignObs;
 use crate::sink::RunRecord;
 use crate::spec::{OptimizerSpec, RunSpec, VariogramSpec};
 use crate::suite::{build_seeded, ProblemInstance};
@@ -69,8 +70,12 @@ fn stacked_evaluator(
 /// cache namespace. Spec validation guarantees fault injection is inactive
 /// on this path — the injector's call-ordered draw stream is the one layer
 /// that cannot be parallelized.
-fn engine_backend(run: &RunSpec, cache: &Arc<SimCache>) -> EngineBackend {
-    EngineBackend::new(
+fn engine_backend(
+    run: &RunSpec,
+    cache: &Arc<SimCache>,
+    obs: Option<&CampaignObs>,
+) -> EngineBackend {
+    let backend = EngineBackend::new(
         || {
             Box::new(FiniteGuard::new(resolved_instance(run).evaluator))
                 as Box<dyn AccuracyEvaluator + Send>
@@ -78,7 +83,11 @@ fn engine_backend(run: &RunSpec, cache: &Arc<SimCache>) -> EngineBackend {
         run.threads,
         Arc::clone(cache),
         cache_namespace(run),
-    )
+    );
+    match obs {
+        Some(obs) => backend.with_obs(obs.backend_obs()),
+        None => backend,
+    }
 }
 
 fn resolved_instance(run: &RunSpec) -> ProblemInstance {
@@ -134,6 +143,7 @@ fn pilot_model(
     run: &RunSpec,
     cache: &Arc<SimCache>,
     attempt: u32,
+    obs: Option<&CampaignObs>,
 ) -> Result<(VariogramModel, u64), OptError> {
     let instance = resolved_instance(run);
     // Tie-breaking re-simulates ties, which is a no-op distinction under
@@ -144,7 +154,7 @@ fn pilot_model(
         other => other,
     };
     let result = if run.threads > 1 {
-        let mut pilot = SimulateAll(engine_backend(run, cache));
+        let mut pilot = SimulateAll(engine_backend(run, cache, obs));
         drive(
             &mut pilot,
             optimizer,
@@ -187,10 +197,11 @@ fn variogram_policy(
     run: &RunSpec,
     cache: &Arc<SimCache>,
     attempt: u32,
+    obs: Option<&CampaignObs>,
 ) -> Result<(VariogramPolicy, u64), OptError> {
     Ok(match run.variogram {
         VariogramSpec::Pilot => {
-            let (model, pilot_sims) = pilot_model(run, cache, attempt)?;
+            let (model, pilot_sims) = pilot_model(run, cache, attempt, obs)?;
             (VariogramPolicy::Fixed(model), pilot_sims)
         }
         VariogramSpec::FitAfter { min_samples } => (
@@ -227,8 +238,12 @@ fn drive_hybrid<E: EvalBackend>(
     descent: Option<&DescentOptions>,
     settings: HybridSettings,
     backend: E,
+    obs: Option<&CampaignObs>,
 ) -> Result<(OptimizationResult, HybridStats), OptError> {
     let mut hybrid = HybridEvaluator::new(backend, settings);
+    if let Some(obs) = obs {
+        hybrid.set_obs(Some(obs.hybrid_obs()));
+    }
     let result = drive(&mut hybrid, run.optimizer, minplusone, descent)?;
     let stats = hybrid.stats().clone();
     Ok((result, stats))
@@ -261,8 +276,28 @@ pub fn run_single_attempt(
     cache: &Arc<SimCache>,
     attempt: u32,
 ) -> Result<RunRecord, OptError> {
+    run_single_attempt_obs(run, cache, attempt, None)
+}
+
+/// [`run_single_attempt`] with an optional campaign observability
+/// bundle: when present, the run's hybrid evaluator (and, for
+/// `threads > 1`, its worker-pool backend) registers into the campaign's
+/// shared metric registry and emits events through its tracer. Metrics
+/// never influence results — the record is bit-identical with or without
+/// `obs`.
+///
+/// # Errors
+///
+/// Propagates optimizer failures ([`OptError`]) from the pilot or the
+/// hybrid run.
+pub fn run_single_attempt_obs(
+    run: &RunSpec,
+    cache: &Arc<SimCache>,
+    attempt: u32,
+    obs: Option<&CampaignObs>,
+) -> Result<RunRecord, OptError> {
     let started = Instant::now();
-    let (policy, pilot_sims) = variogram_policy(run, cache, attempt)?;
+    let (policy, pilot_sims) = variogram_policy(run, cache, attempt, obs)?;
     let instance = resolved_instance(run);
     let lambda_min = instance
         .minplusone
@@ -286,7 +321,8 @@ pub fn run_single_attempt(
             minplusone.as_ref(),
             descent.as_ref(),
             settings,
-            engine_backend(run, cache),
+            engine_backend(run, cache, obs),
+            obs,
         )?
     } else {
         drive_hybrid(
@@ -295,6 +331,7 @@ pub fn run_single_attempt(
             descent.as_ref(),
             settings,
             stacked_evaluator(instance.evaluator, run, cache, attempt, FaultPhase::Hybrid),
+            obs,
         )?
     };
     let stats = &stats;

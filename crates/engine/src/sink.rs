@@ -1,7 +1,8 @@
 //! JSONL result sink: one line per run plus a campaign summary line.
 //!
 //! Lines are objects tagged with a `"type"` field (`"run"` /
-//! `"failed"` / `"summary"`) so consumers can stream-filter them.
+//! `"failed"` / `"journal_error"` / `"summary"`) so consumers can
+//! stream-filter them.
 //! Records are written in run-index order regardless of completion
 //! order, and all scheduling-dependent quantities (wall-clock, worker
 //! count, shared-cache counters) live in fields nulled by default —
@@ -137,6 +138,21 @@ impl FailureRecord {
     }
 }
 
+/// A journal write that failed for an otherwise-completed row under a
+/// non-fail-fast policy. Serialized as a tagged `"journal_error"` JSONL
+/// row so the loss is visible in the final output instead of vanishing
+/// on stderr (under fail-fast the campaign aborts with
+/// [`crate::executor::EngineError::Journal`] instead). The row's run
+/// still appears as its normal `"run"` / `"failed"` line — only the
+/// crash-resume journal missed it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalErrorRecord {
+    /// Index of the run whose journal line was lost.
+    pub index: u64,
+    /// The I/O error, rendered.
+    pub error: String,
+}
+
 /// The campaign-level trailer record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SummaryRecord {
@@ -251,6 +267,24 @@ pub fn write_jsonl(
     summary: &SummaryRecord,
     options: SinkOptions,
 ) -> io::Result<()> {
+    write_jsonl_full(out, records, failures, &[], summary, options)
+}
+
+/// [`write_jsonl`] plus tagged `"journal_error"` rows (sorted by index,
+/// placed between the merged run/failure stream and the summary). With
+/// no journal errors the output is byte-identical to [`write_jsonl`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_jsonl_full(
+    out: &mut dyn Write,
+    records: &[RunRecord],
+    failures: &[FailureRecord],
+    journal_errors: &[JournalErrorRecord],
+    summary: &SummaryRecord,
+    options: SinkOptions,
+) -> io::Result<()> {
     // Merge the two sorted-by-index streams so each campaign row appears
     // at its expansion position whether it succeeded or failed.
     let (mut r, mut f) = (0, 0);
@@ -267,6 +301,10 @@ pub fn write_jsonl(
             f += 1;
             render_line("failed", failures[f - 1].serialize_to_value(), options)?
         };
+        writeln!(out, "{text}")?;
+    }
+    for journal_error in journal_errors {
+        let text = render_line("journal_error", journal_error.serialize_to_value(), options)?;
         writeln!(out, "{text}")?;
     }
     let text = render_line("summary", summary.serialize_to_value(), options)?;
@@ -286,9 +324,33 @@ pub fn to_jsonl_string(
     summary: &SummaryRecord,
     options: SinkOptions,
 ) -> String {
+    to_jsonl_string_full(records, failures, &[], summary, options)
+}
+
+/// Renders records plus journal-error rows to a JSONL string
+/// (convenience over [`write_jsonl_full`]).
+///
+/// # Panics
+///
+/// Never panics: writing to a `Vec<u8>` cannot fail and records are
+/// always serializable.
+pub fn to_jsonl_string_full(
+    records: &[RunRecord],
+    failures: &[FailureRecord],
+    journal_errors: &[JournalErrorRecord],
+    summary: &SummaryRecord,
+    options: SinkOptions,
+) -> String {
     let mut buf = Vec::new();
-    write_jsonl(&mut buf, records, failures, summary, options)
-        .expect("in-memory write cannot fail");
+    write_jsonl_full(
+        &mut buf,
+        records,
+        failures,
+        journal_errors,
+        summary,
+        options,
+    )
+    .expect("in-memory write cannot fail");
     String::from_utf8(buf).expect("JSON output is UTF-8")
 }
 
@@ -358,9 +420,9 @@ impl JournalWriter {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors (the executor surfaces them on stderr but
-    /// does not abort the campaign — the journal is an aid, not a
-    /// dependency).
+    /// Propagates I/O errors (the executor applies the campaign failure
+    /// policy to them: fail-fast aborts, skip/retry tags the loss as a
+    /// `journal_error` row).
     pub fn record(&self, record: &RunRecord, options: SinkOptions) -> io::Result<()> {
         self.write_line(&render_line("run", record.serialize_to_value(), options)?)
     }
@@ -408,7 +470,10 @@ pub fn load_journal(text: &str) -> Result<(Vec<RunRecord>, Vec<FailureRecord>), 
             "failed" => FailureRecord::deserialize_from_value(&value)
                 .map(|f| failures.push(f))
                 .map_err(|e| e.to_string()),
-            "summary" => Ok(()),
+            // A summary is recomputed on resume; a journal_error row
+            // flags a historical journal miss whose run row (if any)
+            // stands on its own.
+            "summary" | "journal_error" => Ok(()),
             other => Err(format!("unknown record type {other:?}")),
         };
         if let Err(e) = entry {
@@ -618,6 +683,40 @@ mod tests {
         assert!(load_journal(&unknown)
             .unwrap_err()
             .contains("unknown record type"));
+    }
+
+    #[test]
+    fn journal_error_rows_sit_between_records_and_summary() {
+        let records = vec![sample_record(0)];
+        let summary =
+            SummaryRecord::from_records("t", &records, &[], CacheStats::default(), 1, None);
+        let journal_errors = vec![JournalErrorRecord {
+            index: 0,
+            error: "disk full".to_string(),
+        }];
+        let text = to_jsonl_string_full(
+            &records,
+            &[],
+            &journal_errors,
+            &summary,
+            SinkOptions::default(),
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"type\":\"run\","));
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"journal_error\",\"index\":0,\"error\":\"disk full\"}"
+        );
+        assert!(lines[2].starts_with("{\"type\":\"summary\","));
+        // No journal errors → byte-identical to the plain writer.
+        let plain = to_jsonl_string(&records, &[], &summary, SinkOptions::default());
+        let full = to_jsonl_string_full(&records, &[], &[], &summary, SinkOptions::default());
+        assert_eq!(plain, full);
+        // load_journal tolerates the new tag.
+        let (loaded, failures) = load_journal(&text).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(failures.is_empty());
     }
 
     #[test]

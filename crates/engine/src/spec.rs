@@ -278,11 +278,27 @@ impl CampaignSpec {
             faults.validate().map_err(SpecError::new)?;
             // Fault injection draws from a call-ordered deterministic
             // stream; fanning evaluations over threads would reorder the
-            // draws and break reproducibility.
+            // draws and break reproducibility. Name both offending fields
+            // and the remediation — a generic rejection sent users
+            // hunting through the spec.
             if threads > 1 && faults.is_active() {
-                return Err(SpecError::new(
-                    "threads > 1 cannot be combined with active fault injection",
-                ));
+                let mut active = Vec::new();
+                if faults.panic_rate > 0.0 {
+                    active.push(format!("panic_rate={}", faults.panic_rate));
+                }
+                if faults.error_rate > 0.0 {
+                    active.push(format!("error_rate={}", faults.error_rate));
+                }
+                if faults.nan_rate > 0.0 {
+                    active.push(format!("nan_rate={}", faults.nan_rate));
+                }
+                return Err(SpecError::new(format!(
+                    "`threads = {threads}` cannot be combined with active fault \
+                     injection (`faults` has {}): fault schedules are keyed on \
+                     the serial simulation order, which in-run threading \
+                     reorders; set `threads` to 1 or zero every `faults` rate",
+                    active.join(", "),
+                )));
             }
         }
         let mut problems = Vec::new();
@@ -580,9 +596,21 @@ mod tests {
             ..CampaignSpec::default()
         };
         let message = spec.expand().unwrap_err().to_string();
+        // The diagnostic must name both offending fields (with their
+        // values), state the reason, and suggest the remediation.
+        assert!(message.contains("`threads = 4`"), "{message}");
+        assert!(message.contains("error_rate=0.01"), "{message}");
         assert!(
-            message.contains("threads > 1 cannot be combined"),
+            message.contains("keyed on the serial simulation order"),
             "{message}"
+        );
+        assert!(
+            message.contains("set `threads` to 1 or zero every `faults` rate"),
+            "{message}"
+        );
+        assert!(
+            !message.contains("panic_rate") && !message.contains("nan_rate"),
+            "only active rates are named: {message}"
         );
         // Inactive fault config (all rates zero) is fine.
         let inactive = CampaignSpec {

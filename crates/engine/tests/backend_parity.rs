@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use krigeval_core::hybrid::HybridObs;
 use krigeval_core::opt::cost::CostModel;
 use krigeval_core::opt::descent::{budget_error_sources, DescentOptions};
 use krigeval_core::opt::exhaustive::{optimize_exhaustive, ExhaustiveOptions};
@@ -23,7 +24,8 @@ use krigeval_core::{
     AccuracyEvaluator, Config, EvalBackend, EvalError, HybridEvaluator, HybridSettings, HybridStats,
 };
 use krigeval_engine::suite::{build_seeded, Problem};
-use krigeval_engine::{EngineBackend, Scale, SimCache};
+use krigeval_engine::{CampaignObs, EngineBackend, Scale, SimCache};
+use krigeval_obs::{Registry, Tracer};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -186,4 +188,78 @@ fn descent_engine_backend_matches_inline() {
 #[test]
 fn exhaustive_engine_backend_matches_inline() {
     assert_parity(Optimizer::Exhaustive);
+}
+
+/// Runs one session with a hybrid metric bundle over a fresh registry
+/// and returns the deterministic counter snapshot.
+fn hybrid_counters(optimizer: Optimizer, problem: Problem, backend: impl EvalBackend) -> String {
+    let registry = Registry::new();
+    let mut hybrid = HybridEvaluator::new(backend, HybridSettings::default())
+        .with_obs(HybridObs::new(&registry, Tracer::disabled()));
+    drive(optimizer, problem, &mut hybrid).expect("optimization succeeds");
+    registry.snapshot().counters_json()
+}
+
+/// The observability side of the parity contract: hybrid counters mirror
+/// algorithmic decisions, so their snapshot must render byte-identical
+/// for the inline backend and the engine backend at any worker count.
+#[test]
+fn hybrid_counter_snapshots_match_inline_at_any_worker_count() {
+    for problem in [Problem::Fir, Problem::Iir] {
+        let optimizer = Optimizer::MinPlusOne;
+        let inline = hybrid_counters(optimizer, problem, fresh_evaluator(optimizer, problem));
+        assert!(inline.contains("\"hybrid_queries_total\""), "{inline}");
+        for workers in [1, 2, 4] {
+            let backend = EngineBackend::new(
+                || fresh_evaluator(optimizer, problem),
+                workers,
+                Arc::new(SimCache::new()),
+                "parity",
+            );
+            let parallel = hybrid_counters(optimizer, problem, backend);
+            assert_eq!(
+                inline, parallel,
+                "{problem:?} counter snapshot diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// One full-campaign-style session (hybrid plus worker-pool bundles over
+/// one registry), returning the counter snapshot.
+fn backend_counters(problem: Problem, workers: usize) -> String {
+    let registry = Registry::new();
+    let campaign = CampaignObs::new(&registry, Tracer::disabled());
+    let optimizer = Optimizer::MinPlusOne;
+    let backend = EngineBackend::new(
+        || fresh_evaluator(optimizer, problem),
+        workers,
+        Arc::new(SimCache::new()),
+        "parity",
+    )
+    .with_obs(campaign.backend_obs());
+    let mut hybrid =
+        HybridEvaluator::new(backend, HybridSettings::default()).with_obs(campaign.hybrid_obs());
+    drive(optimizer, problem, &mut hybrid).expect("optimization succeeds");
+    registry.snapshot().counters_json()
+}
+
+/// Worker-pool counters (batches, jobs, cache-hit and evaluation totals)
+/// are also a pure function of the planned work: the full snapshot —
+/// hybrid and backend bundles together — must render byte-identical
+/// across worker counts.
+#[test]
+fn backend_counter_snapshots_match_across_worker_counts() {
+    for problem in [Problem::Fir, Problem::Iir] {
+        let one = backend_counters(problem, 1);
+        assert!(one.contains("\"backend_batches_total\""), "{one}");
+        assert!(one.contains("\"backend_evaluations_total\""), "{one}");
+        for workers in [2, 4] {
+            assert_eq!(
+                one,
+                backend_counters(problem, workers),
+                "{problem:?} backend counters diverged at {workers} workers"
+            );
+        }
+    }
 }

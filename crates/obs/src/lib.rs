@@ -1,0 +1,36 @@
+//! Observability primitives for the krigeval workspace.
+//!
+//! Two complementary facilities live here:
+//!
+//! - [`metrics`] — a lock-cheap metrics [`Registry`](metrics::Registry)
+//!   of counters, gauges and fixed-bucket timing histograms. Handles are
+//!   plain `Arc`-wrapped atomics, so the hot path pays one relaxed
+//!   atomic increment per update; the registry lock is touched only at
+//!   registration and snapshot time. Snapshots are name-ordered and
+//!   export to both JSON and Prometheus text.
+//! - [`trace`] — a structured event facility: a cloneable
+//!   [`Tracer`](trace::Tracer) stamps every event with a monotonic
+//!   sequence number and fans it out to sinks (JSONL file, in-memory
+//!   ring buffer). A [`LineWriter`](trace::LineWriter) companion gives
+//!   human-facing progress output a single synchronized writer so lines
+//!   never tear across threads.
+//!
+//! # Determinism contract
+//!
+//! Counters updated at algorithmic decision points (a query was kriged,
+//! a simulation was a cache hit, …) are **deterministic across worker
+//! counts**: the same campaign produces bitwise-identical counter
+//! snapshots at any parallelism. Gauges and timing histograms measure
+//! scheduling and wall-clock behaviour and are explicitly excluded from
+//! that contract. Trace sinks follow the same split: fields whose names
+//! end in `_ms`, `_us` or `_ns` are timing fields and are stripped from
+//! deterministic JSONL artifacts unless timing output is requested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use trace::{Event, FieldValue, JsonlSink, LineWriter, RingSink, TraceSink, Tracer};

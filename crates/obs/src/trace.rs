@@ -1,0 +1,432 @@
+//! Structured event tracing with monotonic sequence numbers.
+//!
+//! A [`Tracer`] stamps each [`Event`] with the next value of a shared
+//! atomic sequence counter and fans it out to every attached
+//! [`TraceSink`]. A disabled tracer (the default) costs one branch per
+//! call site, so instrumentation can stay unconditionally wired in.
+//!
+//! Events carry no wall-clock timestamps: ordering comes from the
+//! sequence number, and durations appear only as explicit fields whose
+//! names end in `_ms` / `_us` / `_ns`. Sinks that write deterministic
+//! artifacts strip those timing fields (mirroring the engine's
+//! `SinkOptions::include_timing` contract for campaign JSONL).
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Number, Value};
+
+/// One field value inside an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Number(Number::PosInt(*v)),
+            FieldValue::I64(v) if *v < 0 => Value::Number(Number::NegInt(*v)),
+            FieldValue::I64(v) => Value::Number(Number::PosInt(*v as u64)),
+            FieldValue::F64(v) => Value::Number(Number::Float(*v)),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::String(v.clone()),
+        }
+    }
+}
+
+/// A named field: `(key, value)`. Keys ending in `_ms`, `_us` or `_ns`
+/// are timing fields by convention and may be stripped by sinks.
+pub type Field = (&'static str, FieldValue);
+
+/// Returns true when `key` names a timing field by the suffix
+/// convention (`_ms` / `_us` / `_ns`).
+pub fn is_timing_field(key: &str) -> bool {
+    key.ends_with("_ms") || key.ends_with("_us") || key.ends_with("_ns")
+}
+
+/// One structured event: a monotonic sequence number, a static name and
+/// an ordered list of fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number assigned at emission.
+    pub seq: u64,
+    /// Event name (static taxonomy, e.g. `"query"`, `"run_done"`).
+    pub name: &'static str,
+    /// Ordered fields.
+    pub fields: Vec<Field>,
+}
+
+impl Event {
+    /// Renders the event as a single-line JSON object:
+    /// `{"seq":N,"event":NAME, ...fields}`. Timing fields are dropped
+    /// when `include_timing` is false.
+    pub fn render_json(&self, include_timing: bool) -> String {
+        let mut entries: Vec<(String, Value)> = Vec::with_capacity(self.fields.len() + 2);
+        entries.push(("seq".to_string(), Value::Number(Number::PosInt(self.seq))));
+        entries.push(("event".to_string(), Value::String(self.name.to_string())));
+        for (key, value) in &self.fields {
+            if !include_timing && is_timing_field(key) {
+                continue;
+            }
+            entries.push((key.to_string(), value.to_json()));
+        }
+        serde_json::to_string(&Value::Object(entries)).expect("event serializes")
+    }
+}
+
+/// Receives every event emitted through a [`Tracer`].
+pub trait TraceSink: Send + Sync {
+    /// Consumes one event. Implementations must be internally
+    /// synchronized; the tracer calls this from many threads.
+    fn emit(&self, event: &Event);
+}
+
+struct TracerShared {
+    seq: AtomicU64,
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+/// Cloneable event emitter. The default tracer is disabled and costs a
+/// single branch per [`Tracer::emit`] call.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<TracerShared>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.shared {
+            Some(shared) => write!(f, "Tracer({} sinks)", shared.sinks.len()),
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// A tracer that drops every event (same as `Tracer::default()`).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer fanning out to `sinks`. Passing no sinks yields a
+    /// disabled tracer.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        if sinks.is_empty() {
+            return Tracer::default();
+        }
+        Tracer {
+            shared: Some(Arc::new(TracerShared {
+                seq: AtomicU64::new(0),
+                sinks,
+            })),
+        }
+    }
+
+    /// Whether events will reach any sink. Call sites can skip field
+    /// construction when this is false.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Assigns the next sequence number to `(name, fields)` and fans the
+    /// event out to every sink. No-op when disabled.
+    pub fn emit(&self, name: &'static str, fields: Vec<Field>) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let event = Event {
+            seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+            name,
+            fields,
+        };
+        for sink in &shared.sinks {
+            sink.emit(&event);
+        }
+    }
+}
+
+/// JSONL sink: one JSON object per line through a single mutex-guarded
+/// writer, so concurrent emitters can never interleave bytes. Flushes
+/// after every line so a crash loses at most the torn tail.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    include_timing: bool,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` as the sink target.
+    pub fn create(path: &Path, include_timing: bool) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink::from_writer(
+            Box::new(BufWriter::new(file)),
+            include_timing,
+        ))
+    }
+
+    /// Wraps an arbitrary writer (used by tests).
+    pub fn from_writer(out: Box<dyn Write + Send>, include_timing: bool) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+            include_timing,
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event.render_json(self.include_timing);
+        let mut out = self.out.lock().expect("trace sink lock");
+        // A failed trace write must not abort the traced computation;
+        // the line is simply lost.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// In-memory ring buffer keeping the last `capacity` events.
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring keeping at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Clones out the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("ring sink lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut events = self.events.lock().expect("ring sink lock");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// Single-writer line output for human-facing progress text.
+///
+/// Each [`LineWriter::line`] call writes the whole line (text plus
+/// newline) under one lock acquisition, so lines from concurrent
+/// workers never tear — unlike bare `eprintln!`, which offers no
+/// cross-statement ordering between threads contending for stderr.
+pub struct LineWriter {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for LineWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineWriter").finish_non_exhaustive()
+    }
+}
+
+impl LineWriter {
+    /// A line writer over stderr.
+    pub fn stderr() -> Self {
+        LineWriter::from_writer(Box::new(std::io::stderr()))
+    }
+
+    /// A line writer over an arbitrary writer (used by tests).
+    pub fn from_writer(out: Box<dyn Write + Send>) -> Self {
+        LineWriter {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Writes `text` and a newline as one synchronized operation.
+    pub fn line(&self, text: &str) {
+        let mut out = self.out.lock().expect("line writer lock");
+        let _ = writeln!(out, "{text}");
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Shared growable buffer usable as a `Box<dyn Write + Send>` target.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_drops_events() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        tracer.emit("query", vec![("decision", "kriged".into())]);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_and_contiguous() {
+        let ring = Arc::new(RingSink::new(16));
+        let tracer = Tracer::new(vec![ring.clone()]);
+        for _ in 0..5 {
+            tracer.emit("tick", vec![]);
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_sink_strips_timing_fields_when_deterministic() {
+        let buf = SharedBuf::default();
+        let sink = Arc::new(JsonlSink::from_writer(Box::new(buf.clone()), false));
+        let tracer = Tracer::new(vec![sink]);
+        tracer.emit(
+            "run_done",
+            vec![
+                ("index", 3u64.into()),
+                ("wall_ms", 12.5f64.into()),
+                ("queries", 100u64.into()),
+            ],
+        );
+        assert_eq!(
+            buf.contents(),
+            "{\"seq\":0,\"event\":\"run_done\",\"index\":3,\"queries\":100}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_keeps_timing_fields_when_asked() {
+        let buf = SharedBuf::default();
+        let sink = Arc::new(JsonlSink::from_writer(Box::new(buf.clone()), true));
+        let tracer = Tracer::new(vec![sink]);
+        tracer.emit("phase", vec![("plan_us", 7.25f64.into())]);
+        assert!(buf.contents().contains("\"plan_us\":7.25"));
+    }
+
+    #[test]
+    fn ring_sink_keeps_only_last_capacity_events() {
+        let ring = Arc::new(RingSink::new(3));
+        let tracer = Tracer::new(vec![ring.clone()]);
+        for i in 0..10u64 {
+            tracer.emit("tick", vec![("i", i.into())]);
+        }
+        let kept: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn line_writer_emits_whole_lines() {
+        let buf = SharedBuf::default();
+        let writer = Arc::new(LineWriter::from_writer(Box::new(buf.clone())));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let writer = writer.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        writer.line(&format!("worker {w} line {i} end"));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 200);
+        for line in lines {
+            assert!(
+                line.starts_with("worker ") && line.ends_with(" end"),
+                "torn line: {line}"
+            );
+        }
+    }
+}
