@@ -12,6 +12,8 @@
 //! this with `--skip-table1` as a cheap regression smoke; the committed
 //! JSON includes the Table I fast-scale wall time as well.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -27,6 +29,8 @@ use krigeval_core::{
 };
 use krigeval_engine::{EngineBackend, SimCache};
 use krigeval_obs::{Registry, Tracer};
+use krigeval_serve::protocol::{HelloParams, Request, Response};
+use krigeval_serve::server::{Server, ServerConfig};
 use serde_json::{Number, Value};
 
 /// Frozen pre-overhaul medians (µs unless noted), measured with the same
@@ -281,6 +285,93 @@ fn minplusone_iir8_ms(workers: Option<usize>) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Wall-clock budget for one kriged-hit round trip against a local
+/// `krigeval serve` instance: socket + frame codec + dispatch + kriging
+/// solve. The solve alone is tens of µs, loopback TCP with `TCP_NODELAY`
+/// adds tens more; 5 ms leaves an order-of-magnitude margin for a loaded
+/// CI host while still catching an accidental sync sleep or per-request
+/// allocation storm in the serve path.
+const SERVER_RTT_BUDGET_US: f64 = 5_000.0;
+
+/// Round-trip latency of a single kriged evaluate against an in-process
+/// `krigeval-serve` server over real loopback TCP: median µs per
+/// request/response frame pair on a warm session.
+fn server_roundtrip_us() -> f64 {
+    let server = Server::start(ServerConfig {
+        threads: 1,
+        max_inflight: 4,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut roundtrip = |request: &Request| -> Response {
+        let mut line = request.to_line();
+        line.push('\n');
+        writer.write_all(line.as_bytes()).expect("send frame");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("recv frame");
+        Response::from_line(reply.trim()).expect("parse frame")
+    };
+
+    // Warm a session into its kriging steady state: identify the
+    // variogram from a 30-point seed grid on the first two word-lengths,
+    // then probe just outside it — close enough for neighbors, never
+    // stored, so every timed request takes the kriged-hit path.
+    let nv = match roundtrip(&Request::Hello(HelloParams {
+        benchmark: "iir8".to_string(),
+        variogram: Some("fit-after:30".to_string()),
+        ..HelloParams::default()
+    })) {
+        Response::Session { nv, .. } => nv as usize,
+        other => panic!("expected session frame, got {}", other.to_line()),
+    };
+    let seed_grid: Vec<Vec<i32>> = (4..10)
+        .flat_map(|a| {
+            (4..9).map(move |b| {
+                let mut config = vec![8; nv];
+                config[0] = a;
+                config[1] = b;
+                config
+            })
+        })
+        .collect();
+    match roundtrip(&Request::EvaluateBatch { configs: seed_grid }) {
+        Response::Values { outcomes } => assert_eq!(outcomes.len(), 30),
+        other => panic!("expected values frame, got {}", other.to_line()),
+    }
+    let mut probe = vec![8; nv];
+    probe[0] = 10;
+    probe[1] = 6;
+    let evaluate = Request::Evaluate {
+        config: probe.clone(),
+    };
+    match roundtrip(&evaluate) {
+        Response::Value(outcome) => assert_eq!(
+            outcome.source, "kriged",
+            "probe must take the kriged-hit path"
+        ),
+        other => panic!("expected value frame, got {}", other.to_line()),
+    }
+
+    let rtt = measure_us(
+        || match roundtrip(&evaluate) {
+            Response::Value(outcome) => {
+                std::hint::black_box(outcome.value);
+            }
+            other => panic!("expected value frame, got {}", other.to_line()),
+        },
+        256,
+        11,
+    );
+    drop(reader);
+    drop(writer);
+    server.join().expect("drain server");
+    rtt
+}
+
 fn table1_fast_wall_s(workers: usize) -> f64 {
     let start = Instant::now();
     let table = run_table_parallel(
@@ -344,6 +435,8 @@ fn main() {
     eprintln!("  min+1 iir8 engine @1      {mp_engine1:>10.3} ms");
     let mp_engine4 = minplusone_iir8_ms(Some(4));
     eprintln!("  min+1 iir8 engine @4      {mp_engine4:>10.3} ms");
+    let server_rtt = server_roundtrip_us();
+    eprintln!("  serve kriged RTT          {server_rtt:>10.3} us");
     let table1 = if skip_table1 {
         None
     } else {
@@ -391,6 +484,13 @@ fn main() {
                     "host_cores",
                     Value::Number(Number::PosInt(host_cores as u64)),
                 ),
+            ]),
+        ),
+        (
+            "server_roundtrip",
+            obj(vec![
+                ("kriged_rtt_us", num(server_rtt)),
+                ("budget_us", num(SERVER_RTT_BUDGET_US)),
             ]),
         ),
     ];
@@ -445,6 +545,16 @@ fn main() {
         eprintln!(
             "perfsmoke: FAIL observability overhead is x{obs_ratio:.3} on the kriged \
              evaluate ({obs_with:.3} us vs {obs_base:.3} us base, budget x1.030)"
+        );
+        std::process::exit(1);
+    }
+    // Fourth gate: one kriged evaluate through the full server stack
+    // (loopback TCP + frame codec + session dispatch) must stay
+    // interactive.
+    if server_rtt > SERVER_RTT_BUDGET_US {
+        eprintln!(
+            "perfsmoke: FAIL serve kriged round trip is {server_rtt:.3} us \
+             (budget {SERVER_RTT_BUDGET_US:.3} us)"
         );
         std::process::exit(1);
     }

@@ -225,7 +225,7 @@ fn emit(cli: &Cli, text: &str) -> Result<(), String> {
     }
 }
 
-fn cmd_run(cli: &Cli) -> Result<(), String> {
+fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
     let progress = if cli.quiet {
         Progress::Silent
     } else {
@@ -386,7 +386,20 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    // Lost rows — failed runs kept by the skip policy, or journal writes
+    // that never landed — make the artifact incomplete. The campaign still
+    // emits everything it has, but the exit code must say so; this line is
+    // printed even under --quiet because a silent success here is the bug.
+    if !failures.is_empty() || !outcome.journal_errors.is_empty() {
+        eprintln!(
+            "campaign {:?}: incomplete — {} run(s) failed, {} journal write(s) lost",
+            cli.spec.name,
+            failures.len(),
+            outcome.journal_errors.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn render_table(records: &[RunRecord]) -> String {
@@ -483,14 +496,14 @@ fn main() -> ExitCode {
         Err(e) => return fail(&e),
     };
     let result = match command {
-        "template" => emit(&cli, &format!("{}\n", cli.spec.to_json())),
+        "template" => emit(&cli, &format!("{}\n", cli.spec.to_json())).map(|()| ExitCode::SUCCESS),
         "run" => cmd_run(&cli),
-        "table" => cmd_table(&cli),
-        "compare" => cmd_compare(&cli),
+        "table" => cmd_table(&cli).map(|()| ExitCode::SUCCESS),
+        "compare" => cmd_compare(&cli).map(|()| ExitCode::SUCCESS),
         other => return fail(&format!("unknown subcommand {other:?}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => fail(&e),
     }
 }

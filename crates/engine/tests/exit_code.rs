@@ -1,0 +1,96 @@
+//! The campaign binary's exit code must reflect lost rows.
+//!
+//! Under `--on-error skip` a failed run becomes a tagged JSONL row and
+//! the campaign keeps going — correct for the artifact, but the process
+//! used to exit 0 anyway, so scripted callers (CI, sweeps) never noticed
+//! the data was incomplete. These tests pin the contract: clean campaign
+//! → exit 0; any failed run or lost journal write → nonzero exit *and*
+//! the partial artifact is still emitted.
+
+use std::process::Command;
+
+use krigeval_engine::{CampaignSpec, FaultConfig, FaultPolicy};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_campaign")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("krigeval-exitcode-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn clean_campaign_exits_zero() {
+    let dir = temp_dir("clean");
+    let out = dir.join("out.jsonl");
+    let status = Command::new(bin())
+        .args([
+            "run",
+            "--benchmarks",
+            "fir",
+            "--d",
+            "2",
+            "--workers",
+            "1",
+            "--quiet",
+            "--out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("campaign binary runs");
+    assert!(status.success(), "clean campaign must exit 0: {status}");
+    assert!(std::fs::read_to_string(&out)
+        .expect("artifact written")
+        .contains("\"type\":\"summary\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn skipped_failures_exit_nonzero_but_still_emit_the_artifact() {
+    let dir = temp_dir("faulty");
+    let spec_path = dir.join("spec.json");
+    let out = dir.join("out.jsonl");
+    // error_rate 1.0 fails every run deterministically; skip keeps the
+    // campaign going so every row lands as a tagged failure.
+    let spec = CampaignSpec {
+        name: "exitcode".to_string(),
+        benchmarks: vec!["fir".to_string()],
+        distances: vec![2.0, 3.0],
+        on_error: Some(FaultPolicy::Skip),
+        faults: Some(FaultConfig {
+            panic_rate: 0.0,
+            error_rate: 1.0,
+            nan_rate: 0.0,
+            seed: 7,
+        }),
+        ..CampaignSpec::default()
+    };
+    std::fs::write(&spec_path, format!("{}\n", spec.to_json())).expect("write spec");
+
+    let output = Command::new(bin())
+        .args(["run", "--spec"])
+        .arg(&spec_path)
+        .args(["--workers", "1", "--quiet", "--out"])
+        .arg(&out)
+        .output()
+        .expect("campaign binary runs");
+    assert!(
+        !output.status.success(),
+        "a campaign that lost rows must exit nonzero"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("incomplete"),
+        "the lost-row summary must print even under --quiet; stderr:\n{stderr}"
+    );
+    // The partial artifact is still written: failure rows plus a summary.
+    let artifact = std::fs::read_to_string(&out).expect("artifact written");
+    assert!(
+        artifact.contains("\"type\":\"failed\""),
+        "failure rows must be journalled: {artifact}"
+    );
+    assert!(artifact.contains("\"type\":\"summary\""));
+    std::fs::remove_dir_all(&dir).ok();
+}

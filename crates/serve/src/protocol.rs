@@ -1,0 +1,633 @@
+//! The `krigeval serve` wire protocol: line-delimited JSON frames.
+//!
+//! Every frame is one JSON object on one line, tagged by a `"type"` field
+//! (serde's internally-tagged representation). Clients send [`Request`]
+//! frames; the server answers each with exactly one [`Response`] frame, in
+//! request order. The vendored serde derive only covers externally-tagged
+//! enums, so both enums implement their serde by hand over the
+//! [`serde_json::Value`] tree — which also makes the protocol's
+//! forward-compatibility rule explicit: **unknown fields are ignored**
+//! (a newer client may send extra fields to an older server), while an
+//! unknown `"type"` is a hard error answered with a `bad_request` frame.
+//!
+//! Missing optional fields deserialize as `None`; `Serialize` omits `None`
+//! fields entirely, so the wire stays minimal and the round trip is exact.
+
+use krigeval_core::SessionSnapshot;
+use serde::{DeError, Deserialize, Serialize};
+use serde_json::{Number, Value};
+
+/// Protocol revision carried in the `session` frame. Bumped whenever a
+/// frame's meaning (not merely its optional-field set) changes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Machine-readable error codes carried by [`Response::Error`].
+pub mod codes {
+    /// Malformed frame: bad JSON, unknown `type`, or invalid field values.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// A session frame arrived before a successful `hello`.
+    pub const NO_SESSION: &str = "no_session";
+    /// The simulation or kriging evaluation itself failed.
+    pub const EVAL_FAILED: &str = "eval_failed";
+    /// The server is draining; the request was not admitted.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The request names a feature this server does not provide.
+    pub const UNSUPPORTED: &str = "unsupported";
+    /// The session table is full (`max_sessions` reached).
+    pub const BUSY: &str = "busy";
+}
+
+/// Parameters of the `hello` frame. Only `benchmark` is required; every
+/// other field defaults to the hybrid evaluator's canonical settings, so
+/// `{"type":"hello","benchmark":"fir"}` is a complete session request.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HelloParams {
+    /// Benchmark name, as accepted by the campaign CLI (`fir`, `iir`, ...).
+    pub benchmark: String,
+    /// `"fast"` (default) or `"paper"`.
+    pub scale: Option<String>,
+    /// Benchmark input seed (default 0 — the canonical instance).
+    pub seed: Option<u64>,
+    /// Neighbour-search radius `d` (default 3).
+    pub d: Option<f64>,
+    /// Minimum neighbour count `N_n,min` (default 3).
+    pub min_neighbors: Option<usize>,
+    /// Cap on neighbours per kriging system (default 32; 0 = unlimited).
+    pub max_neighbors: Option<usize>,
+    /// Distance metric: `"l1"` (default), `"l2"` or `"linf"`.
+    pub metric: Option<String>,
+    /// Variogram policy, campaign CLI syntax: `fit-after:N`,
+    /// `refit:N:EVERY`, `fixed-linear:SLOPE` or `FAMILY:NUGGET:SILL:RANGE`.
+    /// Default `fit-after:10` (the hybrid evaluator's canonical policy).
+    pub variogram: Option<String>,
+    /// Accuracy-constraint override for `optimize` (default: the
+    /// benchmark's canonical `λ_min`).
+    pub lambda_min: Option<f64>,
+}
+
+/// A client request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session on this connection.
+    Hello(HelloParams),
+    /// Evaluate one configuration through the hybrid evaluator.
+    Evaluate {
+        /// The configuration (length must equal the benchmark's `Nv`).
+        config: Vec<i32>,
+    },
+    /// Evaluate a batch through the plan/fulfill/commit path.
+    EvaluateBatch {
+        /// The configurations, evaluated all-or-nothing.
+        configs: Vec<Vec<i32>>,
+    },
+    /// Run the benchmark's canonical optimizer over this session.
+    Optimize,
+    /// Capture the session state for later resumption.
+    Snapshot,
+    /// Session and server statistics.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Begin a graceful server drain.
+    Shutdown,
+}
+
+/// How a single evaluation was answered, as carried on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeFrame {
+    /// `"simulated"` or `"kriged"`.
+    pub source: String,
+    /// The metric value.
+    pub value: f64,
+    /// Kriging variance (kriged outcomes only).
+    pub variance: Option<f64>,
+    /// Neighbour count of the kriging system (kriged outcomes only).
+    pub neighbors: Option<u64>,
+}
+
+/// The `stats` response payload: the session's counters plus the shared
+/// server-side state every session rides on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsFrame {
+    /// Session metric queries `N_λ`.
+    pub queries: u64,
+    /// Session queries answered by simulation.
+    pub simulated: u64,
+    /// Session queries answered by kriging.
+    pub kriged: u64,
+    /// Session exact-duplicate cache hits.
+    pub cache_hits: u64,
+    /// Session kriging attempts that fell back to simulation.
+    pub kriging_failures: u64,
+    /// Currently open sessions on the server.
+    pub sessions: u64,
+    /// Distinct `EngineBackend` pools alive (one per benchmark surface).
+    pub backends: u64,
+    /// Lookups in the shared simulation cache (all sessions).
+    pub shared_cache_lookups: u64,
+    /// Hits in the shared simulation cache (all sessions).
+    pub shared_cache_hits: u64,
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `hello` succeeded; the connection now carries a session.
+    Session {
+        /// Server-unique session id.
+        session: u64,
+        /// Canonical benchmark label (e.g. `fir64`).
+        benchmark: String,
+        /// Number of optimization variables `Nv`.
+        nv: u64,
+        /// Protocol revision ([`PROTOCOL_VERSION`]).
+        protocol: u64,
+        /// Worker threads in the session's shared backend pool.
+        workers: u64,
+    },
+    /// Answer to `evaluate`.
+    Value(OutcomeFrame),
+    /// Answer to `evaluate_batch`, outcomes in request order.
+    Values {
+        /// One outcome per requested configuration.
+        outcomes: Vec<OutcomeFrame>,
+    },
+    /// Answer to `optimize`.
+    Optimum {
+        /// The optimized configuration.
+        solution: Vec<i32>,
+        /// Metric value at the solution.
+        lambda: f64,
+        /// Greedy iterations performed.
+        iterations: u64,
+    },
+    /// Answer to `snapshot`.
+    Snapshot {
+        /// The session state, resumable via `HybridEvaluator::resume`.
+        snapshot: SessionSnapshot,
+    },
+    /// Answer to `stats`.
+    Stats(StatsFrame),
+    /// Answer to `ping`.
+    Pong,
+    /// Answer to `shutdown`: the drain has begun (idempotent).
+    Draining,
+    /// The request failed; the session (if any) is unchanged.
+    Error {
+        /// One of [`codes`].
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Load-shed: the bounded work queue is full. Retry after `retry_ms`.
+    Overloaded {
+        /// Work requests in flight when this one arrived.
+        inflight: u64,
+        /// The queue bound (`max_inflight`).
+        capacity: u64,
+        /// Suggested client backoff in milliseconds.
+        retry_ms: u64,
+    },
+}
+
+impl Response {
+    /// Convenience constructor for an error frame.
+    pub fn error(code: &str, message: impl Into<String>) -> Response {
+        Response::Error {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization plumbing
+// ---------------------------------------------------------------------------
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn tagged(tag: &str, mut fields: Vec<(&str, Value)>) -> Value {
+    let mut entries = vec![("type", Value::String(tag.to_string()))];
+    entries.append(&mut fields);
+    obj(entries)
+}
+
+/// Pushes `(key, value)` only when the optional field is present, keeping
+/// absent options off the wire entirely.
+fn push_opt<T: Serialize>(fields: &mut Vec<(&str, Value)>, key: &'static str, v: &Option<T>) {
+    if let Some(v) = v {
+        fields.push((key, v.serialize_to_value()));
+    }
+}
+
+fn num_u64(v: u64) -> Value {
+    Value::Number(Number::PosInt(v))
+}
+
+/// Ordered-object lookup that treats an explicit `null` as absent, so
+/// `{"seed":null}` and a missing `seed` deserialize identically.
+fn field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .filter(|v| !matches!(v, Value::Null))
+}
+
+fn required<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match field(entries, key) {
+        Some(v) => T::deserialize_from_value(v),
+        None => Err(DeError::missing_field(key, ty)),
+    }
+}
+
+fn optional<T: Deserialize>(entries: &[(String, Value)], key: &str) -> Result<Option<T>, DeError> {
+    match field(entries, key) {
+        Some(v) => T::deserialize_from_value(v).map(Some),
+        None => Ok(None),
+    }
+}
+
+fn entries_and_tag(value: &Value, ty: &str) -> Result<(Vec<(String, Value)>, String), DeError> {
+    match value {
+        Value::Object(entries) => {
+            let tag: String = required(entries, "type", ty)?;
+            Ok((entries.clone(), tag))
+        }
+        _ => Err(DeError::expected("object", ty)),
+    }
+}
+
+impl Serialize for HelloParams {
+    fn serialize_to_value(&self) -> Value {
+        let mut fields = vec![("benchmark", Value::String(self.benchmark.clone()))];
+        push_opt(&mut fields, "scale", &self.scale);
+        push_opt(&mut fields, "seed", &self.seed);
+        push_opt(&mut fields, "d", &self.d);
+        push_opt(&mut fields, "min_neighbors", &self.min_neighbors);
+        push_opt(&mut fields, "max_neighbors", &self.max_neighbors);
+        push_opt(&mut fields, "metric", &self.metric);
+        push_opt(&mut fields, "variogram", &self.variogram);
+        push_opt(&mut fields, "lambda_min", &self.lambda_min);
+        obj(fields)
+    }
+}
+
+impl Deserialize for HelloParams {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = match value {
+            Value::Object(entries) => entries,
+            _ => return Err(DeError::expected("object", "HelloParams")),
+        };
+        Ok(HelloParams {
+            benchmark: required(entries, "benchmark", "HelloParams")?,
+            scale: optional(entries, "scale")?,
+            seed: optional(entries, "seed")?,
+            d: optional(entries, "d")?,
+            min_neighbors: optional(entries, "min_neighbors")?,
+            max_neighbors: optional(entries, "max_neighbors")?,
+            metric: optional(entries, "metric")?,
+            variogram: optional(entries, "variogram")?,
+            lambda_min: optional(entries, "lambda_min")?,
+        })
+    }
+}
+
+impl Serialize for Request {
+    fn serialize_to_value(&self) -> Value {
+        match self {
+            Request::Hello(params) => {
+                let inner = match params.serialize_to_value() {
+                    Value::Object(entries) => entries,
+                    _ => unreachable!("HelloParams serializes to an object"),
+                };
+                let mut entries = vec![("type".to_string(), Value::String("hello".to_string()))];
+                entries.extend(inner);
+                Value::Object(entries)
+            }
+            Request::Evaluate { config } => {
+                tagged("evaluate", vec![("config", config.serialize_to_value())])
+            }
+            Request::EvaluateBatch { configs } => tagged(
+                "evaluate_batch",
+                vec![("configs", configs.serialize_to_value())],
+            ),
+            Request::Optimize => tagged("optimize", vec![]),
+            Request::Snapshot => tagged("snapshot", vec![]),
+            Request::Stats => tagged("stats", vec![]),
+            Request::Ping => tagged("ping", vec![]),
+            Request::Shutdown => tagged("shutdown", vec![]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        let (entries, tag) = entries_and_tag(value, "Request")?;
+        match tag.as_str() {
+            "hello" => Ok(Request::Hello(HelloParams::deserialize_from_value(value)?)),
+            "evaluate" => Ok(Request::Evaluate {
+                config: required(&entries, "config", "evaluate")?,
+            }),
+            "evaluate_batch" => Ok(Request::EvaluateBatch {
+                configs: required(&entries, "configs", "evaluate_batch")?,
+            }),
+            "optimize" => Ok(Request::Optimize),
+            "snapshot" => Ok(Request::Snapshot),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(DeError::unknown_variant(other, "Request")),
+        }
+    }
+}
+
+impl Serialize for OutcomeFrame {
+    fn serialize_to_value(&self) -> Value {
+        let mut fields = vec![
+            ("source", Value::String(self.source.clone())),
+            ("value", self.value.serialize_to_value()),
+        ];
+        push_opt(&mut fields, "variance", &self.variance);
+        push_opt(&mut fields, "neighbors", &self.neighbors);
+        obj(fields)
+    }
+}
+
+impl Deserialize for OutcomeFrame {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = match value {
+            Value::Object(entries) => entries,
+            _ => return Err(DeError::expected("object", "OutcomeFrame")),
+        };
+        Ok(OutcomeFrame {
+            source: required(entries, "source", "OutcomeFrame")?,
+            value: required(entries, "value", "OutcomeFrame")?,
+            variance: optional(entries, "variance")?,
+            neighbors: optional(entries, "neighbors")?,
+        })
+    }
+}
+
+impl Serialize for StatsFrame {
+    fn serialize_to_value(&self) -> Value {
+        obj(vec![
+            ("queries", num_u64(self.queries)),
+            ("simulated", num_u64(self.simulated)),
+            ("kriged", num_u64(self.kriged)),
+            ("cache_hits", num_u64(self.cache_hits)),
+            ("kriging_failures", num_u64(self.kriging_failures)),
+            ("sessions", num_u64(self.sessions)),
+            ("backends", num_u64(self.backends)),
+            ("shared_cache_lookups", num_u64(self.shared_cache_lookups)),
+            ("shared_cache_hits", num_u64(self.shared_cache_hits)),
+        ])
+    }
+}
+
+impl Deserialize for StatsFrame {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        let entries = match value {
+            Value::Object(entries) => entries,
+            _ => return Err(DeError::expected("object", "StatsFrame")),
+        };
+        Ok(StatsFrame {
+            queries: required(entries, "queries", "StatsFrame")?,
+            simulated: required(entries, "simulated", "StatsFrame")?,
+            kriged: required(entries, "kriged", "StatsFrame")?,
+            cache_hits: required(entries, "cache_hits", "StatsFrame")?,
+            kriging_failures: required(entries, "kriging_failures", "StatsFrame")?,
+            sessions: required(entries, "sessions", "StatsFrame")?,
+            backends: required(entries, "backends", "StatsFrame")?,
+            shared_cache_lookups: required(entries, "shared_cache_lookups", "StatsFrame")?,
+            shared_cache_hits: required(entries, "shared_cache_hits", "StatsFrame")?,
+        })
+    }
+}
+
+impl Serialize for Response {
+    fn serialize_to_value(&self) -> Value {
+        match self {
+            Response::Session {
+                session,
+                benchmark,
+                nv,
+                protocol,
+                workers,
+            } => tagged(
+                "session",
+                vec![
+                    ("session", num_u64(*session)),
+                    ("benchmark", Value::String(benchmark.clone())),
+                    ("nv", num_u64(*nv)),
+                    ("protocol", num_u64(*protocol)),
+                    ("workers", num_u64(*workers)),
+                ],
+            ),
+            Response::Value(outcome) => {
+                let inner = match outcome.serialize_to_value() {
+                    Value::Object(entries) => entries,
+                    _ => unreachable!("OutcomeFrame serializes to an object"),
+                };
+                let mut entries = vec![("type".to_string(), Value::String("value".to_string()))];
+                entries.extend(inner);
+                Value::Object(entries)
+            }
+            Response::Values { outcomes } => {
+                tagged("values", vec![("outcomes", outcomes.serialize_to_value())])
+            }
+            Response::Optimum {
+                solution,
+                lambda,
+                iterations,
+            } => tagged(
+                "optimum",
+                vec![
+                    ("solution", solution.serialize_to_value()),
+                    ("lambda", lambda.serialize_to_value()),
+                    ("iterations", num_u64(*iterations)),
+                ],
+            ),
+            Response::Snapshot { snapshot } => tagged(
+                "snapshot",
+                vec![("snapshot", snapshot.serialize_to_value())],
+            ),
+            Response::Stats(stats) => {
+                let inner = match stats.serialize_to_value() {
+                    Value::Object(entries) => entries,
+                    _ => unreachable!("StatsFrame serializes to an object"),
+                };
+                let mut entries = vec![("type".to_string(), Value::String("stats".to_string()))];
+                entries.extend(inner);
+                Value::Object(entries)
+            }
+            Response::Pong => tagged("pong", vec![]),
+            Response::Draining => tagged("draining", vec![]),
+            Response::Error { code, message } => tagged(
+                "error",
+                vec![
+                    ("code", Value::String(code.clone())),
+                    ("message", Value::String(message.clone())),
+                ],
+            ),
+            Response::Overloaded {
+                inflight,
+                capacity,
+                retry_ms,
+            } => tagged(
+                "overloaded",
+                vec![
+                    ("inflight", num_u64(*inflight)),
+                    ("capacity", num_u64(*capacity)),
+                    ("retry_ms", num_u64(*retry_ms)),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn deserialize_from_value(value: &Value) -> Result<Self, DeError> {
+        let (entries, tag) = entries_and_tag(value, "Response")?;
+        match tag.as_str() {
+            "session" => Ok(Response::Session {
+                session: required(&entries, "session", "session")?,
+                benchmark: required(&entries, "benchmark", "session")?,
+                nv: required(&entries, "nv", "session")?,
+                protocol: required(&entries, "protocol", "session")?,
+                workers: required(&entries, "workers", "session")?,
+            }),
+            "value" => Ok(Response::Value(OutcomeFrame::deserialize_from_value(
+                value,
+            )?)),
+            "values" => Ok(Response::Values {
+                outcomes: required(&entries, "outcomes", "values")?,
+            }),
+            "optimum" => Ok(Response::Optimum {
+                solution: required(&entries, "solution", "optimum")?,
+                lambda: required(&entries, "lambda", "optimum")?,
+                iterations: required(&entries, "iterations", "optimum")?,
+            }),
+            "snapshot" => Ok(Response::Snapshot {
+                snapshot: required(&entries, "snapshot", "snapshot")?,
+            }),
+            "stats" => Ok(Response::Stats(StatsFrame::deserialize_from_value(value)?)),
+            "pong" => Ok(Response::Pong),
+            "draining" => Ok(Response::Draining),
+            "error" => Ok(Response::Error {
+                code: required(&entries, "code", "error")?,
+                message: required(&entries, "message", "error")?,
+            }),
+            "overloaded" => Ok(Response::Overloaded {
+                inflight: required(&entries, "inflight", "overloaded")?,
+                capacity: required(&entries, "capacity", "overloaded")?,
+                retry_ms: required(&entries, "retry_ms", "overloaded")?,
+            }),
+            other => Err(DeError::unknown_variant(other, "Response")),
+        }
+    }
+}
+
+impl Request {
+    /// Renders the frame as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("request frames always serialize")
+    }
+
+    /// Parses a frame from one JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON or shape error (the server answers
+    /// these with a `bad_request` frame).
+    pub fn from_line(line: &str) -> Result<Request, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+impl Response {
+    /// Renders the frame as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("response frames always serialize")
+    }
+
+    /// Parses a frame from one JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON or shape error.
+    pub fn from_line(line: &str) -> Result<Response, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_hello_parses_with_defaults() {
+        let req = Request::from_line(r#"{"type":"hello","benchmark":"fir"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Hello(HelloParams {
+                benchmark: "fir".to_string(),
+                ..HelloParams::default()
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let req = Request::from_line(r#"{"type":"ping","future_field":{"nested":[1,2]}}"#).unwrap();
+        assert_eq!(req, Request::Ping);
+        let resp = Response::from_line(r#"{"type":"pong","ts":123}"#).unwrap();
+        assert_eq!(resp, Response::Pong);
+    }
+
+    #[test]
+    fn explicit_null_equals_absent() {
+        let a = Request::from_line(r#"{"type":"hello","benchmark":"fir","seed":null}"#).unwrap();
+        let b = Request::from_line(r#"{"type":"hello","benchmark":"fir"}"#).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        assert!(Request::from_line(r#"{"type":"warp"}"#).is_err());
+        assert!(Response::from_line(r#"{"type":"warp"}"#).is_err());
+        assert!(Request::from_line("not json").is_err());
+        assert!(Request::from_line(r#"{"benchmark":"fir"}"#).is_err());
+    }
+
+    #[test]
+    fn overloaded_frame_round_trips() {
+        let frame = Response::Overloaded {
+            inflight: 8,
+            capacity: 8,
+            retry_ms: 50,
+        };
+        let line = frame.to_line();
+        assert!(line.contains(r#""type":"overloaded""#), "{line}");
+        assert_eq!(Response::from_line(&line).unwrap(), frame);
+    }
+
+    #[test]
+    fn error_frame_round_trips() {
+        let frame = Response::error(codes::SHUTTING_DOWN, "draining");
+        let line = frame.to_line();
+        assert!(line.contains(r#""code":"shutting_down""#), "{line}");
+        assert_eq!(Response::from_line(&line).unwrap(), frame);
+    }
+}

@@ -1,0 +1,570 @@
+//! Server-side sessions: one hybrid evaluator per connection, all of them
+//! fulfilled through a shared pool of [`EngineBackend`]s and one
+//! [`SimCache`].
+//!
+//! A session owns exactly the state the paper's method accumulates per
+//! exploration — the simulated set, the (re)fitted variogram model, the
+//! neighbour index, the statistics — while everything below the
+//! plan/fulfill seam is shared: sessions on the same benchmark surface
+//! (`(benchmark, scale, seed)`, the [`SimCache`] namespace) literally
+//! share one worker pool and memo-cache, so a configuration simulated for
+//! one client is a cache hit for every other.
+//!
+//! # Determinism caveat
+//!
+//! A single session's results are a pure function of its own request
+//! stream (the shared cache only memoizes values the simulators would
+//! produce anyway). Cross-session *timing* is of course shared — a busy
+//! neighbour slows fulfillment — but never values.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use krigeval_core::hybrid::{HybridEvaluator, HybridSettings, HybridStats, VariogramPolicy};
+use krigeval_core::opt::descent::{budget_error_sources, DescentOptions};
+use krigeval_core::opt::minplusone::{optimize, MinPlusOneOptions};
+use krigeval_core::opt::{OptError, OptimizationResult};
+use krigeval_core::variogram::ModelFamily;
+use krigeval_core::{
+    Config, DistanceMetric, EvalBackend, EvalError, FiniteGuard, Outcome, SessionSnapshot,
+    SimulationRequest, VariogramModel,
+};
+use krigeval_engine::obs::BackendObs;
+use krigeval_engine::suite::{build_seeded, Problem};
+use krigeval_engine::{CacheStats, EngineBackend, Scale, SimCache};
+use krigeval_obs::{Registry, Tracer};
+
+use crate::protocol::{codes, HelloParams, OutcomeFrame};
+
+/// A typed session-layer failure: the error code the wire frame carries
+/// plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionError {
+    /// One of [`codes`].
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl SessionError {
+    fn bad_request(message: impl Into<String>) -> SessionError {
+        SessionError {
+            code: codes::BAD_REQUEST,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<EvalError> for SessionError {
+    fn from(e: EvalError) -> SessionError {
+        SessionError {
+            code: codes::EVAL_FAILED,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn lock_backend(backend: &Mutex<EngineBackend>) -> MutexGuard<'_, EngineBackend> {
+    // A poisoned mutex means a panic escaped some session thread; the
+    // backend's own state is a condvar-parked pool that stays coherent, so
+    // serving the remaining sessions beats poisoning the whole server.
+    backend
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An [`EvalBackend`] handle onto a pool-owned [`EngineBackend`]:
+/// `fulfill` needs `&mut self`, so concurrent sessions serialize their
+/// *dispatch* through this mutex while the fan-out itself still runs on
+/// the pool's worker threads.
+pub struct SharedBackend {
+    inner: Arc<Mutex<EngineBackend>>,
+}
+
+impl SharedBackend {
+    /// Worker threads of the underlying pool.
+    pub fn workers(&self) -> usize {
+        lock_backend(&self.inner).workers()
+    }
+}
+
+impl EvalBackend for SharedBackend {
+    fn fulfill(&mut self, requests: &[SimulationRequest]) -> Result<Vec<f64>, EvalError> {
+        lock_backend(&self.inner).fulfill(requests)
+    }
+
+    fn fulfill_one(&mut self, config: &Config) -> Result<f64, EvalError> {
+        lock_backend(&self.inner).fulfill_one(config)
+    }
+
+    fn num_variables(&self) -> usize {
+        lock_backend(&self.inner).num_variables()
+    }
+
+    fn evaluations(&self) -> u64 {
+        lock_backend(&self.inner).evaluations()
+    }
+}
+
+/// The server-wide backend pool: one [`EngineBackend`] per benchmark
+/// surface, all sharing one [`SimCache`] and one metrics registry.
+pub struct BackendPool {
+    cache: Arc<SimCache>,
+    threads: usize,
+    registry: Registry,
+    tracer: Tracer,
+    backends: Mutex<Vec<(String, Arc<Mutex<EngineBackend>>)>>,
+}
+
+impl BackendPool {
+    /// Builds an empty pool whose backends will run `threads` workers each
+    /// and register their metrics in `registry`.
+    pub fn new(threads: usize, registry: Registry, tracer: Tracer) -> BackendPool {
+        BackendPool {
+            cache: Arc::new(SimCache::new()),
+            threads: threads.max(1),
+            registry,
+            tracer,
+            backends: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The backend for a benchmark surface, created on first use. Sessions
+    /// with identical `(problem, scale, seed)` receive the same pool.
+    pub fn backend(&self, problem: Problem, scale: Scale, seed: u64) -> SharedBackend {
+        let namespace = format!("{}/{}/{seed:016x}", problem.label(), scale.label());
+        let mut backends = self
+            .backends
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let inner = match backends.iter().find(|(ns, _)| *ns == namespace) {
+            Some((_, backend)) => Arc::clone(backend),
+            None => {
+                let backend = EngineBackend::new(
+                    move || {
+                        Box::new(FiniteGuard::new(
+                            build_seeded(problem, scale, seed).evaluator,
+                        ))
+                    },
+                    self.threads,
+                    Arc::clone(&self.cache),
+                    namespace.clone(),
+                )
+                .with_obs(BackendObs::new(&self.registry, self.tracer.clone()));
+                let backend = Arc::new(Mutex::new(backend));
+                backends.push((namespace, Arc::clone(&backend)));
+                backend
+            }
+        };
+        SharedBackend { inner }
+    }
+
+    /// Number of distinct backends alive.
+    pub fn len(&self) -> usize {
+        self.backends
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether any backend has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shared-cache statistics across every session and surface.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// Upper bound on `evaluate_batch` sizes; larger frames are rejected with
+/// `bad_request` so one client cannot pin unbounded memory.
+pub const MAX_BATCH: usize = 4096;
+
+fn parse_variogram(value: &str) -> Result<VariogramPolicy, SessionError> {
+    let mut parts = value.split(':');
+    let head = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    let arg = |i: usize| -> Result<&str, SessionError> {
+        args.get(i).copied().ok_or_else(|| {
+            SessionError::bad_request(format!("variogram {head} needs more arguments"))
+        })
+    };
+    let families = ModelFamily::all().to_vec();
+    let fallback = VariogramModel::linear(1.0);
+    match head {
+        "fit-after" => Ok(VariogramPolicy::FitAfter {
+            min_samples: arg(0)?
+                .parse()
+                .map_err(|_| SessionError::bad_request("bad variogram sample count"))?,
+            families,
+            fallback,
+        }),
+        "refit" => Ok(VariogramPolicy::Refit {
+            min_samples: arg(0)?
+                .parse()
+                .map_err(|_| SessionError::bad_request("bad variogram sample count"))?,
+            every: arg(1)?
+                .parse()
+                .map_err(|_| SessionError::bad_request("bad variogram refit stride"))?,
+            families,
+            fallback,
+        }),
+        "fixed-linear" => Ok(VariogramPolicy::Fixed(VariogramModel::linear(
+            arg(0)?
+                .parse()
+                .map_err(|_| SessionError::bad_request("bad variogram slope"))?,
+        ))),
+        family @ ("spherical" | "exponential" | "gaussian") => {
+            let num = |i: usize| -> Result<f64, SessionError> {
+                arg(i)?
+                    .parse()
+                    .map_err(|_| SessionError::bad_request(format!("bad {family} parameter")))
+            };
+            let (nugget, sill, range) = (num(0)?, num(1)?, num(2)?);
+            let model = match family {
+                "spherical" => VariogramModel::spherical(nugget, sill, range),
+                "exponential" => VariogramModel::exponential(nugget, sill, range),
+                _ => VariogramModel::gaussian(nugget, sill, range),
+            }
+            .map_err(|e| SessionError::bad_request(e.to_string()))?;
+            Ok(VariogramPolicy::Fixed(model))
+        }
+        "pilot" => Err(SessionError {
+            code: codes::UNSUPPORTED,
+            message: "the pilot protocol is an offline-campaign feature; serve sessions \
+                      identify online (fit-after / refit) or use a fixed model"
+                .to_string(),
+        }),
+        other => Err(SessionError::bad_request(format!(
+            "unknown variogram policy {other:?}"
+        ))),
+    }
+}
+
+fn parse_metric(name: &str) -> Result<DistanceMetric, SessionError> {
+    match name {
+        "l1" => Ok(DistanceMetric::L1),
+        "l2" => Ok(DistanceMetric::L2),
+        "linf" | "loo" => Ok(DistanceMetric::Linf),
+        other => Err(SessionError::bad_request(format!(
+            "unknown metric {other:?}"
+        ))),
+    }
+}
+
+fn outcome_frame(outcome: &Outcome) -> OutcomeFrame {
+    match outcome {
+        Outcome::Simulated { value } => OutcomeFrame {
+            source: "simulated".to_string(),
+            value: *value,
+            variance: None,
+            neighbors: None,
+        },
+        Outcome::Kriged {
+            value,
+            variance,
+            neighbors,
+            ..
+        } => OutcomeFrame {
+            source: "kriged".to_string(),
+            value: *value,
+            variance: Some(*variance),
+            neighbors: Some(*neighbors as u64),
+        },
+    }
+}
+
+/// One connection's evaluation session: a [`HybridEvaluator`] over a
+/// [`SharedBackend`], plus the benchmark's canonical optimizer options.
+pub struct Session {
+    id: u64,
+    problem: Problem,
+    evaluator: HybridEvaluator<SharedBackend>,
+    minplusone: Option<MinPlusOneOptions>,
+    descent: Option<DescentOptions>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("problem", &self.problem.label())
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Opens a session per the `hello` parameters, drawing the backend
+    /// from `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] (`bad_request` / `unsupported`) for
+    /// unknown benchmarks, scales, metrics or variogram policies.
+    pub fn open(
+        id: u64,
+        params: &HelloParams,
+        pool: &BackendPool,
+    ) -> Result<Session, SessionError> {
+        let problem = Problem::parse(&params.benchmark).ok_or_else(|| {
+            SessionError::bad_request(format!("unknown benchmark {:?}", params.benchmark))
+        })?;
+        let scale_name = params.scale.as_deref().unwrap_or("fast");
+        let scale = Scale::parse(scale_name)
+            .ok_or_else(|| SessionError::bad_request(format!("unknown scale {scale_name:?}")))?;
+        let seed = params.seed.unwrap_or(0);
+        let defaults = HybridSettings::default();
+        let variogram = match params.variogram.as_deref() {
+            Some(text) => parse_variogram(text)?,
+            None => defaults.variogram,
+        };
+        let metric = match params.metric.as_deref() {
+            Some(name) => parse_metric(name)?,
+            None => defaults.metric,
+        };
+        let distance = params.d.unwrap_or(defaults.distance);
+        if !distance.is_finite() || distance <= 0.0 {
+            return Err(SessionError::bad_request(format!(
+                "invalid neighbour radius d = {distance}"
+            )));
+        }
+        let max_neighbors = match params.max_neighbors {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => defaults.max_neighbors,
+        };
+        let settings = HybridSettings {
+            distance,
+            min_neighbors: params.min_neighbors.unwrap_or(defaults.min_neighbors),
+            metric,
+            variogram,
+            max_neighbors,
+            audit: None,
+        };
+        let mut instance = build_seeded(problem, scale, seed);
+        if let Some(lambda) = params.lambda_min {
+            if let Some(opts) = instance.minplusone.as_mut() {
+                opts.lambda_min = lambda;
+            }
+            if let Some(opts) = instance.descent.as_mut() {
+                opts.lambda_min = lambda;
+            }
+        }
+        let backend = pool.backend(problem, scale, seed);
+        let workers = backend.workers();
+        Ok(Session {
+            id,
+            problem,
+            evaluator: HybridEvaluator::new(backend, settings),
+            minplusone: instance.minplusone,
+            descent: instance.descent,
+            workers,
+        })
+    }
+
+    /// Server-unique session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Canonical benchmark label (e.g. `fir64`).
+    pub fn benchmark(&self) -> &'static str {
+        self.problem.label()
+    }
+
+    /// Number of optimization variables `Nv`.
+    pub fn nv(&self) -> usize {
+        self.problem.nv()
+    }
+
+    /// Worker threads in this session's shared backend.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn check_config(&self, config: &[i32]) -> Result<(), SessionError> {
+        if config.len() != self.nv() {
+            return Err(SessionError::bad_request(format!(
+                "config has {} variables, benchmark {} expects {}",
+                config.len(),
+                self.benchmark(),
+                self.nv()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Evaluates one configuration.
+    ///
+    /// # Errors
+    ///
+    /// `bad_request` for a wrong-dimension config, `eval_failed` when the
+    /// simulation rejects it.
+    pub fn evaluate(&mut self, config: &Config) -> Result<OutcomeFrame, SessionError> {
+        self.check_config(config)?;
+        Ok(outcome_frame(&self.evaluator.evaluate(config)?))
+    }
+
+    /// Evaluates a batch through the plan/fulfill/commit path,
+    /// all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// `bad_request` for wrong-dimension configs or oversized batches
+    /// (> [`MAX_BATCH`]); `eval_failed` if any simulation fails (the
+    /// session state is then unchanged).
+    pub fn evaluate_batch(
+        &mut self,
+        configs: &[Config],
+    ) -> Result<Vec<OutcomeFrame>, SessionError> {
+        if configs.len() > MAX_BATCH {
+            return Err(SessionError::bad_request(format!(
+                "batch of {} configs exceeds the limit of {MAX_BATCH}",
+                configs.len()
+            )));
+        }
+        for config in configs {
+            self.check_config(config)?;
+        }
+        let outcomes = self.evaluator.evaluate_batch(configs)?;
+        Ok(outcomes.iter().map(outcome_frame).collect())
+    }
+
+    /// Runs the benchmark's canonical optimizer (min+1 for word-length
+    /// problems, descent for the sensitivity problem) over this session's
+    /// evaluator, accumulating into the session state.
+    ///
+    /// # Errors
+    ///
+    /// `eval_failed` carrying the optimizer failure (evaluation error,
+    /// infeasible constraint, iteration budget).
+    pub fn optimize(&mut self) -> Result<OptimizationResult, SessionError> {
+        let result = if let Some(opts) = self.minplusone {
+            optimize(&mut self.evaluator, &opts)
+        } else if let Some(opts) = self.descent {
+            budget_error_sources(&mut self.evaluator, &opts)
+        } else {
+            unreachable!("every suite problem carries an optimizer")
+        };
+        result.map_err(|e| SessionError {
+            code: codes::EVAL_FAILED,
+            message: match &e {
+                OptError::Eval(inner) => inner.to_string(),
+                other => other.to_string(),
+            },
+        })
+    }
+
+    /// Captures the session state (resumable offline via
+    /// `HybridEvaluator::resume`).
+    pub fn snapshot(&self) -> SessionSnapshot {
+        self.evaluator.snapshot()
+    }
+
+    /// The session's accumulated statistics.
+    pub fn stats(&self) -> &HybridStats {
+        self.evaluator.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> BackendPool {
+        BackendPool::new(1, Registry::new(), Tracer::disabled())
+    }
+
+    fn hello(benchmark: &str) -> HelloParams {
+        HelloParams {
+            benchmark: benchmark.to_string(),
+            ..HelloParams::default()
+        }
+    }
+
+    #[test]
+    fn sessions_on_one_surface_share_a_backend() {
+        let pool = pool();
+        let a = Session::open(1, &hello("fir"), &pool).unwrap();
+        let b = Session::open(2, &hello("fir"), &pool).unwrap();
+        assert_eq!(pool.len(), 1, "same surface, one backend");
+        let c = Session::open(3, &hello("iir"), &pool).unwrap();
+        assert_eq!(pool.len(), 2, "different benchmark, second backend");
+        assert_eq!(a.nv(), 2);
+        assert_eq!(b.benchmark(), "fir64");
+        assert_eq!(c.nv(), 5);
+    }
+
+    #[test]
+    fn shared_cache_answers_repeat_simulations_across_sessions() {
+        let pool = pool();
+        let mut a = Session::open(1, &hello("fir"), &pool).unwrap();
+        let mut b = Session::open(2, &hello("fir"), &pool).unwrap();
+        let config = vec![9, 9];
+        let va = a.evaluate(&config).unwrap();
+        let before = pool.cache_stats();
+        let vb = b.evaluate(&config).unwrap();
+        let after = pool.cache_stats();
+        assert_eq!(va.value, vb.value, "one surface, one value");
+        assert!(
+            after.hits > before.hits,
+            "second session's simulation hits the shared cache: {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_dimension_config_is_a_bad_request() {
+        let pool = pool();
+        let mut s = Session::open(1, &hello("fir"), &pool).unwrap();
+        let err = s.evaluate(&vec![9, 9, 9]).unwrap_err();
+        assert_eq!(err.code, codes::BAD_REQUEST);
+        let err = s.evaluate_batch(&[vec![9]]).unwrap_err();
+        assert_eq!(err.code, codes::BAD_REQUEST);
+    }
+
+    #[test]
+    fn pilot_variogram_is_rejected_as_unsupported() {
+        let pool = pool();
+        let mut params = hello("fir");
+        params.variogram = Some("pilot".to_string());
+        let err = Session::open(1, &params, &pool).unwrap_err();
+        assert_eq!(err.code, codes::UNSUPPORTED);
+    }
+
+    #[test]
+    fn hello_parameter_errors_are_typed() {
+        let pool = pool();
+        assert_eq!(
+            Session::open(1, &hello("nope"), &pool).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        let mut params = hello("fir");
+        params.d = Some(-1.0);
+        assert_eq!(
+            Session::open(1, &params, &pool).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        let mut params = hello("fir");
+        params.metric = Some("hamming".to_string());
+        assert_eq!(
+            Session::open(1, &params, &pool).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn optimize_and_snapshot_ride_the_session_state() {
+        let pool = pool();
+        let mut params = hello("fir");
+        params.variogram = Some("fixed-linear:1.0".to_string());
+        let mut s = Session::open(1, &params, &pool).unwrap();
+        let result = s.optimize().unwrap();
+        assert!(result.lambda >= 28.0, "fir's canonical constraint holds");
+        let snapshot = s.snapshot();
+        assert_eq!(snapshot.stats.queries, s.stats().queries);
+        assert!(!snapshot.configs.is_empty());
+    }
+}
