@@ -27,7 +27,11 @@ use krigeval_core::{
     Config, DistanceMetric, EvalError, FnEvaluator, HybridEvaluator, HybridObs, HybridSettings,
     VariogramModel, VariogramPolicy,
 };
-use krigeval_engine::{EngineBackend, SimCache};
+use krigeval_engine::shard::{merge_shards, parse_shard, render_shard, shard_runs, ShardManifest};
+use krigeval_engine::{
+    run_specs_opts, CampaignSpec, EngineBackend, ExecOptions, FaultConfig, FaultPolicy, Progress,
+    SimCache, SinkOptions,
+};
 use krigeval_obs::{Registry, Tracer};
 use krigeval_serve::protocol::{HelloParams, Request, Response};
 use krigeval_serve::server::{Server, ServerConfig};
@@ -372,6 +376,69 @@ fn server_roundtrip_us() -> f64 {
     rtt
 }
 
+/// Wall time of the process-sharding round trip on a fast chaos
+/// campaign: execute 3 shards (serially, in-process — what a CI matrix
+/// does across jobs), then parse + merge the shard artifacts back into
+/// the single-process JSONL. Returns `(shard_ms, merge_ms)`: total
+/// execution wall for the three shards and the reassembly cost alone.
+/// Transient faults (errors only, so the bench log stays quiet) are
+/// active to keep the measured path the one CI exercises.
+fn shard_merge_wall_ms() -> (f64, f64) {
+    let spec = CampaignSpec {
+        name: "perfshard".to_string(),
+        benchmarks: vec!["fir".to_string()],
+        distances: vec![2.0, 3.0, 4.0],
+        repeats: 2,
+        on_error: Some(FaultPolicy::Skip),
+        faults: Some(FaultConfig {
+            panic_rate: 0.0,
+            error_rate: 0.002,
+            nan_rate: 0.002,
+            seed: 7,
+        }),
+        ..CampaignSpec::default()
+    };
+    let runs = spec.expand().expect("valid spec");
+    let total = runs.len() as u64;
+
+    let start = Instant::now();
+    let mut artifacts = Vec::new();
+    for index in 0..3u64 {
+        let manifest = ShardManifest::new(&spec, index, 3, total);
+        let outcome = run_specs_opts(
+            shard_runs(runs.clone(), index, 3),
+            ExecOptions {
+                workers: 2,
+                progress: Progress::Silent,
+                policy: FaultPolicy::Skip,
+                journal: None,
+                journal_options: SinkOptions::default(),
+                progress_out: None,
+                obs: None,
+            },
+        )
+        .expect("shard completes under skip");
+        artifacts.push(render_shard(
+            &manifest,
+            &outcome.records,
+            &outcome.failures,
+            SinkOptions::default(),
+        ));
+    }
+    let shard_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let shards: Vec<_> = artifacts
+        .iter()
+        .enumerate()
+        .map(|(i, text)| parse_shard(format!("shard{i}.jsonl"), text).expect("shard parses"))
+        .collect();
+    let (records, failures) = merge_shards(&shards).expect("shards merge");
+    std::hint::black_box(records.len() + failures.len());
+    let merge_ms = start.elapsed().as_secs_f64() * 1e3;
+    (shard_ms, merge_ms)
+}
+
 fn table1_fast_wall_s(workers: usize) -> f64 {
     let start = Instant::now();
     let table = run_table_parallel(
@@ -437,6 +504,9 @@ fn main() {
     eprintln!("  min+1 iir8 engine @4      {mp_engine4:>10.3} ms");
     let server_rtt = server_roundtrip_us();
     eprintln!("  serve kriged RTT          {server_rtt:>10.3} us");
+    let (shard_ms, merge_ms) = shard_merge_wall_ms();
+    eprintln!("  3-shard chaos campaign    {shard_ms:>10.3} ms");
+    eprintln!("  shard merge               {merge_ms:>10.3} ms");
     let table1 = if skip_table1 {
         None
     } else {
@@ -491,6 +561,14 @@ fn main() {
             obj(vec![
                 ("kriged_rtt_us", num(server_rtt)),
                 ("budget_us", num(SERVER_RTT_BUDGET_US)),
+            ]),
+        ),
+        (
+            "shard_merge",
+            obj(vec![
+                ("shards", Value::Number(Number::PosInt(3))),
+                ("shard_wall_ms", num(shard_ms)),
+                ("merge_wall_ms", num(merge_ms)),
             ]),
         ),
     ];

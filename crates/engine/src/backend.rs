@@ -14,13 +14,20 @@
 //! # Determinism
 //!
 //! The backend honours the [`EvalBackend`] contract: values are returned
-//! in request order, and a failed batch reports the error of the
+//! in request order, and a failed batch reports the failure of the
 //! lowest-indexed failing request regardless of which worker observed it
-//! first. Because each request's value is a pure function of its
-//! configuration (fixed-seed simulators) and the cache only memoizes
-//! values the simulators would produce anyway, results are bitwise
-//! identical across worker counts — the backend-parity suite pins this
-//! for all four optimizers.
+//! first — including injected panics, which each worker catches and the
+//! fulfilling thread re-raises with the original payload, exactly as the
+//! serial evaluator stack would have panicked in the caller. Because
+//! each request's value is a pure function of its configuration
+//! (fixed-seed simulators), each request's injected *fate* is a pure
+//! function of its configuration too (the content-addressed
+//! [`FaultStream`], fired **before** the cache so a scheduling accident —
+//! whose lookup happens to hit — can never skip a draw), and the cache
+//! only memoizes values the simulators would produce anyway, results are
+//! bitwise identical across worker counts — the backend-parity and chaos
+//! suites pin this for all four optimizers and for active fault
+//! injection.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -32,7 +39,14 @@ use std::time::Instant;
 use krigeval_core::{AccuracyEvaluator, Config, EvalBackend, EvalError, SimulationRequest};
 
 use crate::cache::SimCache;
+use crate::fault::FaultStream;
 use crate::obs::BackendObs;
+
+/// What a worker sends back for one job: the index, and either the
+/// computed result or the payload of a caught panic (re-raised by the
+/// fulfilling thread if its index turns out to be the batch's
+/// lowest-indexed failure).
+type JobOutcome = (usize, std::thread::Result<Result<f64, EvalError>>);
 
 /// One unit of pool work: simulate `config`, report under `index`.
 struct Job {
@@ -57,6 +71,12 @@ struct PoolShared {
     /// Optional metric bundle (`backend_*`), set once via
     /// [`EngineBackend::with_obs`] before the first batch.
     obs: OnceLock<BackendObs>,
+    /// Optional content-addressed fault stream, set once via
+    /// [`EngineBackend::with_faults`] before the first batch. Fired at
+    /// the top of [`PoolShared::compute`] — before the cache, before the
+    /// retry loop — so each configuration's fate is drawn exactly as the
+    /// serial evaluator stack draws it.
+    fault: OnceLock<FaultStream>,
 }
 
 impl PoolShared {
@@ -67,6 +87,14 @@ impl PoolShared {
         evaluator: &mut (dyn AccuracyEvaluator + Send),
         config: &Config,
     ) -> Result<f64, EvalError> {
+        // Content-addressed injection gate: the fate of `config` is drawn
+        // here, before the cache can answer and before the retry loop can
+        // re-roll — injected failures are not transient at this level (the
+        // campaign executor's per-run attempt counter re-keys the stream
+        // instead).
+        if let Some(fault) = self.fault.get() {
+            fault.fire(config)?;
+        }
         let max_retries = self.max_retries.load(Ordering::Relaxed);
         let mut attempt: u32 = 0;
         loop {
@@ -109,7 +137,7 @@ impl PoolShared {
 fn worker_loop(
     shared: &PoolShared,
     mut evaluator: Box<dyn AccuracyEvaluator + Send>,
-    results: &Sender<(usize, Result<f64, EvalError>)>,
+    results: &Sender<JobOutcome>,
 ) {
     loop {
         let job = {
@@ -131,7 +159,14 @@ fn worker_loop(
             obs.queue_wait_us
                 .record(enqueued.elapsed().as_secs_f64() * 1e6);
         }
-        let result = shared.compute(&mut *evaluator, &job.config);
+        // Contain panics (injected or organic) to the job that raised
+        // them: the worker survives, the payload travels to the
+        // fulfilling thread, and — if this index is the batch's
+        // lowest-indexed failure — is re-raised there with the original
+        // message, exactly where the serial stack would have panicked.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.compute(&mut *evaluator, &job.config)
+        }));
         if results.send((job.index, result)).is_err() {
             return; // backend dropped mid-batch
         }
@@ -146,7 +181,7 @@ pub struct EngineBackend {
     /// Serial-path evaluator, used for single-request batches, for
     /// `fulfill_one`, and whenever `workers <= 1`.
     local: Box<dyn AccuracyEvaluator + Send>,
-    results: Receiver<(usize, Result<f64, EvalError>)>,
+    results: Receiver<JobOutcome>,
     handles: Vec<JoinHandle<()>>,
     num_variables: usize,
     workers: usize,
@@ -190,6 +225,7 @@ impl EngineBackend {
             max_retries: AtomicU32::new(0),
             evaluations: AtomicU64::new(0),
             obs: OnceLock::new(),
+            fault: OnceLock::new(),
         });
         let (tx, results) = std::sync::mpsc::channel();
         let handles = if workers > 1 {
@@ -233,6 +269,19 @@ impl EngineBackend {
     #[must_use]
     pub fn with_obs(self, obs: BackendObs) -> EngineBackend {
         let _ = self.shared.obs.set(obs);
+        self
+    }
+
+    /// Attaches a content-addressed [`FaultStream`]: every configuration
+    /// computed through the pool (or the serial local path) first draws
+    /// its fate from the stream, before the cache and before any retry.
+    /// `None` — or an inactive stream — leaves the backend fault-free.
+    /// Attach before the first batch; a second call is ignored.
+    #[must_use]
+    pub fn with_faults(self, stream: Option<FaultStream>) -> EngineBackend {
+        if let Some(stream) = stream.filter(FaultStream::is_active) {
+            let _ = self.shared.fault.set(stream);
+        }
         self
     }
 
@@ -292,7 +341,7 @@ impl EvalBackend for EngineBackend {
             obs.queue_depth.set(requests.len() as i64);
         }
         self.shared.available.notify_all();
-        let mut slots: Vec<Option<Result<f64, EvalError>>> =
+        let mut slots: Vec<Option<std::thread::Result<Result<f64, EvalError>>>> =
             (0..requests.len()).map(|_| None).collect();
         for _ in 0..requests.len() {
             let (index, result) = self
@@ -305,11 +354,18 @@ impl EvalBackend for EngineBackend {
             obs.queue_depth.set(0);
         }
         finish(obs, batch_start);
-        // Deterministic error selection: the lowest-indexed failure wins,
-        // no matter which worker hit it first.
+        // Deterministic failure selection: scanning in request order, the
+        // lowest-indexed failure wins no matter which worker hit it first
+        // — an error returns, a caught panic re-raises with its original
+        // payload (matching the serial stack, which would have panicked at
+        // that request and never reached the later ones).
         let mut values = Vec::with_capacity(slots.len());
         for slot in slots {
-            values.push(slot.expect("every index was reported once")?);
+            match slot.expect("every index was reported once") {
+                Ok(Ok(value)) => values.push(value),
+                Ok(Err(error)) => return Err(error),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         Ok(values)
     }
@@ -456,6 +512,95 @@ mod tests {
             strict.fulfill_one(&vec![7]).is_err(),
             "no retries by default"
         );
+    }
+
+    #[test]
+    fn injected_failures_are_identical_at_any_worker_count() {
+        use crate::fault::{FaultConfig, FaultPhase};
+        let config = FaultConfig {
+            panic_rate: 0.0,
+            error_rate: 0.25,
+            nan_rate: 0.25,
+            seed: 21,
+        };
+        let stream = || Some(FaultStream::new(config, "t/fast/0", 0, FaultPhase::Hybrid));
+        let configs: Vec<Config> = (0..40).map(|i| vec![i / 5, i % 5]).collect();
+        let outcome = |workers: usize| -> Vec<Result<f64, String>> {
+            let mut backend =
+                EngineBackend::new(factory(), workers, Arc::new(SimCache::new()), "t")
+                    .with_faults(stream());
+            configs
+                .iter()
+                .map(|c| backend.fulfill_one(c).map_err(|e| e.to_string()))
+                .collect()
+        };
+        let serial = outcome(1);
+        assert_eq!(serial, outcome(4), "worker count changed injected fates");
+        assert!(serial.iter().any(Result::is_err), "faults were injected");
+        assert!(serial.iter().any(Result::is_ok), "real calls got through");
+        // Batch fulfillment reports the lowest-indexed injected failure.
+        let first_err = serial.iter().position(|r| r.is_err()).unwrap();
+        for workers in [1, 4] {
+            let mut backend =
+                EngineBackend::new(factory(), workers, Arc::new(SimCache::new()), "t")
+                    .with_faults(stream());
+            let err = backend.fulfill(&requests(&configs)).unwrap_err();
+            assert_eq!(
+                err.to_string(),
+                *serial[first_err].as_ref().unwrap_err(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    /// Silences the default panic hook for injected panics only (they are
+    /// expected and caught); everything else still reports.
+    fn silence_injected_panics() {
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.starts_with("injected panic"));
+                if !injected {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_rethrown_with_their_payload() {
+        use crate::fault::{FaultConfig, FaultPhase};
+        silence_injected_panics();
+        let config = FaultConfig {
+            panic_rate: 1.0,
+            error_rate: 0.0,
+            nan_rate: 0.0,
+            seed: 3,
+        };
+        let stream = FaultStream::new(config, "t/fast/0", 1, FaultPhase::Pilot);
+        let expected = stream.panic_message(&vec![0, 0]);
+        let configs: Vec<Config> = (0..8).map(|i| vec![i / 4, i % 4]).collect();
+        let mut backend = EngineBackend::new(factory(), 4, Arc::new(SimCache::new()), "t")
+            .with_faults(Some(stream));
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = backend.fulfill(&requests(&configs));
+        }))
+        .unwrap_err();
+        assert_eq!(payload.downcast_ref::<String>().unwrap(), &expected);
+        // The pool survived the panic: a fault-free-looking config (none
+        // exists at rate 1.0, so check the workers themselves) can still
+        // serve a later batch after the stream is exhausted of real
+        // fates — fulfill again and observe the same deterministic panic
+        // rather than a dead-worker recv failure.
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = backend.fulfill(&requests(&configs));
+        }))
+        .unwrap_err();
+        assert_eq!(payload.downcast_ref::<String>().unwrap(), &expected);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! ```text
 //! campaign template                 # print a spec template (JSON) to stdout
 //! campaign run [OPTIONS]           # execute a campaign, emit JSONL
+//! campaign shard [OPTIONS]         # execute one shard of a campaign
+//! campaign merge FILES [OPTIONS]   # reassemble shard files into one JSONL
 //! campaign table [OPTIONS]         # execute and render a Table-I-style table
 //! campaign compare [OPTIONS]       # sequential vs parallel wall-clock
 //! ```
@@ -26,8 +28,9 @@
 //! --threads N        in-run evaluation threads: each run's planned
 //!                    simulation batches fan out over N workers via the
 //!                    engine backend (default 1 = inline backend; results
-//!                    are identical for any value; incompatible with
-//!                    active fault injection)
+//!                    are identical for any value, including under active
+//!                    fault injection — fault fates are content-addressed,
+//!                    not call-ordered)
 //! --out FILE         write JSONL to FILE instead of stdout
 //! --on-error P       fail-fast | skip | retry:N  (default fail-fast;
 //!                    overrides the spec's on_error field)
@@ -47,10 +50,30 @@
 //! --quiet            suppress stderr progress lines
 //! ```
 //!
+//! `shard`-only options:
+//!
+//! ```text
+//! --index I          this process's shard index (0-based, required)
+//! --of N             total number of shards (required)
+//! ```
+//!
 //! With `--out`, `run` streams every completed row to the file as a
 //! flushed journal line and rewrites the file in finalized form (rows
 //! in index order plus the summary) on success — killing the process
 //! mid-campaign leaves a valid journal for `--resume`.
+//!
+//! `shard` executes only the runs whose expansion index `i` satisfies
+//! `i % N == I` (the same residue-class partition at any `N`), writing
+//! an independent flush-per-line journal to `--out` (required) whose
+//! first line is a shard manifest header; `--resume` revalidates the
+//! header and continues an interrupted shard. `merge` takes the shard
+//! files as positional arguments, validates them up front (same
+//! campaign, same partition, no gaps, no overlaps, no truncation —
+//! typed errors name the offending file) and emits the single-process
+//! byte-identical JSONL: because fault fates are content-addressed and
+//! deterministic output carries no scheduling fields, `merge` of `N`
+//! shards reproduces `campaign run` byte for byte. `merge` always emits
+//! deterministic (timing-off) output.
 
 use std::fs;
 use std::io::Write as _;
@@ -61,9 +84,12 @@ use std::sync::Arc;
 use krigeval_engine::executor::{run_campaign, run_specs_opts, ExecOptions, Progress};
 use krigeval_engine::fault::FaultPolicy;
 use krigeval_engine::obs::CampaignObs;
+use krigeval_engine::shard::{
+    merge_shards, parse_manifest, parse_shard, render_shard, shard_runs, ShardManifest,
+};
 use krigeval_engine::sink::{load_journal, to_jsonl_string_full, JournalWriter, SinkOptions};
 use krigeval_engine::spec::{CampaignSpec, OptimizerSpec, VariogramSpec};
-use krigeval_engine::{RunRecord, SummaryRecord};
+use krigeval_engine::{CacheStats, RunRecord, SummaryRecord};
 use krigeval_obs::{JsonlSink, Registry, Tracer};
 
 fn fail(message: &str) -> ExitCode {
@@ -158,6 +184,12 @@ struct Cli {
     resume: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    /// `shard`: this process's partition slot (`--index`).
+    shard_index: Option<u64>,
+    /// `shard`: the partition arity (`--of`).
+    shard_of: Option<u64>,
+    /// Positional arguments (`merge`: the shard files).
+    inputs: Vec<String>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -170,6 +202,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         resume: false,
         metrics_out: None,
         trace_out: None,
+        shard_index: None,
+        shard_of: None,
+        inputs: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -209,6 +244,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--metrics-out" => cli.metrics_out = Some(value()?.to_string()),
             "--trace-out" => cli.trace_out = Some(value()?.to_string()),
             "--quiet" => cli.quiet = true,
+            "--index" => cli.shard_index = Some(value()?.parse().map_err(|_| "bad --index")?),
+            "--of" => cli.shard_of = Some(value()?.parse().map_err(|_| "bad --of")?),
+            other if !other.starts_with('-') => cli.inputs.push(other.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -225,19 +263,10 @@ fn emit(cli: &Cli, text: &str) -> Result<(), String> {
     }
 }
 
-fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
-    let progress = if cli.quiet {
-        Progress::Silent
-    } else {
-        Progress::Stderr
-    };
-    let options = SinkOptions {
-        include_timing: cli.timing,
-    };
-
-    // Observability: one registry and one tracer for the whole campaign,
-    // built only when requested — the default path carries no obs
-    // bookkeeping at all.
+/// Observability setup shared by `run`, `shard` and `merge`: one
+/// registry and one tracer for the whole invocation, built only when
+/// requested — the default path carries no obs bookkeeping at all.
+fn build_obs(cli: &Cli) -> Result<(Registry, Option<CampaignObs>), String> {
     let registry = Registry::new();
     let tracer = match &cli.trace_out {
         Some(path) => {
@@ -249,6 +278,37 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
     };
     let obs = (cli.metrics_out.is_some() || cli.trace_out.is_some())
         .then(|| CampaignObs::new(&registry, tracer).with_timing(cli.timing));
+    Ok((registry, obs))
+}
+
+/// Writes the final metrics snapshot to `--metrics-out` (Prometheus text
+/// when the path ends in `.prom`, JSON otherwise).
+fn write_metrics(cli: &Cli, registry: &Registry) -> Result<(), String> {
+    let Some(path) = &cli.metrics_out else {
+        return Ok(());
+    };
+    let snapshot = registry.snapshot();
+    let mut text = if path.ends_with(".prom") {
+        snapshot.to_prometheus()
+    } else {
+        snapshot.to_json(cli.timing)
+    };
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    fs::write(path, text).map_err(|e| format!("cannot write metrics to {path}: {e}"))
+}
+
+fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
+    let progress = if cli.quiet {
+        Progress::Silent
+    } else {
+        Progress::Stderr
+    };
+    let options = SinkOptions {
+        include_timing: cli.timing,
+    };
+    let (registry, obs) = build_obs(cli)?;
 
     // Resume: replay the journalled rows, execute only the remainder.
     let (mut records, mut failures) = if cli.resume {
@@ -336,18 +396,7 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
             options,
         ),
     )?;
-    if let Some(path) = &cli.metrics_out {
-        let snapshot = registry.snapshot();
-        let mut text = if path.ends_with(".prom") {
-            snapshot.to_prometheus()
-        } else {
-            snapshot.to_json(cli.timing)
-        };
-        if !text.ends_with('\n') {
-            text.push('\n');
-        }
-        fs::write(path, text).map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
-    }
+    write_metrics(cli, &registry)?;
     if !cli.quiet {
         eprintln!(
             "campaign {:?}: {} runs ({} failed) on {} workers in {:.0} ms; \
@@ -364,13 +413,7 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
         );
         if obs.is_some() {
             let snapshot = registry.snapshot();
-            let counter = |name: &str| {
-                snapshot
-                    .counters
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map_or(0, |(_, v)| *v)
-            };
+            let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
             eprintln!(
                 "obs: runs {} ok / {} failed | journal {} writes / {} errors | \
                  hybrid {} queries ({} sim, {} krig, {} cached) | retries {}",
@@ -396,6 +439,192 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
             cli.spec.name,
             failures.len(),
             outcome.journal_errors.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_shard(cli: &Cli) -> Result<ExitCode, String> {
+    let index = cli
+        .shard_index
+        .ok_or_else(|| "shard needs --index (this process's shard, 0-based)".to_string())?;
+    let of = cli
+        .shard_of
+        .ok_or_else(|| "shard needs --of (the total number of shards)".to_string())?;
+    if of == 0 {
+        return Err("--of must be at least 1".to_string());
+    }
+    if index >= of {
+        return Err(format!("--index {index} is out of range for --of {of}"));
+    }
+    let out = cli
+        .out
+        .as_deref()
+        .ok_or_else(|| "shard needs --out (the shard artifact to write)".to_string())?;
+    let progress = if cli.quiet {
+        Progress::Silent
+    } else {
+        Progress::Stderr
+    };
+    let options = SinkOptions {
+        include_timing: cli.timing,
+    };
+    let (registry, obs) = build_obs(cli)?;
+
+    let all_runs = cli.spec.expand().map_err(|e| e.to_string())?;
+    let total = all_runs.len() as u64;
+    let manifest = ShardManifest::new(&cli.spec, index, of, total);
+
+    // Per-shard resume: revalidate the manifest header (continuing a
+    // shard of a different campaign — or a different slot — would merge
+    // into a corrupt artifact), then replay the journalled rows.
+    let (mut records, mut failures) = if cli.resume {
+        let text =
+            fs::read_to_string(out).map_err(|e| format!("cannot read shard journal {out}: {e}"))?;
+        let found = parse_manifest(out, &text).map_err(|e| e.to_string())?;
+        if found != manifest {
+            return Err(format!(
+                "{out}: existing shard manifest does not match this invocation \
+                 (found shard {} of {} for campaign {:?} digest {}, expected \
+                 shard {index} of {of} for campaign {:?} digest {})",
+                found.index,
+                found.of,
+                found.name,
+                found.spec_digest,
+                manifest.name,
+                manifest.spec_digest,
+            ));
+        }
+        load_journal(&text).map_err(|e| format!("{out}: {e}"))?
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let done: std::collections::HashSet<u64> = records
+        .iter()
+        .map(|r| r.index)
+        .chain(failures.iter().map(|f| f.index))
+        .collect();
+    let runs: Vec<_> = shard_runs(all_runs, index, of)
+        .into_iter()
+        .filter(|r| !done.contains(&r.index))
+        .collect();
+    if let Some(obs) = &obs {
+        if cli.resume {
+            obs.record_resume(done.len() as u64);
+        }
+        obs.record_shard(index, of, runs.len() as u64);
+    }
+    if !cli.quiet {
+        eprintln!(
+            "shard {index} of {of} for {:?}: {} of {total} rows owned, {} to run",
+            cli.spec.name,
+            done.len() + runs.len(),
+            runs.len()
+        );
+    }
+
+    // A fresh shard journal starts with its manifest header, before any
+    // row can land; a resumed journal already carries it.
+    let journal = if cli.resume {
+        JournalWriter::append(out).map_err(|e| format!("cannot append {out}: {e}"))?
+    } else {
+        let journal =
+            JournalWriter::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        journal
+            .line(&manifest.render())
+            .map_err(|e| format!("cannot write shard manifest to {out}: {e}"))?;
+        journal
+    };
+    let outcome = run_specs_opts(
+        runs,
+        ExecOptions {
+            workers: cli.workers,
+            progress,
+            policy: cli.spec.on_error.unwrap_or_default(),
+            journal: Some(&journal),
+            journal_options: options,
+            progress_out: None,
+            obs: obs.as_ref(),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    drop(journal);
+
+    records.extend(outcome.records.iter().cloned());
+    records.sort_by_key(|r| r.index);
+    failures.extend(outcome.failures.iter().cloned());
+    failures.sort_by_key(|f| f.index);
+    fs::write(out, render_shard(&manifest, &records, &failures, options))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    write_metrics(cli, &registry)?;
+    if !cli.quiet {
+        eprintln!(
+            "shard {index} of {of} for {:?}: {} runs ({} failed) on {} workers in {:.0} ms",
+            cli.spec.name,
+            records.len(),
+            failures.len(),
+            outcome.workers,
+            outcome.wall_ms,
+        );
+    }
+    // Same incomplete contract as `run`: the artifact is emitted either
+    // way, but lost rows must not exit 0 (printed even under --quiet).
+    if !failures.is_empty() || !outcome.journal_errors.is_empty() {
+        eprintln!(
+            "campaign {:?} shard {index} of {of}: incomplete — {} run(s) failed, \
+             {} journal write(s) lost",
+            cli.spec.name,
+            failures.len(),
+            outcome.journal_errors.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_merge(cli: &Cli) -> Result<ExitCode, String> {
+    if cli.inputs.is_empty() {
+        return Err("merge needs the shard files as positional arguments".to_string());
+    }
+    let (registry, obs) = build_obs(cli)?;
+    let mut shards = Vec::new();
+    for path in &cli.inputs {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        shards.push(parse_shard(path.as_str(), &text).map_err(|e| e.to_string())?);
+    }
+    let (records, failures) = merge_shards(&shards).map_err(|e| e.to_string())?;
+    let name = shards[0].manifest.name.clone();
+    if let Some(obs) = &obs {
+        obs.record_merge(shards.len() as u64, (records.len() + failures.len()) as u64);
+    }
+    // The merged artifact is always the deterministic (timing-off) form:
+    // scheduling ran in other processes, so there is nothing truthful to
+    // put in the timing fields — and byte-identity with the
+    // single-process deterministic output is the whole point.
+    let summary =
+        SummaryRecord::from_records(&name, &records, &failures, CacheStats::default(), 1, None);
+    emit(
+        cli,
+        &to_jsonl_string_full(&records, &failures, &[], &summary, SinkOptions::default()),
+    )?;
+    write_metrics(cli, &registry)?;
+    if !cli.quiet {
+        eprintln!(
+            "merged {} shards of {:?}: {} runs ({} failed)",
+            shards.len(),
+            name,
+            records.len(),
+            failures.len(),
+        );
+    }
+    // Failed rows carried by the shards make the merged artifact
+    // incomplete, exactly as they would a single-process run (printed
+    // even under --quiet).
+    if !failures.is_empty() {
+        eprintln!(
+            "campaign {name:?}: incomplete — {} run(s) failed, 0 journal write(s) lost",
+            failures.len(),
         );
         return Ok(ExitCode::FAILURE);
     }
@@ -478,7 +707,7 @@ fn cmd_compare(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-const HELP: &str = "usage: campaign <template|run|table|compare|help> [options]\n\
+const HELP: &str = "usage: campaign <template|run|shard|merge|table|compare|help> [options]\n\
 see the module docs (crates/engine/src/bin/campaign.rs) for the option list\n";
 
 fn main() -> ExitCode {
@@ -498,6 +727,8 @@ fn main() -> ExitCode {
     let result = match command {
         "template" => emit(&cli, &format!("{}\n", cli.spec.to_json())).map(|()| ExitCode::SUCCESS),
         "run" => cmd_run(&cli),
+        "shard" => cmd_shard(&cli),
+        "merge" => cmd_merge(&cli),
         "table" => cmd_table(&cli).map(|()| ExitCode::SUCCESS),
         "compare" => cmd_compare(&cli).map(|()| ExitCode::SUCCESS),
         other => return fail(&format!("unknown subcommand {other:?}")),

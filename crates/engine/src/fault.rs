@@ -1,20 +1,24 @@
-//! Failure policies and deterministic fault injection.
+//! Failure policies and deterministic, content-addressed fault injection.
 //!
 //! The campaign executor treats a run as an all-or-nothing transaction:
 //! an attempt either produces a complete [`crate::sink::RunRecord`] or
 //! fails (an optimizer error, or a panic somewhere inside the
 //! simulation stack). What happens next is governed by a
 //! [`FaultPolicy`]; how failures are *manufactured* for testing is
-//! governed by a [`FaultConfig`] driving a [`FaultInjectingEvaluator`].
+//! governed by a [`FaultConfig`] driving a [`FaultStream`].
 //!
-//! # Determinism contract
+//! # Determinism contract (content-addressed)
 //!
-//! Fault injection draws from a [splitmix64] stream seeded purely by
-//! `(fault seed, run index, attempt, phase)` and advanced once per
-//! evaluator call. No wall clock, no OS entropy, no scheduling input:
-//! the i-th evaluator call of attempt `a` of run `r` sees the same
-//! fate on every machine, every worker count, every execution. Two
-//! consequences the chaos test suite relies on:
+//! The fate of an evaluator call is a pure function of **what** is being
+//! evaluated, never of **when** or **where**: each call hashes
+//! `(fault seed, benchmark id, scale, run seed, attempt, phase, config
+//! words)` into a stable 64-bit digest, and that digest alone decides
+//! whether the call panics, errors, returns `NaN`, or runs the real
+//! simulator. No call counter, no RNG state, no wall clock, no OS
+//! entropy, no scheduling input: a configuration evaluated by worker 0
+//! of a 4-thread pool, by the inline serial stack, or by shard 2 of a
+//! 3-process campaign draws the identical fate. Consequences the chaos
+//! and shard suites rely on:
 //!
 //! * a run that completes under injection produces the **same record**
 //!   as a fault-free run (an attempt that survives its draws makes
@@ -22,12 +26,26 @@
 //!   scheduling-dependent fields with timing off);
 //! * the injector sits **outside** the shared [`crate::cache::SimCache`]
 //!   wrapper, so whether a value happens to be served from cache (a
-//!   scheduling accident) cannot change which calls draw faults.
+//!   scheduling accident) cannot change which calls draw faults;
+//! * `threads > 1`, any executor worker count, and process-level
+//!   sharding all compose with active faults — reordering evaluations
+//!   cannot reorder fates, because fates carry no order.
+//!
+//! Retries still draw fresh faults: the executor's per-run `attempt`
+//! counter is part of the digest, so attempt 1 re-rolls every
+//! configuration that doomed attempt 0.
 //!
 //! Injected `NaN` values are converted to errors by the
-//! [`krigeval_core::FiniteGuard`] stacked above the injector before
-//! they can reach the hybrid store or the cache — injected values are
-//! never memoized and never feed the variogram.
+//! [`krigeval_core::FiniteGuard`] stacked above the serial injector (the
+//! parallel backend raises the byte-identical error itself via
+//! [`FaultStream::fire`]) before they can reach the hybrid store or the
+//! cache — injected values are never memoized and never feed the
+//! variogram.
+//!
+//! The digest is the [splitmix64] finalizer folded over the key
+//! material: seedable from a single word, stateless, and fully
+//! determined by its input — exactly the reproducibility contract fault
+//! injection needs.
 //!
 //! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
 
@@ -97,11 +115,12 @@ impl FaultPolicy {
 
 /// Deterministic fault-injection rates for chaos testing.
 ///
-/// Each evaluator call draws one uniform number `u ∈ [0, 1)` from the
-/// per-`(seed, run, attempt, phase)` stream and partitions it:
-/// `u < panic_rate` panics, then `error_rate` returns a transient
-/// [`EvalError`], then `nan_rate` returns `NaN` (rejected upstream by
-/// [`krigeval_core::FiniteGuard`]); otherwise the real simulator runs.
+/// Each evaluator call derives one uniform number `u ∈ [0, 1)` from the
+/// content-addressed digest of the call (see the module docs) and
+/// partitions it: `u < panic_rate` panics, then `error_rate` returns a
+/// transient [`EvalError`], then `nan_rate` returns a non-finite value
+/// (rejected upstream by [`krigeval_core::FiniteGuard`]); otherwise the
+/// real simulator runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultConfig {
     /// Probability that a call panics.
@@ -154,9 +173,8 @@ impl FaultConfig {
     }
 }
 
-/// Which half of a run an injector is wired into. Part of the stream
-/// seed, so the pilot and hybrid phases draw independent fault
-/// sequences.
+/// Which half of a run an injector is wired into. Part of the digest,
+/// so the pilot and hybrid phases draw independent fault fates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultPhase {
     /// The variogram pilot run.
@@ -165,80 +183,171 @@ pub enum FaultPhase {
     Hybrid,
 }
 
-/// splitmix64: the standard 64-bit mixing generator. Chosen because it
-/// is seedable from a single word, has no state beyond that word, and
-/// its output is fully determined by (seed, draw index) — exactly the
-/// reproducibility contract fault injection needs.
+/// The splitmix64 finalizer as a stateless one-shot mixer: the digest is
+/// this function folded over the key material word by word.
+fn mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fate a call's digest assigns it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFate {
+    /// Run the real simulator.
+    Real,
+    /// Panic (caught at the run boundary, or inside a pool worker).
+    Panic,
+    /// Return a transient [`EvalError`].
+    Error,
+    /// Return a non-finite metric value (rejected before it can be
+    /// stored or cached).
+    Nan,
+}
+
+/// A content-addressed fault stream: one per `(run surface, attempt,
+/// phase)`, assigning each configuration a fate that is independent of
+/// evaluation order, worker, thread count and process (see the module
+/// docs).
+///
+/// The stream is stateless — [`FaultStream::fate`] takes `&self` — so
+/// one instance can be shared by a whole worker pool.
 #[derive(Debug, Clone)]
-struct SplitMix64 {
-    state: u64,
+pub struct FaultStream {
+    config: FaultConfig,
+    attempt: u32,
+    base: u64,
 }
 
-impl SplitMix64 {
-    fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
+impl FaultStream {
+    /// Builds the stream for one attempt of one run phase. `surface` is
+    /// the run's content identity — the engine passes its cache
+    /// namespace, `benchmark/scale/run_seed`, i.e. exactly the inputs
+    /// that determine the simulated surface.
+    pub fn new(config: FaultConfig, surface: &str, attempt: u32, phase: FaultPhase) -> FaultStream {
+        // FNV-1a over the surface id, then fold in the fault seed, the
+        // attempt and the phase through the splitmix finalizer.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in surface.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let phase = match phase {
+            FaultPhase::Pilot => 0u64,
+            FaultPhase::Hybrid => 1u64,
+        };
+        let base = mix64(mix64(mix64(h ^ config.seed) ^ u64::from(attempt)) ^ phase);
+        FaultStream {
+            config,
+            attempt,
+            base,
+        }
     }
 
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+    /// Whether any injection can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.config.is_active()
     }
 
-    /// Uniform in `[0, 1)` with 53 bits of precision.
-    fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    /// The content-addressed digest of one call: the stream base folded
+    /// with the configuration words.
+    fn digest(&self, config: &Config) -> u64 {
+        let mut h = mix64(self.base ^ config.len() as u64);
+        for &w in config {
+            h = mix64(h ^ (i64::from(w) as u64));
+        }
+        h
     }
-}
 
-/// Derives the injection stream seed for one `(run, attempt, phase)`.
-/// Distinct odd multipliers decorrelate the coordinates; the splitmix
-/// finalizer then whitens the combination.
-fn stream_seed(seed: u64, run_index: u64, attempt: u32, phase: FaultPhase) -> u64 {
-    let phase = match phase {
-        FaultPhase::Pilot => 0u64,
-        FaultPhase::Hybrid => 1u64,
-    };
-    let mut mixer = SplitMix64::new(
-        seed ^ run_index.wrapping_mul(0xD6E8_FEB8_6659_FD93)
-            ^ u64::from(attempt).wrapping_mul(0xCA5A_8268_59FD_1E3B)
-            ^ phase.wrapping_mul(0xA076_1D64_78BD_642F),
-    );
-    mixer.next_u64()
+    /// Assigns `config` its fate under this stream. Pure: the same
+    /// configuration gets the same fate no matter who asks, how often,
+    /// or in what order.
+    pub fn fate(&self, config: &Config) -> FaultFate {
+        if !self.config.is_active() {
+            return FaultFate::Real;
+        }
+        // Uniform in [0, 1) with 53 bits of the digest.
+        let u = (self.digest(config) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.config.panic_rate {
+            FaultFate::Panic
+        } else if u < self.config.panic_rate + self.config.error_rate {
+            FaultFate::Error
+        } else if u < self.config.panic_rate + self.config.error_rate + self.config.nan_rate {
+            FaultFate::Nan
+        } else {
+            FaultFate::Real
+        }
+    }
+
+    /// The deterministic panic message for an injected panic on
+    /// `config`. Content-addressed like the fate itself: no call
+    /// counter, so the serial stack and a pool worker produce the same
+    /// bytes.
+    pub fn panic_message(&self, config: &Config) -> String {
+        format!(
+            "injected panic (config {config:?}, attempt {})",
+            self.attempt
+        )
+    }
+
+    /// The deterministic error for an injected transient failure on
+    /// `config`.
+    pub fn error(&self, config: &Config) -> EvalError {
+        EvalError::msg(format!(
+            "injected transient error (config {config:?}, attempt {})",
+            self.attempt
+        ))
+    }
+
+    /// The error an injected non-finite value surfaces as — byte-for-byte
+    /// the message [`krigeval_core::FiniteGuard`] raises when the serial
+    /// stack's injector returns `NaN`, so the parallel backend (which has
+    /// no guard above the injection point) reports identical failures.
+    pub fn nan_error(config: &Config) -> EvalError {
+        EvalError::msg(format!(
+            "non-finite metric value {} for configuration {config:?}",
+            f64::NAN
+        ))
+    }
+
+    /// Applies the fate of `config` at the backend boundary: returns
+    /// `Ok(())` when the real simulator should run, raises the injected
+    /// panic, or returns the injected error (transient, or the
+    /// finite-guard-equivalent rejection for a `NaN` fate).
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`EvalError`] for `Error` and `Nan` fates.
+    ///
+    /// # Panics
+    ///
+    /// Panics (deliberately) for `Panic` fates; the pool worker's
+    /// `catch_unwind` re-throws the payload on the fulfilling thread.
+    pub fn fire(&self, config: &Config) -> Result<(), EvalError> {
+        match self.fate(config) {
+            FaultFate::Real => Ok(()),
+            FaultFate::Panic => panic!("{}", self.panic_message(config)),
+            FaultFate::Error => Err(self.error(config)),
+            FaultFate::Nan => Err(FaultStream::nan_error(config)),
+        }
+    }
 }
 
 /// Wraps an evaluator with deterministic fault injection (see the
-/// module docs for the determinism contract). With inactive rates the
-/// wrapper is a transparent pass-through.
+/// module docs for the content-addressed determinism contract). With no
+/// stream — or an inactive one — the wrapper is a transparent
+/// pass-through.
 pub struct FaultInjectingEvaluator<E> {
     inner: E,
-    config: FaultConfig,
-    rng: SplitMix64,
-    run_index: u64,
-    attempt: u32,
-    calls: u64,
+    stream: Option<FaultStream>,
 }
 
 impl<E: AccuracyEvaluator> FaultInjectingEvaluator<E> {
-    /// Wraps `inner`; `config = None` disables injection entirely.
-    pub fn new(
-        inner: E,
-        config: Option<FaultConfig>,
-        run_index: u64,
-        attempt: u32,
-        phase: FaultPhase,
-    ) -> FaultInjectingEvaluator<E> {
-        let config = config.unwrap_or_default();
-        FaultInjectingEvaluator {
-            inner,
-            rng: SplitMix64::new(stream_seed(config.seed, run_index, attempt, phase)),
-            config,
-            run_index,
-            attempt,
-            calls: 0,
-        }
+    /// Wraps `inner`; `stream = None` disables injection entirely.
+    pub fn new(inner: E, stream: Option<FaultStream>) -> FaultInjectingEvaluator<E> {
+        let stream = stream.filter(FaultStream::is_active);
+        FaultInjectingEvaluator { inner, stream }
     }
 
     /// Borrows the wrapped evaluator.
@@ -249,30 +358,17 @@ impl<E: AccuracyEvaluator> FaultInjectingEvaluator<E> {
 
 impl<E: AccuracyEvaluator> AccuracyEvaluator for FaultInjectingEvaluator<E> {
     fn evaluate(&mut self, config: &Config) -> Result<f64, EvalError> {
-        if !self.config.is_active() {
+        let Some(stream) = &self.stream else {
             return self.inner.evaluate(config);
-        }
-        let call = self.calls;
-        self.calls += 1;
-        let u = self.rng.next_f64();
-        if u < self.config.panic_rate {
-            panic!(
-                "injected panic (run {}, attempt {}, call {call})",
-                self.run_index, self.attempt
-            );
-        }
-        if u < self.config.panic_rate + self.config.error_rate {
-            return Err(EvalError::msg(format!(
-                "injected transient error (run {}, attempt {}, call {call})",
-                self.run_index, self.attempt
-            )));
-        }
-        if u < self.config.panic_rate + self.config.error_rate + self.config.nan_rate {
+        };
+        match stream.fate(config) {
+            FaultFate::Real => self.inner.evaluate(config),
+            FaultFate::Panic => panic!("{}", stream.panic_message(config)),
+            FaultFate::Error => Err(stream.error(config)),
             // Caught by the FiniteGuard stacked above this wrapper; the
             // raw value must never reach the cache or the kriging store.
-            return Ok(f64::NAN);
+            FaultFate::Nan => Ok(f64::NAN),
         }
-        self.inner.evaluate(config)
     }
 
     fn num_variables(&self) -> usize {
@@ -291,6 +387,10 @@ mod tests {
 
     fn counting() -> FnEvaluator<impl FnMut(&Config) -> Result<f64, EvalError>> {
         FnEvaluator::new(1, |w: &Config| Ok(f64::from(w[0])))
+    }
+
+    fn stream(config: FaultConfig, attempt: u32, phase: FaultPhase) -> FaultStream {
+        FaultStream::new(config, "fir64/fast/0000000000000000", attempt, phase)
     }
 
     #[test]
@@ -341,103 +441,141 @@ mod tests {
 
     #[test]
     fn inactive_config_is_a_transparent_passthrough() {
-        let mut ev = FaultInjectingEvaluator::new(counting(), None, 7, 0, FaultPhase::Hybrid);
+        let mut ev = FaultInjectingEvaluator::new(counting(), None);
         for i in 0..20 {
             assert_eq!(ev.evaluate(&vec![i]).unwrap(), f64::from(i));
         }
         assert_eq!(ev.evaluations(), 20);
         assert_eq!(ev.num_variables(), 1);
+        let inactive = stream(FaultConfig::default(), 0, FaultPhase::Hybrid);
+        assert!(!inactive.is_active());
+        assert!(inactive.fire(&vec![1]).is_ok());
     }
 
     #[test]
-    fn injection_is_deterministic_per_stream() {
-        let config = Some(FaultConfig {
+    fn fates_are_content_addressed_not_order_addressed() {
+        let config = FaultConfig {
             panic_rate: 0.0,
             error_rate: 0.3,
             nan_rate: 0.2,
             seed: 42,
-        });
-        let fates = |attempt: u32| -> Vec<u8> {
-            let mut ev =
-                FaultInjectingEvaluator::new(counting(), config, 3, attempt, FaultPhase::Hybrid);
-            (0..200)
-                .map(|i| match ev.evaluate(&vec![i]) {
-                    Ok(v) if v.is_nan() => 2,
-                    Ok(_) => 0,
-                    Err(_) => 1,
-                })
-                .collect()
         };
-        assert_eq!(fates(0), fates(0), "same stream, same fates");
-        assert_ne!(fates(0), fates(1), "a retry draws a fresh stream");
-        let observed = fates(0);
-        assert!(observed.contains(&1), "errors were injected");
-        assert!(observed.contains(&2), "NaNs were injected");
-        assert!(observed.contains(&0), "real calls got through");
+        let s = stream(config, 0, FaultPhase::Hybrid);
+        let forward: Vec<FaultFate> = (0..200).map(|i| s.fate(&vec![i])).collect();
+        let backward: Vec<FaultFate> = (0..200).rev().map(|i| s.fate(&vec![i])).collect();
+        let reversed: Vec<FaultFate> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed, "evaluation order leaked into fates");
+        // Re-querying a config draws the same fate, not a fresh one.
+        for i in 0..200 {
+            assert_eq!(s.fate(&vec![i]), forward[i as usize]);
+        }
+        assert!(forward.contains(&FaultFate::Error), "errors were injected");
+        assert!(forward.contains(&FaultFate::Nan), "NaNs were injected");
+        assert!(forward.contains(&FaultFate::Real), "real calls got through");
     }
 
     #[test]
-    fn phases_draw_independent_streams() {
-        let seed = stream_seed(9, 4, 0, FaultPhase::Pilot);
-        assert_ne!(seed, stream_seed(9, 4, 0, FaultPhase::Hybrid));
-        assert_ne!(seed, stream_seed(9, 5, 0, FaultPhase::Pilot));
-        assert_ne!(seed, stream_seed(9, 4, 1, FaultPhase::Pilot));
-        assert_ne!(seed, stream_seed(10, 4, 0, FaultPhase::Pilot));
+    fn attempts_phases_and_surfaces_draw_independent_fates() {
+        let config = FaultConfig {
+            panic_rate: 0.2,
+            error_rate: 0.2,
+            nan_rate: 0.2,
+            seed: 9,
+        };
+        let fates = |s: &FaultStream| -> Vec<FaultFate> {
+            (0..400).map(|i| s.fate(&vec![i, -i])).collect()
+        };
+        let base = fates(&stream(config, 0, FaultPhase::Pilot));
+        assert_ne!(
+            base,
+            fates(&stream(config, 1, FaultPhase::Pilot)),
+            "a retry draws fresh fates"
+        );
+        assert_ne!(
+            base,
+            fates(&stream(config, 0, FaultPhase::Hybrid)),
+            "phases draw independent fates"
+        );
+        assert_ne!(
+            base,
+            fates(&FaultStream::new(
+                config,
+                "iir8/fast/0000000000000000",
+                0,
+                FaultPhase::Pilot
+            )),
+            "surfaces draw independent fates"
+        );
+        let reseeded = FaultConfig { seed: 10, ..config };
+        assert_ne!(
+            base,
+            fates(&stream(reseeded, 0, FaultPhase::Pilot)),
+            "the fault seed feeds the digest"
+        );
     }
 
     #[test]
     fn injected_panic_has_a_deterministic_message() {
-        let config = Some(FaultConfig {
+        let config = FaultConfig {
             panic_rate: 1.0,
             error_rate: 0.0,
             nan_rate: 0.0,
             seed: 0,
-        });
+        };
         let message = |_: ()| -> String {
-            let mut ev = FaultInjectingEvaluator::new(counting(), config, 11, 2, FaultPhase::Pilot);
+            let mut ev = FaultInjectingEvaluator::new(
+                counting(),
+                Some(stream(config, 2, FaultPhase::Pilot)),
+            );
             let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let _ = ev.evaluate(&vec![1]);
             }))
             .unwrap_err();
             caught.downcast_ref::<String>().cloned().unwrap_or_default()
         };
-        assert_eq!(message(()), "injected panic (run 11, attempt 2, call 0)");
+        assert_eq!(message(()), "injected panic (config [1], attempt 2)");
+        // fire() raises the identical payload for the backend path.
+        let caught = std::panic::catch_unwind(|| {
+            let _ = stream(config, 2, FaultPhase::Pilot).fire(&vec![1]);
+        })
+        .unwrap_err();
+        assert_eq!(
+            caught.downcast_ref::<String>().unwrap(),
+            "injected panic (config [1], attempt 2)"
+        );
     }
 
     #[test]
     fn injected_nan_is_stopped_by_the_finite_guard() {
-        let config = Some(FaultConfig {
+        let config = FaultConfig {
             panic_rate: 0.0,
             error_rate: 0.0,
             nan_rate: 1.0,
             seed: 0,
-        });
-        let mut ev = FiniteGuard::new(FaultInjectingEvaluator::new(
-            counting(),
-            config,
-            0,
-            0,
-            FaultPhase::Hybrid,
-        ));
+        };
+        let s = stream(config, 0, FaultPhase::Hybrid);
+        let mut ev = FiniteGuard::new(FaultInjectingEvaluator::new(counting(), Some(s.clone())));
         let err = ev.evaluate(&vec![5]).unwrap_err();
         assert!(err.to_string().contains("non-finite metric value"), "{err}");
         // The injected call never reached the real simulator.
         assert_eq!(ev.evaluations(), 0);
+        // The backend path reports the byte-identical rejection.
+        assert_eq!(s.fire(&vec![5]).unwrap_err().to_string(), err.to_string());
     }
 
     #[test]
     fn rates_are_honoured_to_first_order() {
-        let config = Some(FaultConfig {
+        let config = FaultConfig {
             panic_rate: 0.0,
             error_rate: 0.5,
             nan_rate: 0.0,
             seed: 1234,
-        });
-        let mut ev = FaultInjectingEvaluator::new(counting(), config, 0, 0, FaultPhase::Hybrid);
+        };
+        let s = stream(config, 0, FaultPhase::Hybrid);
         let errors = (0..2000)
-            .filter(|&i| ev.evaluate(&vec![i]).is_err())
+            .filter(|&i| s.fate(&vec![i]) == FaultFate::Error)
             .count();
-        // A fixed stream: the count is a constant, just sanity-band it.
+        // A fixed digest: the count is a constant, just sanity-band it.
         assert!(
             (800..1200).contains(&errors),
             "error_rate 0.5 produced {errors}/2000 errors"

@@ -27,6 +27,7 @@ pub mod executor;
 pub mod fault;
 pub mod obs;
 pub mod runner;
+pub mod shard;
 pub mod sink;
 pub mod spec;
 pub mod suite;
@@ -67,11 +68,17 @@ pub use executor::{
     parallel_map, parallel_map_workers, run_campaign, run_specs, run_specs_opts, CampaignOutcome,
     EngineError, ExecOptions, Progress, RunError,
 };
-pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultPhase, FaultPolicy};
+pub use fault::{
+    FaultConfig, FaultFate, FaultInjectingEvaluator, FaultPhase, FaultPolicy, FaultStream,
+};
 pub use obs::{BackendObs, CampaignObs};
+pub use shard::{
+    merge_shards, parse_shard, render_shard, shard_of, shard_runs, spec_digest, MergeError,
+    ShardFile, ShardManifest,
+};
 pub use sink::{
-    load_journal, write_jsonl, write_jsonl_full, FailureRecord, JournalErrorRecord, JournalWriter,
-    RunRecord, SinkOptions, SummaryRecord,
+    load_journal, write_jsonl, write_jsonl_full, write_rows, FailureRecord, JournalErrorRecord,
+    JournalWriter, RunRecord, SinkOptions, SummaryRecord,
 };
 pub use spec::{CampaignSpec, OptimizerSpec, RunSpec, SpecError, VariogramSpec};
 

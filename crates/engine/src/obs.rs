@@ -59,6 +59,13 @@ pub struct CampaignObs {
     pub(crate) journal_errors: Counter,
     /// Rows replayed from a resume journal instead of re-executed.
     pub(crate) resume_rows: Counter,
+    /// Runs owned (and not already journalled) by a `campaign shard`
+    /// invocation.
+    pub(crate) shard_runs: Counter,
+    /// Shard files consumed by a `campaign merge`.
+    pub(crate) merge_shards: Counter,
+    /// Rows (runs + failures) reassembled by a `campaign merge`.
+    pub(crate) merge_rows: Counter,
     /// Per-run wall clock (scheduling-dependent; timing only).
     pub(crate) run_wall_us: Histogram,
 }
@@ -88,6 +95,9 @@ impl CampaignObs {
             journal_writes: registry.counter("engine_journal_writes_total"),
             journal_errors: registry.counter("engine_journal_errors_total"),
             resume_rows: registry.counter("engine_resume_rows_total"),
+            shard_runs: registry.counter("engine_shard_runs_total"),
+            merge_shards: registry.counter("engine_merge_shards_total"),
+            merge_rows: registry.counter("engine_merge_rows_total"),
             run_wall_us: registry.histogram("engine_run_wall_us"),
         }
     }
@@ -132,6 +142,31 @@ impl CampaignObs {
     pub fn record_resume(&self, rows: u64) {
         self.resume_rows.add(rows);
         self.tracer.emit("resume", vec![("rows", rows.into())]);
+    }
+
+    /// Records one `campaign shard` invocation: which partition slot this
+    /// process owns and how many runs it will execute.
+    pub fn record_shard(&self, index: u64, of: u64, runs: u64) {
+        self.shard_runs.add(runs);
+        self.tracer.emit(
+            "shard",
+            vec![
+                ("index", index.into()),
+                ("of", of.into()),
+                ("runs", runs.into()),
+            ],
+        );
+    }
+
+    /// Records one `campaign merge`: how many shard files were consumed
+    /// and how many rows the reassembled artifact carries.
+    pub fn record_merge(&self, shards: u64, rows: u64) {
+        self.merge_shards.add(shards);
+        self.merge_rows.add(rows);
+        self.tracer.emit(
+            "merge",
+            vec![("shards", shards.into()), ("rows", rows.into())],
+        );
     }
 }
 
@@ -246,6 +281,21 @@ mod tests {
                 .map(|(_, v)| *v),
             Some(3)
         );
+    }
+
+    #[test]
+    fn shard_and_merge_events_hit_their_counters() {
+        let registry = Registry::new();
+        let ring = Arc::new(RingSink::new(8));
+        let obs = CampaignObs::new(&registry, Tracer::new(vec![ring.clone()]));
+        obs.record_shard(1, 3, 5);
+        obs.record_merge(3, 14);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine_shard_runs_total"), Some(5));
+        assert_eq!(snap.counter("engine_merge_shards_total"), Some(3));
+        assert_eq!(snap.counter("engine_merge_rows_total"), Some(14));
+        let names: Vec<String> = ring.snapshot().iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(names, vec!["shard", "merge"]);
     }
 
     #[test]

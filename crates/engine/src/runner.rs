@@ -22,7 +22,7 @@ use krigeval_core::{EvalBackend, FiniteGuard, VariogramModel};
 
 use crate::backend::EngineBackend;
 use crate::cache::{CachedEvaluator, SimCache};
-use crate::fault::{FaultInjectingEvaluator, FaultPhase};
+use crate::fault::{FaultConfig, FaultInjectingEvaluator, FaultPhase, FaultStream};
 use crate::obs::CampaignObs;
 use crate::sink::RunRecord;
 use crate::spec::{OptimizerSpec, RunSpec, VariogramSpec};
@@ -38,6 +38,17 @@ pub fn cache_namespace(run: &RunSpec) -> String {
         run.scale.label(),
         run.run_seed
     )
+}
+
+/// The content-addressed fault stream for one attempt of one run phase,
+/// or `None` when the run injects no faults. Keyed on the run's cache
+/// namespace — `benchmark/scale/run_seed`, the same content identity the
+/// cache uses — so the serial stack, the worker pool and a process shard
+/// all draw identical fates for identical configurations.
+fn fault_stream(run: &RunSpec, attempt: u32, phase: FaultPhase) -> Option<FaultStream> {
+    run.fault
+        .filter(FaultConfig::is_active)
+        .map(|config| FaultStream::new(config, &cache_namespace(run), attempt, phase))
 }
 
 /// The full per-phase evaluator stack, ordered so each layer's contract
@@ -56,10 +67,7 @@ fn stacked_evaluator(
 ) -> FiniteGuard<FaultInjectingEvaluator<CachedEvaluator<Box<dyn AccuracyEvaluator + Send>>>> {
     FiniteGuard::new(FaultInjectingEvaluator::new(
         CachedEvaluator::new(evaluator, Arc::clone(cache), cache_namespace(run)),
-        run.fault,
-        run.index,
-        attempt,
-        phase,
+        fault_stream(run, attempt, phase),
     ))
 }
 
@@ -67,12 +75,15 @@ fn stacked_evaluator(
 /// runs: one fresh simulator per worker (each behind its own
 /// [`FiniteGuard`], so non-finite values error before they can be cached),
 /// fanning planned batches out while deduplicating through the same shared
-/// cache namespace. Spec validation guarantees fault injection is inactive
-/// on this path — the injector's call-ordered draw stream is the one layer
-/// that cannot be parallelized.
+/// cache namespace. The same content-addressed fault stream the serial
+/// stack would use gates every pool computation (before the cache, inside
+/// the worker's panic containment), so active fault injection composes
+/// with any worker count and draws bitwise-identical fates.
 fn engine_backend(
     run: &RunSpec,
     cache: &Arc<SimCache>,
+    attempt: u32,
+    phase: FaultPhase,
     obs: Option<&CampaignObs>,
 ) -> EngineBackend {
     let backend = EngineBackend::new(
@@ -83,7 +94,8 @@ fn engine_backend(
         run.threads,
         Arc::clone(cache),
         cache_namespace(run),
-    );
+    )
+    .with_faults(fault_stream(run, attempt, phase));
     match obs {
         Some(obs) => backend.with_obs(obs.backend_obs()),
         None => backend,
@@ -154,7 +166,7 @@ fn pilot_model(
         other => other,
     };
     let result = if run.threads > 1 {
-        let mut pilot = SimulateAll(engine_backend(run, cache, obs));
+        let mut pilot = SimulateAll(engine_backend(run, cache, attempt, FaultPhase::Pilot, obs));
         drive(
             &mut pilot,
             optimizer,
@@ -321,7 +333,7 @@ pub fn run_single_attempt_obs(
             minplusone.as_ref(),
             descent.as_ref(),
             settings,
-            engine_backend(run, cache, obs),
+            engine_backend(run, cache, attempt, FaultPhase::Hybrid, obs),
             obs,
         )?
     } else {

@@ -246,7 +246,7 @@ fn strip_scheduling(value: &mut Value) {
     }
 }
 
-fn render_line(tag: &str, value: Value, options: SinkOptions) -> io::Result<String> {
+pub(crate) fn render_line(tag: &str, value: Value, options: SinkOptions) -> io::Result<String> {
     let mut line = tagged(tag, value);
     if !options.include_timing {
         strip_scheduling(&mut line);
@@ -285,6 +285,33 @@ pub fn write_jsonl_full(
     summary: &SummaryRecord,
     options: SinkOptions,
 ) -> io::Result<()> {
+    write_rows(out, records, failures, options)?;
+    for journal_error in journal_errors {
+        let text = render_line("journal_error", journal_error.serialize_to_value(), options)?;
+        writeln!(out, "{text}")?;
+    }
+    let text = render_line("summary", summary.serialize_to_value(), options)?;
+    writeln!(out, "{text}")?;
+    Ok(())
+}
+
+/// Writes only the merged row stream: run and failure records
+/// interleaved in index order, no trailer. This is the row body shared
+/// by the finalized campaign output ([`write_jsonl_full`] adds journal
+/// errors and the summary) and by finalized shard artifacts
+/// ([`crate::shard::render_shard`] prepends the manifest line) — one
+/// renderer, so a merged set of shards is byte-identical to the
+/// single-process output by construction.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_rows(
+    out: &mut dyn Write,
+    records: &[RunRecord],
+    failures: &[FailureRecord],
+    options: SinkOptions,
+) -> io::Result<()> {
     // Merge the two sorted-by-index streams so each campaign row appears
     // at its expansion position whether it succeeded or failed.
     let (mut r, mut f) = (0, 0);
@@ -303,12 +330,6 @@ pub fn write_jsonl_full(
         };
         writeln!(out, "{text}")?;
     }
-    for journal_error in journal_errors {
-        let text = render_line("journal_error", journal_error.serialize_to_value(), options)?;
-        writeln!(out, "{text}")?;
-    }
-    let text = render_line("summary", summary.serialize_to_value(), options)?;
-    writeln!(out, "{text}")?;
     Ok(())
 }
 
@@ -439,6 +460,18 @@ impl JournalWriter {
             options,
         )?)
     }
+
+    /// Appends one pre-rendered JSONL line verbatim (shard manifests —
+    /// [`crate::shard::ShardManifest::render`] — go through here so a
+    /// shard journal starts with its identity header before any row
+    /// lands).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn line(&self, text: &str) -> io::Result<()> {
+        self.write_line(text)
+    }
 }
 
 /// Parses a journal (or finalized output file) back into run and
@@ -472,8 +505,10 @@ pub fn load_journal(text: &str) -> Result<(Vec<RunRecord>, Vec<FailureRecord>), 
                 .map_err(|e| e.to_string()),
             // A summary is recomputed on resume; a journal_error row
             // flags a historical journal miss whose run row (if any)
-            // stands on its own.
-            "summary" | "journal_error" => Ok(()),
+            // stands on its own; a shard manifest header identifies the
+            // file, not a row (per-shard resume revalidates it before
+            // loading the journal).
+            "summary" | "journal_error" | "shard" => Ok(()),
             other => Err(format!("unknown record type {other:?}")),
         };
         if let Err(e) = entry {
@@ -533,7 +568,7 @@ mod tests {
             min_neighbors: 3,
             seed: 0,
             repeat: 0,
-            error: "injected transient error (run 1, attempt 0, call 4)".to_string(),
+            error: "injected transient error (config [3, 1], attempt 0)".to_string(),
             attempts: 3,
         }
     }

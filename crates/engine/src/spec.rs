@@ -275,31 +275,12 @@ impl CampaignSpec {
         }
         let threads = self.threads.unwrap_or(1).max(1);
         if let Some(faults) = &self.faults {
+            // Rates must be valid; any `threads` value is fine. Fault
+            // fates are content-addressed (a pure function of the fault
+            // seed, the run's surface identity and the configuration
+            // words), so in-run threading — which reorders evaluations
+            // but not content — composes with active injection.
             faults.validate().map_err(SpecError::new)?;
-            // Fault injection draws from a call-ordered deterministic
-            // stream; fanning evaluations over threads would reorder the
-            // draws and break reproducibility. Name both offending fields
-            // and the remediation — a generic rejection sent users
-            // hunting through the spec.
-            if threads > 1 && faults.is_active() {
-                let mut active = Vec::new();
-                if faults.panic_rate > 0.0 {
-                    active.push(format!("panic_rate={}", faults.panic_rate));
-                }
-                if faults.error_rate > 0.0 {
-                    active.push(format!("error_rate={}", faults.error_rate));
-                }
-                if faults.nan_rate > 0.0 {
-                    active.push(format!("nan_rate={}", faults.nan_rate));
-                }
-                return Err(SpecError::new(format!(
-                    "`threads = {threads}` cannot be combined with active fault \
-                     injection (`faults` has {}): fault schedules are keyed on \
-                     the serial simulation order, which in-run threading \
-                     reorders; set `threads` to 1 or zero every `faults` rate",
-                    active.join(", "),
-                )));
-            }
         }
         let mut problems = Vec::new();
         for name in &self.benchmarks {
@@ -584,7 +565,11 @@ mod tests {
     }
 
     #[test]
-    fn threads_cannot_combine_with_active_faults() {
+    fn threads_compose_with_active_faults() {
+        // Historical behaviour rejected `threads > 1` with active fault
+        // rates (fault streams were keyed on the serial call order).
+        // Fates are content-addressed now, so the combination expands
+        // cleanly and both settings reach every run.
         let spec = CampaignSpec {
             threads: Some(4),
             faults: Some(FaultConfig {
@@ -595,24 +580,24 @@ mod tests {
             on_error: Some(FaultPolicy::Retry { max: 2 }),
             ..CampaignSpec::default()
         };
-        let message = spec.expand().unwrap_err().to_string();
-        // The diagnostic must name both offending fields (with their
-        // values), state the reason, and suggest the remediation.
-        assert!(message.contains("`threads = 4`"), "{message}");
-        assert!(message.contains("error_rate=0.01"), "{message}");
-        assert!(
-            message.contains("keyed on the serial simulation order"),
-            "{message}"
-        );
-        assert!(
-            message.contains("set `threads` to 1 or zero every `faults` rate"),
-            "{message}"
-        );
-        assert!(
-            !message.contains("panic_rate") && !message.contains("nan_rate"),
-            "only active rates are named: {message}"
-        );
-        // Inactive fault config (all rates zero) is fine.
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs[0].threads, 4);
+        assert_eq!(runs[0].fault, spec.faults);
+        // Invalid rates are still rejected, threaded or not.
+        let bad = CampaignSpec {
+            threads: Some(4),
+            faults: Some(FaultConfig {
+                error_rate: 1.5,
+                ..FaultConfig::default()
+            }),
+            ..CampaignSpec::default()
+        };
+        assert!(bad
+            .expand()
+            .unwrap_err()
+            .to_string()
+            .contains("error_rate must be in [0, 1]"));
+        // Inactive fault config (all rates zero) stays fine too.
         let inactive = CampaignSpec {
             threads: Some(4),
             faults: Some(FaultConfig::default()),

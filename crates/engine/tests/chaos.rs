@@ -7,11 +7,14 @@
 //! *succeed* under injection produce byte-identical JSONL to a
 //! fault-free campaign, across worker counts and repeated executions.
 //!
-//! The fault seed and rates below were chosen empirically (injection
-//! is a pure function of `(seed, run, attempt, phase, call)`, so the
+//! The fault seed and rates below were chosen empirically (every fault
+//! fate is content-addressed — a pure function of `(seed, surface,
+//! attempt, phase, config)` with no call ordering anywhere — so the
 //! outcome split is a constant): seed 7 at 0.2% per fault class makes
-//! 2 of the 6 fir cells fail under `skip` while `retry:5` recovers
-//! everything.
+//! 3 of the 6 fir cells fail under `skip` while `retry:5` recovers
+//! everything. Because the addressing is order-free, injection also
+//! composes with in-run threading (`threads: 4` below) and process
+//! sharding without perturbing a single fate.
 
 use krigeval_engine::{
     run_campaign, CampaignSpec, EngineError, FaultConfig, FaultPolicy, Progress, RunRecord,
@@ -86,8 +89,8 @@ fn skip_policy_survives_the_storm_and_tags_failures() {
     silence_injected_panics();
     let outcome = run_campaign(&spec(FaultPolicy::Skip, Some(storm())), 2, Progress::Silent)
         .expect("skip policy never aborts the campaign");
-    assert_eq!(outcome.records.len(), 4, "4 of 6 cells survive seed 7");
-    assert_eq!(outcome.failures.len(), 2, "2 of 6 cells fail under seed 7");
+    assert_eq!(outcome.records.len(), 3, "3 of 6 cells survive seed 7");
+    assert_eq!(outcome.failures.len(), 3, "3 of 6 cells fail under seed 7");
     // Records and failures partition the expansion.
     let mut indices: Vec<u64> = outcome
         .records
@@ -110,9 +113,9 @@ fn skip_policy_survives_the_storm_and_tags_failures() {
     }
     // The JSONL stream tags the failed rows so consumers can filter.
     let text = jsonl(&spec(FaultPolicy::Skip, Some(storm())), 2);
-    assert_eq!(text.matches("\"type\":\"failed\"").count(), 2);
-    assert_eq!(text.matches("\"type\":\"run\"").count(), 4);
-    assert!(text.contains("\"failed\":2"), "summary counts the failures");
+    assert_eq!(text.matches("\"type\":\"failed\"").count(), 3);
+    assert_eq!(text.matches("\"type\":\"run\"").count(), 3);
+    assert!(text.contains("\"failed\":3"), "summary counts the failures");
 }
 
 #[test]
@@ -150,6 +153,33 @@ fn chaos_output_is_byte_identical_across_workers_and_executions() {
         "worker count leaked into chaos output"
     );
     assert_eq!(sequential, jsonl(&base, 4), "re-execution diverged");
+}
+
+#[test]
+fn chaos_composes_with_in_run_threading() {
+    silence_injected_panics();
+    // The historical spec-level rejection of `threads > 1` with active
+    // faults existed because fates were keyed on a serial call counter.
+    // Content-addressed fates make the combination legal *and* exact:
+    // the same storm at `threads: 4` (batches fanned out over a worker
+    // pool, completion order nondeterministic) must reproduce the
+    // inline-backend JSONL byte for byte — same survivors, same
+    // failures, same messages.
+    let inline = spec(FaultPolicy::Skip, Some(storm()));
+    let mut threaded = spec(FaultPolicy::Skip, Some(storm()));
+    threaded.threads = Some(4);
+    let a = jsonl(&inline, 2);
+    let b = jsonl(&threaded, 2);
+    assert_eq!(a, b, "in-run threading leaked into chaos output");
+    // And under retries: every recovered cell matches the fault-free
+    // campaign regardless of the backend.
+    let mut threaded_retry = spec(FaultPolicy::Retry { max: 5 }, Some(storm()));
+    threaded_retry.threads = Some(4);
+    assert_eq!(
+        jsonl(&threaded_retry, 2),
+        jsonl(&spec(FaultPolicy::FailFast, None), 2),
+        "threaded retries diverged from the fault-free baseline"
+    );
 }
 
 #[test]

@@ -94,3 +94,77 @@ fn skipped_failures_exit_nonzero_but_still_emit_the_artifact() {
     assert!(artifact.contains("\"type\":\"summary\""));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn merged_shards_with_failed_rows_exit_nonzero_but_still_emit_the_artifact() {
+    // The single-process contract above must survive sharding: when the
+    // shards a merge reassembles carry failed rows, `campaign merge`
+    // exits nonzero with the same `incomplete` summary line — scripted
+    // callers see the data loss no matter how the campaign was split.
+    let dir = temp_dir("merge");
+    let spec_path = dir.join("spec.json");
+    let spec = CampaignSpec {
+        name: "exitcode-merge".to_string(),
+        benchmarks: vec!["fir".to_string()],
+        distances: vec![2.0, 3.0],
+        on_error: Some(FaultPolicy::Skip),
+        faults: Some(FaultConfig {
+            panic_rate: 0.0,
+            error_rate: 1.0,
+            nan_rate: 0.0,
+            seed: 7,
+        }),
+        ..CampaignSpec::default()
+    };
+    std::fs::write(&spec_path, format!("{}\n", spec.to_json())).expect("write spec");
+
+    let shards: Vec<std::path::PathBuf> = (0..2)
+        .map(|i| dir.join(format!("shard{i}.jsonl")))
+        .collect();
+    for (i, shard) in shards.iter().enumerate() {
+        let output = Command::new(bin())
+            .args(["shard", "--spec"])
+            .arg(&spec_path)
+            .args(["--index", &i.to_string(), "--of", "2"])
+            .args(["--workers", "1", "--quiet", "--out"])
+            .arg(shard)
+            .output()
+            .expect("campaign binary runs");
+        assert!(
+            !output.status.success(),
+            "a shard that lost rows must itself exit nonzero"
+        );
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("incomplete"),
+            "the shard prints the incomplete summary under --quiet"
+        );
+    }
+
+    let out = dir.join("merged.jsonl");
+    let mut cmd = Command::new(bin());
+    cmd.arg("merge");
+    for shard in &shards {
+        cmd.arg(shard);
+    }
+    let output = cmd
+        .args(["--quiet", "--out"])
+        .arg(&out)
+        .output()
+        .expect("campaign binary runs");
+    assert!(
+        !output.status.success(),
+        "a merge that reassembles failed rows must exit nonzero"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("incomplete"),
+        "the merge prints the incomplete summary under --quiet; stderr:\n{stderr}"
+    );
+    let artifact = std::fs::read_to_string(&out).expect("artifact written");
+    assert!(
+        artifact.contains("\"type\":\"failed\""),
+        "failure rows survive the merge: {artifact}"
+    );
+    assert!(artifact.contains("\"type\":\"summary\""));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,143 @@
+//! Property tests for the two order-freedom contracts this crate
+//! stakes its parallelism on:
+//!
+//! * fault fates are **content-addressed** — a pure function of
+//!   `(seed, surface, attempt, phase, config)` — so permuting or
+//!   duplicating the evaluation order, or changing how work is split
+//!   across workers, cannot change a single draw;
+//! * `shard i of n` is a **partition** — every expansion index lands in
+//!   exactly one shard for arbitrary `n`, so per-process execution plus
+//!   merge covers the campaign with no gaps and no double work.
+
+use krigeval_engine::shard::{shard_of, shard_runs};
+use krigeval_engine::{CampaignSpec, FaultConfig, FaultFate, FaultPhase, FaultStream};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = Vec<i32>> {
+    proptest::collection::vec(0i32..64, 1..6)
+}
+
+fn fault_config(seed: u64) -> FaultConfig {
+    FaultConfig {
+        panic_rate: 0.05,
+        error_rate: 0.05,
+        nan_rate: 0.05,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Permuting and duplicating the order in which configurations are
+    /// evaluated leaves every per-config fate bitwise identical: there
+    /// is no call counter, no RNG state, nothing order-dependent.
+    #[test]
+    fn fault_draws_are_invariant_under_permutation_and_duplication(
+        configs in proptest::collection::vec(config_strategy(), 1..20),
+        order in proptest::collection::vec(0usize..64, 1..80),
+        seed in 0u64..1000,
+        attempt in 0u32..4,
+    ) {
+        let stream = FaultStream::new(
+            fault_config(seed),
+            "fir64/fast/00000000deadbeef",
+            attempt,
+            FaultPhase::Hybrid,
+        );
+        // Reference pass: in-order, once each.
+        let reference: Vec<FaultFate> =
+            configs.iter().map(|c| stream.fate(c)).collect();
+        // Adversarial pass: arbitrary order with repeats (as a racing
+        // worker pool, a cache-hit short-circuit, or a re-planned batch
+        // would produce).
+        for &pick in &order {
+            let i = pick % configs.len();
+            prop_assert_eq!(stream.fate(&configs[i]), reference[i]);
+        }
+        // A second stream with identical coordinates draws identically
+        // (streams carry no mutable state to diverge through).
+        let twin = FaultStream::new(
+            fault_config(seed),
+            "fir64/fast/00000000deadbeef",
+            attempt,
+            FaultPhase::Hybrid,
+        );
+        for (c, want) in configs.iter().zip(&reference) {
+            prop_assert_eq!(&twin.fate(c), want);
+        }
+    }
+
+    /// Distinct attempts and phases draw from independent streams, but
+    /// each remains internally deterministic.
+    #[test]
+    fn fates_depend_only_on_their_coordinates(
+        config in config_strategy(),
+        seed in 0u64..1000,
+        attempt in 0u32..6,
+    ) {
+        let pilot = FaultStream::new(
+            fault_config(seed), "s/fast/0", attempt, FaultPhase::Pilot);
+        let hybrid = FaultStream::new(
+            fault_config(seed), "s/fast/0", attempt, FaultPhase::Hybrid);
+        prop_assert_eq!(pilot.fate(&config), pilot.fate(&config));
+        prop_assert_eq!(hybrid.fate(&config), hybrid.fate(&config));
+    }
+
+    /// `shard i of n` partitions any index range: shards are pairwise
+    /// disjoint and their union is exhaustive, for arbitrary `n`
+    /// (including n > the number of runs, where trailing shards are
+    /// legitimately empty).
+    #[test]
+    fn shards_partition_the_expansion_for_arbitrary_n(
+        total in 0u64..200,
+        of in 1u64..20,
+    ) {
+        let mut owner = vec![None; total as usize];
+        for index in 0..of {
+            for run in 0..total {
+                if shard_of(run, of) == index {
+                    prop_assert_eq!(
+                        owner[run as usize].replace(index),
+                        None,
+                        "run {} claimed twice", run
+                    );
+                }
+            }
+        }
+        prop_assert!(
+            owner.iter().all(Option::is_some),
+            "every run is owned by exactly one shard"
+        );
+    }
+
+    /// The same property through the real expansion path: `shard_runs`
+    /// over a campaign's `RunSpec`s reassembles the full index set with
+    /// no duplicates, and each shard owns exactly its residue class.
+    #[test]
+    fn shard_runs_reassemble_the_campaign(
+        distances in proptest::collection::vec(2.0f64..6.0, 1..4),
+        repeats in 1u32..4,
+        of in 1u64..8,
+    ) {
+        let spec = CampaignSpec {
+            name: "prop".to_string(),
+            benchmarks: vec!["fir".to_string(), "iir".to_string()],
+            distances,
+            repeats,
+            ..CampaignSpec::default()
+        };
+        let all = spec.expand().unwrap();
+        let total = all.len() as u64;
+        let mut seen = Vec::new();
+        for index in 0..of {
+            for run in shard_runs(all.clone(), index, of) {
+                prop_assert_eq!(shard_of(run.index, of), index);
+                seen.push(run.index);
+            }
+        }
+        seen.sort_unstable();
+        let want: Vec<u64> = (0..total).collect();
+        prop_assert_eq!(seen, want, "shards must cover the expansion exactly once");
+    }
+}

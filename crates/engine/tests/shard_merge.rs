@@ -1,0 +1,282 @@
+//! Process-level sharding: `campaign shard` + `campaign merge` must
+//! reassemble the single-process artifact byte for byte — including
+//! under active fault injection — and `merge` must reject broken shard
+//! sets with errors that name the offending file.
+//!
+//! These tests drive the real `campaign` binary: each shard is a
+//! separate process with its own cache, journal and worker pool, so
+//! byte-identity here is the end-to-end proof that nothing about run
+//! results (fault fates included) depends on which process executed a
+//! run or in what order.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use krigeval_engine::{CampaignSpec, FaultConfig, FaultPolicy};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_campaign")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("krigeval-shard-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The chaos campaign from the chaos suite: all three fault classes
+/// active, skip policy, 6 runs — a mix of surviving and failed rows.
+fn chaos_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "shardchaos".to_string(),
+        benchmarks: vec!["fir".to_string()],
+        distances: vec![2.0, 3.0, 4.0],
+        repeats: 2,
+        on_error: Some(FaultPolicy::Skip),
+        faults: Some(FaultConfig {
+            panic_rate: 0.002,
+            error_rate: 0.002,
+            nan_rate: 0.002,
+            seed: 7,
+        }),
+        ..CampaignSpec::default()
+    }
+}
+
+fn clean_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "shardclean".to_string(),
+        benchmarks: vec!["fir".to_string()],
+        distances: vec![2.0, 3.0],
+        repeats: 2,
+        ..CampaignSpec::default()
+    }
+}
+
+fn write_spec(dir: &Path, spec: &CampaignSpec) -> PathBuf {
+    let path = dir.join("spec.json");
+    std::fs::write(&path, format!("{}\n", spec.to_json())).expect("write spec");
+    path
+}
+
+fn run_single(spec_path: &Path, out: &Path) {
+    let output = Command::new(bin())
+        .args(["run", "--spec"])
+        .arg(spec_path)
+        .args(["--workers", "2", "--quiet", "--out"])
+        .arg(out)
+        .output()
+        .expect("campaign binary runs");
+    // Chaos campaigns exit nonzero (skipped rows); the artifact is
+    // still finalized either way.
+    assert!(out.exists(), "single-process artifact written");
+    drop(output);
+}
+
+fn run_shard(spec_path: &Path, out: &Path, index: u64, of: u64, resume: bool) {
+    let mut cmd = Command::new(bin());
+    cmd.args(["shard", "--spec"])
+        .arg(spec_path)
+        .args(["--index", &index.to_string(), "--of", &of.to_string()])
+        .args(["--workers", "2", "--quiet", "--out"])
+        .arg(out);
+    if resume {
+        cmd.arg("--resume");
+    }
+    let output = cmd.output().expect("campaign binary runs");
+    assert!(
+        out.exists(),
+        "shard artifact written; stderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+fn run_merge(inputs: &[PathBuf], out: &Path) -> std::process::Output {
+    let mut cmd = Command::new(bin());
+    cmd.arg("merge");
+    for input in inputs {
+        cmd.arg(input);
+    }
+    cmd.args(["--quiet", "--out"]).arg(out);
+    cmd.output().expect("campaign binary runs")
+}
+
+#[test]
+fn three_shard_chaos_merge_is_byte_identical_to_single_process() {
+    let dir = temp_dir("chaos3");
+    let spec_path = write_spec(&dir, &chaos_spec());
+    let single = dir.join("single.jsonl");
+    run_single(&spec_path, &single);
+
+    let shards: Vec<PathBuf> = (0..3)
+        .map(|i| dir.join(format!("shard{i}.jsonl")))
+        .collect();
+    for (i, shard) in shards.iter().enumerate() {
+        run_shard(&spec_path, shard, i as u64, 3, false);
+    }
+    let merged = dir.join("merged.jsonl");
+    let output = run_merge(&shards, &merged);
+    assert!(
+        !output.status.success(),
+        "merged chaos artifact carries failed rows, so merge must exit nonzero"
+    );
+
+    let single_text = std::fs::read_to_string(&single).expect("single artifact");
+    let merged_text = std::fs::read_to_string(&merged).expect("merged artifact");
+    assert_eq!(
+        single_text, merged_text,
+        "3-shard merge must reproduce the single-process JSONL byte for byte"
+    );
+    // Non-vacuous: the campaign really mixed survivors and failures.
+    assert!(merged_text.contains("\"type\":\"run\""));
+    assert!(merged_text.contains("\"type\":\"failed\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_accepts_any_shard_order_and_count() {
+    let dir = temp_dir("order");
+    let spec_path = write_spec(&dir, &clean_spec());
+    let single = dir.join("single.jsonl");
+    run_single(&spec_path, &single);
+    let single_text = std::fs::read_to_string(&single).expect("single artifact");
+
+    for of in [1u64, 2, 4] {
+        let shards: Vec<PathBuf> = (0..of)
+            .map(|i| dir.join(format!("of{of}-shard{i}.jsonl")))
+            .collect();
+        for (i, shard) in shards.iter().enumerate() {
+            run_shard(&spec_path, shard, i as u64, of, false);
+        }
+        // Merge in reverse order: input ordering must not matter.
+        let reversed: Vec<PathBuf> = shards.iter().rev().cloned().collect();
+        let merged = dir.join(format!("merged-of{of}.jsonl"));
+        let output = run_merge(&reversed, &merged);
+        assert!(output.status.success(), "clean merge exits zero");
+        assert_eq!(
+            single_text,
+            std::fs::read_to_string(&merged).expect("merged artifact"),
+            "merge of {of} shards diverged from the single-process artifact"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_rejects_missing_and_duplicate_shards_naming_the_file() {
+    let dir = temp_dir("broken");
+    let spec_path = write_spec(&dir, &clean_spec());
+    let shards: Vec<PathBuf> = (0..3)
+        .map(|i| dir.join(format!("shard{i}.jsonl")))
+        .collect();
+    for (i, shard) in shards.iter().enumerate() {
+        run_shard(&spec_path, shard, i as u64, 3, false);
+    }
+    let merged = dir.join("merged.jsonl");
+
+    // Gap: shard 1 of 3 never arrives.
+    let output = run_merge(&[shards[0].clone(), shards[2].clone()], &merged);
+    assert!(!output.status.success(), "a gap must fail the merge");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("shard 1 of 3"),
+        "the error names the missing slot: {stderr}"
+    );
+
+    // Overlap: the same slot supplied twice.
+    let copy = dir.join("shard0-copy.jsonl");
+    std::fs::copy(&shards[0], &copy).expect("copy shard");
+    let output = run_merge(
+        &[
+            shards[0].clone(),
+            copy.clone(),
+            shards[1].clone(),
+            shards[2].clone(),
+        ],
+        &merged,
+    );
+    assert!(!output.status.success(), "an overlap must fail the merge");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("shard0-copy.jsonl"),
+        "the error names the offending file: {stderr}"
+    );
+
+    // Mixed campaigns: a shard of a different spec.
+    let other_dir = temp_dir("broken-other");
+    let other_spec = write_spec(&other_dir, &chaos_spec());
+    let foreign = dir.join("foreign.jsonl");
+    run_shard(&other_spec, &foreign, 1, 3, false);
+    let output = run_merge(
+        &[shards[0].clone(), foreign.clone(), shards[2].clone()],
+        &merged,
+    );
+    assert!(!output.status.success(), "mixed specs must fail the merge");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("foreign.jsonl"),
+        "the error names the mismatched file: {stderr}"
+    );
+
+    // A plain `run` artifact has no manifest header at all.
+    let plain = dir.join("plain.jsonl");
+    run_single(&spec_path, &plain);
+    let output = run_merge(std::slice::from_ref(&plain), &merged);
+    assert!(!output.status.success(), "manifest-less files must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("plain.jsonl"),
+        "the error names the manifest-less file: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&other_dir).ok();
+}
+
+#[test]
+fn interrupted_shard_resumes_to_the_same_bytes() {
+    let dir = temp_dir("resume");
+    let spec_path = write_spec(&dir, &clean_spec());
+
+    // The uninterrupted reference shard.
+    let full = dir.join("full.jsonl");
+    run_shard(&spec_path, &full, 0, 2, false);
+    let full_text = std::fs::read_to_string(&full).expect("full shard");
+    let lines: Vec<&str> = full_text.lines().collect();
+    assert!(
+        lines.len() >= 3,
+        "shard 0 of 2 carries a manifest and at least two rows: {full_text}"
+    );
+
+    // Simulate a crash: manifest plus the first completed row only.
+    let partial = dir.join("partial.jsonl");
+    std::fs::write(&partial, format!("{}\n{}\n", lines[0], lines[1])).expect("write partial");
+    run_shard(&spec_path, &partial, 0, 2, true);
+    assert_eq!(
+        full_text,
+        std::fs::read_to_string(&partial).expect("resumed shard"),
+        "a resumed shard must finalize to the uninterrupted bytes"
+    );
+
+    // Resuming under the wrong identity must be refused outright.
+    for (index, of) in [(1u64, 2u64), (0, 3)] {
+        let output = Command::new(bin())
+            .args(["shard", "--spec"])
+            .arg(&spec_path)
+            .args(["--index", &index.to_string(), "--of", &of.to_string()])
+            .args(["--resume", "--quiet", "--out"])
+            .arg(&full)
+            .output()
+            .expect("campaign binary runs");
+        assert!(
+            !output.status.success(),
+            "shard {index} of {of} must refuse to resume a shard-0-of-2 journal"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("manifest"),
+            "the refusal explains the manifest mismatch: {stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -307,6 +307,17 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Looks up one counter by name (`None` if it was never registered).
+    /// Snapshots are small sorted vectors, so a linear scan is the right
+    /// tool; this replaces the ad-hoc find-closure every consumer was
+    /// writing.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
     /// Renders counters only, as a compact deterministic JSON object.
     ///
     /// This is the artifact compared across worker counts: it contains
