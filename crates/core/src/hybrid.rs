@@ -41,11 +41,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::eval_backend::{EvalBackend, SimulationRequest};
 use crate::evaluator::EvalError;
-use crate::kriging::{KrigingEstimator, KrigingScratch};
+use crate::kriging::KrigingScratch;
 use crate::neighbors::NeighborIndex;
 use crate::trace::Source;
 use crate::variogram::{
-    fit_model, FitReport, GammaTable, ModelFamily, VariogramAccumulator, VariogramModel,
+    fit_model, lattice_key, FitReport, GammaTable, ModelFamily, VariogramAccumulator,
+    VariogramModel,
 };
 use crate::{Config, DistanceMetric};
 
@@ -122,6 +123,11 @@ pub struct HybridSettings {
     /// When set, every kriged query is *also* simulated (result not fed
     /// back) and the interpolation error recorded — the Table I protocol.
     pub audit: Option<AuditMetric>,
+    /// Opt-in approximate prediction for large neighbour sets (screened
+    /// solve, in the spirit of "Rapid Approximation Prediction for
+    /// Kriging"). `None` — the default — keeps the exact path bitwise
+    /// pinned; see [`ApproxSettings`] for the accuracy gate.
+    pub approx: Option<ApproxSettings>,
 }
 
 impl Default for HybridSettings {
@@ -133,6 +139,47 @@ impl Default for HybridSettings {
             variogram: VariogramPolicy::default(),
             max_neighbors: Some(32),
             audit: None,
+            approx: None,
+        }
+    }
+}
+
+/// Opt-in approximate (screened-neighbour) prediction, gated by a fast
+/// leave-one-out cross-validation accuracy check.
+///
+/// When a query's neighbour set exceeds `screen_to`, the solve is truncated
+/// to the `screen_to` closest neighbours — an `O((n/screen_to)³)` cut on the
+/// dominant factorization cost. The truncation only takes effect while the
+/// session-level validation holds: at every (re-)validation point the
+/// evaluator leave-one-out predicts a bounded sample of stored sites twice
+/// (exact cap vs screened) and compares. If any sampled deviation exceeds
+/// `epsilon`, the approximation is **rejected** — queries take the exact
+/// path — until a later validation passes again.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApproxSettings {
+    /// Neighbour-count ceiling of the screened solve; systems at or below
+    /// this size always run exact.
+    pub screen_to: usize,
+    /// Declared accuracy bound ε: the maximum allowed deviation
+    /// `|λ̂_approx − λ̂_exact| / max(|λ̂_exact|, 1)` observed by the
+    /// leave-one-out validation before the approximate path is rejected.
+    pub epsilon: f64,
+    /// Upper bound on leave-one-out sites sampled per validation (bounds
+    /// validation cost; sites are stride-sampled across the store).
+    pub loo_samples: usize,
+    /// With a [`VariogramPolicy::Fixed`] model there are no refit points, so
+    /// validation also re-runs every time the store has grown by this many
+    /// sites since the last check.
+    pub check_every: usize,
+}
+
+impl Default for ApproxSettings {
+    fn default() -> ApproxSettings {
+        ApproxSettings {
+            screen_to: 16,
+            epsilon: 0.05,
+            loo_samples: 24,
+            check_every: 32,
         }
     }
 }
@@ -415,6 +462,23 @@ pub struct HybridEvaluator<E> {
     /// Running empirical-variogram sums; each refit folds in only the
     /// sites simulated since the previous one.
     vario_acc: Option<VariogramAccumulator>,
+    /// Whether the approximate path passed its last leave-one-out
+    /// validation (always `false` when [`HybridSettings::approx`] is off).
+    approx_active: bool,
+    /// Store size at the last approximate-path validation.
+    approx_checked_at: usize,
+    /// Whether a validation has ever run with a model present. Sessions
+    /// born with a model ([`VariogramPolicy::Fixed`]) have no fit event to
+    /// piggyback on, so the first store insertion triggers the initial
+    /// validation instead of waiting out a full `check_every` window.
+    approx_validated: bool,
+    /// Reused flat neighbour-value buffer for batch groups.
+    group_values: Vec<f64>,
+    /// Reused lattice-key slab for batch RHS assembly (`targets × n`,
+    /// row-major).
+    group_keys: Vec<u64>,
+    /// Reused γ slab matching `group_keys`.
+    group_gamma: Vec<f64>,
     /// Optional metrics/trace bundle; `None` costs one branch per query.
     obs: Option<HybridObs>,
 }
@@ -443,6 +507,12 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             neighbor_buf: Vec::new(),
             value_buf: Vec::new(),
             vario_acc: None,
+            approx_active: false,
+            approx_checked_at: 0,
+            approx_validated: false,
+            group_values: Vec::new(),
+            group_keys: Vec::new(),
+            group_gamma: Vec::new(),
             obs: None,
         }
     }
@@ -498,6 +568,13 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             if self.neighbor_buf.len() > self.settings.min_neighbors {
                 if let Some(cap) = self.settings.max_neighbors {
                     self.neighbor_buf.truncate(cap);
+                }
+                if self.approx_active {
+                    if let Some(approx) = &self.settings.approx {
+                        // Validated approximate path: screen to the
+                        // `screen_to` closest neighbours.
+                        self.neighbor_buf.truncate(approx.screen_to.max(1));
+                    }
                 }
                 let metric = self.settings.metric;
                 let table = match &mut self.gamma_table {
@@ -578,6 +655,7 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             }
         }
         self.maybe_identify_variogram();
+        self.maybe_revalidate_approx();
         Ok(Outcome::Simulated { value })
     }
 
@@ -713,6 +791,13 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     if let Some(cap) = self.settings.max_neighbors {
                         neighbor_buf.truncate(cap);
                     }
+                    if self.approx_active {
+                        if let Some(approx) = &self.settings.approx {
+                            // Same screening a sequential evaluate would
+                            // apply under the current validation state.
+                            neighbor_buf.truncate(approx.screen_to.max(1));
+                        }
+                    }
                     slots.push(SlotPlan::Krige {
                         neighbors: neighbor_buf.iter().map(|&(p, _)| p).collect(),
                         epoch: fit_points.len(),
@@ -845,30 +930,42 @@ impl<E: EvalBackend> HybridEvaluator<E> {
         }
 
         // Round 2 — solve the planned kriging systems, grouped by
-        // (model bits, neighbour set) exactly as before. Nothing here
-        // mutates session state; implausible predictions and failed solves
+        // (model bits, neighbour set) exactly as before, through the
+        // factor-once/solve-many scratch: one Γ assembly + Bunch–Kaufman
+        // factorization per group, all members back-substituted in one
+        // blocked multi-RHS pass over the shared γ-table. Per-member
+        // results are bitwise identical to the sequential `krige_with`
+        // path. Nothing here mutates session state beyond the reused
+        // scratch/table buffers; implausible predictions and failed solves
         // are collected for the fallback round.
-        let mut krige_results: Vec<Option<(f64, f64)>> = vec![None; configs.len()];
+        let mut krige_results: Vec<Option<(f64, f64, u32)>> = vec![None; configs.len()];
         let mut fallback_slots: Vec<usize> = Vec::new();
         {
+            let store = &self.store;
+            let session_model = self.model;
+            let metric = self.settings.metric;
+            let krige_scratch = &mut self.krige_scratch;
+            let gamma_slot = &mut self.gamma_table;
+            let group_values = &mut self.group_values;
+            let group_keys = &mut self.group_keys;
+            let group_gamma = &mut self.group_gamma;
             let cfg_at = |j: usize| -> &Config {
                 if j < planned_at {
-                    &self.store.configs()[j]
+                    &store.configs()[j]
                 } else {
                     &plan.requests[j - planned_at].config
                 }
             };
             let val_at = |j: usize| -> f64 {
                 if j < planned_at {
-                    self.store.values()[j]
+                    store.values()[j]
                 } else {
                     values[j - planned_at]
                 }
             };
             let resolve_model = |epoch: usize| -> VariogramModel {
                 if epoch == 0 {
-                    self.model
-                        .expect("krige slot planned without an active model")
+                    session_model.expect("krige slot planned without an active model")
                 } else {
                     epoch_models[epoch - 1]
                 }
@@ -911,36 +1008,64 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     .map_or(krige_order.len(), |off| group_start + off);
                 let members = &krige_order[group_start..group_end];
                 group_start = group_end;
-                let sites: Vec<Vec<f64>> = head_neighbors
-                    .iter()
-                    .map(|&j| crate::config_to_point(cfg_at(j)))
-                    .collect();
-                let neighbor_values: Vec<f64> = head_neighbors.iter().map(|&j| val_at(j)).collect();
-                let lo = neighbor_values
-                    .iter()
-                    .cloned()
-                    .fold(f64::INFINITY, f64::min);
-                let hi = neighbor_values
+                let n = head_neighbors.len();
+                group_values.clear();
+                group_values.extend(head_neighbors.iter().map(|&j| val_at(j)));
+                let lo = group_values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = group_values
                     .iter()
                     .cloned()
                     .fold(f64::NEG_INFINITY, f64::max);
                 let spread = (hi - lo).max(1e-9);
-                let estimator = KrigingEstimator::new(head_model).with_metric(self.settings.metric);
-                let targets: Vec<Vec<f64>> = members
-                    .iter()
-                    .map(|&s| crate::config_to_point(&configs[s]))
-                    .collect();
-                match estimator.predict_batch(&sites, &neighbor_values, &targets) {
-                    Ok(predictions) => {
-                        for (&s, p) in members.iter().zip(&predictions) {
-                            if !p.value.is_finite()
-                                || !p.variance.is_finite()
-                                || p.value < lo - 2.0 * spread
-                                || p.value > hi + 2.0 * spread
+                // Re-target the session γ-table at this group's model (the
+                // sort keeps resets to one per distinct model).
+                let table = match &mut *gamma_slot {
+                    Some(t) => {
+                        if !t.matches(&head_model, metric) {
+                            t.reset(head_model, metric);
+                        }
+                        t
+                    }
+                    slot @ None => slot.insert(GammaTable::new(head_model, metric)),
+                };
+                // Flat RHS γ slab: a tight integer pass computes the
+                // lattice keys for every (neighbour, member) pair, then one
+                // batched memoized table pass fills the γ row slab.
+                group_keys.clear();
+                for &s in members {
+                    let target = &configs[s];
+                    group_keys.extend(
+                        head_neighbors
+                            .iter()
+                            .map(|&j| lattice_key(metric, cfg_at(j), target)),
+                    );
+                }
+                table.gamma_keys_into(group_keys, group_gamma);
+                let solved = krige_scratch.solve_group_with(n, members.len(), |i, j| {
+                    if j < n {
+                        table.gamma_pair(cfg_at(head_neighbors[i]), cfg_at(head_neighbors[j]))
+                    } else {
+                        group_gamma[(j - n) * n + i]
+                    }
+                });
+                match solved {
+                    Ok(()) => {
+                        for (t, &s) in members.iter().enumerate() {
+                            if !krige_scratch.group_ok(t) {
+                                fallback_slots.push(s);
+                                continue;
+                            }
+                            let value = krige_scratch.group_interpolate(t, group_values);
+                            let variance = krige_scratch.group_variance(t);
+                            if !value.is_finite()
+                                || !variance.is_finite()
+                                || value < lo - 2.0 * spread
+                                || value > hi + 2.0 * spread
                             {
                                 fallback_slots.push(s);
                             } else {
-                                krige_results[s] = Some((p.value, p.variance));
+                                krige_results[s] =
+                                    Some((value, variance, krige_scratch.group_jitter_retries(t)));
                             }
                         }
                     }
@@ -1042,9 +1167,14 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     });
                 }
                 SlotPlan::Krige { neighbors, .. } => match krige_results[s] {
-                    Some((value, variance)) => {
+                    Some((value, variance, retries)) => {
                         self.stats.kriged += 1;
                         self.stats.neighbor_sum += neighbors.len() as u64;
+                        if retries > 0 {
+                            if let Some(obs) = &self.obs {
+                                obs.jitter_retries.add(u64::from(retries));
+                            }
+                        }
                         if trace_slots {
                             self.emit_query_event("kriged", Some(neighbors.len()));
                         }
@@ -1101,6 +1231,14 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             self.store.insert(request.config.clone(), value);
             self.stats.simulated += 1;
             self.maybe_identify_variogram();
+        }
+        if !plan.fit_points.is_empty() {
+            // Staged fits are installed outside `maybe_identify_variogram`,
+            // so re-run the approximate-path validation here, exactly as the
+            // sequential replay of this batch would have.
+            self.revalidate_approx();
+        } else {
+            self.maybe_revalidate_approx();
         }
         if let (Some(obs), Some(before)) = (&self.obs, stats_before) {
             obs.queries.add(self.stats.queries - before.queries);
@@ -1183,6 +1321,7 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             }
         }
         self.maybe_identify_variogram();
+        self.maybe_revalidate_approx();
         Ok(value)
     }
 
@@ -1238,6 +1377,117 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                 self.fit_report = Some(report);
             }
             Err(_) => self.model = Some(fallback),
+        }
+        // A refit can shift every prediction, so the approximate-path
+        // accuracy validation is re-run against the new model.
+        self.revalidate_approx();
+    }
+
+    /// Whether the opt-in approximate prediction path is currently active —
+    /// `true` only when [`HybridSettings::approx`] is set *and* the last
+    /// leave-one-out validation stayed within its declared `epsilon`.
+    pub fn approx_active(&self) -> bool {
+        self.approx_active
+    }
+
+    /// Re-runs the approximate-path validation if the store has grown by
+    /// [`ApproxSettings::check_every`] sites since the last check (the
+    /// refit-free trigger, e.g. under [`VariogramPolicy::Fixed`]), or if a
+    /// model is present but no validation has ever seen it — sessions born
+    /// with a fixed model have no fit event, and without this trigger they
+    /// would krige exactly for their first `check_every` insertions.
+    fn maybe_revalidate_approx(&mut self) {
+        let Some(approx) = &self.settings.approx else {
+            return;
+        };
+        let first_opportunity =
+            !self.approx_validated && self.model.is_some() && !self.store.is_empty();
+        if first_opportunity
+            || self.store.len() >= self.approx_checked_at + approx.check_every.max(1)
+        {
+            self.revalidate_approx();
+        }
+    }
+
+    /// Fast leave-one-out cross-validation of the screened-neighbour
+    /// approximation (Le Gratiet & Cannamela's cheap accuracy check): a
+    /// stride sample of stored sites is predicted from its own neighbours
+    /// twice — once with the exact neighbour cap, once screened to
+    /// [`ApproxSettings::screen_to`] — and the approximate path stays
+    /// active only if every sampled deviation is within the declared
+    /// `epsilon`. Sites whose neighbourhoods never exceed `screen_to`
+    /// exercise no approximation and impose no constraint.
+    fn revalidate_approx(&mut self) {
+        let Some(approx) = self.settings.approx else {
+            return;
+        };
+        self.approx_checked_at = self.store.len();
+        let Some(model) = self.model else {
+            self.approx_active = false;
+            return;
+        };
+        self.approx_validated = true;
+        let metric = self.settings.metric;
+        let distance = self.settings.distance;
+        let min_neighbors = self.settings.min_neighbors;
+        let max_neighbors = self.settings.max_neighbors;
+        let screen_to = approx.screen_to.max(1);
+        let store = &self.store;
+        let scratch = &mut self.krige_scratch;
+        let value_buf = &mut self.value_buf;
+        let neighbor_buf = &mut self.neighbor_buf;
+        let table = match &mut self.gamma_table {
+            Some(t) => {
+                if !t.matches(&model, metric) {
+                    t.reset(model, metric);
+                }
+                t
+            }
+            slot @ None => slot.insert(GammaTable::new(model, metric)),
+        };
+        let len = store.len();
+        let step = (len / approx.loo_samples.max(1)).max(1);
+        let mut active = true;
+        let mut i = 0;
+        while i < len && active {
+            let target = &store.configs()[i];
+            store.within_into(target, distance, neighbor_buf);
+            // Leave-one-out: the site itself (distance 0) must not predict
+            // itself.
+            neighbor_buf.retain(|&(p, _)| p != i);
+            if let Some(cap) = max_neighbors {
+                neighbor_buf.truncate(cap);
+            }
+            if neighbor_buf.len() > screen_to && neighbor_buf.len() > min_neighbors {
+                let exact = krige_with(scratch, table, store, value_buf, neighbor_buf, target);
+                let screened = krige_with(
+                    scratch,
+                    table,
+                    store,
+                    value_buf,
+                    &neighbor_buf[..screen_to],
+                    target,
+                );
+                active = match (exact, screened) {
+                    (Ok((ev, _)), Ok((av, _))) => {
+                        (av - ev).abs() <= approx.epsilon * ev.abs().max(1.0)
+                    }
+                    // An exact-path failure is not the approximation's
+                    // fault; only converged exact solves judge it.
+                    (Err(_), _) => true,
+                    (Ok(_), Err(_)) => false,
+                };
+            }
+            i += step;
+        }
+        self.approx_active = active;
+        if let Some(obs) = &self.obs {
+            if obs.tracer.enabled() {
+                obs.tracer.emit(
+                    "approx_validation",
+                    vec![("active", active.into()), ("at", len.into())],
+                );
+            }
         }
     }
 
@@ -1929,5 +2179,46 @@ mod tests {
         let h = HybridEvaluator::new(smooth_eval(), settings(2.0));
         let inner = h.into_inner();
         assert_eq!(AccuracyEvaluator::num_variables(&inner), 2);
+    }
+
+    #[test]
+    fn fixed_model_sessions_validate_approx_before_the_growth_window() {
+        // A session born with a fixed model (the campaign pilot-variogram
+        // path) has no fit event to trigger the first leave-one-out check;
+        // it must validate at the first insertion rather than silently
+        // kriging exactly for its first `check_every` insertions.
+        let fixed = VariogramModel::linear(1.0);
+        let mut h = HybridEvaluator::new(
+            smooth_eval(),
+            HybridSettings {
+                distance: 3.0,
+                variogram: VariogramPolicy::Fixed(fixed),
+                approx: Some(ApproxSettings {
+                    screen_to: 2,
+                    epsilon: 1e9,
+                    loo_samples: 8,
+                    check_every: 1000,
+                }),
+                ..HybridSettings::default()
+            },
+        );
+        for a in 4..8 {
+            for b in 4..8 {
+                h.simulate_exact(&vec![a, b]).unwrap();
+            }
+        }
+        assert!(
+            h.approx_active(),
+            "16 insertions with a fixed model and ε = 1e9 must leave the \
+             approximation active long before check_every = 1000"
+        );
+        let out = h.evaluate(&vec![8, 6]).unwrap();
+        let Outcome::Kriged { neighbors, .. } = out else {
+            panic!("a target beside the block must krige, got {out:?}");
+        };
+        assert_eq!(
+            neighbors, 2,
+            "active screening must cap the system at screen_to"
+        );
     }
 }

@@ -41,7 +41,11 @@ use crate::{CoreError, DistanceMetric};
 pub struct FactoredKriging {
     model: VariogramModel,
     metric: DistanceMetric,
-    sites: Vec<Vec<f64>>,
+    /// Site coordinates as one contiguous row-major `n × dim` slab; site
+    /// `i` occupies `sites[i*dim .. (i+1)*dim]`. Flat storage keeps the
+    /// γ-assembly inner loop streaming over one allocation.
+    sites: Vec<f64>,
+    dim: usize,
     values: Vec<f64>,
     /// Bunch–Kaufman LDLᵀ of the (jittered) saddle-point Γ.
     ldlt: LdltWorkspace,
@@ -83,14 +87,54 @@ impl FactoredKriging {
                 });
             }
         }
-        let n = sites.len();
+        let mut flat = Vec::with_capacity(sites.len() * dim);
+        for s in &sites {
+            flat.extend_from_slice(s);
+        }
+        FactoredKriging::from_flat(model, metric, flat, dim, values)
+    }
+
+    /// Builds and factors the system from an already-flat `n × dim`
+    /// row-major site slab (site `i` at `sites[i*dim .. (i+1)*dim]`).
+    ///
+    /// This is the allocation-lean constructor for batch callers that
+    /// assemble sites contiguously; [`FactoredKriging::new`] merely
+    /// flattens into it.
+    ///
+    /// # Errors
+    ///
+    /// See [`FactoredKriging::new`]; additionally rejects a slab whose
+    /// length is not `values.len() * dim`.
+    pub fn from_flat(
+        model: VariogramModel,
+        metric: DistanceMetric,
+        sites: Vec<f64>,
+        dim: usize,
+        values: Vec<f64>,
+    ) -> Result<FactoredKriging, CoreError> {
+        let n = values.len();
+        if n == 0 {
+            return Err(CoreError::NoData);
+        }
+        if sites.len() != n * dim {
+            return Err(CoreError::DimensionMismatch {
+                what: "factored kriging".into(),
+                detail: format!(
+                    "site slab of {} elements vs {n} values at dimension {dim}",
+                    sites.len()
+                ),
+            });
+        }
         let ns = n + 1;
         // Assemble the jitter-free Γ once; retries only re-add the jitter.
         let mut base = vec![0.0; ns * ns];
         let mut scale = 1.0f64;
         for i in 0..n {
             for j in 0..i {
-                let g = model.evaluate(metric.eval(&sites[i], &sites[j]));
+                let g = model.evaluate(metric.eval(
+                    &sites[i * dim..(i + 1) * dim],
+                    &sites[j * dim..(j + 1) * dim],
+                ));
                 base[i * ns + j] = g;
                 base[j * ns + i] = g;
                 scale = scale.max(g);
@@ -129,6 +173,7 @@ impl FactoredKriging {
             model,
             metric,
             sites,
+            dim,
             values,
             ldlt,
         })
@@ -136,7 +181,18 @@ impl FactoredKriging {
 
     /// Number of data sites.
     pub fn num_sites(&self) -> usize {
-        self.sites.len()
+        self.values.len()
+    }
+
+    /// Dimension of the site coordinates (the row stride of the flat
+    /// site slab).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn site(&self, i: usize) -> &[f64] {
+        &self.sites[i * self.dim..(i + 1) * self.dim]
     }
 
     /// Predicts the field at one target (reusing the factorization).
@@ -146,21 +202,19 @@ impl FactoredKriging {
     /// * [`CoreError::DimensionMismatch`] if the target dimension differs
     ///   from the sites'.
     pub fn predict(&self, target: &[f64]) -> Result<Prediction, CoreError> {
-        if target.len() != self.sites[0].len() {
+        if target.len() != self.dim {
             return Err(CoreError::DimensionMismatch {
                 what: "factored kriging".into(),
                 detail: format!(
                     "target has dimension {}, sites have {}",
                     target.len(),
-                    self.sites[0].len()
+                    self.dim
                 ),
             });
         }
-        let n = self.sites.len();
-        let mut solution: Vec<f64> = self
-            .sites
-            .iter()
-            .map(|s| self.model.evaluate(self.metric.eval(s, target)))
+        let n = self.num_sites();
+        let mut solution: Vec<f64> = (0..n)
+            .map(|i| self.model.evaluate(self.metric.eval(self.site(i), target)))
             .collect();
         let gamma_target = solution.clone();
         solution.push(1.0);
@@ -185,13 +239,75 @@ impl FactoredKriging {
         })
     }
 
-    /// Predicts many targets at once.
+    /// Predicts many targets at once from one flat target slab.
+    ///
+    /// Target `t` occupies `targets[t*stride .. t*stride + dim]`, with
+    /// `stride ≥ dim` so callers may keep rows padded for alignment. All
+    /// right-hand sides γᵢ (Eq. 8) are assembled into one contiguous slab
+    /// and back-substituted through the stored factorization in a single
+    /// multi-RHS pass — no per-target allocation or re-factorization.
+    /// Each prediction is bitwise identical to the corresponding
+    /// [`FactoredKriging::predict`] call.
     ///
     /// # Errors
     ///
-    /// See [`FactoredKriging::predict`]; fails on the first bad target.
-    pub fn predict_many(&self, targets: &[Vec<f64>]) -> Result<Vec<Prediction>, CoreError> {
-        targets.iter().map(|t| self.predict(t)).collect()
+    /// * [`CoreError::DimensionMismatch`] if `stride < dim` (or zero) or
+    ///   `targets.len()` is not a whole number of rows.
+    pub fn predict_many(
+        &self,
+        targets: &[f64],
+        stride: usize,
+    ) -> Result<Vec<Prediction>, CoreError> {
+        let dim = self.dim;
+        if stride < dim.max(1) || !targets.len().is_multiple_of(stride) {
+            return Err(CoreError::DimensionMismatch {
+                what: "factored kriging batch".into(),
+                detail: format!(
+                    "target slab of {} elements with row stride {stride} (site dimension {dim})",
+                    targets.len()
+                ),
+            });
+        }
+        let k = targets.len() / stride;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let n = self.num_sites();
+        let ns = n + 1;
+        // One γ-assembly pass over a k × (n+1) row-major slab …
+        let mut rhs = vec![0.0; k * ns];
+        for (t, row) in rhs.chunks_mut(ns).enumerate() {
+            let target = &targets[t * stride..t * stride + dim];
+            for (i, ri) in row[..n].iter_mut().enumerate() {
+                *ri = self.model.evaluate(self.metric.eval(self.site(i), target));
+            }
+            row[n] = 1.0;
+        }
+        // … then one blocked multi-RHS back-substitution for all targets.
+        let mut sol = rhs.clone();
+        self.ldlt.solve_many_in_place(&mut sol, ns)?;
+        let mut out = Vec::with_capacity(k);
+        for (row, gamma) in sol.chunks(ns).zip(rhs.chunks(ns)) {
+            let (weights, rest) = row.split_at(n);
+            let value = weights
+                .iter()
+                .zip(&self.values)
+                .map(|(w, v)| w * v)
+                .sum::<f64>();
+            let variance = (weights
+                .iter()
+                .zip(&gamma[..n])
+                .map(|(w, g)| w * g)
+                .sum::<f64>()
+                + rest[0])
+                .max(0.0);
+            out.push(Prediction {
+                value,
+                variance,
+                weights: weights.to_vec(),
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -237,11 +353,60 @@ mod tests {
             values,
         )
         .unwrap();
-        let targets = vec![vec![1.0, 1.0], vec![2.5, 3.5]];
-        let batch = fk.predict_many(&targets).unwrap();
+        let targets = [[1.0, 1.0], [2.5, 3.5], [0.25, 4.0]];
+        let flat: Vec<f64> = targets.iter().flatten().copied().collect();
+        let batch = fk.predict_many(&flat, 2).unwrap();
+        assert_eq!(batch.len(), targets.len());
         for (t, p) in targets.iter().zip(&batch) {
             assert_eq!(p, &fk.predict(t).unwrap());
         }
+        // Padded rows (stride > dim) read only the leading `dim` entries.
+        let padded: Vec<f64> = targets
+            .iter()
+            .flat_map(|t| [t[0], t[1], f64::NAN, f64::NAN])
+            .collect();
+        assert_eq!(batch, fk.predict_many(&padded, 4).unwrap());
+        // Bad shapes are rejected.
+        assert!(fk.predict_many(&flat, 1).is_err());
+        assert!(fk.predict_many(&flat[..3], 2).is_err());
+    }
+
+    #[test]
+    fn from_flat_matches_nested_constructor() {
+        let (sites, values) = sites_2d();
+        let flat: Vec<f64> = sites.iter().flatten().copied().collect();
+        let a = FactoredKriging::new(
+            VariogramModel::linear(1.0),
+            DistanceMetric::L1,
+            sites,
+            values.clone(),
+        )
+        .unwrap();
+        let b = FactoredKriging::from_flat(
+            VariogramModel::linear(1.0),
+            DistanceMetric::L1,
+            flat,
+            2,
+            values,
+        )
+        .unwrap();
+        assert_eq!(a.dim(), 2);
+        assert_eq!(
+            a.predict(&[1.3, 2.7]).unwrap(),
+            b.predict(&[1.3, 2.7]).unwrap()
+        );
+        // A slab whose length disagrees with the value count is rejected.
+        assert!(matches!(
+            FactoredKriging::from_flat(
+                VariogramModel::linear(1.0),
+                DistanceMetric::L1,
+                vec![0.0, 1.0, 2.0],
+                2,
+                vec![1.0, 2.0],
+            )
+            .unwrap_err(),
+            CoreError::DimensionMismatch { .. }
+        ));
     }
 
     #[test]

@@ -180,6 +180,108 @@ impl SimpleKrigingEstimator {
         Err(CoreError::SingularSystem { sites: n })
     }
 
+    /// Predicts the field at many targets, factoring the covariance matrix
+    /// **once** and back-substituting per target.
+    ///
+    /// `targets` is a flat row-major slab: target `t` occupies
+    /// `targets[t * stride .. t * stride + dim]` where `dim` is the site
+    /// dimension and `stride >= dim` (padding lanes are ignored). The
+    /// covariance matrix depends only on the sites, so the Cholesky
+    /// factorization (the `O(n³)` term) is shared across all targets and
+    /// each prediction is bitwise identical to a standalone
+    /// [`SimpleKrigingEstimator::predict`] call — the jitter ladder settles
+    /// on the same rung because rung success depends only on the matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoData`] if `sites` is empty.
+    /// * [`CoreError::DimensionMismatch`] on inconsistent inputs or a
+    ///   `targets` slab whose length is not a multiple of `stride`.
+    /// * [`CoreError::SingularSystem`] if the covariance matrix cannot be
+    ///   factorized even with jitter.
+    pub fn predict_many(
+        &self,
+        sites: &[Vec<f64>],
+        values: &[f64],
+        targets: &[f64],
+        stride: usize,
+    ) -> Result<Vec<Prediction>, CoreError> {
+        if sites.is_empty() {
+            return Err(CoreError::NoData);
+        }
+        if sites.len() != values.len() {
+            return Err(CoreError::DimensionMismatch {
+                what: "simple kriging".into(),
+                detail: format!("{} sites vs {} values", sites.len(), values.len()),
+            });
+        }
+        let dim = sites[0].len();
+        for (i, s) in sites.iter().enumerate() {
+            if s.len() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    what: "simple kriging".into(),
+                    detail: format!("site {i} has dimension {}, site 0 has {dim}", s.len()),
+                });
+            }
+        }
+        if stride < dim.max(1) || !targets.len().is_multiple_of(stride.max(1)) {
+            return Err(CoreError::DimensionMismatch {
+                what: "simple kriging".into(),
+                detail: format!(
+                    "target slab of {} floats is not rows of stride {stride} >= dim {dim}",
+                    targets.len()
+                ),
+            });
+        }
+        let n = sites.len();
+        let mut chol = None;
+        for jitter in [0.0, 1e-10, 1e-6, 1e-3].map(|j| j * self.total_sill) {
+            let c = Matrix::from_fn(n, n, |i, j| {
+                let base = self.covariance(self.metric.eval(&sites[i], &sites[j]));
+                if i == j {
+                    base + jitter
+                } else {
+                    base
+                }
+            });
+            if let Ok(f) = Cholesky::new(&c) {
+                chol = Some(f);
+                break;
+            }
+        }
+        let Some(chol) = chol else {
+            return Err(CoreError::SingularSystem { sites: n });
+        };
+        let mut out = Vec::with_capacity(targets.len() / stride.max(1));
+        for target in targets.chunks_exact(stride.max(1)) {
+            let target = &target[..dim];
+            let c_target: Vec<f64> = sites
+                .iter()
+                .map(|s| self.covariance(self.metric.eval(s, target)))
+                .collect();
+            let weights = chol.solve(&c_target)?;
+            let value = self.mean
+                + weights
+                    .iter()
+                    .zip(values)
+                    .map(|(w, v)| w * (v - self.mean))
+                    .sum::<f64>();
+            let variance = (self.total_sill
+                - weights
+                    .iter()
+                    .zip(&c_target)
+                    .map(|(w, c)| w * c)
+                    .sum::<f64>())
+            .max(0.0);
+            out.push(Prediction {
+                value,
+                variance,
+                weights,
+            });
+        }
+        Ok(out)
+    }
+
     /// Integer-configuration convenience wrapper.
     ///
     /// # Errors
@@ -300,6 +402,34 @@ mod tests {
                 .unwrap();
         assert_eq!(est.covariance(0.0), 2.0);
         assert!(est.covariance(100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_many_is_bitwise_identical_to_predict() {
+        let est = SimpleKrigingEstimator::new(model(), 5.0).unwrap();
+        let sites: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![f64::from(i), f64::from(i % 3)])
+            .collect();
+        let values: Vec<f64> = (0..6).map(|i| 4.0 + 0.7 * f64::from(i)).collect();
+        // Stride 3 > dim 2: the padding lane must be ignored.
+        let targets = [0.5, 1.5, f64::NAN, 3.25, 0.0, f64::NAN, 10.0, 2.0, f64::NAN];
+        let many = est.predict_many(&sites, &values, &targets, 3).unwrap();
+        assert_eq!(many.len(), 3);
+        for (t, p) in targets.chunks_exact(3).zip(&many) {
+            let single = est.predict(&sites, &values, &t[..2]).unwrap();
+            assert_eq!(single.value.to_bits(), p.value.to_bits());
+            assert_eq!(single.variance.to_bits(), p.variance.to_bits());
+            for (a, b) in single.weights.iter().zip(&p.weights) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Shape errors.
+        assert!(est.predict_many(&sites, &values, &targets, 1).is_err());
+        assert!(est.predict_many(&sites, &values, &targets[..4], 3).is_err());
+        assert!(matches!(
+            est.predict_many(&[], &[], &[], 1).unwrap_err(),
+            CoreError::NoData
+        ));
     }
 
     #[test]

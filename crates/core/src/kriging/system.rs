@@ -77,6 +77,23 @@ pub struct KrigingScratch {
     /// Jitter-ladder rungs retried by the last solve (0 = the jitter-free
     /// system succeeded outright).
     jitter_retries: u32,
+    /// Group-solve RHS slab: `group_len` rows of `group_stride` entries,
+    /// each row `[γ(dᵢ, targetₜ); 1; padding]`. Rows are padded to an
+    /// 8-lane stride so every row starts cache-line aligned relative to
+    /// the slab base.
+    rhs_many: Vec<f64>,
+    /// Group-solve solution slab, same layout as `rhs_many`; row `t` holds
+    /// `[μ; m]` for target `t` after a successful group solve.
+    sol_many: Vec<f64>,
+    /// Per-target final jitter rung of the last group solve.
+    group_retries: Vec<u32>,
+    /// Per-target failure flags of the last group solve (`true` = the
+    /// ladder was exhausted; the row of `sol_many` is unspecified).
+    group_failed: Vec<bool>,
+    /// Number of targets in the last group solve.
+    group_len: usize,
+    /// Row stride of the `rhs_many`/`sol_many` slabs.
+    group_stride: usize,
 }
 
 impl KrigingScratch {
@@ -173,6 +190,207 @@ impl KrigingScratch {
             return Ok(());
         }
         Err(CoreError::SingularSystem { sites: n })
+    }
+
+    /// Assembles Γ **once** and solves it for `targets` right-hand sides
+    /// sharing one neighbour set — the factor-once/solve-many batch path.
+    ///
+    /// `gamma(i, j)` must return the semi-variogram between site `i` and
+    /// site `j` for `j < n`, and between site `i` and target `j - n` for
+    /// `j >= n` (the multi-target extension of
+    /// [`solve_with`](KrigingScratch::solve_with)'s convention).
+    ///
+    /// The jitter-free Γ is target-independent, so rung 0 of the ladder is
+    /// one shared Bunch–Kaufman factorization followed by one blocked
+    /// multi-RHS back-substitution. The jitter *scale* of later rungs is
+    /// per-target (`max|γ(dᵢ, targetₜ)|`), so any target rejected at rung 0
+    /// (singular factor, or weight mass over the `16 + 2n` budget) escalates
+    /// **individually** through the remaining rungs — exactly the sequence a
+    /// per-target [`solve_with`](KrigingScratch::solve_with) would run.
+    /// Per-target results are therefore bitwise identical to sequential
+    /// single-target solves; the parity proptests pin this.
+    ///
+    /// Per-target outcomes are reported through
+    /// [`group_ok`](KrigingScratch::group_ok) rather than an error: one
+    /// ill-conditioned target must not fail its whole group. The group
+    /// accessors (`group_*`) are valid until the next solve; the
+    /// single-solve accessors are invalidated.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoData`] if `n == 0`.
+    /// * [`CoreError::Linalg`] on non-finite Γ entries.
+    pub fn solve_group_with(
+        &mut self,
+        n: usize,
+        targets: usize,
+        mut gamma: impl FnMut(usize, usize) -> f64,
+    ) -> Result<(), CoreError> {
+        if n == 0 {
+            return Err(CoreError::NoData);
+        }
+        let ns = n + 1;
+        self.n = n;
+        self.base.clear();
+        self.base.resize(ns * ns, 0.0);
+        for i in 0..n {
+            for j in 0..i {
+                let g = gamma(i, j);
+                self.base[i * ns + j] = g;
+                self.base[j * ns + i] = g;
+            }
+            // Diagonal stays 0 (γ(0) = 0); unit Lagrange border.
+            self.base[i * ns + n] = 1.0;
+            self.base[n * ns + i] = 1.0;
+        }
+
+        let stride = ns.next_multiple_of(8);
+        self.group_len = targets;
+        self.group_stride = stride;
+        self.rhs_many.clear();
+        self.rhs_many.resize(targets * stride, 0.0);
+        for t in 0..targets {
+            let row = &mut self.rhs_many[t * stride..t * stride + ns];
+            for (i, ri) in row[..n].iter_mut().enumerate() {
+                *ri = gamma(i, n + t);
+            }
+            row[n] = 1.0;
+        }
+        self.group_retries.clear();
+        self.group_retries.resize(targets, 0);
+        self.group_failed.clear();
+        self.group_failed.resize(targets, false);
+        if targets == 0 {
+            return Ok(());
+        }
+
+        let weight_budget = 16.0 + 2.0 * n as f64;
+        // Rung 0: one shared jitter-free factorization, all targets in one
+        // blocked multi-RHS pass.
+        self.work.clear();
+        self.work.extend_from_slice(&self.base);
+        self.sol_many.clear();
+        self.sol_many.extend_from_slice(&self.rhs_many);
+        let mut pending: Vec<usize> = Vec::new();
+        match self.ldlt.factor(&self.work, ns) {
+            Ok(()) => {
+                self.ldlt.solve_many_in_place(&mut self.sol_many, stride)?;
+                for t in 0..targets {
+                    let sol = &self.sol_many[t * stride..t * stride + n];
+                    let l1: f64 = sol.iter().map(|w| w.abs()).sum();
+                    if !l1.is_finite() || l1 > weight_budget {
+                        pending.push(t);
+                    }
+                }
+            }
+            Err(krigeval_linalg::LinalgError::Singular { .. }) => pending.extend(0..targets),
+            Err(e) => return Err(e.into()),
+        }
+
+        // Stragglers escalate individually: each target's jitter scale is
+        // its own, so later rungs cannot share a factorization.
+        'target: for t in pending {
+            let rhs_row = t * stride;
+            let scale = self.rhs_many[rhs_row..rhs_row + n]
+                .iter()
+                .fold(0.0f64, |m, g| m.max(g.abs()))
+                .max(1.0);
+            for (rung, jitter) in [1e-10, 1e-6, 1e-3, 1e-1]
+                .map(|j| j * scale)
+                .into_iter()
+                .enumerate()
+            {
+                self.work.clear();
+                self.work.extend_from_slice(&self.base);
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            self.work[i * ns + j] += jitter;
+                        }
+                    }
+                }
+                match self.ldlt.factor(&self.work, ns) {
+                    Ok(()) => {}
+                    Err(krigeval_linalg::LinalgError::Singular { .. }) => continue,
+                    Err(e) => return Err(e.into()),
+                }
+                self.sol.clear();
+                self.sol
+                    .extend_from_slice(&self.rhs_many[rhs_row..rhs_row + ns]);
+                self.ldlt.solve_in_place(&mut self.sol[..ns])?;
+                let l1: f64 = self.sol[..n].iter().map(|w| w.abs()).sum();
+                if !l1.is_finite() || l1 > weight_budget {
+                    continue; // ill-conditioned: escalate the jitter
+                }
+                self.sol_many[rhs_row..rhs_row + ns].copy_from_slice(&self.sol[..ns]);
+                self.group_retries[t] = rung as u32 + 1;
+                continue 'target;
+            }
+            self.group_failed[t] = true;
+        }
+        Ok(())
+    }
+
+    /// Number of targets in the last group solve.
+    pub fn group_len(&self) -> usize {
+        self.group_len
+    }
+
+    /// Whether target `t` of the last group solve converged. When `false`,
+    /// the target's accessors return unspecified values and the caller
+    /// should treat it like a per-target
+    /// [`CoreError::SingularSystem`].
+    pub fn group_ok(&self, t: usize) -> bool {
+        !self.group_failed[t]
+    }
+
+    /// The kriging weights `μ` of group target `t`.
+    pub fn group_weights(&self, t: usize) -> &[f64] {
+        let row = t * self.group_stride;
+        &self.sol_many[row..row + self.n]
+    }
+
+    /// The Lagrange multiplier `m` of group target `t`.
+    pub fn group_lagrange(&self, t: usize) -> f64 {
+        self.sol_many[t * self.group_stride + self.n]
+    }
+
+    /// `γ(dᵢ, targetₜ)` of group target `t`.
+    pub fn group_gamma_target(&self, t: usize) -> &[f64] {
+        let row = t * self.group_stride;
+        &self.rhs_many[row..row + self.n]
+    }
+
+    /// Jitter-ladder rungs target `t` escalated through (0 = solved by the
+    /// shared jitter-free factorization).
+    pub fn group_jitter_retries(&self, t: usize) -> u32 {
+        self.group_retries[t]
+    }
+
+    /// `Σ μₖ·λ(eᵏ)` (Eq. 10) for group target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of weights.
+    pub fn group_interpolate(&self, t: usize, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.n, "value count must match weight count");
+        self.group_weights(t)
+            .iter()
+            .zip(values)
+            .map(|(w, v)| w * v)
+            .sum()
+    }
+
+    /// The ordinary-kriging variance of group target `t`, clamped at zero.
+    pub fn group_variance(&self, t: usize) -> f64 {
+        let v: f64 = self
+            .group_weights(t)
+            .iter()
+            .zip(self.group_gamma_target(t))
+            .map(|(w, g)| w * g)
+            .sum::<f64>()
+            + self.group_lagrange(t);
+        v.max(0.0)
     }
 
     /// The kriging weights `μ` of the last successful solve.
@@ -453,6 +671,94 @@ mod tests {
         solve_points_into(&mut scratch, &sites, &target, &m, metric).unwrap();
         assert_eq!(scratch.weights(), &reference[..n]);
         assert_eq!(scratch.lagrange().to_bits(), reference[n].to_bits());
+    }
+
+    #[test]
+    fn group_solve_is_bitwise_identical_to_sequential_solves() {
+        let m = model();
+        let metric = DistanceMetric::L1;
+        // Duplicate sites force some targets past the shared rung-0
+        // factorization into the per-target jitter ladder.
+        let site_sets: Vec<Vec<Vec<f64>>> = vec![
+            vec![vec![0.0], vec![2.0], vec![6.0], vec![10.0]],
+            vec![vec![1.0], vec![1.0], vec![3.0], vec![8.0]],
+        ];
+        let targets: Vec<Vec<f64>> = vec![vec![4.0], vec![1.5], vec![9.0], vec![2.0], vec![0.25]];
+        for sites in &site_sets {
+            let n = sites.len();
+            let gamma = |i: usize, j: usize| {
+                if j < n {
+                    m.evaluate(metric.eval(&sites[i], &sites[j]))
+                } else {
+                    m.evaluate(metric.eval(&sites[i], &targets[j - n]))
+                }
+            };
+            let mut group = KrigingScratch::new();
+            group.solve_group_with(n, targets.len(), gamma).unwrap();
+            assert_eq!(group.group_len(), targets.len());
+            for (t, target) in targets.iter().enumerate() {
+                let mut single = KrigingScratch::new();
+                solve_points_into(&mut single, sites, target, &m, metric).unwrap();
+                assert!(group.group_ok(t));
+                let gw: Vec<u64> = group.group_weights(t).iter().map(|w| w.to_bits()).collect();
+                let sw: Vec<u64> = single.weights().iter().map(|w| w.to_bits()).collect();
+                assert_eq!(gw, sw, "sites {sites:?} target {target:?}");
+                assert_eq!(
+                    group.group_lagrange(t).to_bits(),
+                    single.lagrange().to_bits()
+                );
+                assert_eq!(group.group_gamma_target(t), single.gamma_target());
+                assert_eq!(group.group_jitter_retries(t), single.jitter_retries());
+                assert_eq!(
+                    group.group_variance(t).to_bits(),
+                    single.variance().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_solve_isolates_a_poisoned_target() {
+        // A NaN right-hand side must fail only its own target, leaving the
+        // other group members bitwise intact.
+        let m = model();
+        let metric = DistanceMetric::L1;
+        let sites = vec![vec![0.0], vec![2.0], vec![6.0]];
+        let n = sites.len();
+        let good = [4.0];
+        let mut group = KrigingScratch::new();
+        group
+            .solve_group_with(n, 2, |i, j| {
+                if j < n {
+                    m.evaluate(metric.eval(&sites[i], &sites[j]))
+                } else if j == n {
+                    f64::NAN // target 0 is poisoned
+                } else {
+                    m.evaluate(metric.eval(&sites[i], &good))
+                }
+            })
+            .unwrap();
+        assert!(!group.group_ok(0));
+        assert!(group.group_ok(1));
+        let mut single = KrigingScratch::new();
+        solve_points_into(&mut single, &sites, &good, &m, metric).unwrap();
+        assert_eq!(group.group_weights(1), single.weights());
+        assert_eq!(
+            group.group_lagrange(1).to_bits(),
+            single.lagrange().to_bits()
+        );
+    }
+
+    #[test]
+    fn group_solve_edge_cases() {
+        let mut scratch = KrigingScratch::new();
+        assert!(matches!(
+            scratch.solve_group_with(0, 3, |_, _| 0.0).unwrap_err(),
+            CoreError::NoData
+        ));
+        // Zero targets: assembles Γ, solves nothing, reports an empty group.
+        scratch.solve_group_with(2, 0, |_, _| 1.0).unwrap();
+        assert_eq!(scratch.group_len(), 0);
     }
 
     #[test]

@@ -71,7 +71,8 @@ pub use error::CoreError;
 pub use eval_backend::{EvalBackend, SimulationRequest};
 pub use evaluator::{AccuracyEvaluator, EvalError, FiniteGuard, FnEvaluator};
 pub use hybrid::{
-    BatchPlan, HybridEvaluator, HybridObs, HybridSettings, HybridStats, Outcome, VariogramPolicy,
+    ApproxSettings, BatchPlan, HybridEvaluator, HybridObs, HybridSettings, HybridStats, Outcome,
+    VariogramPolicy,
 };
 pub use hybrid_snapshot::SessionSnapshot;
 pub use kriging::KrigingEstimator;

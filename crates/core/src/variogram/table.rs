@@ -136,6 +136,23 @@ impl GammaTable {
         self.gamma_key(lattice_key(self.metric, a, b))
     }
 
+    /// Batched lookup: appends `γ` at each of `keys` to `out` (cleared
+    /// first), one memoized table pass for a whole flat key slab.
+    ///
+    /// This is the slab-assembly companion of
+    /// [`gamma_key`](GammaTable::gamma_key): batch callers precompute the
+    /// integer lattice keys for a row-major pair slab (a tight integer
+    /// loop), then fill the matching γ slab in one pass here. Values are
+    /// bitwise identical to per-key [`gamma_key`](GammaTable::gamma_key)
+    /// calls.
+    pub fn gamma_keys_into(&mut self, keys: &[u64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(keys.len());
+        for &key in keys {
+            out.push(self.gamma_key(key));
+        }
+    }
+
     /// `γ` at a precomputed lattice key, memoized.
     pub fn gamma_key(&mut self, key: u64) -> f64 {
         if key >= MAX_TABLE_KEYS {
@@ -191,6 +208,29 @@ mod tests {
                         "metric {metric}, model {model:?}, pair {a:?}/{b:?}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lookup_matches_single_lookups() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for metric in [DistanceMetric::L1, DistanceMetric::L2, DistanceMetric::Linf] {
+            for model in all_models() {
+                let mut table = GammaTable::new(model, metric);
+                let keys: Vec<u64> = (0..200)
+                    .map(|_| rng.gen_range(0..(MAX_TABLE_KEYS + 64)))
+                    .collect();
+                let mut batched = Vec::new();
+                table.gamma_keys_into(&keys, &mut batched);
+                assert_eq!(batched.len(), keys.len());
+                let mut fresh = GammaTable::new(model, metric);
+                for (k, b) in keys.iter().zip(&batched) {
+                    assert_eq!(fresh.gamma_key(*k).to_bits(), b.to_bits());
+                }
+                // The output buffer is cleared, not appended to.
+                table.gamma_keys_into(&keys[..3], &mut batched);
+                assert_eq!(batched.len(), 3);
             }
         }
     }

@@ -1,0 +1,222 @@
+//! Multi-RHS parity suite: the factor-once/solve-many batch paths must be
+//! **bitwise identical** to their single-target counterparts.
+//!
+//! Three layers are pinned, bottom-up:
+//!
+//! * [`KrigingScratch::solve_group_with`] vs sequential
+//!   [`KrigingScratch::solve_with`] over arbitrary neighbour-set groupings
+//!   (random site pools, random group partitions, duplicate sites that
+//!   force the jitter ladder);
+//! * [`FactoredKriging::predict_many`] vs per-target
+//!   [`FactoredKriging::predict`], including padded target strides;
+//! * [`KrigingEstimator::predict_batch`] vs per-target
+//!   [`KrigingEstimator::predict`].
+//!
+//! Identity, not closeness: every assertion compares `f64::to_bits`. The
+//! batch path walks the same pivot sequence with the same operand order,
+//! so there is no legitimate source of drift — any mismatch is a bug.
+
+use krigeval_core::kriging::{FactoredKriging, KrigingEstimator, KrigingScratch};
+use krigeval_core::variogram::VariogramModel;
+use krigeval_core::DistanceMetric;
+use proptest::prelude::*;
+
+/// The variogram models exercised (index-picked; the vendored proptest
+/// stub has no `prop_oneof!`).
+fn pick_model(which: usize) -> VariogramModel {
+    match which % 4 {
+        0 => VariogramModel::linear(1.3),
+        1 => VariogramModel::exponential(0.0, 2.0, 5.0).unwrap(),
+        2 => VariogramModel::gaussian(0.05, 1.5, 4.0).unwrap(),
+        _ => VariogramModel::spherical(0.2, 3.0, 6.0).unwrap(),
+    }
+}
+
+fn pick_metric(which: usize) -> DistanceMetric {
+    match which % 3 {
+        0 => DistanceMetric::L1,
+        1 => DistanceMetric::L2,
+        _ => DistanceMetric::Linf,
+    }
+}
+
+/// Max configuration dimension drawn; each case truncates to its own dim.
+const MAX_DIM: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// One `solve_group_with` per group is bitwise identical — weights,
+    /// Lagrange multiplier, target γ vector, interpolated value, variance
+    /// and the jitter rung reached — to a fresh per-target `solve_with`,
+    /// for arbitrary neighbour-set groupings over a shared site pool
+    /// (duplicate pool sites routinely force the jitter ladder, covering
+    /// the per-target escalation path too).
+    #[test]
+    fn group_solve_matches_sequential_solves_for_arbitrary_groupings(
+        dim in 2usize..=MAX_DIM,
+        raw_pool in proptest::collection::vec(
+            proptest::collection::vec(0i32..12, MAX_DIM), 4..=14),
+        values in proptest::collection::vec(-4.0f64..9.0, 14usize),
+        raw_groups in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..64, 1..=14),
+                proptest::collection::vec(
+                    proptest::collection::vec(0i32..12, MAX_DIM), 1..=6),
+            ),
+            1..=4,
+        ),
+        model_pick in 0usize..4,
+        metric_pick in 0usize..3,
+    ) {
+        let model = pick_model(model_pick);
+        let metric = pick_metric(metric_pick);
+        let pool: Vec<Vec<i32>> = raw_pool
+            .iter()
+            .map(|s| s[..dim].to_vec())
+            .collect();
+        let mut group_scratch = KrigingScratch::new();
+        let mut single_scratch = KrigingScratch::new();
+        for (raw_positions, raw_targets) in &raw_groups {
+            // Neighbour sets are position sets: draw arbitrary pool
+            // indices, dedup keeping draw order (like the planner's
+            // neighbour lists).
+            let mut seen = vec![false; pool.len()];
+            let mut neighbors: Vec<usize> = Vec::new();
+            for &p in raw_positions {
+                let p = p % pool.len();
+                if !seen[p] {
+                    seen[p] = true;
+                    neighbors.push(p);
+                }
+            }
+            let targets: Vec<Vec<i32>> =
+                raw_targets.iter().map(|t| t[..dim].to_vec()).collect();
+            let n = neighbors.len();
+            let gamma = |i: usize, j: usize, target: &[i32]| {
+                let a = &pool[neighbors[i]];
+                let d = if j < n {
+                    metric.eval_config(a, &pool[neighbors[j]])
+                } else {
+                    metric.eval_config(a, target)
+                };
+                model.evaluate(d)
+            };
+            group_scratch
+                .solve_group_with(n, targets.len(), |i, j| {
+                    if j < n {
+                        gamma(i, j, &[])
+                    } else {
+                        gamma(i, n, &targets[j - n])
+                    }
+                })
+                .expect("finite gamma never errors the group");
+            prop_assert_eq!(group_scratch.group_len(), targets.len());
+            let group_values: Vec<f64> =
+                neighbors.iter().map(|&p| values[p]).collect();
+            for (t, target) in targets.iter().enumerate() {
+                let single = single_scratch.solve_with(n, |i, j| gamma(i, j, target));
+                prop_assert_eq!(single.is_ok(), group_scratch.group_ok(t));
+                if single.is_err() {
+                    continue;
+                }
+                prop_assert_eq!(
+                    single_scratch.jitter_retries(),
+                    group_scratch.group_jitter_retries(t)
+                );
+                for (a, b) in single_scratch
+                    .weights()
+                    .iter()
+                    .zip(group_scratch.group_weights(t))
+                {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                prop_assert_eq!(
+                    single_scratch.lagrange().to_bits(),
+                    group_scratch.group_lagrange(t).to_bits()
+                );
+                for (a, b) in single_scratch
+                    .gamma_target()
+                    .iter()
+                    .zip(group_scratch.group_gamma_target(t))
+                {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                prop_assert_eq!(
+                    single_scratch.interpolate(&group_values).to_bits(),
+                    group_scratch.group_interpolate(t, &group_values).to_bits()
+                );
+                prop_assert_eq!(
+                    single_scratch.variance().to_bits(),
+                    group_scratch.group_variance(t).to_bits()
+                );
+            }
+        }
+    }
+
+    /// `FactoredKriging::predict_many` over a padded flat slab is bitwise
+    /// identical to per-target `predict` calls.
+    #[test]
+    fn factored_predict_many_matches_predict(
+        sites in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..12.0, 3usize), 2..10),
+        targets in proptest::collection::vec(
+            proptest::collection::vec(-2.0f64..14.0, 3usize), 1..8),
+        pad in 0usize..3,
+        model_pick in 0usize..4,
+        metric_pick in 0usize..3,
+    ) {
+        let values: Vec<f64> = (0..sites.len()).map(|i| 1.0 + i as f64).collect();
+        let targets_nested = targets;
+        let fk = FactoredKriging::new(
+            pick_model(model_pick),
+            pick_metric(metric_pick),
+            sites,
+            values,
+        );
+        let Ok(fk) = fk else {
+            // Degenerate random site sets may be unfactorizable; nothing
+            // to compare in that case.
+            return Ok(());
+        };
+        let stride = 3 + pad;
+        let mut slab = Vec::with_capacity(targets_nested.len() * stride);
+        for t in &targets_nested {
+            slab.extend_from_slice(t);
+            slab.extend(std::iter::repeat_n(f64::NAN, pad));
+        }
+        let many = fk.predict_many(&slab, stride).expect("valid slab");
+        prop_assert_eq!(many.len(), targets_nested.len());
+        for (t, p) in targets_nested.iter().zip(&many) {
+            let single = fk.predict(t).expect("factored predict succeeds");
+            prop_assert_eq!(single.value.to_bits(), p.value.to_bits());
+            prop_assert_eq!(single.variance.to_bits(), p.variance.to_bits());
+            for (a, b) in single.weights.iter().zip(&p.weights) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// The estimator-level batch entry point keeps the same contract.
+    #[test]
+    fn estimator_predict_batch_matches_predict(
+        sites in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10.0, 2usize), 2..8),
+        targets in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10.0, 2usize), 1..6),
+        model_pick in 0usize..4,
+    ) {
+        let est = KrigingEstimator::new(pick_model(model_pick));
+        let values: Vec<f64> = (0..sites.len()).map(|i| 0.5 * i as f64).collect();
+        let batch = est.predict_batch(&sites, &values, &targets);
+        let Ok(batch) = batch else { return Ok(()); };
+        prop_assert_eq!(batch.len(), targets.len());
+        for (t, p) in targets.iter().zip(&batch) {
+            let single = est
+                .predict(&sites, &values, t)
+                .expect("single predict succeeds");
+            prop_assert_eq!(single.value.to_bits(), p.value.to_bits());
+            prop_assert_eq!(single.variance.to_bits(), p.variance.to_bits());
+        }
+    }
+}

@@ -31,6 +31,13 @@
 //!                    are identical for any value, including under active
 //!                    fault injection — fault fates are content-addressed,
 //!                    not call-ordered)
+//! --approx N         opt-in approximate prediction: screen kriging
+//!                    systems to the N closest neighbours, gated by a
+//!                    leave-one-out accuracy check at refit time (off by
+//!                    default; the exact path stays bitwise pinned)
+//! --approx-epsilon E accuracy bound of the approximate path (default
+//!                    0.05); a sampled leave-one-out deviation above E
+//!                    rejects the approximation until revalidated
 //! --out FILE         write JSONL to FILE instead of stdout
 //! --on-error P       fail-fast | skip | retry:N  (default fail-fast;
 //!                    overrides the spec's on_error field)
@@ -232,6 +239,18 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--repeats" => cli.spec.repeats = value()?.parse().map_err(|_| "bad --repeats")?,
             "--max-neighbors" => {
                 cli.spec.max_neighbors = value()?.parse().map_err(|_| "bad --max-neighbors")?
+            }
+            "--approx" => {
+                let screen_to = value()?.parse().map_err(|_| "bad --approx")?;
+                let mut approx = cli.spec.approx.unwrap_or_default();
+                approx.screen_to = screen_to;
+                cli.spec.approx = Some(approx);
+            }
+            "--approx-epsilon" => {
+                let epsilon = value()?.parse().map_err(|_| "bad --approx-epsilon")?;
+                let mut approx = cli.spec.approx.unwrap_or_default();
+                approx.epsilon = epsilon;
+                cli.spec.approx = Some(approx);
             }
             "--name" => cli.spec.name = value()?.to_string(),
             "--no-audit" => cli.spec.audit = false,

@@ -324,6 +324,7 @@ pub fn run_single_attempt_obs(
         variogram: policy,
         max_neighbors: run.max_neighbors,
         audit: run.audit.then(|| run.problem.audit_metric()),
+        approx: run.approx,
     };
     let minplusone = instance.minplusone;
     let descent = instance.descent;

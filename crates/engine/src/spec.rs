@@ -13,6 +13,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+pub use krigeval_core::hybrid::ApproxSettings;
+
 use crate::fault::{FaultConfig, FaultPolicy};
 use crate::suite::Problem;
 use crate::Scale;
@@ -158,6 +160,10 @@ pub struct CampaignSpec {
     /// Deterministic fault injection for chaos testing; `None` (the
     /// production value) injects nothing. Absent from older spec files.
     pub faults: Option<FaultConfig>,
+    /// Opt-in approximate (screened-neighbour) prediction with a
+    /// leave-one-out accuracy gate; `None` (the default) keeps the exact,
+    /// bitwise-pinned path. Absent from older spec files.
+    pub approx: Option<ApproxSettings>,
 }
 
 impl Default for CampaignSpec {
@@ -179,6 +185,7 @@ impl Default for CampaignSpec {
             max_neighbors: 32,
             on_error: None,
             faults: None,
+            approx: None,
         }
     }
 }
@@ -220,6 +227,8 @@ pub struct RunSpec {
     /// Deterministic fault injection (chaos testing only; `None` in
     /// production).
     pub fault: Option<FaultConfig>,
+    /// Opt-in approximate prediction settings (`None` = exact path).
+    pub approx: Option<ApproxSettings>,
 }
 
 /// A malformed campaign specification.
@@ -282,6 +291,23 @@ impl CampaignSpec {
             // but not content — composes with active injection.
             faults.validate().map_err(SpecError::new)?;
         }
+        if let Some(approx) = &self.approx {
+            if approx.screen_to == 0 {
+                return Err(SpecError::new("approx.screen_to must be at least 1"));
+            }
+            if !approx.epsilon.is_finite() || approx.epsilon <= 0.0 {
+                return Err(SpecError::new(format!(
+                    "invalid approx.epsilon {}",
+                    approx.epsilon
+                )));
+            }
+            if approx.loo_samples == 0 {
+                return Err(SpecError::new("approx.loo_samples must be at least 1"));
+            }
+            if approx.check_every == 0 {
+                return Err(SpecError::new("approx.check_every must be at least 1"));
+            }
+        }
         let mut problems = Vec::new();
         for name in &self.benchmarks {
             let p = Problem::parse(name)
@@ -335,6 +361,7 @@ impl CampaignSpec {
                                     Some(self.max_neighbors)
                                 },
                                 fault: self.faults,
+                                approx: self.approx,
                             });
                         }
                     }
@@ -531,21 +558,25 @@ mod tests {
 
     #[test]
     fn specs_without_failure_fields_still_parse() {
-        // Spec files written before the fault-policy fields existed must
-        // keep loading; the absent fields default to the strict policy.
+        // Spec files written before the fault-policy and approx fields
+        // existed must keep loading; the absent fields default to the
+        // strict, exact-path behaviour.
         let legacy = CampaignSpec::default();
         let mut json = legacy.to_json();
         json = json
             .lines()
-            .filter(|line| !line.contains("on_error") && !line.contains("faults"))
+            .filter(|line| {
+                !line.contains("on_error") && !line.contains("faults") && !line.contains("approx")
+            })
             .collect::<Vec<_>>()
             .join("\n")
-            // The field before the removed trailing pair must not keep a
+            // The field before the removed trailing pairs must not keep a
             // dangling comma.
             .replace("\"max_neighbors\": 32,", "\"max_neighbors\": 32");
         let back = CampaignSpec::from_json(&json).unwrap();
         assert_eq!(back.on_error, None);
         assert_eq!(back.faults, None);
+        assert_eq!(back.approx, None);
         assert_eq!(back, legacy);
     }
 

@@ -306,6 +306,127 @@ impl LdltWorkspace {
         Ok(())
     }
 
+    /// Solves `A·X = B` in place for many right-hand sides sharing the
+    /// stored factorization.
+    ///
+    /// Right-hand sides live in one flat slab: RHS `r` occupies
+    /// `b[r*stride .. r*stride + n]`, with `stride ≥ n` so callers can keep
+    /// their rows padded/aligned. The slab length must be a whole number of
+    /// rows; everything past the first `n` entries of each row is ignored.
+    ///
+    /// The factor is traversed **once**: the forward and backward passes walk
+    /// the pivot sequence a single time with an inner loop over right-hand
+    /// sides, so each factor column is streamed through cache once per
+    /// pivot step instead of once per query. Every right-hand side sees the
+    /// exact scalar operation sequence of [`LdltWorkspace::solve_in_place`],
+    /// so the result is **bitwise identical** to `nrhs` separate single-RHS
+    /// solves — the property the kriging parity suites pin.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if nothing has been factored yet.
+    /// * [`LinalgError::ShapeMismatch`] if `stride < n` or `b.len()` is not
+    ///   a multiple of `stride`.
+    pub fn solve_many_in_place(&self, b: &mut [f64], stride: usize) -> Result<(), LinalgError> {
+        let n = self.n;
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if stride < n || !b.len().is_multiple_of(stride.max(1)) {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("row stride >= {n} and a whole number of rows"),
+                actual: format!("stride {stride}, slab of {} elements", b.len()),
+            });
+        }
+        let nrhs = b.len() / stride;
+        if nrhs == 0 {
+            return Ok(());
+        }
+
+        // Forward: solve L·(D·Lᵀ·X) = P·B, all right-hand sides per pivot.
+        let mut k = 0usize;
+        while k < n {
+            if self.piv[k] >= 0 {
+                let kp = self.piv[k] as usize;
+                let dk = self.at(k, k);
+                for r in 0..nrhs {
+                    let row = &mut b[r * stride..r * stride + n];
+                    if kp != k {
+                        row.swap(k, kp);
+                    }
+                    let bk = row[k];
+                    for i in (k + 1)..n {
+                        row[i] -= self.a[i * n + k] * bk;
+                    }
+                    row[k] = bk / dk;
+                }
+                k += 1;
+            } else {
+                let kp = (-self.piv[k] - 1) as usize;
+                let akm1k = self.at(k + 1, k);
+                let akm1 = self.at(k, k) / akm1k;
+                let ak = self.at(k + 1, k + 1) / akm1k;
+                let denom = akm1 * ak - 1.0;
+                for r in 0..nrhs {
+                    let row = &mut b[r * stride..r * stride + n];
+                    if kp != k + 1 {
+                        row.swap(k + 1, kp);
+                    }
+                    let (bk, bk1) = (row[k], row[k + 1]);
+                    for i in (k + 2)..n {
+                        row[i] -= self.a[i * n + k] * bk + self.a[i * n + k + 1] * bk1;
+                    }
+                    // Same numerically robust scaled 2×2 solve as the
+                    // single-RHS path.
+                    let bkm1 = bk / akm1k;
+                    let bks = bk1 / akm1k;
+                    row[k] = (ak * bkm1 - bks) / denom;
+                    row[k + 1] = (akm1 * bks - bkm1) / denom;
+                }
+                k += 2;
+            }
+        }
+
+        // Backward: solve Lᵀ·X = Y, undoing interchanges in reverse.
+        let mut k = n as isize - 1;
+        while k >= 0 {
+            let ku = k as usize;
+            if self.piv[ku] >= 0 {
+                let kp = self.piv[ku] as usize;
+                for r in 0..nrhs {
+                    let row = &mut b[r * stride..r * stride + n];
+                    let mut sum = row[ku];
+                    for i in (ku + 1)..n {
+                        sum -= self.a[i * n + ku] * row[i];
+                    }
+                    row[ku] = sum;
+                    if kp != ku {
+                        row.swap(ku, kp);
+                    }
+                }
+                k -= 1;
+            } else {
+                let kp = (-self.piv[ku] - 1) as usize;
+                for r in 0..nrhs {
+                    let row = &mut b[r * stride..r * stride + n];
+                    let mut sum1 = row[ku];
+                    let mut sum0 = row[ku - 1];
+                    for i in (ku + 1)..n {
+                        sum1 -= self.a[i * n + ku] * row[i];
+                        sum0 -= self.a[i * n + ku - 1] * row[i];
+                    }
+                    row[ku] = sum1;
+                    row[ku - 1] = sum0;
+                    if kp != ku {
+                        row.swap(ku, kp);
+                    }
+                }
+                k -= 2;
+            }
+        }
+        Ok(())
+    }
+
     #[inline]
     fn at(&self, i: usize, j: usize) -> f64 {
         self.a[i * self.n + j]
@@ -511,6 +632,62 @@ mod tests {
         let expect = b.clone();
         ws.solve_in_place(&mut b).unwrap();
         assert_eq!(b, expect);
+    }
+
+    #[test]
+    fn multi_rhs_is_bitwise_identical_to_single_rhs() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut ws = LdltWorkspace::new();
+        for trial in 0..100 {
+            let n = rng.gen_range(1..14);
+            let zero_diag = trial % 2 == 0 && n > 1;
+            let a = random_symmetric(&mut rng, n, zero_diag);
+            if ws.factor(&a, n).is_err() {
+                continue;
+            }
+            let nrhs = rng.gen_range(1usize..9);
+            let stride = n + rng.gen_range(0usize..4); // padded rows must be fine
+            let mut slab = vec![0.0; nrhs * stride];
+            for row in slab.chunks_mut(stride) {
+                for v in row.iter_mut() {
+                    *v = rng.gen_range(-4.0..4.0);
+                }
+            }
+            let mut expect = slab.clone();
+            for row in expect.chunks_mut(stride) {
+                ws.solve_in_place(&mut row[..n]).unwrap();
+            }
+            ws.solve_many_in_place(&mut slab, stride).unwrap();
+            for (r, (got, want)) in slab.chunks(stride).zip(expect.chunks(stride)).enumerate() {
+                for i in 0..n {
+                    assert_eq!(
+                        got[i].to_bits(),
+                        want[i].to_bits(),
+                        "trial {trial} rhs {r} entry {i}: {} vs {}",
+                        got[i],
+                        want[i]
+                    );
+                }
+                // Padding past n is untouched.
+                assert_eq!(&got[n..], &want[n..]);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_rejects_bad_shapes() {
+        let mut ws = LdltWorkspace::new();
+        assert!(matches!(
+            ws.solve_many_in_place(&mut [1.0], 1).unwrap_err(),
+            LinalgError::Empty
+        ));
+        ws.factor(&[2.0, 1.0, 1.0, 3.0], 2).unwrap();
+        // Stride shorter than the dimension.
+        assert!(ws.solve_many_in_place(&mut [1.0, 2.0], 1).is_err());
+        // Slab not a whole number of rows.
+        assert!(ws.solve_many_in_place(&mut [1.0, 2.0, 3.0], 2).is_err());
+        // Empty slab is a no-op.
+        ws.solve_many_in_place(&mut [], 2).unwrap();
     }
 
     #[test]

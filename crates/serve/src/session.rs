@@ -343,6 +343,7 @@ impl Session {
             variogram,
             max_neighbors,
             audit: None,
+            approx: defaults.approx,
         };
         let mut instance = build_seeded(problem, scale, seed);
         if let Some(lambda) = params.lambda_min {
