@@ -28,9 +28,10 @@ use krigeval_core::{
     VariogramModel, VariogramPolicy,
 };
 use krigeval_engine::shard::{merge_shards, parse_shard, render_shard, shard_runs, ShardManifest};
+use krigeval_engine::spec::GatePolicy;
 use krigeval_engine::{
     run_specs_opts, CampaignSpec, EngineBackend, ExecOptions, FaultConfig, FaultPolicy, Progress,
-    SimCache, SinkOptions,
+    RunRecord, SimCache, SinkOptions,
 };
 use krigeval_obs::{Registry, Tracer};
 use krigeval_serve::protocol::{HelloParams, Request, Response};
@@ -90,6 +91,39 @@ fn measure_us(mut routine: impl FnMut(), iters: usize, batches: usize) -> f64 {
     }
     samples.sort_unstable_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// Interleaved variant of [`measure_us`] for ratio gates: timed batches
+/// of `a` and `b` alternate, so clock-frequency and host-load drift hit
+/// both sides equally and the two medians come out of the same
+/// measurement window. Returns `(a_us, b_us)` per call.
+fn measure_pair_us(
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+    iters: usize,
+    batches: usize,
+) -> (f64, f64) {
+    for _ in 0..iters {
+        a();
+        b();
+    }
+    let mut a_samples = Vec::with_capacity(batches);
+    let mut b_samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        a_samples.push(start.elapsed().as_secs_f64() * 1e6 / iters as f64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            b();
+        }
+        b_samples.push(start.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    a_samples.sort_unstable_by(f64::total_cmp);
+    b_samples.sort_unstable_by(f64::total_cmp);
+    (a_samples[batches / 2], b_samples[batches / 2])
 }
 
 fn num(v: f64) -> Value {
@@ -157,7 +191,15 @@ fn oneshot_predict_24_us() -> f64 {
 /// solve, reported as µs **per prediction** so it is directly comparable
 /// with the frozen per-query number (which re-assembles and re-factors
 /// for every target).
-fn multi_rhs_predict_us() -> f64 {
+///
+/// Measured in two interleaved flavours and returned as
+/// `(value_only, with_variance)`: the second additionally reads every
+/// prediction's kriging variance σ² out of the batch — exactly what the
+/// variance gate consumes per decision. σ² is a byproduct of the same
+/// bordered solve that produces the weights, so surfacing it must be
+/// (near) free: the with-variance number is gated at ≤1.05x the
+/// value-only number.
+fn multi_rhs_predict_us() -> (f64, f64) {
     use krigeval_core::kriging::FactoredKriging;
     let (configs, values) = cloud(24);
     let dim = 10usize;
@@ -173,23 +215,32 @@ fn multi_rhs_predict_us() -> f64 {
         }
     }
     let model = VariogramModel::linear(2.0);
-    let per_batch = measure_us(
+    let factor = |flat_sites: &Vec<f64>, values: &Vec<f64>| {
+        FactoredKriging::from_flat(
+            model,
+            DistanceMetric::L1,
+            flat_sites.clone(),
+            dim,
+            values.clone(),
+        )
+        .expect("solvable system")
+    };
+    let (value_only, with_variance) = measure_pair_us(
         || {
-            let fk = FactoredKriging::from_flat(
-                model,
-                DistanceMetric::L1,
-                flat_sites.clone(),
-                dim,
-                values.clone(),
-            )
-            .expect("solvable system");
+            let fk = factor(&flat_sites, &values);
             let many = fk.predict_many(&targets, dim).expect("valid slab");
             std::hint::black_box(many.len());
+        },
+        || {
+            let fk = factor(&flat_sites, &values);
+            let many = fk.predict_many(&targets, dim).expect("valid slab");
+            let sigma2: f64 = many.iter().map(|p| p.variance).sum();
+            std::hint::black_box(sigma2);
         },
         256,
         15,
     );
-    per_batch / 24.0
+    (value_only / 24.0, with_variance / 24.0)
 }
 
 /// Screened (n=16) vs exact (n=64) solve cost on one 64-site system —
@@ -515,6 +566,114 @@ fn shard_merge_wall_ms() -> (f64, f64) {
     (shard_ms, merge_ms)
 }
 
+/// Measured (not gated) effect of the adaptive decision modes on one
+/// Table-I-shaped fast campaign: the audited d-sweep runs once with the
+/// fixed gate (today's default decision policy), then again with the
+/// variance gate plus LOO-CV model selection, the σ² threshold
+/// self-calibrated from the fixed sweep's own mean accepted variance —
+/// roughly half the would-be interpolations sit above it, so the gate
+/// has real rejections to show. Returns the JSON entry for the
+/// `adaptive_gate` metric and logs the p/ε̄ deltas.
+fn adaptive_gate_entry(problem: &str, workers: usize) -> Value {
+    fn campaign(
+        problem: &str,
+        gate: Option<GatePolicy>,
+        loo: bool,
+        workers: usize,
+    ) -> Vec<RunRecord> {
+        let spec = CampaignSpec {
+            name: format!("perfsmoke-gate-{problem}"),
+            benchmarks: vec![problem.to_string()],
+            gate,
+            loo_select: loo.then_some(true),
+            ..CampaignSpec::default()
+        };
+        let runs = spec.expand().expect("valid spec");
+        run_specs_opts(
+            runs,
+            ExecOptions {
+                workers,
+                progress: Progress::Silent,
+                policy: FaultPolicy::FailFast,
+                journal: None,
+                journal_options: SinkOptions::default(),
+                progress_out: None,
+                obs: None,
+            },
+        )
+        .expect("gate campaign completes")
+        .records
+    }
+    /// `(p_percent, audit_mean_eps, mean_variance, gate_rejections)`
+    /// aggregated over the sweep: p from the raw query/kriged counters,
+    /// ε̄ weighted by audit count, σ̄² weighted by kriged count.
+    fn summarize(records: &[RunRecord]) -> (f64, f64, f64, u64) {
+        let queries: u64 = records.iter().map(|r| r.queries).sum();
+        let kriged: u64 = records.iter().map(|r| r.kriged).sum();
+        let p = if queries > 0 {
+            100.0 * kriged as f64 / queries as f64
+        } else {
+            0.0
+        };
+        let audits: u64 = records.iter().map(|r| r.audit_count).sum();
+        let eps = if audits > 0 {
+            records
+                .iter()
+                .map(|r| r.audit_mean_eps * r.audit_count as f64)
+                .sum::<f64>()
+                / audits as f64
+        } else {
+            0.0
+        };
+        let variance = if kriged > 0 {
+            records
+                .iter()
+                .map(|r| r.mean_variance * r.kriged as f64)
+                .sum::<f64>()
+                / kriged as f64
+        } else {
+            0.0
+        };
+        let rejections: u64 = records.iter().map(|r| r.gate_rejections).sum();
+        (p, eps, variance, rejections)
+    }
+    let fixed = campaign(problem, None, false, workers);
+    let (p_fixed, eps_fixed, var_fixed, _) = summarize(&fixed);
+    let threshold = if var_fixed > 0.0 { var_fixed } else { 1.0 };
+    let adaptive = campaign(
+        problem,
+        Some(GatePolicy::Variance { threshold }),
+        true,
+        workers,
+    );
+    let (p_adaptive, eps_adaptive, var_adaptive, rejections) = summarize(&adaptive);
+    eprintln!(
+        "  adaptive gate {problem:<4} p {p_fixed:>6.2}% -> {p_adaptive:>6.2}%, \
+         audit eps {eps_fixed:.4} -> {eps_adaptive:.4}, \
+         rejections {rejections} (threshold {threshold:.4})"
+    );
+    obj(vec![
+        ("variance_threshold", num(threshold)),
+        (
+            "fixed",
+            obj(vec![
+                ("p_percent", num(p_fixed)),
+                ("audit_mean_eps", num(eps_fixed)),
+                ("mean_variance", num(var_fixed)),
+            ]),
+        ),
+        (
+            "variance_loo",
+            obj(vec![
+                ("p_percent", num(p_adaptive)),
+                ("audit_mean_eps", num(eps_adaptive)),
+                ("mean_variance", num(var_adaptive)),
+                ("gate_rejections", Value::Number(Number::PosInt(rejections))),
+            ]),
+        ),
+    ])
+}
+
 fn table1_fast_wall_s(workers: usize) -> f64 {
     let start = Instant::now();
     let table = run_table_parallel(
@@ -563,8 +722,12 @@ fn main() {
     eprintln!("  kriging solve n=32        {n32:>10.3} us");
     let oneshot = oneshot_predict_24_us();
     eprintln!("  one-shot predict 24 sites {oneshot:>10.3} us");
-    let multi_rhs = multi_rhs_predict_us();
+    let (multi_rhs, variance_pred) = multi_rhs_predict_us();
     eprintln!("  multi-RHS predict (24)    {multi_rhs:>10.3} us/prediction");
+    let variance_ratio = variance_pred / multi_rhs;
+    eprintln!(
+        "  multi-RHS + variance (24) {variance_pred:>10.3} us/prediction (x{variance_ratio:.3})"
+    );
     let (approx_exact, approx_screened) = approx_predict_n64_us();
     eprintln!(
         "  approx predict n=64       {approx_screened:>10.3} us (exact {approx_exact:.3} us)"
@@ -589,6 +752,8 @@ fn main() {
     let (shard_ms, merge_ms) = shard_merge_wall_ms();
     eprintln!("  3-shard chaos campaign    {shard_ms:>10.3} ms");
     eprintln!("  shard merge               {merge_ms:>10.3} ms");
+    let gate_fir = adaptive_gate_entry("fir", workers);
+    let gate_iir = adaptive_gate_entry("iir", workers);
     let table1 = if skip_table1 {
         None
     } else {
@@ -614,6 +779,14 @@ fn main() {
         (
             "multi_rhs_predict_us",
             metric(Some(baseline::PER_QUERY_PREDICT_24_US), multi_rhs),
+        ),
+        (
+            "variance_predict_us",
+            obj(vec![
+                ("value_only_us", num(multi_rhs)),
+                ("with_variance_us", num(variance_pred)),
+                ("overhead_ratio", num(variance_ratio)),
+            ]),
         ),
         (
             "approx_predict_n64_us",
@@ -665,6 +838,10 @@ fn main() {
                 ("merge_wall_ms", num(merge_ms)),
             ]),
         ),
+        (
+            "adaptive_gate",
+            obj(vec![("fir", gate_fir), ("iir", gate_iir)]),
+        ),
     ];
     if let Some(s) = table1 {
         metrics.push((
@@ -712,11 +889,17 @@ fn main() {
         std::process::exit(1);
     }
     // Third gate: attaching the metrics bundle may not slow the kriged
-    // hot path by more than 3% — obs is meant to be always-on-able.
-    if obs_ratio > 1.03 {
+    // hot path by more than 8% — obs is meant to be always-on-able. The
+    // budget was 3% before the variance gate landed; the bundle now also
+    // records every accepted prediction's σ² into the
+    // `hybrid_kriging_variance` histogram (a 12-bucket scan plus three
+    // relaxed atomic adds per kriged evaluate, measured at ~3% of the
+    // ~1.2 us evaluate), so the cap moved with the added work while
+    // still catching a per-evaluate allocation or lock regression.
+    if obs_ratio > 1.08 {
         eprintln!(
             "perfsmoke: FAIL observability overhead is x{obs_ratio:.3} on the kriged \
-             evaluate ({obs_with:.3} us vs {obs_base:.3} us base, budget x1.030)"
+             evaluate ({obs_with:.3} us vs {obs_base:.3} us base, budget x1.080)"
         );
         std::process::exit(1);
     }
@@ -739,6 +922,20 @@ fn main() {
             "perfsmoke: FAIL multi-RHS predict is {multi_rhs:.3} us/prediction \
              (per-query baseline {:.3} us, budget {multi_rhs_budget:.3} us)",
             baseline::PER_QUERY_PREDICT_24_US
+        );
+        std::process::exit(1);
+    }
+    // New with the variance gate: reading σ² out of the batch path —
+    // what the variance gate does on every decision — may cost at most
+    // 5% over the value-only batch. σ² falls out of the same bordered
+    // solve as the weights, so a bigger gap means the prediction path
+    // started recomputing something per target.
+    let variance_budget = multi_rhs * 1.05;
+    if variance_pred > variance_budget {
+        eprintln!(
+            "perfsmoke: FAIL multi-RHS predict with variance readout is \
+             {variance_pred:.3} us/prediction (value-only {multi_rhs:.3} us, \
+             budget {variance_budget:.3} us)"
         );
         std::process::exit(1);
     }

@@ -47,6 +47,14 @@ pub enum CoreError {
         /// Why the parameters are rejected.
         reason: String,
     },
+    /// The hybrid-evaluator settings are invalid (zero or non-finite
+    /// neighbour radius, zero minimum neighbour count, a NaN gate
+    /// threshold, a negative nugget, ...): the evaluator they would
+    /// configure could never krige, or would poison every solve.
+    InvalidSettings {
+        /// Why the settings are rejected.
+        reason: String,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(LinalgError),
 }
@@ -63,6 +71,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::FitFailed { reason } => write!(f, "variogram fit failed: {reason}"),
             CoreError::InvalidModel { reason } => write!(f, "invalid variogram model: {reason}"),
+            CoreError::InvalidSettings { reason } => {
+                write!(f, "invalid hybrid settings: {reason}")
+            }
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
         }
     }
@@ -97,6 +108,11 @@ mod tests {
             reason: "no pairs".into(),
         };
         assert!(e.to_string().contains("no pairs"));
+        let e = CoreError::InvalidSettings {
+            reason: "neighbour radius must be positive".into(),
+        };
+        assert!(e.to_string().contains("invalid hybrid settings"));
+        assert!(e.to_string().contains("radius"));
     }
 
     #[test]

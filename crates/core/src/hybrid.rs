@@ -45,10 +45,10 @@ use crate::kriging::KrigingScratch;
 use crate::neighbors::NeighborIndex;
 use crate::trace::Source;
 use crate::variogram::{
-    fit_model, lattice_key, FitReport, GammaTable, ModelFamily, VariogramAccumulator,
-    VariogramModel,
+    fit_model, fit_model_loo, lattice_key, FitReport, GammaTable, ModelFamily, ModelSelection,
+    VariogramAccumulator, VariogramModel,
 };
-use crate::{Config, DistanceMetric};
+use crate::{Config, CoreError, DistanceMetric};
 
 /// How the variogram model is obtained (paper Section III-A: "the
 /// identification of the semi-variogram has to be done once for a
@@ -104,6 +104,82 @@ pub enum AuditMetric {
     Relative,
 }
 
+/// The pluggable kriged-vs-simulate decision policy.
+///
+/// The decision has two phases. **Admission** ([`GatePolicy::admits`]) is
+/// the paper's fixed neighbour-count rule (line 17, `Nn > Nn,min`) and is
+/// shared by every variant, so batch planning can classify queries without
+/// solving any system. **Acceptance** ([`GatePolicy::accepts`]) inspects
+/// the solved prediction's kriging variance σ²; a rejected prediction is
+/// answered by simulation instead (counted in
+/// [`HybridStats::gate_rejections`], never as a kriging failure).
+///
+/// [`GatePolicy::Fixed`] — the default — accepts every admitted solve and
+/// reproduces the historical behaviour bitwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum GatePolicy {
+    /// Accept every admitted prediction (the paper's rule; the default).
+    #[default]
+    Fixed,
+    /// Simulate instead whenever the predicted kriging variance σ² exceeds
+    /// `threshold` — variance-aware gating in the spirit of Vazquez &
+    /// Bect's kriging-based sequential search.
+    Variance {
+        /// Maximum tolerated kriging variance, in squared metric units.
+        /// `+∞` is allowed (it degenerates to [`GatePolicy::Fixed`]); NaN
+        /// and non-positive thresholds are rejected by
+        /// [`HybridSettings::validate`].
+        threshold: f64,
+    },
+}
+
+impl GatePolicy {
+    /// Pre-solve admission: may this query krige at all? Identical for
+    /// every variant (the paper's strict `Nn > Nn,min` rule), which is
+    /// what lets batch planning classify slots without solving.
+    #[inline]
+    pub fn admits(&self, neighbors: usize, min_neighbors: usize) -> bool {
+        neighbors > min_neighbors
+    }
+
+    /// Post-solve acceptance: is a prediction with kriging variance
+    /// `variance` good enough to return without simulating?
+    #[inline]
+    pub fn accepts(&self, variance: f64) -> bool {
+        match *self {
+            GatePolicy::Fixed => true,
+            GatePolicy::Variance { threshold } => variance <= threshold,
+        }
+    }
+
+    /// Short human-readable label (`fixed`, `variance(τ)`) for artifacts.
+    pub fn label(&self) -> String {
+        match *self {
+            GatePolicy::Fixed => "fixed".to_string(),
+            GatePolicy::Variance { threshold } => format!("variance({threshold})"),
+        }
+    }
+}
+
+/// Noisy-metric support: how the nugget (measurement-error) variance `c`
+/// is obtained. When set, `c` is added to every between-site semi-variogram
+/// value, so kriging smooths replicated noisy observations instead of
+/// interpolating their noise exactly; the predicted σ² grows by ≈ `c`
+/// accordingly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NuggetPolicy {
+    /// Use a fixed, caller-supplied nugget variance `c ≥ 0`.
+    Fixed {
+        /// The nugget variance in squared metric units.
+        value: f64,
+    },
+    /// Estimate `c` as the pooled within-site variance of replicated
+    /// observations ingested via
+    /// [`HybridEvaluator::record_observation`]; zero until some
+    /// configuration has at least two observations.
+    Estimate,
+}
+
 /// Tunable parameters of the hybrid evaluator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HybridSettings {
@@ -128,6 +204,16 @@ pub struct HybridSettings {
     /// Kriging"). `None` — the default — keeps the exact path bitwise
     /// pinned; see [`ApproxSettings`] for the accuracy gate.
     pub approx: Option<ApproxSettings>,
+    /// Kriged-vs-simulate decision policy. [`GatePolicy::Fixed`] — the
+    /// default — reproduces the historical behaviour bitwise.
+    pub gate: GatePolicy,
+    /// How (re-)identification chooses among candidate variogram families.
+    /// [`ModelSelection::WeightedSse`] — the default — is the historical
+    /// weighted-least-squares criterion.
+    pub selection: ModelSelection,
+    /// Optional nugget (noisy-metric) handling. `None` — the default —
+    /// keeps the exact interpolating path bitwise pinned.
+    pub nugget: Option<NuggetPolicy>,
 }
 
 impl Default for HybridSettings {
@@ -140,7 +226,56 @@ impl Default for HybridSettings {
             max_neighbors: Some(32),
             audit: None,
             approx: None,
+            gate: GatePolicy::Fixed,
+            selection: ModelSelection::WeightedSse,
+            nugget: None,
         }
+    }
+}
+
+impl HybridSettings {
+    /// Rejects settings that could never krige or would poison every
+    /// solve: a zero or non-finite neighbour radius, `min_neighbors = 0`
+    /// (the strict `>` admission rule makes both radius-0 and
+    /// min-neighbors-0 footguns), a NaN or non-positive variance-gate
+    /// threshold, and a negative or non-finite fixed nugget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSettings`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !self.distance.is_finite() || self.distance <= 0.0 {
+            return Err(CoreError::InvalidSettings {
+                reason: format!(
+                    "neighbour radius d must be finite and positive (got {})",
+                    self.distance
+                ),
+            });
+        }
+        if self.min_neighbors == 0 {
+            return Err(CoreError::InvalidSettings {
+                reason: "min_neighbors must be at least 1 (kriging runs only with strictly \
+                         more neighbours, so 0 would krige from a single site)"
+                    .to_string(),
+            });
+        }
+        if let GatePolicy::Variance { threshold } = self.gate {
+            if threshold.is_nan() || threshold <= 0.0 {
+                return Err(CoreError::InvalidSettings {
+                    reason: format!(
+                        "variance-gate threshold must be positive and not NaN (got {threshold})"
+                    ),
+                });
+            }
+        }
+        if let Some(NuggetPolicy::Fixed { value }) = self.nugget {
+            if !value.is_finite() || value < 0.0 {
+                return Err(CoreError::InvalidSettings {
+                    reason: format!("nugget variance must be finite and >= 0 (got {value})"),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -198,8 +333,15 @@ pub struct HybridStats {
     pub cache_hits: u64,
     /// Kriging attempts that failed numerically and fell back to simulation.
     pub kriging_failures: u64,
+    /// Kriging solves whose predicted variance the [`GatePolicy`] rejected
+    /// (answered by simulation instead; always 0 under
+    /// [`GatePolicy::Fixed`]).
+    pub gate_rejections: u64,
     /// Sum over kriged queries of the neighbour count used (for `j̄`).
     pub neighbor_sum: u64,
+    /// Sum over kriged (gate-accepted) queries of the predicted kriging
+    /// variance σ² — the numerator of [`HybridStats::mean_variance`].
+    pub variance_sum: f64,
     /// Audit-mode interpolation errors (Eq. 11 or Eq. 12 units).
     pub errors: ErrorStats,
 }
@@ -221,6 +363,16 @@ impl HybridStats {
             0.0
         } else {
             self.neighbor_sum as f64 / self.kriged as f64
+        }
+    }
+
+    /// Mean predicted kriging variance σ̄² over kriged queries (0 when
+    /// nothing kriged) — the natural scale for a variance-gate threshold.
+    pub fn mean_variance(&self) -> f64 {
+        if self.kriged == 0 {
+            0.0
+        } else {
+            self.variance_sum / self.kriged as f64
         }
     }
 }
@@ -343,6 +495,13 @@ impl BatchPlan {
     }
 }
 
+/// Bucket bounds of the `hybrid_kriging_variance` histogram: decades from
+/// 1e-6 to 1e5 cover σ² for metrics spanning micro-scale noise floors to
+/// the word-length benchmarks' dB² spreads.
+const VARIANCE_BUCKETS: [f64; 12] = [
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5,
+];
+
 /// Observability bundle for a hybrid-evaluation session: pre-registered
 /// metric handles plus a [`Tracer`] for per-query decision events.
 ///
@@ -359,7 +518,11 @@ impl BatchPlan {
 /// * `query` — one per evaluated configuration, with a `decision` field
 ///   of `cache_hit`, `alias` (intra-batch duplicate), `kriged`
 ///   (with `neighbors`, and `jitter_retries` on the sequential path),
-///   `simulated`, or `fallback` (kriging failed, simulated instead).
+///   `simulated`, `fallback` (kriging failed, simulated instead), or
+///   `gate_rejected` (the gate refused the solved prediction's variance,
+///   simulated instead).
+/// * `model_selected` — one per leave-one-out model selection
+///   ([`ModelSelection::LeaveOneOut`] only), with the winning family.
 /// * `batch` — one per planned batch: slot/request/cache-hit/krigeable
 ///   counts, plus `plan_us` / `fulfill_us` / `commit_us` when timing is
 ///   enabled.
@@ -373,6 +536,8 @@ pub struct HybridObs {
     kriged: Counter,
     cache_hits: Counter,
     fallbacks: Counter,
+    gate_rejections: Counter,
+    variance: Histogram,
     neighbors: Counter,
     jitter_retries: Counter,
     fits: Counter,
@@ -394,6 +559,8 @@ impl HybridObs {
             kriged: registry.counter("hybrid_kriged_total"),
             cache_hits: registry.counter("hybrid_cache_hits_total"),
             fallbacks: registry.counter("hybrid_kriging_fallbacks_total"),
+            gate_rejections: registry.counter("hybrid_gate_rejections_total"),
+            variance: registry.histogram_with("hybrid_kriging_variance", &VARIANCE_BUCKETS),
             neighbors: registry.counter("hybrid_neighbor_sum"),
             jitter_retries: registry.counter("hybrid_jitter_retries_total"),
             fits: registry.counter("hybrid_variogram_fits_total"),
@@ -479,6 +646,15 @@ pub struct HybridEvaluator<E> {
     group_keys: Vec<u64>,
     /// Reused γ slab matching `group_keys`.
     group_gamma: Vec<f64>,
+    /// Per-configuration replicate accumulators for nugget estimation:
+    /// `config → (count, mean, M2)` Welford state. Populated only under
+    /// [`NuggetPolicy::Estimate`].
+    replicates: std::collections::HashMap<Config, (u64, f64, f64)>,
+    /// Incrementally maintained pooled within-site squared-deviation sum
+    /// `Σᵢ M2ᵢ` over replicated configurations.
+    pooled_m2: f64,
+    /// Pooled degrees of freedom `Σᵢ (nᵢ − 1)`.
+    pooled_dof: u64,
     /// Optional metrics/trace bundle; `None` costs one branch per query.
     obs: Option<HybridObs>,
 }
@@ -488,13 +664,34 @@ impl<E: EvalBackend> HybridEvaluator<E> {
     /// [`AccuracyEvaluator`](crate::evaluator::AccuracyEvaluator) works here
     /// directly (the inline backend); pass an engine-side parallel backend
     /// to fan batched simulation requests over a worker pool instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `settings` fail [`HybridSettings::validate`] (zero or
+    /// non-finite radius, `min_neighbors = 0`, NaN gate threshold,
+    /// negative nugget). Use [`HybridEvaluator::try_new`] to handle the
+    /// error instead.
     pub fn new(inner: E, settings: HybridSettings) -> HybridEvaluator<E> {
+        match HybridEvaluator::try_new(inner, settings) {
+            Ok(hybrid) => hybrid,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: validates `settings` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSettings`] if the settings fail
+    /// [`HybridSettings::validate`].
+    pub fn try_new(inner: E, settings: HybridSettings) -> Result<HybridEvaluator<E>, CoreError> {
+        settings.validate()?;
         let model = match &settings.variogram {
             VariogramPolicy::Fixed(m) => Some(*m),
             VariogramPolicy::FitAfter { .. } | VariogramPolicy::Refit { .. } => None,
         };
         let store = NeighborIndex::new(settings.metric);
-        HybridEvaluator {
+        Ok(HybridEvaluator {
             inner,
             settings,
             store,
@@ -513,8 +710,11 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             group_values: Vec::new(),
             group_keys: Vec::new(),
             group_gamma: Vec::new(),
+            replicates: std::collections::HashMap::new(),
+            pooled_m2: 0.0,
+            pooled_dof: 0,
             obs: None,
-        }
+        })
     }
 
     /// Attaches an observability bundle: counters mirror
@@ -558,6 +758,7 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             });
         }
         let mut fell_back = false;
+        let mut gate_rejected = false;
 
         if let Some(model) = self.model {
             // Gather simulated neighbours within distance d (paper lines
@@ -565,7 +766,11 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             // distance already.
             self.store
                 .within_into(config, self.settings.distance, &mut self.neighbor_buf);
-            if self.neighbor_buf.len() > self.settings.min_neighbors {
+            if self
+                .settings
+                .gate
+                .admits(self.neighbor_buf.len(), self.settings.min_neighbors)
+            {
                 if let Some(cap) = self.settings.max_neighbors {
                     self.neighbor_buf.truncate(cap);
                 }
@@ -577,6 +782,7 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     }
                 }
                 let metric = self.settings.metric;
+                let nugget = self.effective_nugget();
                 let table = match &mut self.gamma_table {
                     Some(t) => {
                         if !t.matches(&model, metric) {
@@ -594,13 +800,16 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     &mut self.value_buf,
                     &self.neighbor_buf,
                     config,
+                    nugget,
                 ) {
-                    Ok((value, variance)) => {
+                    Ok((value, variance)) if self.settings.gate.accepts(variance) => {
                         self.stats.kriged += 1;
                         self.stats.neighbor_sum += n_neighbors as u64;
+                        self.stats.variance_sum += variance;
                         if let Some(obs) = &self.obs {
                             obs.kriged.inc();
                             obs.neighbors.add(n_neighbors as u64);
+                            obs.variance.record(variance);
                             let retries = self.krige_scratch.jitter_retries();
                             if retries > 0 {
                                 obs.jitter_retries.add(u64::from(retries));
@@ -630,6 +839,16 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                             true_value,
                         });
                     }
+                    Ok(_) => {
+                        // The solve converged but the gate refused its
+                        // variance: answer by simulation instead.
+                        self.stats.gate_rejections += 1;
+                        gate_rejected = true;
+                        if let Some(obs) = &self.obs {
+                            obs.gate_rejections.inc();
+                        }
+                        // fall through to simulation
+                    }
                     Err(_) => {
                         self.stats.kriging_failures += 1;
                         fell_back = true;
@@ -649,7 +868,13 @@ impl<E: EvalBackend> HybridEvaluator<E> {
         if let Some(obs) = &self.obs {
             obs.simulated.inc();
             if obs.tracer.enabled() {
-                let decision = if fell_back { "fallback" } else { "simulated" };
+                let decision = if fell_back {
+                    "fallback"
+                } else if gate_rejected {
+                    "gate_rejected"
+                } else {
+                    "simulated"
+                };
                 obs.tracer
                     .emit("query", vec![("decision", decision.into())]);
             }
@@ -787,7 +1012,11 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     }
                 }
                 neighbor_buf.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-                if neighbor_buf.len() > self.settings.min_neighbors {
+                if self
+                    .settings
+                    .gate
+                    .admits(neighbor_buf.len(), self.settings.min_neighbors)
+                {
                     if let Some(cap) = self.settings.max_neighbors {
                         neighbor_buf.truncate(cap);
                     }
@@ -910,9 +1139,22 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                 .vario_acc
                 .clone()
                 .unwrap_or_else(|| VariogramAccumulator::new(self.settings.metric));
+            let selection = self.settings.selection;
+            let fit_metric = self.settings.metric;
+            let fit_nugget = self.effective_nugget();
             for &len in &plan.fit_points {
                 acc.sync(&combined_configs[..len], &combined_values[..len]);
-                let fitted = acc.snapshot().and_then(|emp| fit_model(&emp, &families));
+                let fitted = acc.snapshot().and_then(|emp| match selection {
+                    ModelSelection::WeightedSse => fit_model(&emp, &families),
+                    ModelSelection::LeaveOneOut => fit_model_loo(
+                        &emp,
+                        &families,
+                        &combined_configs[..len],
+                        &combined_values[..len],
+                        fit_metric,
+                        fit_nugget,
+                    ),
+                });
                 staged_fitted_at = len;
                 match fitted {
                     Ok(report) => {
@@ -940,10 +1182,13 @@ impl<E: EvalBackend> HybridEvaluator<E> {
         // are collected for the fallback round.
         let mut krige_results: Vec<Option<(f64, f64, u32)>> = vec![None; configs.len()];
         let mut fallback_slots: Vec<usize> = Vec::new();
+        let mut gate_rejected_slots: Vec<usize> = Vec::new();
         {
             let store = &self.store;
             let session_model = self.model;
             let metric = self.settings.metric;
+            let gate = self.settings.gate;
+            let nugget = self.effective_nugget();
             let krige_scratch = &mut self.krige_scratch;
             let gamma_slot = &mut self.gamma_table;
             let group_values = &mut self.group_values;
@@ -1042,10 +1287,18 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                 }
                 table.gamma_keys_into(group_keys, group_gamma);
                 let solved = krige_scratch.solve_group_with(n, members.len(), |i, j| {
-                    if j < n {
+                    let g = if j < n {
                         table.gamma_pair(cfg_at(head_neighbors[i]), cfg_at(head_neighbors[j]))
                     } else {
                         group_gamma[(j - n) * n + i]
+                    };
+                    // The nugget rides the between-site and target rows
+                    // only (the diagonal γ(0) stays 0); the `!= 0.0` branch
+                    // keeps the nugget-free path bitwise untouched.
+                    if nugget != 0.0 {
+                        g + nugget
+                    } else {
+                        g
                     }
                 });
                 match solved {
@@ -1063,6 +1316,12 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                                 || value > hi + 2.0 * spread
                             {
                                 fallback_slots.push(s);
+                            } else if !gate.accepts(variance) {
+                                // Converged but the gate refused its σ²:
+                                // simulate via the fallback round, counted
+                                // separately at commit.
+                                gate_rejected_slots.push(s);
+                                fallback_slots.push(s);
                             } else {
                                 krige_results[s] =
                                     Some((value, variance, krige_scratch.group_jitter_retries(t)));
@@ -1073,6 +1332,7 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                 }
             }
             fallback_slots.sort_unstable();
+            gate_rejected_slots.sort_unstable();
         }
 
         // Round 3 — fulfill the fallback simulations (deduplicated in
@@ -1170,8 +1430,10 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     Some((value, variance, retries)) => {
                         self.stats.kriged += 1;
                         self.stats.neighbor_sum += neighbors.len() as u64;
-                        if retries > 0 {
-                            if let Some(obs) = &self.obs {
+                        self.stats.variance_sum += variance;
+                        if let Some(obs) = &self.obs {
+                            obs.variance.record(variance);
+                            if retries > 0 {
                                 obs.jitter_retries.add(u64::from(retries));
                             }
                         }
@@ -1191,9 +1453,16 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                         });
                     }
                     None => {
-                        self.stats.kriging_failures += 1;
-                        if trace_slots {
-                            self.emit_query_event("fallback", None);
+                        if gate_rejected_slots.binary_search(&s).is_ok() {
+                            self.stats.gate_rejections += 1;
+                            if trace_slots {
+                                self.emit_query_event("gate_rejected", None);
+                            }
+                        } else {
+                            self.stats.kriging_failures += 1;
+                            if trace_slots {
+                                self.emit_query_event("fallback", None);
+                            }
                         }
                         let value = match fallback_of
                             .get(&s)
@@ -1224,6 +1493,14 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     for &len in &plan.fit_points {
                         obs.tracer.emit("variogram_fit", vec![("at", len.into())]);
                     }
+                    if matches!(self.settings.selection, ModelSelection::LeaveOneOut) {
+                        for model in &epoch_models {
+                            obs.tracer.emit(
+                                "model_selected",
+                                vec![("family", model.family_name().into())],
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -1248,6 +1525,8 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                 .add(self.stats.cache_hits - before.cache_hits);
             obs.fallbacks
                 .add(self.stats.kriging_failures - before.kriging_failures);
+            obs.gate_rejections
+                .add(self.stats.gate_rejections - before.gate_rejections);
             obs.neighbors
                 .add(self.stats.neighbor_sum - before.neighbor_sum);
         }
@@ -1358,17 +1637,37 @@ impl<E: EvalBackend> HybridEvaluator<E> {
         // Fold only the sites simulated since the last sync into the running
         // bin sums — O(new·N) pair updates instead of a full O(N²) pass.
         let metric = self.settings.metric;
+        let selection = self.settings.selection;
+        let nugget = self.effective_nugget();
         let acc = self
             .vario_acc
             .get_or_insert_with(|| VariogramAccumulator::new(metric));
         acc.sync(self.store.configs(), self.store.values());
-        let fitted = acc.snapshot().and_then(|emp| fit_model(&emp, families));
+        let fitted = acc.snapshot().and_then(|emp| match selection {
+            ModelSelection::WeightedSse => fit_model(&emp, families),
+            ModelSelection::LeaveOneOut => fit_model_loo(
+                &emp,
+                families,
+                self.store.configs(),
+                self.store.values(),
+                metric,
+                nugget,
+            ),
+        });
         self.fitted_at = self.store.len();
         if let Some(obs) = &self.obs {
             obs.fits.inc();
             if obs.tracer.enabled() {
                 obs.tracer
                     .emit("variogram_fit", vec![("at", self.store.len().into())]);
+                if selection == ModelSelection::LeaveOneOut {
+                    if let Ok(report) = &fitted {
+                        obs.tracer.emit(
+                            "model_selected",
+                            vec![("family", report.model.family_name().into())],
+                        );
+                    }
+                }
             }
         }
         match fitted {
@@ -1431,6 +1730,8 @@ impl<E: EvalBackend> HybridEvaluator<E> {
         let distance = self.settings.distance;
         let min_neighbors = self.settings.min_neighbors;
         let max_neighbors = self.settings.max_neighbors;
+        let gate = self.settings.gate;
+        let nugget = self.effective_nugget();
         let screen_to = approx.screen_to.max(1);
         let store = &self.store;
         let scratch = &mut self.krige_scratch;
@@ -1458,8 +1759,16 @@ impl<E: EvalBackend> HybridEvaluator<E> {
             if let Some(cap) = max_neighbors {
                 neighbor_buf.truncate(cap);
             }
-            if neighbor_buf.len() > screen_to && neighbor_buf.len() > min_neighbors {
-                let exact = krige_with(scratch, table, store, value_buf, neighbor_buf, target);
+            if neighbor_buf.len() > screen_to && gate.admits(neighbor_buf.len(), min_neighbors) {
+                let exact = krige_with(
+                    scratch,
+                    table,
+                    store,
+                    value_buf,
+                    neighbor_buf,
+                    target,
+                    nugget,
+                );
                 let screened = krige_with(
                     scratch,
                     table,
@@ -1467,6 +1776,7 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     value_buf,
                     &neighbor_buf[..screen_to],
                     target,
+                    nugget,
                 );
                 active = match (exact, screened) {
                     (Ok((ev, _)), Ok((av, _))) => {
@@ -1487,6 +1797,68 @@ impl<E: EvalBackend> HybridEvaluator<E> {
                     "approx_validation",
                     vec![("active", active.into()), ("at", len.into())],
                 );
+            }
+        }
+    }
+
+    /// Ingests one **observed** `(configuration, value)` pair directly into
+    /// the simulated store, bypassing both kriging and the duplicate cache
+    /// — the entry point for replicated observations of a noisy metric
+    /// (e.g. repeated measurements of a classification rate). Repeats of
+    /// the same configuration land as distinct distance-0 sites, and under
+    /// [`NuggetPolicy::Estimate`] they feed the pooled within-site variance
+    /// that becomes the session nugget.
+    ///
+    /// Observations are out-of-band data, not queries: they leave
+    /// [`HybridStats`] untouched (only the store and, when due, the
+    /// variogram identification advance).
+    pub fn record_observation(&mut self, config: &Config, value: f64) {
+        self.track_replicate(config, value);
+        self.store.insert(config.clone(), value);
+        self.maybe_identify_variogram();
+        self.maybe_revalidate_approx();
+    }
+
+    /// Folds one observation into the per-configuration Welford state and
+    /// the incrementally maintained pooled sums. No-op unless the session
+    /// runs under [`NuggetPolicy::Estimate`]. The delta updates keep the
+    /// pooled estimate a pure function of the observation sequence —
+    /// deterministic across worker counts.
+    fn track_replicate(&mut self, config: &Config, value: f64) {
+        if !matches!(self.settings.nugget, Some(NuggetPolicy::Estimate)) {
+            return;
+        }
+        let entry = self
+            .replicates
+            .entry(config.clone())
+            .or_insert((0, 0.0, 0.0));
+        let (n, mean, m2) = *entry;
+        if n >= 1 {
+            self.pooled_m2 -= m2;
+            self.pooled_dof -= n - 1;
+        }
+        let n1 = n + 1;
+        let delta = value - mean;
+        let mean1 = mean + delta / n1 as f64;
+        let m21 = m2 + delta * (value - mean1);
+        *entry = (n1, mean1, m21);
+        self.pooled_m2 += m21;
+        self.pooled_dof += n1 - 1;
+    }
+
+    /// The nugget variance `c` in effect for the next solve: the fixed
+    /// value, the pooled replicate estimate `Σᵢ M2ᵢ / Σᵢ (nᵢ − 1)`, or 0
+    /// when nugget handling is off (or no replicates have been seen yet).
+    pub fn effective_nugget(&self) -> f64 {
+        match self.settings.nugget {
+            None => 0.0,
+            Some(NuggetPolicy::Fixed { value }) => value,
+            Some(NuggetPolicy::Estimate) => {
+                if self.pooled_dof == 0 {
+                    0.0
+                } else {
+                    self.pooled_m2 / self.pooled_dof as f64
+                }
             }
         }
     }
@@ -1525,6 +1897,9 @@ impl<E: EvalBackend> HybridEvaluator<E> {
     /// [`crate::hybrid_snapshot::SessionSnapshot`]).
     pub(crate) fn restore(&mut self, snapshot: crate::hybrid_snapshot::SessionSnapshot) {
         for (config, value) in snapshot.configs.into_iter().zip(snapshot.values) {
+            // Rebuild the replicate (nugget-estimation) state from the
+            // stored sites, so estimation continues seamlessly after resume.
+            self.track_replicate(&config, value);
             self.store.insert(config, value);
         }
         if snapshot.model.is_some() {
@@ -1554,6 +1929,12 @@ impl<E: EvalBackend> HybridEvaluator<E> {
 ///
 /// Free function over disjoint `HybridEvaluator` fields so the borrow of the
 /// neighbour buffer can coexist with the mutable scratch borrows.
+///
+/// A non-zero `nugget` (measurement-error variance `c`) is added to every
+/// between-site and target semi-variogram value — but not to the zero
+/// diagonal — so replicated noisy observations are smoothed instead of
+/// interpolated exactly; the `!= 0.0` branch keeps the nugget-free path
+/// bitwise untouched.
 fn krige_with(
     scratch: &mut KrigingScratch,
     table: &mut GammaTable,
@@ -1561,6 +1942,7 @@ fn krige_with(
     value_buf: &mut Vec<f64>,
     neighbors: &[(usize, f64)],
     target: &Config,
+    nugget: f64,
 ) -> Result<(f64, f64), crate::CoreError> {
     let configs = store.configs();
     let values = store.values();
@@ -1569,10 +1951,15 @@ fn krige_with(
     value_buf.extend(neighbors.iter().map(|&(j, _)| values[j]));
     scratch.solve_with(n, |i, j| {
         let a = &configs[neighbors[i].0];
-        if j == n {
+        let g = if j == n {
             table.gamma_pair(a, target)
         } else {
             table.gamma_pair(a, &configs[neighbors[j].0])
+        };
+        if nugget != 0.0 {
+            g + nugget
+        } else {
+            g
         }
     })?;
     let value = scratch.interpolate(value_buf);
@@ -1653,6 +2040,125 @@ mod tests {
             distance: d,
             ..HybridSettings::default()
         }
+    }
+
+    #[test]
+    fn invalid_settings_are_rejected_with_typed_errors() {
+        let cases = [
+            HybridSettings {
+                distance: 0.0,
+                ..HybridSettings::default()
+            },
+            HybridSettings {
+                distance: f64::NAN,
+                ..HybridSettings::default()
+            },
+            HybridSettings {
+                distance: f64::INFINITY,
+                ..HybridSettings::default()
+            },
+            HybridSettings {
+                min_neighbors: 0,
+                ..HybridSettings::default()
+            },
+            HybridSettings {
+                gate: GatePolicy::Variance {
+                    threshold: f64::NAN,
+                },
+                ..HybridSettings::default()
+            },
+            HybridSettings {
+                gate: GatePolicy::Variance { threshold: 0.0 },
+                ..HybridSettings::default()
+            },
+            HybridSettings {
+                nugget: Some(NuggetPolicy::Fixed { value: -0.5 }),
+                ..HybridSettings::default()
+            },
+        ];
+        for bad in cases {
+            let err = HybridEvaluator::try_new(smooth_eval(), bad.clone())
+                .map(|_| ())
+                .unwrap_err();
+            assert!(
+                matches!(err, CoreError::InvalidSettings { .. }),
+                "{bad:?} -> {err}"
+            );
+        }
+        // An infinite variance threshold is legal (degenerates to Fixed).
+        let ok = HybridSettings {
+            gate: GatePolicy::Variance {
+                threshold: f64::INFINITY,
+            },
+            ..HybridSettings::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hybrid settings")]
+    fn new_panics_on_invalid_settings() {
+        let _ = HybridEvaluator::new(
+            smooth_eval(),
+            HybridSettings {
+                min_neighbors: 0,
+                ..HybridSettings::default()
+            },
+        );
+    }
+
+    #[test]
+    fn gate_labels_are_stable() {
+        assert_eq!(GatePolicy::Fixed.label(), "fixed");
+        assert_eq!(
+            GatePolicy::Variance { threshold: 0.5 }.label(),
+            "variance(0.5)"
+        );
+    }
+
+    #[test]
+    fn record_observation_feeds_nugget_estimate_without_counting_queries() {
+        let mut h = HybridEvaluator::new(
+            smooth_eval(),
+            HybridSettings {
+                nugget: Some(NuggetPolicy::Estimate),
+                ..settings(3.0)
+            },
+        );
+        // Three replicates at one site with a known spread: sample variance
+        // of {1.0, 2.0, 3.0} is 1.0.
+        h.record_observation(&vec![8, 8], 1.0);
+        h.record_observation(&vec![8, 8], 2.0);
+        h.record_observation(&vec![8, 8], 3.0);
+        // A non-replicated observation contributes no degrees of freedom.
+        h.record_observation(&vec![9, 9], 5.0);
+        assert!((h.effective_nugget() - 1.0).abs() < 1e-12);
+        assert_eq!(h.stats().queries, 0, "observations are not queries");
+        assert_eq!(h.simulated_configs().len(), 4);
+    }
+
+    #[test]
+    fn zero_fixed_nugget_matches_no_nugget_bitwise() {
+        let run = |nugget: Option<NuggetPolicy>| -> Vec<u64> {
+            let mut h = HybridEvaluator::new(
+                smooth_eval(),
+                HybridSettings {
+                    nugget,
+                    ..settings(3.0)
+                },
+            );
+            let mut bits = Vec::new();
+            for a in 6..11 {
+                for b in 6..10 {
+                    bits.push(h.evaluate(&vec![a, b]).unwrap().value().to_bits());
+                }
+            }
+            for b in 6..10 {
+                bits.push(h.evaluate(&vec![11, b]).unwrap().value().to_bits());
+            }
+            bits
+        };
+        assert_eq!(run(None), run(Some(NuggetPolicy::Fixed { value: 0.0 })));
     }
 
     #[test]

@@ -187,6 +187,8 @@ mod tests {
                 sill in 1.0f64..120.0,
                 range in 1.0f64..12.0,
                 counters in (0u64..500, 0u64..500, 0u64..500, 0u64..500),
+                gate_rejections in 0u64..200,
+                variance_sum in 0.0f64..500.0,
                 eps in proptest::collection::vec(0.0f64..10.0, 0..15),
             ) {
                 let model = match model_kind {
@@ -201,6 +203,8 @@ mod tests {
                     simulated: counters.1,
                     kriged: counters.2,
                     cache_hits: counters.3,
+                    gate_rejections,
+                    variance_sum,
                     ..HybridStats::default()
                 };
                 for e in &eps {

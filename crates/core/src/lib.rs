@@ -71,12 +71,12 @@ pub use error::CoreError;
 pub use eval_backend::{EvalBackend, SimulationRequest};
 pub use evaluator::{AccuracyEvaluator, EvalError, FiniteGuard, FnEvaluator};
 pub use hybrid::{
-    ApproxSettings, BatchPlan, HybridEvaluator, HybridObs, HybridSettings, HybridStats, Outcome,
-    VariogramPolicy,
+    ApproxSettings, BatchPlan, GatePolicy, HybridEvaluator, HybridObs, HybridSettings, HybridStats,
+    NuggetPolicy, Outcome, VariogramPolicy,
 };
 pub use hybrid_snapshot::SessionSnapshot;
 pub use kriging::KrigingEstimator;
-pub use variogram::VariogramModel;
+pub use variogram::{ModelSelection, VariogramModel};
 
 /// A tested approximation configuration: the paper's vector
 /// `e = (e₀, …, e_{Nv−1})` — word-lengths for the fixed-point benchmarks,

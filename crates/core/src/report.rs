@@ -154,7 +154,9 @@ mod tests {
             kriged: 60,
             cache_hits: 0,
             kriging_failures: 0,
+            gate_rejections: 0,
             neighbor_sum: 180,
+            variance_sum: 0.0,
             errors,
         }
     }

@@ -2,11 +2,11 @@
 //! "the semi-variogram can be computed and identified to a particular type
 //! of semi-variogram").
 
-use krigeval_linalg::Matrix;
+use krigeval_linalg::{LdltWorkspace, Matrix};
 use serde::{Deserialize, Serialize};
 
 use crate::variogram::{EmpiricalVariogram, VariogramModel};
-use crate::CoreError;
+use crate::{Config, CoreError, DistanceMetric};
 
 /// Model families [`fit_model`] can try.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -39,6 +39,20 @@ impl ModelFamily {
     }
 }
 
+/// How a variogram (re-)identification chooses among candidate families.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSelection {
+    /// Pair-count-weighted least squares on the empirical variogram bins
+    /// ([`fit_model`] — the historical criterion; the default).
+    #[default]
+    WeightedSse,
+    /// Fast leave-one-out cross-validation ([`fit_model_loo`], in the
+    /// spirit of Le Gratiet & Cannamela): each candidate is scored by its
+    /// leave-one-out prediction residuals over a bounded sample of stored
+    /// sites, reusing one factorization per candidate.
+    LeaveOneOut,
+}
+
 /// Result of a variogram identification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FitReport {
@@ -46,7 +60,10 @@ pub struct FitReport {
     pub model: VariogramModel,
     /// Pair-count-weighted sum of squared residuals of the winner.
     pub weighted_sse: f64,
-    /// `(family, weighted SSE)` for every family that produced a valid fit.
+    /// Per-family selection scores for every family that produced a valid
+    /// fit: the weighted SSE under [`ModelSelection::WeightedSse`], the
+    /// leave-one-out residual sum of squares (∞ when that family's system
+    /// was singular) under [`ModelSelection::LeaveOneOut`].
     pub candidates: Vec<(ModelFamily, f64)>,
 }
 
@@ -96,15 +113,9 @@ pub fn fit_model(
     let mut candidates = Vec::new();
     let mut best: Option<(VariogramModel, f64)> = None;
     for &family in families {
-        let fitted = match family {
-            ModelFamily::Nugget => fit_nugget(empirical),
-            ModelFamily::Linear => fit_linear(empirical),
-            ModelFamily::Power => fit_power(empirical),
-            ModelFamily::Spherical | ModelFamily::Exponential | ModelFamily::Gaussian => {
-                fit_bounded(empirical, family)
-            }
+        let Some(model) = fit_family(empirical, family) else {
+            continue;
         };
-        let Some(model) = fitted else { continue };
         let sse = weighted_sse(&model, empirical);
         candidates.push((family, sse));
         if best.as_ref().is_none_or(|(_, s)| sse < *s) {
@@ -121,6 +132,168 @@ pub fn fit_model(
         weighted_sse,
         candidates,
     })
+}
+
+/// Estimates one family's parameters against the empirical variogram
+/// (shared by both selection criteria).
+fn fit_family(empirical: &EmpiricalVariogram, family: ModelFamily) -> Option<VariogramModel> {
+    match family {
+        ModelFamily::Nugget => fit_nugget(empirical),
+        ModelFamily::Linear => fit_linear(empirical),
+        ModelFamily::Power => fit_power(empirical),
+        ModelFamily::Spherical | ModelFamily::Exponential | ModelFamily::Gaussian => {
+            fit_bounded(empirical, family)
+        }
+    }
+}
+
+/// Upper bound on leave-one-out sites scored per candidate family
+/// (stride-sampled across the store; bounds each refit's extra cost to one
+/// ≤ 41×41 factorization and 41 back-substitutions per family).
+const LOO_SITE_CAP: usize = 40;
+
+/// Like [`fit_model`], but the winning family is chosen by **fast
+/// leave-one-out cross-validation** over the stored sites instead of by
+/// weighted SSE on the empirical bins.
+///
+/// Parameter estimation per family is identical to [`fit_model`]; only the
+/// selection criterion changes. For each candidate the bordered
+/// ordinary-kriging system of a stride-sample of at most 40 sites
+/// (`LOO_SITE_CAP`) is factored **once** (Bunch–Kaufman LDLT); Dubrule's shortcut then
+/// yields every leave-one-out residual from that single factorization —
+/// with `K⁻¹eᵢ` giving the diagonal `(K⁻¹)ᵢᵢ` and `K⁻¹[z; 0]` the bordered
+/// data solution, the residual at site `i` is
+/// `eᵢ = (K⁻¹[z; 0])ᵢ / (K⁻¹)ᵢᵢ` — no refactorization per left-out point.
+/// The candidate with the smallest Σeᵢ² wins; a candidate whose system is
+/// singular scores ∞. `nugget` is added to every between-site γ (noisy
+/// metrics), matching the prediction path the winner will serve.
+///
+/// Falls back to [`fit_model`]'s weighted-SSE choice when fewer than three
+/// sites are available or every candidate system is singular.
+///
+/// # Errors
+///
+/// * [`CoreError::FitFailed`] if `families` is empty or no family yields a
+///   valid model (as [`fit_model`]).
+pub fn fit_model_loo(
+    empirical: &EmpiricalVariogram,
+    families: &[ModelFamily],
+    configs: &[Config],
+    values: &[f64],
+    metric: DistanceMetric,
+    nugget: f64,
+) -> Result<FitReport, CoreError> {
+    if families.is_empty() {
+        return Err(CoreError::FitFailed {
+            reason: "no model families requested".into(),
+        });
+    }
+    let fitted: Vec<(ModelFamily, VariogramModel)> = families
+        .iter()
+        .filter_map(|&family| fit_family(empirical, family).map(|m| (family, m)))
+        .collect();
+    if fitted.is_empty() {
+        return Err(CoreError::FitFailed {
+            reason: format!(
+                "no family produced a valid fit over {} bins",
+                empirical.bins().len()
+            ),
+        });
+    }
+    let len = configs.len().min(values.len());
+    let step = len.div_ceil(LOO_SITE_CAP).max(1);
+    let sample: Vec<usize> = (0..len).step_by(step).collect();
+    let m = sample.len();
+    if m < 3 {
+        // Too few sites to cross-validate; use the bin criterion instead.
+        return fit_model(empirical, families);
+    }
+    // Pairwise site distances, computed once and reused by every candidate.
+    let mut dists = vec![0.0f64; m * m];
+    for (i, &si) in sample.iter().enumerate() {
+        for (j, &sj) in sample.iter().enumerate().skip(i + 1) {
+            let d = metric.eval_config(&configs[si], &configs[sj]);
+            dists[i * m + j] = d;
+            dists[j * m + i] = d;
+        }
+    }
+    let ns = m + 1;
+    let mut k = vec![0.0f64; ns * ns];
+    // RHS slab: m unit vectors (for diag(K⁻¹)) + the bordered data vector.
+    let mut rhs = vec![0.0f64; (m + 1) * ns];
+    let mut workspace = LdltWorkspace::new();
+    let mut best: Option<(VariogramModel, f64)> = None;
+    let mut candidates = Vec::with_capacity(fitted.len());
+    for &(family, model) in &fitted {
+        for i in 0..m {
+            for j in 0..i {
+                let g = model.evaluate(dists[i * m + j]) + nugget;
+                k[i * ns + j] = g;
+                k[j * ns + i] = g;
+            }
+            k[i * ns + i] = 0.0;
+            k[i * ns + m] = 1.0;
+            k[m * ns + i] = 1.0;
+        }
+        k[m * ns + m] = 0.0;
+        let score = loo_score(&mut workspace, &k, &mut rhs, &sample, values, m);
+        candidates.push((family, score));
+        if score.is_finite() && best.as_ref().is_none_or(|(_, s)| score < *s) {
+            best = Some((model, score));
+        }
+    }
+    let Some((model, _)) = best else {
+        // Every candidate's sampled system was singular (e.g. exact
+        // replicate sites with a zero nugget): weighted SSE still ranks.
+        return fit_model(empirical, families);
+    };
+    Ok(FitReport {
+        model,
+        weighted_sse: weighted_sse(&model, empirical),
+        candidates,
+    })
+}
+
+/// Σeᵢ² of Dubrule's leave-one-out residuals for one factored candidate;
+/// ∞ when the system is singular or the residuals degenerate.
+fn loo_score(
+    workspace: &mut LdltWorkspace,
+    k: &[f64],
+    rhs: &mut [f64],
+    sample: &[usize],
+    values: &[f64],
+    m: usize,
+) -> f64 {
+    let ns = m + 1;
+    if workspace.factor(k, ns).is_err() {
+        return f64::INFINITY;
+    }
+    rhs.iter_mut().for_each(|x| *x = 0.0);
+    for i in 0..m {
+        rhs[i * ns + i] = 1.0;
+    }
+    for (i, &si) in sample.iter().enumerate() {
+        rhs[m * ns + i] = values[si];
+    }
+    // (Lagrange component of the data vector stays 0.)
+    if workspace.solve_many_in_place(rhs, ns).is_err() {
+        return f64::INFINITY;
+    }
+    let mut sum = 0.0;
+    let mut scored = 0usize;
+    for i in 0..m {
+        let diag = rhs[i * ns + i];
+        if diag.abs() > 1e-300 {
+            let e = rhs[m * ns + i] / diag;
+            sum += e * e;
+            scored += 1;
+        }
+    }
+    if scored == 0 || !sum.is_finite() {
+        f64::INFINITY
+    } else {
+        sum
+    }
 }
 
 /// Pair-count-weighted SSE of a model against the empirical bins.
@@ -384,6 +557,86 @@ mod tests {
             assert!(g + 1e-9 >= prev);
             prev = g;
         }
+    }
+
+    #[test]
+    fn loo_selection_prefers_distance_aware_model_on_smooth_field() {
+        // A smooth monotone field: pure nugget (predict-the-mean) must lose
+        // the leave-one-out contest to any distance-aware family.
+        let configs: Vec<Config> = (0..24).map(|i| vec![i, 0]).collect();
+        let values: Vec<f64> = configs
+            .iter()
+            .map(|c| 0.7 * f64::from(c[0]) + 2.0)
+            .collect();
+        let sites: Vec<Vec<f64>> = configs.iter().map(|c| vec![f64::from(c[0]), 0.0]).collect();
+        let emp = EmpiricalVariogram::from_samples(&sites, &values, DistanceMetric::L1, 1.0)
+            .expect("empirical variogram");
+        let report = fit_model_loo(
+            &emp,
+            &ModelFamily::all(),
+            &configs,
+            &values,
+            DistanceMetric::L1,
+            0.0,
+        )
+        .expect("loo fit");
+        assert!(report.weighted_sse.is_finite());
+        assert!(
+            report.candidates.iter().any(|(_, s)| s.is_finite()),
+            "{:?}",
+            report.candidates
+        );
+        assert_ne!(report.model.family_name(), "nugget");
+        // The winner is the candidate with the smallest finite LOO score.
+        let (best_family, best_score) = report
+            .candidates
+            .iter()
+            .filter(|(_, s)| s.is_finite())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .copied()
+            .expect("at least one finite candidate");
+        assert!(best_score.is_finite());
+        assert_eq!(fit_family(&emp, best_family), Some(report.model));
+    }
+
+    #[test]
+    fn loo_selection_with_nugget_still_produces_a_model() {
+        let configs: Vec<Config> = (0..16).map(|i| vec![i]).collect();
+        let values: Vec<f64> = configs.iter().map(|c| f64::from(c[0]).sqrt()).collect();
+        let sites: Vec<Vec<f64>> = configs.iter().map(|c| vec![f64::from(c[0])]).collect();
+        let emp = EmpiricalVariogram::from_samples(&sites, &values, DistanceMetric::L1, 1.0)
+            .expect("empirical variogram");
+        let report = fit_model_loo(
+            &emp,
+            &ModelFamily::all(),
+            &configs,
+            &values,
+            DistanceMetric::L1,
+            0.05,
+        )
+        .expect("loo fit with nugget");
+        assert!(report.weighted_sse.is_finite());
+    }
+
+    #[test]
+    fn loo_with_too_few_sites_falls_back_to_weighted_sse() {
+        let configs: Vec<Config> = vec![vec![0], vec![2]];
+        let values = vec![0.0, 2.0];
+        let sites = vec![vec![0.0], vec![2.0]];
+        let emp = EmpiricalVariogram::from_samples(&sites, &values, DistanceMetric::L1, 1.0)
+            .expect("empirical variogram");
+        let loo = fit_model_loo(
+            &emp,
+            &ModelFamily::all(),
+            &configs,
+            &values,
+            DistanceMetric::L1,
+            0.0,
+        )
+        .expect("fallback fit");
+        let sse = fit_model(&emp, &ModelFamily::all()).expect("sse fit");
+        assert_eq!(loo.model, sse.model);
+        assert_eq!(loo.candidates, sse.candidates);
     }
 
     #[test]

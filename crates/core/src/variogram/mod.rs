@@ -15,6 +15,6 @@ mod model;
 mod table;
 
 pub use empirical::{EmpiricalVariogram, VariogramAccumulator, VariogramBin};
-pub use fit::{fit_model, FitReport, ModelFamily};
+pub use fit::{fit_model, fit_model_loo, FitReport, ModelFamily, ModelSelection};
 pub use model::VariogramModel;
 pub use table::{lattice_distance, lattice_key, GammaTable};

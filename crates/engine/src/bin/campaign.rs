@@ -38,6 +38,20 @@
 //! --approx-epsilon E accuracy bound of the approximate path (default
 //!                    0.05); a sampled leave-one-out deviation above E
 //!                    rejects the approximation until revalidated
+//! --gate G           kriged-vs-simulate decision gate: fixed (default,
+//!                    bitwise-pinned historical behaviour) or
+//!                    variance[:T] — reject any converged solve whose
+//!                    kriging variance σ² exceeds T (default 1.0) and
+//!                    simulate instead
+//! --variance-threshold T
+//!                    set (or override) the variance gate's threshold;
+//!                    implies --gate variance
+//! --loo-select       pick the variogram family by fast leave-one-out
+//!                    cross-validation (one factorization per family)
+//!                    instead of weighted least squares
+//! --nugget P         noisy-metric support: auto estimates the nugget
+//!                    from replicated observations, a number fixes it;
+//!                    off by default (exact interpolating system)
 //! --out FILE         write JSONL to FILE instead of stdout
 //! --on-error P       fail-fast | skip | retry:N  (default fail-fast;
 //!                    overrides the spec's on_error field)
@@ -95,7 +109,7 @@ use krigeval_engine::shard::{
     merge_shards, parse_manifest, parse_shard, render_shard, shard_runs, ShardManifest,
 };
 use krigeval_engine::sink::{load_journal, to_jsonl_string_full, JournalWriter, SinkOptions};
-use krigeval_engine::spec::{CampaignSpec, OptimizerSpec, VariogramSpec};
+use krigeval_engine::spec::{CampaignSpec, GatePolicy, NuggetPolicy, OptimizerSpec, VariogramSpec};
 use krigeval_engine::{CacheStats, RunRecord, SummaryRecord};
 use krigeval_obs::{JsonlSink, Registry, Tracer};
 
@@ -251,6 +265,38 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 let mut approx = cli.spec.approx.unwrap_or_default();
                 approx.epsilon = epsilon;
                 cli.spec.approx = Some(approx);
+            }
+            "--gate" => {
+                cli.spec.gate = Some(match value()? {
+                    "fixed" => GatePolicy::Fixed,
+                    "variance" => GatePolicy::Variance {
+                        // Keep a threshold set earlier (--variance-threshold
+                        // before --gate variance); default to 1.0 otherwise.
+                        threshold: match cli.spec.gate {
+                            Some(GatePolicy::Variance { threshold }) => threshold,
+                            _ => 1.0,
+                        },
+                    },
+                    spec => match spec.strip_prefix("variance:") {
+                        Some(t) => GatePolicy::Variance {
+                            threshold: t.parse().map_err(|_| "bad --gate variance threshold")?,
+                        },
+                        None => return Err(format!("unknown gate {spec:?}")),
+                    },
+                });
+            }
+            "--variance-threshold" => {
+                let threshold = value()?.parse().map_err(|_| "bad --variance-threshold")?;
+                cli.spec.gate = Some(GatePolicy::Variance { threshold });
+            }
+            "--loo-select" => cli.spec.loo_select = Some(true),
+            "--nugget" => {
+                cli.spec.nugget = Some(match value()? {
+                    "auto" => NuggetPolicy::Estimate,
+                    v => NuggetPolicy::Fixed {
+                        value: v.parse().map_err(|_| "bad --nugget")?,
+                    },
+                });
             }
             "--name" => cli.spec.name = value()?.to_string(),
             "--no-audit" => cli.spec.audit = false,
@@ -445,6 +491,24 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
                 counter("hybrid_kriged_total"),
                 counter("hybrid_cache_hits_total"),
                 counter("engine_run_retries_total"),
+            );
+            // Gate decisions and the kriging-variance level, aggregated
+            // over the campaign: σ̄² is the kriged-query-weighted mean of
+            // the per-run means.
+            let kriged_weight: u64 = records.iter().map(|r| r.kriged).sum();
+            let mean_variance = if kriged_weight == 0 {
+                0.0
+            } else {
+                records
+                    .iter()
+                    .map(|r| r.mean_variance * r.kriged as f64)
+                    .sum::<f64>()
+                    / kriged_weight as f64
+            };
+            eprintln!(
+                "obs: gate rejections {} | mean kriging variance {:.6}",
+                counter("hybrid_gate_rejections_total"),
+                mean_variance,
             );
         }
     }

@@ -29,7 +29,7 @@
 //! withdraws its pending marker and wakes every waiter, so one crashed
 //! simulation can never wedge concurrent runs of the same configuration —
 //! they retry the computation themselves. Shard locks recover from
-//! poisoning (see [`Shard::lock`]): a panicking holder leaves the map
+//! poisoning (see `Shard::lock`): a panicking holder leaves the map
 //! consistent, never half-written.
 
 use std::collections::HashMap;

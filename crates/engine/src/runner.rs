@@ -325,6 +325,9 @@ pub fn run_single_attempt_obs(
         max_neighbors: run.max_neighbors,
         audit: run.audit.then(|| run.problem.audit_metric()),
         approx: run.approx,
+        gate: run.gate,
+        selection: run.selection,
+        nugget: run.nugget,
     };
     let minplusone = instance.minplusone;
     let descent = instance.descent;
@@ -369,8 +372,11 @@ pub fn run_single_attempt_obs(
         kriged: stats.kriged,
         session_cache_hits: stats.cache_hits,
         kriging_failures: stats.kriging_failures,
+        gate: run.gate.label(),
+        gate_rejections: stats.gate_rejections,
         p_percent: stats.interpolated_fraction() * 100.0,
         mean_neighbors: stats.mean_neighbors(),
+        mean_variance: stats.mean_variance(),
         audit_mean_eps: stats.errors.mean(),
         audit_max_eps: stats.errors.max(),
         audit_count: stats.errors.count(),

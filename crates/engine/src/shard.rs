@@ -496,8 +496,11 @@ mod tests {
             kriged: 8,
             session_cache_hits: 2,
             kriging_failures: 0,
+            gate: "fixed".to_string(),
+            gate_rejections: 0,
             p_percent: 20.0,
             mean_neighbors: 4.5,
+            mean_variance: 0.6,
             audit_mean_eps: 0.2,
             audit_max_eps: 0.8,
             audit_count: 8,

@@ -73,10 +73,16 @@ pub struct RunRecord {
     pub session_cache_hits: u64,
     /// Kriging attempts that fell back to simulation.
     pub kriging_failures: u64,
+    /// Decision-gate label (`"fixed"` or `"variance(τ)"`).
+    pub gate: String,
+    /// Converged solves rejected by the decision gate (simulated instead).
+    pub gate_rejections: u64,
     /// Interpolated percentage `p(%)`.
     pub p_percent: f64,
     /// Mean neighbours per interpolation `j̄`.
     pub mean_neighbors: f64,
+    /// Mean kriging variance `σ̄²` over accepted interpolations.
+    pub mean_variance: f64,
     /// Audit-mode mean interpolation error (Eq. 11/12 units).
     pub audit_mean_eps: f64,
     /// Audit-mode max interpolation error.
@@ -549,8 +555,11 @@ mod tests {
             kriged: 8,
             session_cache_hits: 2,
             kriging_failures: 0,
+            gate: "fixed".to_string(),
+            gate_rejections: 0,
             p_percent: 20.0,
             mean_neighbors: 4.5,
+            mean_variance: 0.6,
             audit_mean_eps: 0.2,
             audit_max_eps: 0.8,
             audit_count: 8,

@@ -13,7 +13,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-pub use krigeval_core::hybrid::ApproxSettings;
+pub use krigeval_core::hybrid::{ApproxSettings, GatePolicy, NuggetPolicy};
+pub use krigeval_core::ModelSelection;
 
 use crate::fault::{FaultConfig, FaultPolicy};
 use crate::suite::Problem;
@@ -164,6 +165,18 @@ pub struct CampaignSpec {
     /// leave-one-out accuracy gate; `None` (the default) keeps the exact,
     /// bitwise-pinned path. Absent from older spec files.
     pub approx: Option<ApproxSettings>,
+    /// Kriged-vs-simulate decision gate; `None` (and absent from older
+    /// spec files) means [`GatePolicy::Fixed`], the bitwise-pinned
+    /// historical behaviour.
+    pub gate: Option<GatePolicy>,
+    /// Select the variogram family by fast leave-one-out cross-validation
+    /// instead of weighted least squares; `None`/`false` keeps the
+    /// historical weighted-SSE selection. Absent from older spec files.
+    pub loo_select: Option<bool>,
+    /// Nugget (measurement-noise) policy for noisy metrics; `None` (and
+    /// absent from older spec files) kriges with the exact `γ(0) = 0`
+    /// interpolating system.
+    pub nugget: Option<NuggetPolicy>,
 }
 
 impl Default for CampaignSpec {
@@ -186,6 +199,9 @@ impl Default for CampaignSpec {
             on_error: None,
             faults: None,
             approx: None,
+            gate: None,
+            loo_select: None,
+            nugget: None,
         }
     }
 }
@@ -229,6 +245,12 @@ pub struct RunSpec {
     pub fault: Option<FaultConfig>,
     /// Opt-in approximate prediction settings (`None` = exact path).
     pub approx: Option<ApproxSettings>,
+    /// Kriged-vs-simulate decision gate.
+    pub gate: GatePolicy,
+    /// Variogram-family selection criterion.
+    pub selection: ModelSelection,
+    /// Nugget policy (`None` = exact interpolating system).
+    pub nugget: Option<NuggetPolicy>,
 }
 
 /// A malformed campaign specification.
@@ -280,6 +302,23 @@ impl CampaignSpec {
         for &d in &self.distances {
             if !d.is_finite() || d <= 0.0 {
                 return Err(SpecError::new(format!("invalid distance {d}")));
+            }
+        }
+        for &n in &self.min_neighbors {
+            if n == 0 {
+                return Err(SpecError::new("min_neighbors must be at least 1"));
+            }
+        }
+        if let Some(GatePolicy::Variance { threshold }) = self.gate {
+            if threshold.is_nan() || threshold <= 0.0 {
+                return Err(SpecError::new(format!(
+                    "invalid gate variance threshold {threshold}"
+                )));
+            }
+        }
+        if let Some(NuggetPolicy::Fixed { value }) = self.nugget {
+            if !value.is_finite() || value < 0.0 {
+                return Err(SpecError::new(format!("invalid nugget {value}")));
             }
         }
         let threads = self.threads.unwrap_or(1).max(1);
@@ -362,6 +401,13 @@ impl CampaignSpec {
                                 },
                                 fault: self.faults,
                                 approx: self.approx,
+                                gate: self.gate.unwrap_or(GatePolicy::Fixed),
+                                selection: if self.loo_select.unwrap_or(false) {
+                                    ModelSelection::LeaveOneOut
+                                } else {
+                                    ModelSelection::WeightedSse
+                                },
+                                nugget: self.nugget,
                             });
                         }
                     }
@@ -566,7 +612,12 @@ mod tests {
         json = json
             .lines()
             .filter(|line| {
-                !line.contains("on_error") && !line.contains("faults") && !line.contains("approx")
+                !line.contains("on_error")
+                    && !line.contains("faults")
+                    && !line.contains("approx")
+                    && !line.contains("\"gate\"")
+                    && !line.contains("loo_select")
+                    && !line.contains("nugget")
             })
             .collect::<Vec<_>>()
             .join("\n")
@@ -577,7 +628,58 @@ mod tests {
         assert_eq!(back.on_error, None);
         assert_eq!(back.faults, None);
         assert_eq!(back.approx, None);
+        assert_eq!(back.gate, None);
+        assert_eq!(back.loo_select, None);
+        assert_eq!(back.nugget, None);
         assert_eq!(back, legacy);
+        let run = &back.expand().unwrap()[0];
+        assert_eq!(run.gate, GatePolicy::Fixed);
+        assert_eq!(run.selection, ModelSelection::WeightedSse);
+        assert_eq!(run.nugget, None);
+    }
+
+    #[test]
+    fn expand_validates_gate_and_nugget_knobs() {
+        for bad in [f64::NAN, 0.0, -1.0] {
+            let spec = CampaignSpec {
+                gate: Some(GatePolicy::Variance { threshold: bad }),
+                ..CampaignSpec::default()
+            };
+            let message = spec.expand().unwrap_err().to_string();
+            assert!(
+                message.contains("gate variance threshold"),
+                "threshold {bad}: {message}"
+            );
+        }
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let spec = CampaignSpec {
+                nugget: Some(NuggetPolicy::Fixed { value: bad }),
+                ..CampaignSpec::default()
+            };
+            let message = spec.expand().unwrap_err().to_string();
+            assert!(
+                message.contains("invalid nugget"),
+                "nugget {bad}: {message}"
+            );
+        }
+        let zero_nmin = CampaignSpec {
+            min_neighbors: vec![3, 0],
+            ..CampaignSpec::default()
+        };
+        assert_eq!(
+            zero_nmin.expand().unwrap_err().to_string(),
+            "invalid campaign spec: min_neighbors must be at least 1"
+        );
+        let good = CampaignSpec {
+            gate: Some(GatePolicy::Variance { threshold: 2.5 }),
+            loo_select: Some(true),
+            nugget: Some(NuggetPolicy::Estimate),
+            ..CampaignSpec::default()
+        };
+        let run = &good.expand().unwrap()[0];
+        assert_eq!(run.gate, GatePolicy::Variance { threshold: 2.5 });
+        assert_eq!(run.selection, ModelSelection::LeaveOneOut);
+        assert_eq!(run.nugget, Some(NuggetPolicy::Estimate));
     }
 
     #[test]

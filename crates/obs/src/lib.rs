@@ -2,16 +2,16 @@
 //!
 //! Two complementary facilities live here:
 //!
-//! - [`metrics`] — a lock-cheap metrics [`Registry`](metrics::Registry)
+//! - [`metrics`] — a lock-cheap metrics [`Registry`]
 //!   of counters, gauges and fixed-bucket timing histograms. Handles are
 //!   plain `Arc`-wrapped atomics, so the hot path pays one relaxed
 //!   atomic increment per update; the registry lock is touched only at
 //!   registration and snapshot time. Snapshots are name-ordered and
 //!   export to both JSON and Prometheus text.
 //! - [`trace`] — a structured event facility: a cloneable
-//!   [`Tracer`](trace::Tracer) stamps every event with a monotonic
+//!   [`Tracer`] stamps every event with a monotonic
 //!   sequence number and fans it out to sinks (JSONL file, in-memory
-//!   ring buffer). A [`LineWriter`](trace::LineWriter) companion gives
+//!   ring buffer). A [`LineWriter`] companion gives
 //!   human-facing progress output a single synchronized writer so lines
 //!   never tear across threads.
 //!

@@ -63,9 +63,24 @@ pub struct HelloParams {
     /// Accuracy-constraint override for `optimize` (default: the
     /// benchmark's canonical `λ_min`).
     pub lambda_min: Option<f64>,
+    /// Kriged-vs-simulate decision gate: `"fixed"` (default) or
+    /// `"variance:T"` (reject solves with kriging variance above `T`).
+    pub gate: Option<String>,
+    /// Variogram-family selection: `"sse"` (default, weighted least
+    /// squares) or `"loo"` (fast leave-one-out cross-validation).
+    pub selection: Option<String>,
+    /// Fixed nugget variance for noisy metrics; `"auto"` estimates it
+    /// from replicated observations. Default: exact interpolation.
+    pub nugget: Option<String>,
 }
 
 /// A client request frame.
+//
+// `Hello` dwarfs the other variants (HelloParams is a dozen optional
+// knobs), but a `Request` lives only from frame parse to dispatch —
+// one at a time per connection — so boxing it would trade an
+// allocation per hello for nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Open a session on this connection.
@@ -280,6 +295,9 @@ impl Serialize for HelloParams {
         push_opt(&mut fields, "metric", &self.metric);
         push_opt(&mut fields, "variogram", &self.variogram);
         push_opt(&mut fields, "lambda_min", &self.lambda_min);
+        push_opt(&mut fields, "gate", &self.gate);
+        push_opt(&mut fields, "selection", &self.selection);
+        push_opt(&mut fields, "nugget", &self.nugget);
         obj(fields)
     }
 }
@@ -300,6 +318,9 @@ impl Deserialize for HelloParams {
             metric: optional(entries, "metric")?,
             variogram: optional(entries, "variogram")?,
             lambda_min: optional(entries, "lambda_min")?,
+            gate: optional(entries, "gate")?,
+            selection: optional(entries, "selection")?,
+            nugget: optional(entries, "nugget")?,
         })
     }
 }

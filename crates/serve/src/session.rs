@@ -19,14 +19,16 @@
 
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use krigeval_core::hybrid::{HybridEvaluator, HybridSettings, HybridStats, VariogramPolicy};
+use krigeval_core::hybrid::{
+    GatePolicy, HybridEvaluator, HybridSettings, HybridStats, NuggetPolicy, VariogramPolicy,
+};
 use krigeval_core::opt::descent::{budget_error_sources, DescentOptions};
 use krigeval_core::opt::minplusone::{optimize, MinPlusOneOptions};
 use krigeval_core::opt::{OptError, OptimizationResult};
 use krigeval_core::variogram::ModelFamily;
 use krigeval_core::{
-    Config, DistanceMetric, EvalBackend, EvalError, FiniteGuard, Outcome, SessionSnapshot,
-    SimulationRequest, VariogramModel,
+    Config, DistanceMetric, EvalBackend, EvalError, FiniteGuard, ModelSelection, Outcome,
+    SessionSnapshot, SimulationRequest, VariogramModel,
 };
 use krigeval_engine::obs::BackendObs;
 use krigeval_engine::suite::{build_seeded, Problem};
@@ -336,6 +338,37 @@ impl Session {
             Some(n) => Some(n),
             None => defaults.max_neighbors,
         };
+        let gate = match params.gate.as_deref() {
+            None | Some("fixed") => GatePolicy::Fixed,
+            Some(spec) => match spec.strip_prefix("variance:") {
+                Some(t) => GatePolicy::Variance {
+                    threshold: t.parse().map_err(|_| {
+                        SessionError::bad_request(format!("bad variance threshold {t:?}"))
+                    })?,
+                },
+                None => {
+                    return Err(SessionError::bad_request(format!("unknown gate {spec:?}")));
+                }
+            },
+        };
+        let selection = match params.selection.as_deref() {
+            None | Some("sse") => ModelSelection::WeightedSse,
+            Some("loo") => ModelSelection::LeaveOneOut,
+            Some(other) => {
+                return Err(SessionError::bad_request(format!(
+                    "unknown selection {other:?} (expected \"sse\" or \"loo\")"
+                )));
+            }
+        };
+        let nugget = match params.nugget.as_deref() {
+            None => None,
+            Some("auto") => Some(NuggetPolicy::Estimate),
+            Some(v) => Some(NuggetPolicy::Fixed {
+                value: v
+                    .parse()
+                    .map_err(|_| SessionError::bad_request(format!("bad nugget {v:?}")))?,
+            }),
+        };
         let settings = HybridSettings {
             distance,
             min_neighbors: params.min_neighbors.unwrap_or(defaults.min_neighbors),
@@ -344,7 +377,13 @@ impl Session {
             max_neighbors,
             audit: None,
             approx: defaults.approx,
+            gate,
+            selection,
+            nugget,
         };
+        settings
+            .validate()
+            .map_err(|e| SessionError::bad_request(e.to_string()))?;
         let mut instance = build_seeded(problem, scale, seed);
         if let Some(lambda) = params.lambda_min {
             if let Some(opts) = instance.minplusone.as_mut() {
@@ -552,6 +591,46 @@ mod tests {
         params.metric = Some("hamming".to_string());
         assert_eq!(
             Session::open(1, &params, &pool).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn gate_selection_and_nugget_hello_knobs_are_parsed() {
+        let pool = pool();
+        let mut params = hello("fir");
+        params.gate = Some("variance:0.75".to_string());
+        params.selection = Some("loo".to_string());
+        params.nugget = Some("auto".to_string());
+        let s = Session::open(1, &params, &pool).unwrap();
+        assert_eq!(s.benchmark(), "fir64");
+        let mut params = hello("fir");
+        params.nugget = Some("0.25".to_string());
+        assert!(Session::open(2, &params, &pool).is_ok());
+        // Bad values are typed bad_request frames, not panics.
+        for (gate, selection, nugget) in [
+            (Some("variance:nope"), None, None),
+            (Some("variance:-1"), None, None),
+            (Some("chaos"), None, None),
+            (None, Some("aic"), None),
+            (None, None, Some("-0.5")),
+            (None, None, Some("soup")),
+        ] {
+            let mut params = hello("fir");
+            params.gate = gate.map(str::to_string);
+            params.selection = selection.map(str::to_string);
+            params.nugget = nugget.map(str::to_string);
+            assert_eq!(
+                Session::open(3, &params, &pool).unwrap_err().code,
+                codes::BAD_REQUEST,
+                "gate {gate:?} selection {selection:?} nugget {nugget:?}"
+            );
+        }
+        // A zero min_neighbors from the wire hits settings validation.
+        let mut params = hello("fir");
+        params.min_neighbors = Some(0);
+        assert_eq!(
+            Session::open(4, &params, &pool).unwrap_err().code,
             codes::BAD_REQUEST
         );
     }

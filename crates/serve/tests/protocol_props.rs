@@ -55,6 +55,21 @@ fn hello_from(
         metric: Some(metrics[metric_pick as usize % metrics.len()].to_string()),
         variogram: Some(variograms[variogram_pick as usize % variograms.len()].to_string()),
         lambda_min: Some(lambda_min),
+        gate: match seed % 3 {
+            0 => None,
+            1 => Some("fixed".to_string()),
+            _ => Some(format!("variance:{}", f64::from(metric_pick) + 0.5)),
+        },
+        selection: match seed % 4 {
+            0 | 1 => None,
+            2 => Some("sse".to_string()),
+            _ => Some("loo".to_string()),
+        },
+        nugget: match seed % 5 {
+            0 | 1 => None,
+            2 => Some("auto".to_string()),
+            _ => Some(format!("{}", f64::from(variogram_pick) * 0.25)),
+        },
     }
 }
 
