@@ -27,7 +27,9 @@ use krigeval_core::{
     Config, DistanceMetric, EvalError, FnEvaluator, HybridEvaluator, HybridObs, HybridSettings,
     VariogramModel, VariogramPolicy,
 };
+use krigeval_engine::matrix::{check_table_shape, summarize, MatrixSpec};
 use krigeval_engine::shard::{merge_shards, parse_shard, render_shard, shard_runs, ShardManifest};
+use krigeval_engine::sink::to_jsonl_string_full;
 use krigeval_engine::spec::GatePolicy;
 use krigeval_engine::{
     run_specs_opts, CampaignSpec, EngineBackend, ExecOptions, FaultConfig, FaultPolicy, Progress,
@@ -566,6 +568,95 @@ fn shard_merge_wall_ms() -> (f64, f64) {
     (shard_ms, merge_ms)
 }
 
+/// DEFLATE compression ratio and streaming throughput over a real
+/// campaign artifact: the corpus is the finalized JSONL of a fast fir
+/// chaos campaign, tiled to ~1 MiB so the window-scanning matcher sees
+/// the long-range redundancy a multi-thousand-row journal has. Returns
+/// `(ratio, encode_mib_s, decode_mib_s)` where ratio is
+/// `compressed / plain` (smaller is better).
+fn deflate_metrics() -> (f64, f64, f64) {
+    let spec = CampaignSpec {
+        name: "perfflate".to_string(),
+        benchmarks: vec!["fir".to_string()],
+        distances: vec![2.0, 3.0, 4.0],
+        repeats: 2,
+        ..CampaignSpec::default()
+    };
+    let outcome = run_specs_opts(
+        spec.expand().expect("valid spec"),
+        ExecOptions {
+            workers: 2,
+            progress: Progress::Silent,
+            ..ExecOptions::default()
+        },
+    )
+    .expect("corpus campaign completes");
+    let summary = krigeval_engine::SummaryRecord::from_records(
+        &spec.name,
+        &outcome.records,
+        &outcome.failures,
+        krigeval_engine::CacheStats::default(),
+        2,
+        None,
+    );
+    let artifact = to_jsonl_string_full(
+        &outcome.records,
+        &outcome.failures,
+        &[],
+        &summary,
+        SinkOptions::default(),
+    );
+    let mut corpus = String::new();
+    while corpus.len() < 1 << 20 {
+        corpus.push_str(&artifact);
+    }
+    let plain = corpus.as_bytes();
+    let compressed = krigeval_flate::compress(plain);
+    let ratio = compressed.len() as f64 / plain.len() as f64;
+    let mib = plain.len() as f64 / (1024.0 * 1024.0);
+    let encode_us = measure_us(
+        || {
+            let out = krigeval_flate::compress(plain);
+            std::hint::black_box(out.len());
+        },
+        4,
+        11,
+    );
+    let decode_us = measure_us(
+        || {
+            let out = krigeval_flate::inflate(&compressed).expect("own stream inflates");
+            std::hint::black_box(out.len());
+        },
+        4,
+        11,
+    );
+    (ratio, mib / (encode_us * 1e-6), mib / (decode_us * 1e-6))
+}
+
+/// Wall clock of the full eight-benchmark Table-I scenario matrix at
+/// smoke scale through the engine backend — the same configuration the
+/// CI matrix step runs — with the summary shape-checked so the number
+/// only lands in the JSON when the matrix actually held its contract.
+fn matrix_smoke_wall_s(workers: usize) -> f64 {
+    let spec = MatrixSpec::smoke();
+    let runs = spec.expand().expect("smoke matrix expands");
+    let start = Instant::now();
+    let outcome = run_specs_opts(
+        runs,
+        ExecOptions {
+            workers,
+            progress: Progress::Silent,
+            ..ExecOptions::default()
+        },
+    )
+    .expect("smoke matrix completes");
+    let wall = start.elapsed().as_secs_f64();
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    let violations = check_table_shape(&summarize(&outcome.records));
+    assert!(violations.is_empty(), "{violations:?}");
+    wall
+}
+
 /// Measured (not gated) effect of the adaptive decision modes on one
 /// Table-I-shaped fast campaign: the audited d-sweep runs once with the
 /// fixed gate (today's default decision policy), then again with the
@@ -752,8 +843,24 @@ fn main() {
     let (shard_ms, merge_ms) = shard_merge_wall_ms();
     eprintln!("  3-shard chaos campaign    {shard_ms:>10.3} ms");
     eprintln!("  shard merge               {merge_ms:>10.3} ms");
+    let (deflate_ratio, encode_mib_s, decode_mib_s) = deflate_metrics();
+    eprintln!(
+        "  deflate journal corpus    ratio {deflate_ratio:.3}, \
+         encode {encode_mib_s:.1} MiB/s, decode {decode_mib_s:.1} MiB/s"
+    );
     let gate_fir = adaptive_gate_entry("fir", workers);
     let gate_iir = adaptive_gate_entry("iir", workers);
+    // The matrix rides the same skip flag as table1: CI runs `campaign
+    // matrix --smoke` as its own job step, so the perfsmoke regression
+    // smoke stays cheap; the committed JSON carries both wall times.
+    let matrix = if skip_table1 {
+        None
+    } else {
+        eprintln!("  smoke matrix ({workers} workers) ...");
+        let s = matrix_smoke_wall_s(workers);
+        eprintln!("  smoke matrix wall         {s:>10.3} s");
+        Some(s)
+    };
     let table1 = if skip_table1 {
         None
     } else {
@@ -839,10 +946,21 @@ fn main() {
             ]),
         ),
         (
+            "deflate_journal",
+            obj(vec![
+                ("compression_ratio", num(deflate_ratio)),
+                ("encode_mib_s", num(encode_mib_s)),
+                ("decode_mib_s", num(decode_mib_s)),
+            ]),
+        ),
+        (
             "adaptive_gate",
             obj(vec![("fir", gate_fir), ("iir", gate_iir)]),
         ),
     ];
+    if let Some(s) = matrix {
+        metrics.push(("matrix_smoke_wall_s", metric(None, s)));
+    }
     if let Some(s) = table1 {
         metrics.push((
             "table1_fast_wall_s",
@@ -962,6 +1080,49 @@ fn main() {
              (budget {HYBRID_STEADY_STATE_BUDGET_US:.3} us)"
         );
         std::process::exit(1);
+    }
+    // DEFLATE gates, deliberately conservative: a JSONL journal corpus
+    // compresses to roughly a quarter of its size under the
+    // fixed-Huffman greedy matcher, so a 0.5 ratio ceiling only fires if
+    // the encoder degenerates to (near) stored blocks; the throughput
+    // floors sit an order of magnitude under the measured release-build
+    // numbers and exist to catch an accidental quadratic match loop, not
+    // host-load noise.
+    if deflate_ratio > 0.5 {
+        eprintln!(
+            "perfsmoke: FAIL deflate journal ratio is {deflate_ratio:.3} \
+             (budget 0.500 — encoder has stopped finding matches)"
+        );
+        std::process::exit(1);
+    }
+    if encode_mib_s < 5.0 {
+        eprintln!(
+            "perfsmoke: FAIL deflate encode throughput is {encode_mib_s:.1} MiB/s \
+             (floor 5.0 MiB/s)"
+        );
+        std::process::exit(1);
+    }
+    if decode_mib_s < 10.0 {
+        eprintln!(
+            "perfsmoke: FAIL deflate decode throughput is {decode_mib_s:.1} MiB/s \
+             (floor 10.0 MiB/s)"
+        );
+        std::process::exit(1);
+    }
+    // When the matrix is measured, hold its wall clock under a generous
+    // ceiling: the smoke matrix is the CI-facing entry point, and a
+    // pathological regression there (a benchmark falling back to pure
+    // simulation, say) shows up as a multiple of the ~30 s it takes on
+    // this container.
+    if let Some(s) = matrix {
+        const MATRIX_SMOKE_BUDGET_S: f64 = 120.0;
+        if s > MATRIX_SMOKE_BUDGET_S {
+            eprintln!(
+                "perfsmoke: FAIL smoke matrix wall is {s:.3} s \
+                 (budget {MATRIX_SMOKE_BUDGET_S:.3} s)"
+            );
+            std::process::exit(1);
+        }
     }
     // Eighth gate: when table1 is measured, its wall clock may not creep
     // past 1.25x the frozen baseline. The 33.5 s recorded at one earlier

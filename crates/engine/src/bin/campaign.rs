@@ -3,8 +3,11 @@
 //! ```text
 //! campaign template                 # print a spec template (JSON) to stdout
 //! campaign run [OPTIONS]           # execute a campaign, emit JSONL
+//! campaign matrix [OPTIONS]        # the full Table-I scenario matrix: all
+//!                                  # eight benchmarks through the engine
 //! campaign shard [OPTIONS]         # execute one shard of a campaign
 //! campaign merge FILES [OPTIONS]   # reassemble shard files into one JSONL
+//! campaign decode IN [OPTIONS]     # decompress a .z artifact to plain text
 //! campaign table [OPTIONS]         # execute and render a Table-I-style table
 //! campaign compare [OPTIONS]       # sequential vs parallel wall-clock
 //! ```
@@ -53,6 +56,13 @@
 //!                    from replicated observations, a number fixes it;
 //!                    off by default (exact interpolating system)
 //! --out FILE         write JSONL to FILE instead of stdout
+//! --compress         DEFLATE-compress the artifact (journal and final
+//!                    output); requires --out ending in .z — the
+//!                    extension is how resume/shard/merge detect
+//!                    compressed inputs. The journal stays crash-safe:
+//!                    every line ends on a sync-flush block boundary,
+//!                    and determinism is defined on the *uncompressed*
+//!                    stream (campaign decode recovers it bit-exactly)
 //! --on-error P       fail-fast | skip | retry:N  (default fail-fast;
 //!                    overrides the spec's on_error field)
 //! --resume           continue an interrupted campaign from the journal
@@ -77,6 +87,23 @@
 //! --index I          this process's shard index (0-based, required)
 //! --of N             total number of shards (required)
 //! ```
+//!
+//! `matrix`-only options:
+//!
+//! ```text
+//! --smoke            the CI preset: fast scale, a single d=3 / N_n,min=2
+//!                    cell, every run through the engine backend at two
+//!                    threads (overrides the grid flags)
+//! ```
+//!
+//! `campaign matrix` expands **all eight benchmarks** (fir, iir, fft,
+//! hevc, squeezenet, quantized_cnn, dct, lms) over the `--d` / `--nmin`
+//! grid — the classification-rate problems run with the nugget
+//! estimator active — executes the whole matrix through one shared
+//! cache, and emits a per-benchmark summary table (mean `p(%)`, mean
+//! `με`). Structural violations of the Table-I shape (missing
+//! benchmark, out-of-range percentage, wrong metric routing) are
+//! reported on stderr and exit nonzero.
 //!
 //! With `--out`, `run` streams every completed row to the file as a
 //! flushed journal line and rewrites the file in finalized form (rows
@@ -104,11 +131,14 @@ use std::sync::Arc;
 
 use krigeval_engine::executor::{run_campaign, run_specs_opts, ExecOptions, Progress};
 use krigeval_engine::fault::FaultPolicy;
+use krigeval_engine::matrix::{check_table_shape, render_matrix_table, summarize, MatrixSpec};
 use krigeval_engine::obs::CampaignObs;
 use krigeval_engine::shard::{
     merge_shards, parse_manifest, parse_shard, render_shard, shard_runs, ShardManifest,
 };
-use krigeval_engine::sink::{load_journal, to_jsonl_string_full, JournalWriter, SinkOptions};
+use krigeval_engine::sink::{
+    load_journal, read_artifact_text, to_jsonl_string_full, JournalWriter, SinkOptions,
+};
 use krigeval_engine::spec::{CampaignSpec, GatePolicy, NuggetPolicy, OptimizerSpec, VariogramSpec};
 use krigeval_engine::{CacheStats, RunRecord, SummaryRecord};
 use krigeval_obs::{JsonlSink, Registry, Tracer};
@@ -203,6 +233,11 @@ struct Cli {
     timing: bool,
     quiet: bool,
     resume: bool,
+    /// DEFLATE-compress the journal and final artifact (`--out` must
+    /// end in `.z`).
+    compress: bool,
+    /// `matrix`: use the CI smoke preset instead of the grid flags.
+    smoke: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
     /// `shard`: this process's partition slot (`--index`).
@@ -221,6 +256,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         timing: false,
         quiet: false,
         resume: false,
+        compress: false,
+        smoke: false,
         metrics_out: None,
         trace_out: None,
         shard_index: None,
@@ -305,6 +342,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--out" => cli.out = Some(value()?.to_string()),
             "--on-error" => cli.spec.on_error = Some(FaultPolicy::parse(value()?)?),
             "--resume" => cli.resume = true,
+            "--compress" => cli.compress = true,
+            "--smoke" => cli.smoke = true,
             "--timing" => cli.timing = true,
             "--metrics-out" => cli.metrics_out = Some(value()?.to_string()),
             "--trace-out" => cli.trace_out = Some(value()?.to_string()),
@@ -315,17 +354,94 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    // The `.z` extension is the read-side detection key for compressed
+    // artifacts, so it must track the write-side flag both ways.
+    if cli.compress {
+        match cli.out.as_deref() {
+            Some(path) if path.ends_with(".z") => {}
+            Some(path) => {
+                return Err(format!(
+                    "--compress requires --out ending in .z (got {path:?})"
+                ))
+            }
+            None => return Err("--compress requires --out".to_string()),
+        }
+    } else if cli.out.as_deref().is_some_and(|p| p.ends_with(".z")) {
+        return Err(
+            "write .z artifacts with --compress (the extension marks compressed files)".to_string(),
+        );
+    }
     Ok(cli)
 }
 
 fn emit(cli: &Cli, text: &str) -> Result<(), String> {
     match &cli.out {
+        Some(path) if cli.compress => {
+            // One-shot compression of the finalized artifact (a proper
+            // finished stream — `campaign decode` recovers the text
+            // bit-exactly with the strict decoder).
+            fs::write(path, krigeval_flate::compress(text.as_bytes()))
+                .map_err(|e| format!("cannot write {path}: {e}"))
+        }
         Some(path) => fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
         None => {
             print!("{text}");
             std::io::stdout().flush().map_err(|e| e.to_string())
         }
     }
+}
+
+/// Removes a torn trailing partial line (no final newline — the writer
+/// was killed mid-write) from an uncompressed journal before `--resume`
+/// appends to it; appending after a tear would otherwise weld the new
+/// row onto the partial line, turning a tolerated torn *tail* into a
+/// corrupt line **mid-file** that the next resume rejects.
+fn trim_torn_tail(path: &str, text: &str) -> Result<(), String> {
+    let keep = match text.rfind('\n') {
+        Some(last_newline) if last_newline + 1 < text.len() => last_newline + 1,
+        None if !text.is_empty() => 0,
+        _ => return Ok(()), // ends on a line boundary (or empty)
+    };
+    let file = fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("cannot open journal {path}: {e}"))?;
+    file.set_len(keep as u64)
+        .map_err(|e| format!("cannot trim torn journal tail in {path}: {e}"))
+}
+
+/// Opens the resume journal for writing. Uncompressed journals are
+/// appended to (after trimming any torn tail); compressed journals are
+/// rewritten from the replayed rows — a raw DEFLATE stream with a
+/// possibly-torn tail cannot be appended to in place.
+fn reopen_journal(
+    cli: &Cli,
+    path: &str,
+    text: &str,
+    manifest: Option<&ShardManifest>,
+    records: &[krigeval_engine::RunRecord],
+    failures: &[krigeval_engine::FailureRecord],
+    options: SinkOptions,
+) -> Result<JournalWriter, String> {
+    if !cli.compress {
+        trim_torn_tail(path, text)?;
+        return JournalWriter::append(path).map_err(|e| format!("cannot append {path}: {e}"));
+    }
+    let journal = JournalWriter::create_compressed(path)
+        .map_err(|e| format!("cannot recreate compressed journal {path}: {e}"))?;
+    let write = |r: Result<(), std::io::Error>| {
+        r.map_err(|e| format!("cannot rewrite compressed journal {path}: {e}"))
+    };
+    if let Some(manifest) = manifest {
+        write(journal.line(&manifest.render()))?;
+    }
+    for record in records {
+        write(journal.record(record, options))?;
+    }
+    for failure in failures {
+        write(journal.failure(failure, options))?;
+    }
+    Ok(journal)
 }
 
 /// Observability setup shared by `run`, `shard` and `merge`: one
@@ -376,16 +492,19 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
     let (registry, obs) = build_obs(cli)?;
 
     // Resume: replay the journalled rows, execute only the remainder.
-    let (mut records, mut failures) = if cli.resume {
+    // `read_artifact_text` transparently decodes a compressed (`.z`)
+    // journal, including a torn sync-flushed tail.
+    let (resume_text, (mut records, mut failures)) = if cli.resume {
         let path = cli
             .out
             .as_deref()
             .ok_or_else(|| "--resume needs --out (the journal to continue)".to_string())?;
-        let text =
-            fs::read_to_string(path).map_err(|e| format!("cannot read journal {path}: {e}"))?;
-        load_journal(&text).map_err(|e| format!("{path}: {e}"))?
+        let text = read_artifact_text(Path::new(path))
+            .map_err(|e| format!("cannot read journal {path}: {e}"))?;
+        let rows = load_journal(&text).map_err(|e| format!("{path}: {e}"))?;
+        (text, rows)
     } else {
-        (Vec::new(), Vec::new())
+        (String::new(), (Vec::new(), Vec::new()))
     };
     let done: std::collections::HashSet<u64> = records
         .iter()
@@ -416,12 +535,22 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
     // With --out, stream every completed row to the file so a killed
     // campaign can resume; the file is rewritten finalized below.
     let journal = match (&cli.out, cli.resume) {
+        (Some(path), false) if cli.compress => Some(
+            JournalWriter::create_compressed(path)
+                .map_err(|e| format!("cannot create {path}: {e}"))?,
+        ),
         (Some(path), false) => {
             Some(JournalWriter::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
         }
-        (Some(path), true) => {
-            Some(JournalWriter::append(path).map_err(|e| format!("cannot append {path}: {e}"))?)
-        }
+        (Some(path), true) => Some(reopen_journal(
+            cli,
+            path,
+            &resume_text,
+            None,
+            &records,
+            &failures,
+            options,
+        )?),
         (None, _) => None,
     };
     let outcome = run_specs_opts(
@@ -562,9 +691,9 @@ fn cmd_shard(cli: &Cli) -> Result<ExitCode, String> {
     // Per-shard resume: revalidate the manifest header (continuing a
     // shard of a different campaign — or a different slot — would merge
     // into a corrupt artifact), then replay the journalled rows.
-    let (mut records, mut failures) = if cli.resume {
-        let text =
-            fs::read_to_string(out).map_err(|e| format!("cannot read shard journal {out}: {e}"))?;
+    let (resume_text, (mut records, mut failures)) = if cli.resume {
+        let text = read_artifact_text(Path::new(out))
+            .map_err(|e| format!("cannot read shard journal {out}: {e}"))?;
         let found = parse_manifest(out, &text).map_err(|e| e.to_string())?;
         if found != manifest {
             return Err(format!(
@@ -579,9 +708,10 @@ fn cmd_shard(cli: &Cli) -> Result<ExitCode, String> {
                 manifest.spec_digest,
             ));
         }
-        load_journal(&text).map_err(|e| format!("{out}: {e}"))?
+        let rows = load_journal(&text).map_err(|e| format!("{out}: {e}"))?;
+        (text, rows)
     } else {
-        (Vec::new(), Vec::new())
+        (String::new(), (Vec::new(), Vec::new()))
     };
     let done: std::collections::HashSet<u64> = records
         .iter()
@@ -608,12 +738,25 @@ fn cmd_shard(cli: &Cli) -> Result<ExitCode, String> {
     }
 
     // A fresh shard journal starts with its manifest header, before any
-    // row can land; a resumed journal already carries it.
+    // row can land; a resumed journal already carries it (a resumed
+    // *compressed* journal is rewritten, manifest first).
     let journal = if cli.resume {
-        JournalWriter::append(out).map_err(|e| format!("cannot append {out}: {e}"))?
+        reopen_journal(
+            cli,
+            out,
+            &resume_text,
+            Some(&manifest),
+            &records,
+            &failures,
+            options,
+        )?
     } else {
-        let journal =
-            JournalWriter::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        let journal = if cli.compress {
+            JournalWriter::create_compressed(out)
+                .map_err(|e| format!("cannot create {out}: {e}"))?
+        } else {
+            JournalWriter::create(out).map_err(|e| format!("cannot create {out}: {e}"))?
+        };
         journal
             .line(&manifest.render())
             .map_err(|e| format!("cannot write shard manifest to {out}: {e}"))?;
@@ -638,8 +781,7 @@ fn cmd_shard(cli: &Cli) -> Result<ExitCode, String> {
     records.sort_by_key(|r| r.index);
     failures.extend(outcome.failures.iter().cloned());
     failures.sort_by_key(|f| f.index);
-    fs::write(out, render_shard(&manifest, &records, &failures, options))
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    emit(cli, &render_shard(&manifest, &records, &failures, options))?;
     write_metrics(cli, &registry)?;
     if !cli.quiet {
         eprintln!(
@@ -673,7 +815,12 @@ fn cmd_merge(cli: &Cli) -> Result<ExitCode, String> {
     let (registry, obs) = build_obs(cli)?;
     let mut shards = Vec::new();
     for path in &cli.inputs {
-        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        // Compressed (`.z`) and plain shard files can be mixed freely;
+        // the merge validates and reassembles the *uncompressed* rows
+        // either way, so the merged artifact is byte-identical to the
+        // single-process uncompressed output.
+        let text =
+            read_artifact_text(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
         shards.push(parse_shard(path.as_str(), &text).map_err(|e| e.to_string())?);
     }
     let (records, failures) = merge_shards(&shards).map_err(|e| e.to_string())?;
@@ -710,6 +857,112 @@ fn cmd_merge(cli: &Cli) -> Result<ExitCode, String> {
             failures.len(),
         );
         return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_matrix(cli: &Cli) -> Result<ExitCode, String> {
+    let spec = if cli.smoke {
+        MatrixSpec::smoke()
+    } else {
+        // The grid flags (--scale, --d, --nmin, --gate, --threads,
+        // --seed, --repeats, --no-audit) parameterize the matrix; the
+        // benchmark list is fixed — all eight, that is the point.
+        MatrixSpec {
+            name: cli.spec.name.clone(),
+            scale: cli.spec.scale.clone(),
+            distances: cli.spec.distances.clone(),
+            min_neighbors: cli.spec.min_neighbors.clone(),
+            gate: cli.spec.gate,
+            threads: cli.spec.threads.unwrap_or(1),
+            seed: cli.spec.seed,
+            repeats: cli.spec.repeats,
+            audit: cli.spec.audit,
+        }
+    };
+    let progress = if cli.quiet {
+        Progress::Silent
+    } else {
+        Progress::Stderr
+    };
+    let (registry, obs) = build_obs(cli)?;
+    let runs = spec.expand().map_err(|e| e.to_string())?;
+    let total = runs.len();
+    let outcome = run_specs_opts(
+        runs,
+        ExecOptions {
+            workers: cli.workers,
+            progress,
+            policy: cli.spec.on_error.unwrap_or_default(),
+            journal: None,
+            journal_options: SinkOptions {
+                include_timing: cli.timing,
+            },
+            progress_out: None,
+            obs: obs.as_ref(),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let rows = summarize(&outcome.records);
+    emit(cli, &render_matrix_table(&rows))?;
+    write_metrics(cli, &registry)?;
+    if !cli.quiet {
+        eprintln!(
+            "matrix {:?}: {} of {total} runs ({} failed) across {} benchmarks on {} workers \
+             (threads {}) in {:.0} ms",
+            spec.name,
+            outcome.records.len(),
+            outcome.failures.len(),
+            rows.len(),
+            outcome.workers,
+            spec.threads,
+            outcome.wall_ms,
+        );
+    }
+    // The Table-I shape expectations are part of the contract: a matrix
+    // that silently dropped a benchmark or routed SqueezeNet through the
+    // wrong metric must not exit 0 (printed even under --quiet).
+    let violations = check_table_shape(&rows);
+    if !violations.is_empty() || !outcome.failures.is_empty() {
+        for violation in &violations {
+            eprintln!("matrix shape violation: {violation}");
+        }
+        eprintln!(
+            "matrix {:?}: incomplete — {} run(s) failed, {} shape violation(s)",
+            spec.name,
+            outcome.failures.len(),
+            violations.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_decode(cli: &Cli) -> Result<ExitCode, String> {
+    let [input] = cli.inputs.as_slice() else {
+        return Err("decode needs exactly one compressed artifact as a positional argument".into());
+    };
+    let raw = fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let prefix =
+        krigeval_flate::inflate_tail_tolerant(&raw).map_err(|e| format!("{input}: {e}"))?;
+    if !prefix.complete && !cli.quiet {
+        eprintln!(
+            "{input}: stream is not finished (a live or torn journal); \
+             decoded the {}-byte prefix of complete blocks",
+            prefix.data.len()
+        );
+    }
+    match &cli.out {
+        Some(path) => {
+            fs::write(path, &prefix.data).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => {
+            let mut stdout = std::io::stdout();
+            stdout
+                .write_all(&prefix.data)
+                .and_then(|()| stdout.flush())
+                .map_err(|e| e.to_string())?;
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -790,7 +1043,8 @@ fn cmd_compare(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-const HELP: &str = "usage: campaign <template|run|shard|merge|table|compare|help> [options]\n\
+const HELP: &str =
+    "usage: campaign <template|run|matrix|shard|merge|decode|table|compare|help> [options]\n\
 see the module docs (crates/engine/src/bin/campaign.rs) for the option list\n";
 
 fn main() -> ExitCode {
@@ -810,8 +1064,10 @@ fn main() -> ExitCode {
     let result = match command {
         "template" => emit(&cli, &format!("{}\n", cli.spec.to_json())).map(|()| ExitCode::SUCCESS),
         "run" => cmd_run(&cli),
+        "matrix" => cmd_matrix(&cli),
         "shard" => cmd_shard(&cli),
         "merge" => cmd_merge(&cli),
+        "decode" => cmd_decode(&cli),
         "table" => cmd_table(&cli).map(|()| ExitCode::SUCCESS),
         "compare" => cmd_compare(&cli).map(|()| ExitCode::SUCCESS),
         other => return fail(&format!("unknown subcommand {other:?}")),

@@ -25,6 +25,7 @@ pub mod backend;
 pub mod cache;
 pub mod executor;
 pub mod fault;
+pub mod matrix;
 pub mod obs;
 pub mod runner;
 pub mod shard;
@@ -71,14 +72,16 @@ pub use executor::{
 pub use fault::{
     FaultConfig, FaultFate, FaultInjectingEvaluator, FaultPhase, FaultPolicy, FaultStream,
 };
+pub use matrix::{check_table_shape, render_matrix_table, summarize, MatrixRow, MatrixSpec};
 pub use obs::{BackendObs, CampaignObs};
 pub use shard::{
     merge_shards, parse_shard, render_shard, shard_of, shard_runs, spec_digest, MergeError,
     ShardFile, ShardManifest,
 };
 pub use sink::{
-    load_journal, write_jsonl, write_jsonl_full, write_rows, FailureRecord, JournalErrorRecord,
-    JournalWriter, RunRecord, SinkOptions, SummaryRecord,
+    is_compressed_path, load_journal, read_artifact_text, write_jsonl, write_jsonl_full,
+    write_rows, FailureRecord, JournalError, JournalErrorRecord, JournalWriter, RunRecord,
+    SinkOptions, SummaryRecord,
 };
 pub use spec::{CampaignSpec, OptimizerSpec, RunSpec, SpecError, VariogramSpec};
 

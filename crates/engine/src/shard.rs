@@ -318,7 +318,7 @@ pub fn parse_shard(file: impl Into<String>, text: &str) -> Result<ShardFile, Mer
     let (records, failures) =
         crate::sink::load_journal(text).map_err(|detail| MergeError::Journal {
             file: file.clone(),
-            detail,
+            detail: detail.to_string(),
         })?;
     Ok(ShardFile {
         file,

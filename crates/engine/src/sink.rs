@@ -18,11 +18,14 @@
 //! truncated journal back into records so an interrupted campaign can
 //! resume from where it stopped.
 
+use std::error::Error;
+use std::fmt;
 use std::fs::OpenOptions;
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
+use krigeval_flate::DeflateWriter;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::cache::CacheStats;
@@ -415,6 +418,25 @@ impl JournalWriter {
         Ok(JournalWriter::from_writer(file))
     }
 
+    /// Opens `path` truncated as a **compressed** journal: every line is
+    /// DEFLATE-compressed and each flush ends on a sync-flush block
+    /// boundary, so the flush-per-line crash-journal contract holds on
+    /// the compressed bytes too. The stream is intentionally never
+    /// finished — read it back with the tail-tolerant decoder
+    /// ([`read_artifact_text`] does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create_compressed(path: impl AsRef<Path>) -> io::Result<JournalWriter> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(JournalWriter::from_writer(DeflateWriter::new(file)))
+    }
+
     /// Opens `path` for appending (a resumed campaign keeps extending
     /// the existing journal).
     ///
@@ -480,16 +502,37 @@ impl JournalWriter {
     }
 }
 
+/// A malformed non-terminal journal line: a torn or corrupt line
+/// **mid-file** means the journal cannot be trusted as a crash record
+/// (only the final line may legitimately be torn), so it is surfaced as
+/// a typed error instead of being silently dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    /// 1-based line number among the journal's non-empty lines.
+    pub line: usize,
+    /// What was wrong with the line.
+    pub message: String,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for JournalError {}
+
 /// Parses a journal (or finalized output file) back into run and
 /// failure records, each sorted by index. `"summary"` lines are
 /// ignored — a resume recomputes the summary from the merged records. A
 /// malformed **final** line is tolerated (the writing process was
-/// killed mid-line); malformed earlier lines are reported as errors.
+/// killed mid-line); a malformed line anywhere else is a typed
+/// [`JournalError`], never silently dropped.
 ///
 /// # Errors
 ///
-/// Returns a description of the first non-terminal malformed line.
-pub fn load_journal(text: &str) -> Result<(Vec<RunRecord>, Vec<FailureRecord>), String> {
+/// Returns the first non-terminal malformed line as a [`JournalError`].
+pub fn load_journal(text: &str) -> Result<(Vec<RunRecord>, Vec<FailureRecord>), JournalError> {
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     let mut records: Vec<RunRecord> = Vec::new();
     let mut failures: Vec<FailureRecord> = Vec::new();
@@ -499,7 +542,12 @@ pub fn load_journal(text: &str) -> Result<(Vec<RunRecord>, Vec<FailureRecord>), 
         let value = match parsed {
             Ok(v) => v,
             Err(_) if last => break, // torn tail from a killed writer
-            Err(e) => return Err(format!("journal line {}: {e}", i + 1)),
+            Err(e) => {
+                return Err(JournalError {
+                    line: i + 1,
+                    message: e.to_string(),
+                })
+            }
         };
         let tag = value.get("type").and_then(Value::as_str).unwrap_or("");
         let entry = match tag {
@@ -517,16 +565,56 @@ pub fn load_journal(text: &str) -> Result<(Vec<RunRecord>, Vec<FailureRecord>), 
             "summary" | "journal_error" | "shard" => Ok(()),
             other => Err(format!("unknown record type {other:?}")),
         };
-        if let Err(e) = entry {
+        if let Err(message) = entry {
             if last {
                 break;
             }
-            return Err(format!("journal line {}: {e}", i + 1));
+            return Err(JournalError {
+                line: i + 1,
+                message,
+            });
         }
     }
     records.sort_by_key(|r| r.index);
     failures.sort_by_key(|f| f.index);
     Ok((records, failures))
+}
+
+/// Whether `path` names a compressed (`.z`) artifact. This extension is
+/// the read-side detection key: `campaign run --resume`, `shard`, and
+/// `merge` all route `.z` inputs through the tail-tolerant DEFLATE
+/// decoder.
+pub fn is_compressed_path(path: &Path) -> bool {
+    path.extension().is_some_and(|ext| ext == "z")
+}
+
+/// Reads an artifact file as text, transparently decompressing `.z`
+/// files with the **tail-tolerant** decoder so a compressed crash
+/// journal with a torn tail yields the prefix of complete sync-flushed
+/// lines, mirroring the plain-text torn-final-line contract. A decoded
+/// prefix that ends mid-UTF-8-sequence is truncated to its valid
+/// prefix; mid-file corruption (not truncation) is still an error.
+///
+/// # Errors
+///
+/// Propagates I/O errors; corrupt DEFLATE data surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_artifact_text(path: &Path) -> io::Result<String> {
+    if !is_compressed_path(path) {
+        return std::fs::read_to_string(path);
+    }
+    let raw = std::fs::read(path)?;
+    let prefix = krigeval_flate::inflate_tail_tolerant(&raw)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    match String::from_utf8(prefix.data) {
+        Ok(text) => Ok(text),
+        Err(e) => {
+            let valid = e.utf8_error().valid_up_to();
+            let mut bytes = e.into_bytes();
+            bytes.truncate(valid);
+            Ok(String::from_utf8(bytes).expect("truncated at a UTF-8 boundary"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -722,11 +810,47 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert!(failures.is_empty());
         let mid_corruption = format!("not json at all\n{good}");
-        assert!(load_journal(&mid_corruption).is_err());
+        let err = load_journal(&mid_corruption).unwrap_err();
+        assert_eq!(err.line, 1);
         let unknown = format!("{{\"type\":\"mystery\"}}\n{good}");
-        assert!(load_journal(&unknown)
-            .unwrap_err()
-            .contains("unknown record type"));
+        let err = load_journal(&unknown).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown record type"));
+    }
+
+    #[test]
+    fn torn_line_mid_file_is_a_typed_error_not_a_silent_drop() {
+        // A row torn in the MIDDLE of a journal means the file cannot be
+        // trusted as a crash record; it must surface as a JournalError
+        // carrying the offending line number, never be skipped.
+        let good = {
+            let buf = SharedBuf::default();
+            let journal = JournalWriter::from_writer(buf.clone());
+            for i in 0..3 {
+                journal
+                    .record(&sample_record(i), SinkOptions::default())
+                    .unwrap();
+            }
+            buf.contents()
+        };
+        let lines: Vec<&str> = good.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Tear line 2 of 3 (only the final line may legitimately be torn).
+        let torn_mid = format!("{}\n{}\n{}\n", lines[0], &lines[1][..20], lines[2]);
+        let err = load_journal(&torn_mid).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(format!("{err}"), format!("journal line 2: {}", err.message));
+        // Binary garbage mid-file (e.g. a NUL-padded sector after a
+        // power loss) is likewise typed, not dropped.
+        let garbage = format!("{}\n\u{0}\u{0}\u{0}\u{0}\n{}\n", lines[0], lines[2]);
+        let err = load_journal(&garbage).unwrap_err();
+        assert_eq!(err.line, 2);
+        // The same contract holds through the compressed reader: decode
+        // then parse, so a mid-stream tear still surfaces.
+        let compressed = krigeval_flate::compress(torn_mid.as_bytes());
+        let decoded = krigeval_flate::inflate_tail_tolerant(&compressed).unwrap();
+        let text = String::from_utf8(decoded.data).unwrap();
+        assert_eq!(load_journal(&text).unwrap_err().line, 2);
     }
 
     #[test]

@@ -349,8 +349,13 @@ impl CampaignSpec {
         }
         let mut problems = Vec::new();
         for name in &self.benchmarks {
-            let p = Problem::parse(name)
-                .ok_or_else(|| SpecError::new(format!("unknown benchmark {name:?}")))?;
+            let p = Problem::parse(name).ok_or_else(|| {
+                SpecError::new(format!(
+                    "unknown benchmark {name:?} (expected one of: {}, or an alias such as \
+                     fir64, iir8, fft64, hevc_mc, cnn, qcnn, dct8x8)",
+                    Problem::accepted_names().join(", ")
+                ))
+            })?;
             match self.optimizer {
                 OptimizerSpec::Descent if p != Problem::Squeezenet => {
                     return Err(SpecError::new(format!(
@@ -498,6 +503,43 @@ mod tests {
         assert_eq!(runs[0].run_seed, 7, "repeat 0 keeps the base seed");
         assert_ne!(runs[1].run_seed, runs[0].run_seed);
         assert_ne!(runs[2].run_seed, runs[1].run_seed);
+    }
+
+    #[test]
+    fn unknown_benchmark_error_lists_accepted_names() {
+        let bad = CampaignSpec {
+            benchmarks: vec!["warp".to_string()],
+            ..CampaignSpec::default()
+        };
+        let message = bad.expand().unwrap_err().to_string();
+        assert!(
+            message.contains("\"warp\""),
+            "names the offender: {message}"
+        );
+        for name in Problem::accepted_names() {
+            assert!(
+                message.contains(name),
+                "error must list {name:?}: {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_accepted_name_and_label_round_trips() {
+        // label() -> parse() must be the identity for all eight problems,
+        // and the names the error message advertises must all parse.
+        for (problem, name) in Problem::extended().iter().zip(Problem::accepted_names()) {
+            assert_eq!(Problem::parse(problem.label()), Some(*problem));
+            assert_eq!(Problem::parse(name), Some(*problem));
+            let spec = CampaignSpec {
+                benchmarks: vec![name.to_string()],
+                distances: vec![3.0],
+                ..CampaignSpec::default()
+            };
+            let runs = spec.expand().unwrap();
+            assert_eq!(runs.len(), 1);
+            assert_eq!(runs[0].problem, *problem);
+        }
     }
 
     #[test]

@@ -69,6 +69,23 @@ impl Problem {
         ]
     }
 
+    /// The canonical benchmark names [`Problem::parse`] accepts, one per
+    /// problem in [`Problem::extended`] order — the vocabulary error
+    /// messages cite so an unknown name tells the user what would have
+    /// worked.
+    pub fn accepted_names() -> [&'static str; 8] {
+        [
+            "fir",
+            "iir",
+            "fft",
+            "hevc",
+            "squeezenet",
+            "quantized_cnn",
+            "dct",
+            "lms",
+        ]
+    }
+
     /// Parses a benchmark name (as accepted by the binaries' `--bench`).
     pub fn parse(name: &str) -> Option<Problem> {
         match name.to_ascii_lowercase().as_str() {

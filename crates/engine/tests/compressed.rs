@@ -1,0 +1,239 @@
+//! Compressed campaign artifacts: the DEFLATE journal behind the sink
+//! preserves every crash-journal and determinism contract of the plain
+//! JSONL path — determinism is defined on the *uncompressed* stream.
+
+use std::path::Path;
+
+use krigeval_engine::executor::{run_specs_opts, ExecOptions, Progress};
+use krigeval_engine::shard::{merge_shards, parse_shard, render_shard, shard_runs, ShardManifest};
+use krigeval_engine::sink::{
+    is_compressed_path, load_journal, read_artifact_text, to_jsonl_string_full, JournalWriter,
+    SinkOptions,
+};
+use krigeval_engine::spec::CampaignSpec;
+use krigeval_engine::{CacheStats, SummaryRecord};
+
+fn small_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "compressed-rt".to_string(),
+        benchmarks: vec!["fir".to_string(), "iir".to_string()],
+        distances: vec![2.0, 3.0],
+        ..CampaignSpec::default()
+    }
+}
+
+fn run_spec(
+    spec: &CampaignSpec,
+    journal: Option<&JournalWriter>,
+) -> krigeval_engine::executor::CampaignOutcome {
+    run_specs_opts(
+        spec.expand().unwrap(),
+        ExecOptions {
+            workers: 2,
+            progress: Progress::Silent,
+            journal,
+            ..ExecOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn compressed_journal_decodes_to_the_exact_uncompressed_journal() {
+    let dir = std::env::temp_dir().join("krigeval-compressed-journal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let plain_path = dir.join("campaign.jsonl");
+    let comp_path = dir.join("campaign.jsonl.z");
+    assert!(!is_compressed_path(&plain_path));
+    assert!(is_compressed_path(&comp_path));
+
+    let spec = small_spec();
+    let plain_journal = JournalWriter::create(&plain_path).unwrap();
+    let outcome = run_spec(&spec, Some(&plain_journal));
+    drop(plain_journal);
+    let comp_journal = JournalWriter::create_compressed(&comp_path).unwrap();
+    let outcome2 = run_spec(&spec, Some(&comp_journal));
+    drop(comp_journal);
+    let strip = |records: &[krigeval_engine::RunRecord]| -> Vec<krigeval_engine::RunRecord> {
+        records
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.wall_ms = None; // scheduling-dependent, excluded from determinism
+                r
+            })
+            .collect()
+    };
+    assert_eq!(
+        strip(&outcome.records),
+        strip(&outcome2.records),
+        "runs are deterministic"
+    );
+
+    // The decoded journal parses to the same rows as the plain one.
+    // (Journal line order is completion order, so compare parsed rows,
+    // not raw text.)
+    let plain_text = read_artifact_text(&plain_path).unwrap();
+    let comp_text = read_artifact_text(&comp_path).unwrap();
+    let (plain_records, plain_failures) = load_journal(&plain_text).unwrap();
+    let (comp_records, comp_failures) = load_journal(&comp_text).unwrap();
+    assert_eq!(plain_records, comp_records);
+    assert_eq!(plain_failures, comp_failures);
+    assert_eq!(plain_records.len(), 4);
+
+    // The finalized artifact (rows in index order plus summary) is
+    // byte-identical whether it was produced from the compressed or the
+    // plain journal: determinism lives on the uncompressed stream.
+    let summary = SummaryRecord::from_records(
+        &spec.name,
+        &plain_records,
+        &plain_failures,
+        CacheStats::default(),
+        1,
+        None,
+    );
+    let from_plain = to_jsonl_string_full(
+        &plain_records,
+        &plain_failures,
+        &[],
+        &summary,
+        SinkOptions::default(),
+    );
+    let from_comp = to_jsonl_string_full(
+        &comp_records,
+        &comp_failures,
+        &[],
+        &summary,
+        SinkOptions::default(),
+    );
+    assert_eq!(from_plain, from_comp);
+    // And the compressed journal is actually smaller.
+    let plain_len = std::fs::metadata(&plain_path).unwrap().len();
+    let comp_len = std::fs::metadata(&comp_path).unwrap().len();
+    assert!(
+        comp_len < plain_len,
+        "compressed journal {comp_len} >= plain {plain_len}"
+    );
+}
+
+#[test]
+fn torn_compressed_journal_yields_a_prefix_of_complete_lines() {
+    let dir = std::env::temp_dir().join("krigeval-compressed-torn");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl.z");
+    let spec = small_spec();
+    let journal = JournalWriter::create_compressed(&path).unwrap();
+    let outcome = run_spec(&spec, Some(&journal));
+    drop(journal);
+    assert_eq!(outcome.records.len(), 4);
+
+    let full = std::fs::read(&path).unwrap();
+    let full_text = read_artifact_text(&path).unwrap();
+    let full_lines = full_text.lines().count();
+    assert_eq!(full_lines, 4);
+
+    // Truncate the compressed stream at every byte: the decoded text
+    // must always be a prefix of the full journal, and every complete
+    // line in it must parse — the flush-per-line crash contract.
+    let torn_path = dir.join("torn.jsonl.z");
+    for cut in 0..=full.len() {
+        std::fs::write(&torn_path, &full[..cut]).unwrap();
+        let text = read_artifact_text(&torn_path).unwrap();
+        assert!(
+            full_text.starts_with(&text),
+            "cut {cut}: decoded text is not a prefix"
+        );
+        let (records, failures) = load_journal(&text).unwrap();
+        assert!(records.len() <= 4);
+        assert!(failures.is_empty());
+    }
+}
+
+#[test]
+fn compressed_shards_merge_byte_identically_to_the_single_process_artifact() {
+    let spec = small_spec();
+    let all_runs = spec.expand().unwrap();
+    let total = all_runs.len() as u64;
+
+    // Single-process reference artifact (uncompressed, deterministic).
+    let outcome = run_spec(&spec, None);
+    let summary = SummaryRecord::from_records(
+        &spec.name,
+        &outcome.records,
+        &outcome.failures,
+        CacheStats::default(),
+        1,
+        None,
+    );
+    let reference = to_jsonl_string_full(
+        &outcome.records,
+        &outcome.failures,
+        &[],
+        &summary,
+        SinkOptions::default(),
+    );
+
+    // Two shards, both journalled compressed, then parsed back through
+    // the compressed reader and merged.
+    let dir = std::env::temp_dir().join("krigeval-compressed-shards");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut shards = Vec::new();
+    for index in 0..2u64 {
+        let manifest = ShardManifest::new(&spec, index, 2, total);
+        let path = dir.join(format!("shard{index}.jsonl.z"));
+        let journal = JournalWriter::create_compressed(&path).unwrap();
+        journal.line(&manifest.render()).unwrap();
+        let shard_outcome = run_specs_opts(
+            shard_runs(all_runs.clone(), index, 2),
+            ExecOptions {
+                workers: 2,
+                progress: Progress::Silent,
+                journal: Some(&journal),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        drop(journal);
+        // Finalized shard artifact, also compressed.
+        let rendered = render_shard(
+            &manifest,
+            &shard_outcome.records,
+            &shard_outcome.failures,
+            SinkOptions::default(),
+        );
+        std::fs::write(&path, krigeval_flate::compress(rendered.as_bytes())).unwrap();
+        let text = read_artifact_text(&path).unwrap();
+        assert_eq!(text, rendered, "compression is lossless");
+        shards.push(parse_shard(path.display().to_string(), &text).unwrap());
+    }
+    let (records, failures) = merge_shards(&shards).unwrap();
+    let merged_summary = SummaryRecord::from_records(
+        &spec.name,
+        &records,
+        &failures,
+        CacheStats::default(),
+        1,
+        None,
+    );
+    let merged = to_jsonl_string_full(
+        &records,
+        &failures,
+        &[],
+        &merged_summary,
+        SinkOptions::default(),
+    );
+    assert_eq!(
+        merged, reference,
+        "merge of compressed shards must reproduce the single-process bytes"
+    );
+}
+
+#[test]
+fn read_artifact_text_passes_plain_files_through_untouched() {
+    let dir = std::env::temp_dir().join("krigeval-plain-artifact");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plain.jsonl");
+    let text = "{\"type\":\"summary\",\"name\":\"t\"}\n";
+    std::fs::write(&path, text).unwrap();
+    assert_eq!(read_artifact_text(Path::new(&path)).unwrap(), text);
+}

@@ -1,0 +1,71 @@
+//! The full Table-I scenario matrix at smoke scale: all eight
+//! benchmarks expanded by [`MatrixSpec`], executed through the
+//! plan/fulfill engine backend (`threads = 2`), and the resulting
+//! summary pinned against the structural Table-I shape expectations.
+
+use krigeval_engine::executor::{run_specs_opts, ExecOptions, Progress};
+use krigeval_engine::matrix::{check_table_shape, render_matrix_table, summarize, MatrixSpec};
+use krigeval_engine::spec::NuggetPolicy;
+use krigeval_engine::suite::Problem;
+
+#[test]
+fn smoke_matrix_completes_all_eight_benchmarks_through_the_engine_backend() {
+    let spec = MatrixSpec::smoke();
+    let runs = spec.expand().expect("smoke matrix expands");
+    assert_eq!(runs.len(), 8, "one run per benchmark at smoke scale");
+    assert!(
+        runs.iter().all(|r| r.threads == 2),
+        "every matrix run routes through the engine backend"
+    );
+    // The classification-rate problems run with the nugget estimator
+    // active; the noise-power problems keep the paper's nugget-free
+    // kriging.
+    for run in &runs {
+        let noisy = matches!(run.problem, Problem::Squeezenet | Problem::QuantizedCnn);
+        assert_eq!(
+            run.nugget,
+            noisy.then_some(NuggetPolicy::Estimate),
+            "{}: nugget policy",
+            run.problem.label()
+        );
+    }
+
+    let outcome = run_specs_opts(
+        runs,
+        ExecOptions {
+            workers: 8,
+            progress: Progress::Silent,
+            ..ExecOptions::default()
+        },
+    )
+    .expect("smoke matrix executes");
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    assert_eq!(outcome.records.len(), 8);
+
+    let rows = summarize(&outcome.records);
+    let violations = check_table_shape(&rows);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // SqueezeNet is routed through the classification-rate metric and
+    // actually kriged something (p > 0) — the regression this matrix
+    // exists to catch is the CNN benchmarks silently falling back to
+    // pure simulation or the wrong metric label.
+    let squeezenet = rows.iter().find(|r| r.benchmark == "squeezenet").unwrap();
+    assert_eq!(squeezenet.metric, "class. rate");
+    assert!(
+        squeezenet.mean_p_percent > 0.0,
+        "squeezenet kriged nothing: p = {}",
+        squeezenet.mean_p_percent
+    );
+
+    // The rendered table carries one line per benchmark plus a header.
+    let table = render_matrix_table(&rows);
+    assert_eq!(table.lines().count(), 9);
+    for problem in Problem::extended() {
+        assert!(
+            table.contains(problem.label()),
+            "table is missing {}",
+            problem.label()
+        );
+    }
+}

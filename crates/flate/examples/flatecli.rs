@@ -1,0 +1,36 @@
+//! Tiny stdin→stdout raw-DEFLATE tool used by interop checks:
+//! `flatecli deflate` compresses, `flatecli inflate` decompresses,
+//! `flatecli deflate-sync` compresses line-by-line with a sync flush after
+//! every newline (the crash-journal write pattern).
+
+use std::io::{Read, Write};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let mut input = Vec::new();
+    std::io::stdin()
+        .read_to_end(&mut input)
+        .expect("read stdin");
+    let out = match mode.as_str() {
+        "deflate" => krigeval_flate::compress(&input),
+        "deflate-sync" => {
+            let mut writer = krigeval_flate::DeflateWriter::new(Vec::new());
+            for chunk in input.split_inclusive(|&b| b == b'\n') {
+                writer.write_all(chunk).expect("write");
+                writer.flush().expect("flush");
+            }
+            writer.finish().expect("finish")
+        }
+        "inflate" => krigeval_flate::inflate(&input).expect("inflate"),
+        "inflate-tail" => {
+            krigeval_flate::inflate_tail_tolerant(&input)
+                .expect("inflate")
+                .data
+        }
+        other => {
+            eprintln!("usage: flatecli deflate|deflate-sync|inflate|inflate-tail (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+    std::io::stdout().write_all(&out).expect("write stdout");
+}

@@ -1,0 +1,181 @@
+//! LSB-first bit packing over any [`Write`] sink.
+//!
+//! DEFLATE packs data elements starting from the least-significant bit of
+//! each byte; Huffman codes alone are emitted most-significant-bit first,
+//! which callers handle by pre-reversing code bits (see
+//! [`crate::huffman::Code`]).
+
+use std::io::{self, Write};
+
+/// Accumulates bits LSB-first and writes whole bytes to the inner sink.
+pub struct BitWriter<W: Write> {
+    inner: W,
+    buf: u32,
+    count: u32,
+}
+
+impl<W: Write> BitWriter<W> {
+    /// Wraps `inner` with an empty bit buffer.
+    pub fn new(inner: W) -> Self {
+        BitWriter {
+            inner,
+            buf: 0,
+            count: 0,
+        }
+    }
+
+    /// Appends the low `count` bits of `value` (LSB first). `count <= 16`.
+    pub fn write_bits(&mut self, value: u32, count: u32) -> io::Result<()> {
+        debug_assert!(count <= 16);
+        debug_assert!(count == 32 || value < (1u32 << count));
+        self.buf |= value << self.count;
+        self.count += count;
+        while self.count >= 8 {
+            self.inner.write_all(&[(self.buf & 0xff) as u8])?;
+            self.buf >>= 8;
+            self.count -= 8;
+        }
+        Ok(())
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align(&mut self) -> io::Result<()> {
+        if self.count > 0 {
+            self.inner.write_all(&[(self.buf & 0xff) as u8])?;
+            self.buf = 0;
+            self.count = 0;
+        }
+        Ok(())
+    }
+
+    /// Writes raw bytes; the stream must be byte-aligned.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        debug_assert_eq!(self.count, 0, "write_bytes requires byte alignment");
+        self.inner.write_all(bytes)
+    }
+
+    /// Flushes the inner sink (pending sub-byte bits stay buffered).
+    pub fn flush_inner(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// Aligns, flushes and returns the inner sink.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.align()?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    buf: u32,
+    count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Starts reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            buf: 0,
+            count: 0,
+        }
+    }
+
+    /// Reads the next `count` bits (LSB first). `count <= 16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::InflateError::UnexpectedEof`] when the input is
+    /// exhausted mid-read — the torn-tail signal.
+    pub fn read_bits(&mut self, count: u32) -> Result<u32, crate::InflateError> {
+        debug_assert!(count <= 16);
+        while self.count < count {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or(crate::InflateError::UnexpectedEof)?;
+            self.buf |= (byte as u32) << self.count;
+            self.count += 8;
+            self.pos += 1;
+        }
+        let value = self.buf & ((1u32 << count) - 1);
+        self.buf >>= count;
+        self.count -= count;
+        Ok(value)
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> Result<u32, crate::InflateError> {
+        self.read_bits(1)
+    }
+
+    /// Discards buffered bits up to the next byte boundary.
+    pub fn align(&mut self) {
+        self.buf = 0;
+        self.count = 0;
+    }
+
+    /// Takes `n` raw bytes; the stream must be byte-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::InflateError::UnexpectedEof`] when fewer than `n`
+    /// bytes remain.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], crate::InflateError> {
+        debug_assert_eq!(self.count, 0, "take_bytes requires byte alignment");
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.data.len())
+            .ok_or(crate::InflateError::UnexpectedEof)?;
+        let bytes = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_inverts_writer() {
+        let mut bw = BitWriter::new(Vec::new());
+        bw.write_bits(0b101, 3).unwrap();
+        bw.write_bits(0x1fff, 13).unwrap();
+        bw.write_bits(0b0, 1).unwrap();
+        let bytes = bw.into_inner().unwrap();
+        let mut br = BitReader::new(&bytes);
+        assert_eq!(br.read_bits(3).unwrap(), 0b101);
+        assert_eq!(br.read_bits(13).unwrap(), 0x1fff);
+        assert_eq!(br.read_bits(1).unwrap(), 0);
+        assert!(matches!(
+            br.read_bits(16),
+            Err(crate::InflateError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn bits_pack_lsb_first() {
+        let mut bw = BitWriter::new(Vec::new());
+        bw.write_bits(0b1, 1).unwrap();
+        bw.write_bits(0b01, 2).unwrap();
+        bw.write_bits(0b11111, 5).unwrap();
+        // 1 | 01<<1 | 11111<<3 = 0b11111011
+        assert_eq!(bw.into_inner().unwrap(), vec![0b1111_1011]);
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut bw = BitWriter::new(Vec::new());
+        bw.write_bits(0b101, 3).unwrap();
+        bw.align().unwrap();
+        bw.write_bytes(&[0xAA]).unwrap();
+        assert_eq!(bw.into_inner().unwrap(), vec![0b0000_0101, 0xAA]);
+    }
+}

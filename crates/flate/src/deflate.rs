@@ -1,0 +1,453 @@
+//! The DEFLATE encoder: a greedy hash-chain LZ77 tokenizer feeding
+//! stored, fixed-Huffman or dynamic-Huffman blocks — whichever costs the
+//! fewest bits, computed exactly per block.
+
+use std::io::{self, Write};
+
+use crate::bits::BitWriter;
+use crate::huffman::{build_lengths, codes_from_lengths, Code};
+use crate::tables::{
+    dist_code, fixed_dist_lengths, fixed_lit_lengths, length_code, CLCODE_ORDER, DIST_BASE,
+    DIST_EXTRA, END_OF_BLOCK, LENGTH_BASE, LENGTH_EXTRA, MAX_CLCODE_LEN, MAX_CODE_LEN,
+    MAX_DIST_SYMBOLS, MAX_LIT_SYMBOLS,
+};
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const WINDOW: usize = 32 * 1024;
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+const CHAIN_LIMIT: usize = 64;
+const NO_POS: u32 = u32::MAX;
+/// Buffered input is compressed into a plain (non-final, non-sync) block
+/// once it reaches this size, bounding encoder memory.
+const BLOCK_LIMIT: usize = 1 << 20;
+const MAX_STORED: usize = 65535;
+
+#[derive(Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let word = data[pos] as u32 | ((data[pos + 1] as u32) << 8) | ((data[pos + 2] as u32) << 16);
+    (word.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    let mut n = 0;
+    while n < max && data[a + n] == data[b + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Greedy LZ77 over one chunk. Matches never cross chunk boundaries (each
+/// flush starts a fresh window), which keeps the writer stateless between
+/// blocks at the price of a little ratio on sync-heavy streams.
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 2 + 1);
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let mut head = vec![NO_POS; HASH_SIZE];
+    let mut prev = vec![NO_POS; data.len()];
+    let insert = |head: &mut Vec<u32>, prev: &mut Vec<u32>, pos: usize| {
+        let h = hash3(data, pos);
+        prev[pos] = head[h];
+        head[h] = pos as u32;
+    };
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let remaining = data.len() - pos;
+        if remaining < MIN_MATCH {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+            continue;
+        }
+        let max = remaining.min(MAX_MATCH);
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[hash3(data, pos)];
+        let mut chain = 0usize;
+        while candidate != NO_POS && chain < CHAIN_LIMIT {
+            let cand = candidate as usize;
+            let dist = pos - cand;
+            if dist > WINDOW {
+                break;
+            }
+            let len = match_len(data, cand, pos, max);
+            if len > best_len {
+                best_len = len;
+                best_dist = dist;
+                if len == max {
+                    break;
+                }
+            }
+            candidate = prev[cand];
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
+            let end = (pos + best_len).min(data.len() - MIN_MATCH + 1);
+            for p in pos..end {
+                insert(&mut head, &mut prev, p);
+            }
+            pos += best_len;
+        } else {
+            tokens.push(Token::Literal(data[pos]));
+            insert(&mut head, &mut prev, pos);
+            pos += 1;
+        }
+    }
+    tokens
+}
+
+fn token_frequencies(tokens: &[Token]) -> ([u64; MAX_LIT_SYMBOLS], [u64; MAX_DIST_SYMBOLS]) {
+    let mut lit = [0u64; MAX_LIT_SYMBOLS];
+    let mut dist = [0u64; MAX_DIST_SYMBOLS];
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => lit[b as usize] += 1,
+            Token::Match { len, dist: d } => {
+                lit[257 + length_code(len)] += 1;
+                dist[dist_code(d)] += 1;
+            }
+        }
+    }
+    lit[END_OF_BLOCK] += 1;
+    (lit, dist)
+}
+
+fn token_cost_bits(tokens: &[Token], lit: &[Code], dist: &[Code]) -> u64 {
+    let mut bits = lit[END_OF_BLOCK].len as u64;
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => bits += lit[b as usize].len as u64,
+            Token::Match { len, dist: d } => {
+                let lc = length_code(len);
+                let dc = dist_code(d);
+                bits += lit[257 + lc].len as u64
+                    + LENGTH_EXTRA[lc] as u64
+                    + dist[dc].len as u64
+                    + DIST_EXTRA[dc] as u64;
+            }
+        }
+    }
+    bits
+}
+
+fn write_tokens<W: Write>(
+    bw: &mut BitWriter<W>,
+    tokens: &[Token],
+    lit: &[Code],
+    dist: &[Code],
+) -> io::Result<()> {
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => {
+                let code = lit[b as usize];
+                bw.write_bits(code.bits as u32, code.len as u32)?;
+            }
+            Token::Match { len, dist: d } => {
+                let lc = length_code(len);
+                let code = lit[257 + lc];
+                bw.write_bits(code.bits as u32, code.len as u32)?;
+                bw.write_bits((len - LENGTH_BASE[lc]) as u32, LENGTH_EXTRA[lc] as u32)?;
+                let dc = dist_code(d);
+                let code = dist[dc];
+                bw.write_bits(code.bits as u32, code.len as u32)?;
+                bw.write_bits((d - DIST_BASE[dc]) as u32, DIST_EXTRA[dc] as u32)?;
+            }
+        }
+    }
+    let eob = lit[END_OF_BLOCK];
+    bw.write_bits(eob.bits as u32, eob.len as u32)
+}
+
+/// One element of the RLE-compressed code-length sequence in a dynamic
+/// header (RFC 1951 §3.2.7).
+#[derive(Clone, Copy)]
+enum ClSym {
+    /// A literal code length 0..=15.
+    Len(u8),
+    /// Symbol 16: repeat the previous length `count` (3..=6) times.
+    Rep(u8),
+    /// Symbol 17: `count` (3..=10) zero lengths.
+    Zeros(u8),
+    /// Symbol 18: `count` (11..=138) zero lengths.
+    ZerosLong(u8),
+}
+
+fn rle_code_lengths(seq: &[u8]) -> Vec<ClSym> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < seq.len() {
+        let len = seq[i];
+        let mut run = 1usize;
+        while i + run < seq.len() && seq[i + run] == len {
+            run += 1;
+        }
+        if len == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                out.push(ClSym::ZerosLong(take as u8));
+                left -= take;
+            }
+            if left >= 3 {
+                out.push(ClSym::Zeros(left as u8));
+                left = 0;
+            }
+            for _ in 0..left {
+                out.push(ClSym::Len(0));
+            }
+        } else {
+            out.push(ClSym::Len(len));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                out.push(ClSym::Rep(take as u8));
+                left -= take;
+            }
+            for _ in 0..left {
+                out.push(ClSym::Len(len));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+struct DynHeader {
+    hlit: usize,
+    hdist: usize,
+    hclen: usize,
+    cl_lens: [u8; 19],
+    cl_codes: Vec<Code>,
+    rle: Vec<ClSym>,
+    lit_codes: Vec<Code>,
+    dist_codes: Vec<Code>,
+    header_bits: u64,
+}
+
+fn build_dynamic(lit_freq: &[u64], dist_freq: &[u64]) -> DynHeader {
+    let lit_lens = build_lengths(lit_freq, MAX_CODE_LEN);
+    let dist_lens = build_lengths(dist_freq, MAX_CODE_LEN);
+    let hlit = lit_lens
+        .iter()
+        .rposition(|&l| l > 0)
+        .map_or(257, |i| (i + 1).max(257));
+    let hdist = dist_lens.iter().rposition(|&l| l > 0).map_or(1, |i| i + 1);
+    let mut seq = Vec::with_capacity(hlit + hdist);
+    seq.extend_from_slice(&lit_lens[..hlit]);
+    seq.extend_from_slice(&dist_lens[..hdist]);
+    let rle = rle_code_lengths(&seq);
+    let mut cl_freq = [0u64; 19];
+    for sym in &rle {
+        match *sym {
+            ClSym::Len(l) => cl_freq[l as usize] += 1,
+            ClSym::Rep(_) => cl_freq[16] += 1,
+            ClSym::Zeros(_) => cl_freq[17] += 1,
+            ClSym::ZerosLong(_) => cl_freq[18] += 1,
+        }
+    }
+    let cl_lens_vec = build_lengths(&cl_freq, MAX_CLCODE_LEN);
+    let mut cl_lens = [0u8; 19];
+    cl_lens.copy_from_slice(&cl_lens_vec);
+    let cl_codes = codes_from_lengths(&cl_lens);
+    let hclen = (4..=19)
+        .rev()
+        .find(|&n| cl_lens[CLCODE_ORDER[n - 1]] > 0)
+        .unwrap_or(4);
+    let mut header_bits = 5 + 5 + 4 + 3 * hclen as u64;
+    for sym in &rle {
+        header_bits += match *sym {
+            ClSym::Len(l) => cl_lens[l as usize] as u64,
+            ClSym::Rep(_) => cl_lens[16] as u64 + 2,
+            ClSym::Zeros(_) => cl_lens[17] as u64 + 3,
+            ClSym::ZerosLong(_) => cl_lens[18] as u64 + 7,
+        };
+    }
+    DynHeader {
+        hlit,
+        hdist,
+        hclen,
+        cl_lens,
+        cl_codes,
+        rle,
+        lit_codes: codes_from_lengths(&lit_lens),
+        dist_codes: codes_from_lengths(&dist_lens),
+        header_bits,
+    }
+}
+
+fn write_dynamic_header<W: Write>(bw: &mut BitWriter<W>, hdr: &DynHeader) -> io::Result<()> {
+    bw.write_bits((hdr.hlit - 257) as u32, 5)?;
+    bw.write_bits((hdr.hdist - 1) as u32, 5)?;
+    bw.write_bits((hdr.hclen - 4) as u32, 4)?;
+    for &sym in CLCODE_ORDER.iter().take(hdr.hclen) {
+        bw.write_bits(hdr.cl_lens[sym] as u32, 3)?;
+    }
+    for sym in &hdr.rle {
+        match *sym {
+            ClSym::Len(l) => {
+                let code = hdr.cl_codes[l as usize];
+                bw.write_bits(code.bits as u32, code.len as u32)?;
+            }
+            ClSym::Rep(count) => {
+                let code = hdr.cl_codes[16];
+                bw.write_bits(code.bits as u32, code.len as u32)?;
+                bw.write_bits(count as u32 - 3, 2)?;
+            }
+            ClSym::Zeros(count) => {
+                let code = hdr.cl_codes[17];
+                bw.write_bits(code.bits as u32, code.len as u32)?;
+                bw.write_bits(count as u32 - 3, 3)?;
+            }
+            ClSym::ZerosLong(count) => {
+                let code = hdr.cl_codes[18];
+                bw.write_bits(code.bits as u32, code.len as u32)?;
+                bw.write_bits(count as u32 - 11, 7)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_stored<W: Write>(bw: &mut BitWriter<W>, data: &[u8], final_block: bool) -> io::Result<()> {
+    let mut chunks = data.chunks(MAX_STORED).peekable();
+    if data.is_empty() {
+        // chunks() yields nothing for empty input; a final empty stored
+        // block is still a legal (and minimal) way to end a stream.
+        bw.write_bits(final_block as u32, 1)?;
+        bw.write_bits(0b00, 2)?;
+        bw.align()?;
+        return bw.write_bytes(&[0x00, 0x00, 0xff, 0xff]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        bw.write_bits((final_block && last) as u32, 1)?;
+        bw.write_bits(0b00, 2)?;
+        bw.align()?;
+        let len = chunk.len() as u16;
+        bw.write_bytes(&[
+            (len & 0xff) as u8,
+            (len >> 8) as u8,
+            (!len & 0xff) as u8,
+            (!len >> 8) as u8,
+        ])?;
+        bw.write_bytes(chunk)?;
+    }
+    Ok(())
+}
+
+/// Compresses `data` as one complete block (plus stored-block splits when
+/// raw storage wins), choosing stored vs fixed vs dynamic by exact bit
+/// count.
+fn write_block<W: Write>(bw: &mut BitWriter<W>, data: &[u8], final_block: bool) -> io::Result<()> {
+    let tokens = tokenize(data);
+    let (lit_freq, dist_freq) = token_frequencies(&tokens);
+    let fixed_lit = codes_from_lengths(&fixed_lit_lengths());
+    let fixed_dist = codes_from_lengths(&fixed_dist_lengths());
+    let fixed_cost = 3 + token_cost_bits(&tokens, &fixed_lit, &fixed_dist);
+    let hdr = build_dynamic(&lit_freq, &dist_freq);
+    let dynamic_cost =
+        3 + hdr.header_bits + token_cost_bits(&tokens, &hdr.lit_codes, &hdr.dist_codes);
+    // Stored cost: worst-case alignment padding plus 32 header bits per
+    // 65535-byte sub-block.
+    let stored_blocks = data.len().div_ceil(MAX_STORED).max(1) as u64;
+    let stored_cost = 7 + stored_blocks * (3 + 32) + 8 * data.len() as u64;
+    if stored_cost < fixed_cost && stored_cost < dynamic_cost {
+        write_stored(bw, data, final_block)
+    } else if dynamic_cost < fixed_cost {
+        bw.write_bits(final_block as u32, 1)?;
+        bw.write_bits(0b10, 2)?;
+        write_dynamic_header(bw, &hdr)?;
+        write_tokens(bw, &tokens, &hdr.lit_codes, &hdr.dist_codes)
+    } else {
+        bw.write_bits(final_block as u32, 1)?;
+        bw.write_bits(0b01, 2)?;
+        write_tokens(bw, &tokens, &fixed_lit, &fixed_dist)
+    }
+}
+
+/// A streaming DEFLATE encoder implementing [`Write`].
+///
+/// * [`Write::write`] buffers input, emitting a plain block whenever the
+///   buffer reaches an internal limit (1 MiB).
+/// * [`Write::flush`] performs a **sync flush**: pending input becomes a
+///   non-final block, followed by an empty stored block that realigns the
+///   stream on a byte boundary, then the inner sink is flushed. Everything
+///   written before a flush is recoverable from the bytes on disk.
+/// * [`DeflateWriter::finish`] emits the final block and returns the inner
+///   sink. A stream that is never finished (a crash journal) stays
+///   readable via [`crate::inflate_tail_tolerant`].
+pub struct DeflateWriter<W: Write> {
+    bw: BitWriter<W>,
+    pending: Vec<u8>,
+    finished: bool,
+}
+
+impl<W: Write> DeflateWriter<W> {
+    /// Starts a fresh raw-DEFLATE stream over `inner`.
+    pub fn new(inner: W) -> Self {
+        DeflateWriter {
+            bw: BitWriter::new(inner),
+            pending: Vec::new(),
+            finished: false,
+        }
+    }
+
+    fn emit_pending(&mut self, final_block: bool) -> io::Result<()> {
+        if self.pending.is_empty() && !final_block {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        write_block(&mut self.bw, &pending, final_block)
+    }
+
+    /// Ends the stream with a final block and returns the inner sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the inner sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.emit_pending(true)?;
+        self.finished = true;
+        self.bw.into_inner()
+    }
+}
+
+impl<W: Write> Write for DeflateWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.pending.extend_from_slice(buf);
+        if self.pending.len() >= BLOCK_LIMIT {
+            self.emit_pending(false)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.finished {
+            self.emit_pending(false)?;
+            // Z_SYNC_FLUSH: an empty non-final stored block; its LEN/NLEN
+            // bytes are the 00 00 FF FF marker and it ends byte-aligned.
+            write_stored(&mut self.bw, &[], false)?;
+        }
+        self.bw.flush_inner()
+    }
+}
+
+/// One-shot convenience: compresses `data` into a complete raw-DEFLATE
+/// stream (single logical chunk, final block emitted).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut writer = DeflateWriter::new(Vec::new());
+    writer.write_all(data).expect("writing to Vec cannot fail");
+    writer.finish().expect("writing to Vec cannot fail")
+}

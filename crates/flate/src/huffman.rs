@@ -1,0 +1,300 @@
+//! Canonical Huffman codes: length assignment from frequencies, canonical
+//! code construction from lengths (RFC 1951 §3.2.2), and a table-free
+//! canonical decoder.
+//!
+//! The construction follows the two-step recipe of the spec — count codes
+//! per length, derive the smallest code of each length, then hand out codes
+//! in symbol order — the same shape as the classic `zlib`-family
+//! implementations.
+
+use crate::bits::BitReader;
+use crate::InflateError;
+
+/// One symbol's canonical code. `bits` is stored **pre-reversed** so the
+/// LSB-first [`crate::bits::BitWriter`] emits the code MSB-first as DEFLATE
+/// requires; `len == 0` means the symbol has no code.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Code {
+    /// Reversed code bits, ready for `write_bits(bits, len)`.
+    pub bits: u16,
+    /// Code length in bits (0 = unused symbol).
+    pub len: u8,
+}
+
+fn reverse_bits(value: u16, len: u8) -> u16 {
+    let mut out = 0u16;
+    for i in 0..len {
+        out |= ((value >> i) & 1) << (len - 1 - i);
+    }
+    out
+}
+
+/// Assigns canonical codes to a slice of code lengths (RFC 1951 §3.2.2).
+///
+/// Lengths must already satisfy the Kraft inequality (the encoder's
+/// [`build_lengths`] guarantees this); zero-length symbols get
+/// `Code::default()`.
+pub fn codes_from_lengths(lengths: &[u8]) -> Vec<Code> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut counts = vec![0u32; max_len + 1];
+    for &len in lengths {
+        if len > 0 {
+            counts[len as usize] += 1;
+        }
+    }
+    // Step 2 of the spec: the numerically smallest code of each length.
+    let mut next = vec![0u32; max_len + 1];
+    let mut code = 0u32;
+    for len in 1..=max_len {
+        code = (code + counts[len - 1]) << 1;
+        next[len] = code;
+    }
+    lengths
+        .iter()
+        .map(|&len| {
+            if len == 0 {
+                Code::default()
+            } else {
+                let value = next[len as usize];
+                next[len as usize] += 1;
+                Code {
+                    bits: reverse_bits(value as u16, len),
+                    len,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Builds length-limited Huffman code lengths from symbol frequencies.
+///
+/// Deterministic: ties in the tree construction break on symbol order, so
+/// identical frequencies always yield identical lengths. When the optimal
+/// tree exceeds `limit` (possible only for near-Fibonacci frequency
+/// profiles), lengths are clamped and the Kraft sum repaired by deepening
+/// the shallowest over-budget symbols — valid, marginally sub-optimal, and
+/// still deterministic.
+pub fn build_lengths(freqs: &[u64], limit: u8) -> Vec<u8> {
+    let mut lengths = vec![0u8; freqs.len()];
+    let mut leaves: Vec<(u64, usize)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(sym, &f)| (f, sym))
+        .collect();
+    match leaves.len() {
+        0 => return lengths,
+        1 => {
+            // A lone symbol still needs one bit on the wire.
+            lengths[leaves[0].1] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    leaves.sort_unstable();
+    // Two-queue Huffman: sorted leaves plus a FIFO of internal nodes whose
+    // frequencies are produced in non-decreasing order. Parents are always
+    // created after their children, so a single reverse sweep yields depths.
+    let m = leaves.len();
+    let total = 2 * m - 1;
+    let mut freq_of: Vec<u64> = leaves.iter().map(|&(f, _)| f).collect();
+    let mut parent = vec![usize::MAX; total];
+    let mut leaf_at = 0usize;
+    let mut internal_at = m;
+    for _ in 0..m - 1 {
+        let mut take = |freq_of: &Vec<u64>| {
+            let leaf_ok = leaf_at < m;
+            let internal_ok = internal_at < freq_of.len();
+            let pick_leaf = match (leaf_ok, internal_ok) {
+                (true, true) => freq_of[leaf_at] <= freq_of[internal_at],
+                (true, false) => true,
+                (false, true) => false,
+                (false, false) => unreachable!("huffman merge ran out of nodes"),
+            };
+            if pick_leaf {
+                leaf_at += 1;
+                leaf_at - 1
+            } else {
+                internal_at += 1;
+                internal_at - 1
+            }
+        };
+        let a = take(&freq_of);
+        let b = take(&freq_of);
+        let node = freq_of.len();
+        freq_of.push(freq_of[a] + freq_of[b]);
+        parent[a] = node;
+        parent[b] = node;
+    }
+    let mut depth = vec![0u16; total];
+    for i in (0..total - 1).rev() {
+        depth[i] = depth[parent[i]] + 1;
+    }
+    for (i, &(_, sym)) in leaves.iter().enumerate() {
+        lengths[sym] = (depth[i] as u8).min(limit);
+    }
+    // Repair the Kraft sum if clamping oversubscribed the code space.
+    let cap = 1u64 << limit;
+    let mut kraft: u64 = leaves
+        .iter()
+        .map(|&(_, sym)| 1u64 << (limit - lengths[sym]))
+        .sum();
+    while kraft > cap {
+        let deepen = leaves
+            .iter()
+            .map(|&(_, sym)| sym)
+            .filter(|&sym| lengths[sym] < limit)
+            .max_by_key(|&sym| (lengths[sym], usize::MAX - sym))
+            .expect("fewer symbols than code space: some length is below the limit");
+        lengths[deepen] += 1;
+        kraft -= 1u64 << (limit - lengths[deepen]);
+    }
+    lengths
+}
+
+/// A canonical Huffman decoder over a length table, decoding one bit at a
+/// time against the per-length first-code boundaries (the `puff` scheme).
+pub struct HuffDecoder {
+    counts: [u16; 16],
+    symbols: Vec<u16>,
+}
+
+impl HuffDecoder {
+    /// Builds a decoder from code lengths.
+    ///
+    /// # Errors
+    ///
+    /// [`InflateError::OversubscribedCode`] when the lengths claim more
+    /// codes than the space holds. Incomplete codes are accepted (required
+    /// for the legitimate one-distance-code case); an unused pattern then
+    /// surfaces as [`InflateError::InvalidSymbol`] during decode.
+    pub fn new(lengths: &[u8]) -> Result<Self, InflateError> {
+        let mut counts = [0u16; 16];
+        for &len in lengths {
+            debug_assert!(len <= 15);
+            if len > 0 {
+                counts[len as usize] += 1;
+            }
+        }
+        let mut left = 1i64;
+        for count in counts.iter().skip(1) {
+            left = (left << 1) - *count as i64;
+            if left < 0 {
+                return Err(InflateError::OversubscribedCode);
+            }
+        }
+        let mut offsets = [0usize; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len] as usize;
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l > 0).count()];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len > 0 {
+                symbols[offsets[len as usize]] = sym as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        Ok(HuffDecoder { counts, symbols })
+    }
+
+    /// Decodes the next symbol from the bit stream.
+    ///
+    /// # Errors
+    ///
+    /// [`InflateError::UnexpectedEof`] on a torn tail,
+    /// [`InflateError::InvalidSymbol`] when the bit pattern matches no code.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..=15usize {
+            code |= reader.read_bit()? as i32;
+            let count = self.counts[len] as i32;
+            if code - count < first {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(InflateError::InvalidSymbol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+
+    #[test]
+    fn spec_example_assigns_canonical_codes() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) ->
+        // codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let expected = [0b010u16, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111];
+        let codes = codes_from_lengths(&lengths);
+        for (i, code) in codes.iter().enumerate() {
+            assert_eq!(code.len, lengths[i]);
+            assert_eq!(reverse_bits(code.bits, code.len), expected[i], "symbol {i}");
+        }
+    }
+
+    #[test]
+    fn build_lengths_respects_kraft_and_limit() {
+        // Fibonacci-ish frequencies force deep optimal trees.
+        let freqs: Vec<u64> = (0..24)
+            .scan((1u64, 1u64), |s, _| {
+                let out = s.0;
+                *s = (s.1, s.0 + s.1);
+                Some(out)
+            })
+            .collect();
+        for limit in [7u8, 15] {
+            let lengths = build_lengths(&freqs, limit);
+            let kraft: u64 = lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 1u64 << (limit - l))
+                .sum();
+            assert!(kraft <= 1u64 << limit, "limit {limit}: kraft violated");
+            assert!(lengths.iter().all(|&l| l <= limit));
+            assert!(lengths.iter().all(|&l| l > 0), "every symbol gets a code");
+        }
+    }
+
+    #[test]
+    fn lone_symbol_gets_one_bit() {
+        let mut freqs = vec![0u64; 30];
+        freqs[17] = 42;
+        let lengths = build_lengths(&freqs, 15);
+        assert_eq!(lengths[17], 1);
+        assert_eq!(lengths.iter().map(|&l| l as u32).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_over_random_lengths() {
+        let freqs: Vec<u64> = (1..=60).map(|i| (i * i) as u64 % 97 + 1).collect();
+        let lengths = build_lengths(&freqs, 15);
+        let codes = codes_from_lengths(&lengths);
+        let decoder = HuffDecoder::new(&lengths).unwrap();
+        let symbols: Vec<usize> = (0..freqs.len()).chain((0..freqs.len()).rev()).collect();
+        let mut bw = BitWriter::new(Vec::new());
+        for &sym in &symbols {
+            bw.write_bits(codes[sym].bits as u32, codes[sym].len as u32)
+                .unwrap();
+        }
+        let bytes = bw.into_inner().unwrap();
+        let mut br = BitReader::new(&bytes);
+        for &sym in &symbols {
+            assert_eq!(decoder.decode(&mut br).unwrap(), sym as u16);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_lengths_are_rejected() {
+        assert!(matches!(
+            HuffDecoder::new(&[1u8, 1, 1]),
+            Err(InflateError::OversubscribedCode)
+        ));
+    }
+}

@@ -1,0 +1,252 @@
+//! The DEFLATE decoder: strict ([`inflate`]) and tail-tolerant
+//! ([`inflate_tail_tolerant`]) entry points over one block-decoding core.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::bits::BitReader;
+use crate::huffman::HuffDecoder;
+use crate::tables::{
+    fixed_dist_lengths, fixed_lit_lengths, CLCODE_ORDER, DIST_BASE, DIST_EXTRA, LENGTH_BASE,
+    LENGTH_EXTRA, MAX_DIST_SYMBOLS, MAX_LIT_SYMBOLS,
+};
+
+/// Why a DEFLATE stream failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InflateError {
+    /// Input ended mid-element: the stream is truncated (torn tail).
+    UnexpectedEof,
+    /// A block header used the reserved block type `11`.
+    InvalidBlockType,
+    /// A stored block's `NLEN` was not the complement of `LEN`.
+    StoredLengthMismatch,
+    /// A Huffman length table claims more codes than the space holds.
+    OversubscribedCode,
+    /// A bit pattern matched no code, or a decoded symbol is reserved.
+    InvalidSymbol,
+    /// A dynamic header's repeat opcode had no previous length to repeat,
+    /// or ran past the declared table size.
+    InvalidCodeLengthRepeat,
+    /// A dynamic header declared more symbols than the alphabet allows.
+    TooManyCodeLengths,
+    /// A match distance reaches before the start of the output.
+    DistanceTooFar,
+}
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            InflateError::UnexpectedEof => "unexpected end of deflate stream",
+            InflateError::InvalidBlockType => "reserved block type 11",
+            InflateError::StoredLengthMismatch => "stored block LEN/NLEN mismatch",
+            InflateError::OversubscribedCode => "oversubscribed huffman code lengths",
+            InflateError::InvalidSymbol => "bit pattern matches no huffman code",
+            InflateError::InvalidCodeLengthRepeat => "invalid code-length repeat",
+            InflateError::TooManyCodeLengths => "dynamic header exceeds alphabet size",
+            InflateError::DistanceTooFar => "match distance before start of output",
+        };
+        f.write_str(what)
+    }
+}
+
+impl Error for InflateError {}
+
+/// The result of a tail-tolerant decode: everything recovered before the
+/// stream ended, and whether a final block was actually seen.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InflatePrefix {
+    /// The decoded bytes (complete through the last intact element).
+    pub data: Vec<u8>,
+    /// `true` when the stream ended properly with a final block.
+    pub complete: bool,
+}
+
+fn fixed_decoders() -> &'static (HuffDecoder, HuffDecoder) {
+    static FIXED: OnceLock<(HuffDecoder, HuffDecoder)> = OnceLock::new();
+    FIXED.get_or_init(|| {
+        (
+            HuffDecoder::new(&fixed_lit_lengths()).expect("fixed lit table is well-formed"),
+            HuffDecoder::new(&fixed_dist_lengths()).expect("fixed dist table is well-formed"),
+        )
+    })
+}
+
+fn read_dynamic_tables(br: &mut BitReader<'_>) -> Result<(HuffDecoder, HuffDecoder), InflateError> {
+    let hlit = br.read_bits(5)? as usize + 257;
+    let hdist = br.read_bits(5)? as usize + 1;
+    let hclen = br.read_bits(4)? as usize + 4;
+    if hlit > MAX_LIT_SYMBOLS || hdist > MAX_DIST_SYMBOLS {
+        return Err(InflateError::TooManyCodeLengths);
+    }
+    let mut cl_lens = [0u8; 19];
+    for &sym in CLCODE_ORDER.iter().take(hclen) {
+        cl_lens[sym] = br.read_bits(3)? as u8;
+    }
+    let cl_decoder = HuffDecoder::new(&cl_lens)?;
+    let total = hlit + hdist;
+    let mut lengths = vec![0u8; total];
+    let mut at = 0usize;
+    while at < total {
+        let sym = cl_decoder.decode(br)?;
+        match sym {
+            0..=15 => {
+                lengths[at] = sym as u8;
+                at += 1;
+            }
+            16 => {
+                if at == 0 {
+                    return Err(InflateError::InvalidCodeLengthRepeat);
+                }
+                let prev = lengths[at - 1];
+                let count = br.read_bits(2)? as usize + 3;
+                if at + count > total {
+                    return Err(InflateError::InvalidCodeLengthRepeat);
+                }
+                lengths[at..at + count].fill(prev);
+                at += count;
+            }
+            17 => {
+                let count = br.read_bits(3)? as usize + 3;
+                if at + count > total {
+                    return Err(InflateError::InvalidCodeLengthRepeat);
+                }
+                at += count;
+            }
+            18 => {
+                let count = br.read_bits(7)? as usize + 11;
+                if at + count > total {
+                    return Err(InflateError::InvalidCodeLengthRepeat);
+                }
+                at += count;
+            }
+            _ => return Err(InflateError::InvalidSymbol),
+        }
+    }
+    Ok((
+        HuffDecoder::new(&lengths[..hlit])?,
+        HuffDecoder::new(&lengths[hlit..])?,
+    ))
+}
+
+fn decode_huffman_block(
+    br: &mut BitReader<'_>,
+    lit: &HuffDecoder,
+    dist: &HuffDecoder,
+    out: &mut Vec<u8>,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(br)? as usize;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = sym - 257;
+                let len =
+                    LENGTH_BASE[idx] as usize + br.read_bits(LENGTH_EXTRA[idx] as u32)? as usize;
+                let dsym = dist.decode(br)? as usize;
+                if dsym >= 30 {
+                    return Err(InflateError::InvalidSymbol);
+                }
+                let distance =
+                    DIST_BASE[dsym] as usize + br.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                if distance > out.len() {
+                    return Err(InflateError::DistanceTooFar);
+                }
+                let start = out.len() - distance;
+                // Overlapping copies are the LZ77 run-length idiom; copy
+                // byte-wise so freshly written bytes are visible.
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(InflateError::InvalidSymbol),
+        }
+    }
+}
+
+/// Decodes blocks into `out` until a final block completes (`Ok(true)`),
+/// the input runs out cleanly between blocks (`Ok(false)`), or an error
+/// stops the stream. Output accumulated before the error is preserved —
+/// the tail-tolerant entry point depends on that.
+fn run(data: &[u8], out: &mut Vec<u8>) -> Result<bool, InflateError> {
+    let mut br = BitReader::new(data);
+    loop {
+        let bfinal = match br.read_bit() {
+            Ok(bit) => bit == 1,
+            // A stream cut exactly at a block boundary (sync-flushed
+            // journal) ends here without a final block.
+            Err(InflateError::UnexpectedEof) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let btype = br.read_bits(2)?;
+        match btype {
+            0b00 => {
+                br.align();
+                let header = br.take_bytes(4)?;
+                let len = header[0] as usize | (header[1] as usize) << 8;
+                let nlen = header[2] as usize | (header[3] as usize) << 8;
+                if len ^ nlen != 0xffff {
+                    return Err(InflateError::StoredLengthMismatch);
+                }
+                let bytes = br.take_bytes(len)?;
+                out.extend_from_slice(bytes);
+            }
+            0b01 => {
+                let (lit, dist) = fixed_decoders();
+                decode_huffman_block(&mut br, lit, dist, out)?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_tables(&mut br)?;
+                decode_huffman_block(&mut br, &lit, &dist, out)?;
+            }
+            _ => return Err(InflateError::InvalidBlockType),
+        }
+        if bfinal {
+            return Ok(true);
+        }
+    }
+}
+
+/// Decodes a complete raw-DEFLATE stream.
+///
+/// # Errors
+///
+/// Any [`InflateError`], including [`InflateError::UnexpectedEof`] when the
+/// stream lacks a final block — use [`inflate_tail_tolerant`] for crash
+/// journals, which are never finished.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut out = Vec::with_capacity(data.len().saturating_mul(3));
+    if run(data, &mut out)? {
+        Ok(out)
+    } else {
+        Err(InflateError::UnexpectedEof)
+    }
+}
+
+/// Decodes as much of a possibly-truncated stream as is intact.
+///
+/// Truncation ([`InflateError::UnexpectedEof`] mid-element, or input ending
+/// between blocks) is *not* an error: the prefix decoded so far is returned
+/// with `complete: false`. Actual corruption (bad block types, invalid
+/// codes, LEN/NLEN mismatches) still fails — a torn tail loses data off the
+/// end, it does not scramble the middle.
+///
+/// # Errors
+///
+/// Any [`InflateError`] other than truncation.
+pub fn inflate_tail_tolerant(data: &[u8]) -> Result<InflatePrefix, InflateError> {
+    let mut out = Vec::with_capacity(data.len().saturating_mul(3));
+    match run(data, &mut out) {
+        Ok(complete) => Ok(InflatePrefix {
+            data: out,
+            complete,
+        }),
+        Err(InflateError::UnexpectedEof) => Ok(InflatePrefix {
+            data: out,
+            complete: false,
+        }),
+        Err(e) => Err(e),
+    }
+}

@@ -1,0 +1,106 @@
+//! RFC 1951 constant tables shared by the encoder and the decoder.
+
+/// Smallest match length represented by each length symbol (257 + index).
+pub const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+
+/// Extra bits carried by each length symbol.
+pub const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// Smallest distance represented by each distance symbol.
+pub const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+
+/// Extra bits carried by each distance symbol.
+pub const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// The order in which code-length-code lengths appear in a dynamic header.
+pub const CLCODE_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Number of literal/length symbols a dynamic header can describe.
+pub const MAX_LIT_SYMBOLS: usize = 286;
+
+/// Number of distance symbols a dynamic header can describe.
+pub const MAX_DIST_SYMBOLS: usize = 30;
+
+/// End-of-block symbol in the literal/length alphabet.
+pub const END_OF_BLOCK: usize = 256;
+
+/// Longest Huffman code length DEFLATE permits for the main alphabets.
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Longest code length for the code-length alphabet itself.
+pub const MAX_CLCODE_LEN: u8 = 7;
+
+/// Maps a match length (3..=258) to its length-symbol index (0..29).
+pub fn length_code(len: u16) -> usize {
+    debug_assert!((3..=258).contains(&len));
+    LENGTH_BASE.partition_point(|&base| base <= len) - 1
+}
+
+/// Maps a match distance (1..=32768) to its distance-symbol index (0..30).
+pub fn dist_code(dist: u16) -> usize {
+    debug_assert!(dist >= 1);
+    DIST_BASE.partition_point(|&base| base <= dist) - 1
+}
+
+/// The fixed-Huffman literal/length code lengths (RFC 1951 §3.2.6).
+pub fn fixed_lit_lengths() -> [u8; 288] {
+    let mut lens = [8u8; 288];
+    for len in lens.iter_mut().take(256).skip(144) {
+        *len = 9;
+    }
+    for len in lens.iter_mut().take(280).skip(256) {
+        *len = 7;
+    }
+    lens
+}
+
+/// The fixed-Huffman distance code lengths: thirty 5-bit codes.
+pub fn fixed_dist_lengths() -> [u8; 30] {
+    [5u8; 30]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_code_covers_all_lengths() {
+        for len in 3u16..=258 {
+            let code = length_code(len);
+            let lo = LENGTH_BASE[code];
+            let hi = if code == 28 {
+                258
+            } else {
+                LENGTH_BASE[code] + (1 << LENGTH_EXTRA[code]) - 1
+            };
+            assert!(
+                (lo..=hi).contains(&len),
+                "len {len} -> code {code} range {lo}..={hi}"
+            );
+        }
+        assert_eq!(length_code(258), 28, "258 uses the dedicated symbol 285");
+    }
+
+    #[test]
+    fn dist_code_covers_all_distances() {
+        for dist in [1u16, 2, 3, 4, 5, 24, 25, 192, 193, 24576, 24577, 32768] {
+            let code = dist_code(dist);
+            let lo = DIST_BASE[code];
+            let hi = DIST_BASE[code] as u32 + (1u32 << DIST_EXTRA[code]) - 1;
+            assert!((lo as u32..=hi).contains(&(dist as u32)));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! DEFLATE round-trip and conformance tests: property-based encoder ↔
+//! decoder round trips over adversarial byte strings (all block types,
+//! sync-flush points), fixed known-answer vectors produced by an
+//! independent implementation (zlib), and the crash-journal torn-tail
+//! contract.
+
+use std::io::Write;
+
+use krigeval_flate::{compress, inflate, inflate_tail_tolerant, DeflateWriter, InflateError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// --- known-answer vectors -------------------------------------------------
+
+/// `zlib.compressobj(9, DEFLATED, -15)` over `b"hello hello hello hello\n"`.
+const ZLIB_HELLO: &[u8] = &[203, 72, 205, 201, 201, 87, 200, 64, 39, 185, 0];
+
+/// `zlib.compressobj(1, DEFLATED, -15)` over `bytes(range(64))`.
+const ZLIB_BYTES64: &[u8] = &[
+    99, 96, 100, 98, 102, 97, 101, 99, 231, 224, 228, 226, 230, 225, 229, 227, 23, 16, 20, 18, 22,
+    17, 21, 19, 151, 144, 148, 146, 150, 145, 149, 147, 87, 80, 84, 82, 86, 81, 85, 83, 215, 208,
+    212, 210, 214, 209, 213, 211, 55, 48, 52, 50, 54, 49, 53, 51, 183, 176, 180, 178, 182, 177,
+    181, 179, 7, 0,
+];
+
+/// Two lines, each followed by a `Z_SYNC_FLUSH`, never finished — the
+/// exact shape of a compressed crash journal (here produced by zlib).
+const ZLIB_SYNC_JOURNAL: &[u8] = &[
+    202, 201, 204, 75, 85, 200, 207, 75, 229, 2, 0, 0, 0, 255, 255, 202, 1, 49, 74, 202, 243, 185,
+    0, 0, 0, 0, 255, 255,
+];
+
+#[test]
+fn decodes_zlib_fixed_huffman_stream() {
+    assert_eq!(inflate(ZLIB_HELLO).unwrap(), b"hello hello hello hello\n");
+}
+
+#[test]
+fn decodes_zlib_dynamic_huffman_stream() {
+    let expected: Vec<u8> = (0u8..64).collect();
+    assert_eq!(inflate(ZLIB_BYTES64).unwrap(), expected);
+}
+
+#[test]
+fn decodes_zlib_sync_flushed_journal() {
+    let prefix = inflate_tail_tolerant(ZLIB_SYNC_JOURNAL).unwrap();
+    assert_eq!(prefix.data, b"line one\nline two\n");
+    assert!(!prefix.complete, "journal streams are never finished");
+    // The strict decoder refuses the missing final block.
+    assert_eq!(inflate(ZLIB_SYNC_JOURNAL), Err(InflateError::UnexpectedEof));
+}
+
+#[test]
+fn decodes_handbuilt_stored_block() {
+    // BFINAL=1 BTYPE=00, aligned, LEN=5 NLEN=!5, then the payload.
+    let raw = [0x01, 0x05, 0x00, 0xfa, 0xff, b'k', b'r', b'i', b'g', b'e'];
+    assert_eq!(inflate(&raw).unwrap(), b"krige");
+}
+
+#[test]
+fn rejects_reserved_block_type() {
+    // BFINAL=1 BTYPE=11 -> 0b111.
+    assert_eq!(inflate(&[0x07]), Err(InflateError::InvalidBlockType));
+}
+
+#[test]
+fn rejects_stored_length_mismatch() {
+    let raw = [0x01, 0x05, 0x00, 0x00, 0x00];
+    assert_eq!(inflate(&raw), Err(InflateError::StoredLengthMismatch));
+}
+
+#[test]
+fn rejects_distance_before_start() {
+    // Hand-built fixed-Huffman block whose first element is a length-3
+    // match at distance 1 — there is no prior output to copy from.
+    // Bits (LSB-first packing): BFINAL=1, BTYPE=01, lit symbol 257
+    // (7-bit code 0000001, MSB-first), distance symbol 0 (5-bit code 00000).
+    let raw = [0x03, 0x02];
+    assert_eq!(inflate(&raw), Err(InflateError::DistanceTooFar));
+}
+
+// --- sync-flush / journal semantics --------------------------------------
+
+#[test]
+fn sync_flush_emits_marker_and_aligns() {
+    let mut w = DeflateWriter::new(Vec::new());
+    w.write_all(b"{\"type\":\"run\",\"index\":0}\n").unwrap();
+    w.flush().unwrap();
+    w.write_all(b"{\"type\":\"run\",\"index\":1}\n").unwrap();
+    w.flush().unwrap();
+    let bytes = w.finish().unwrap();
+    // Every sync flush ends with the empty-stored-block marker.
+    let marker = [0x00u8, 0x00, 0xff, 0xff];
+    let count = bytes.windows(4).filter(|window| *window == marker).count();
+    assert!(count >= 2, "expected two sync markers, found {count}");
+    assert_eq!(
+        inflate(&bytes).unwrap(),
+        b"{\"type\":\"run\",\"index\":0}\n{\"type\":\"run\",\"index\":1}\n"
+    );
+}
+
+#[test]
+fn every_flushed_line_survives_truncation_at_any_point() {
+    let mut w = DeflateWriter::new(Vec::new());
+    let mut full = Vec::new();
+    for i in 0..20 {
+        let line = format!(
+            "{{\"type\":\"run\",\"index\":{i},\"p\":{}}}\n",
+            i as f64 * 1.5
+        );
+        w.write_all(line.as_bytes()).unwrap();
+        w.flush().unwrap();
+        full.extend_from_slice(line.as_bytes());
+    }
+    let bytes = w.finish().unwrap();
+    for cut in 0..=bytes.len() {
+        let prefix = inflate_tail_tolerant(&bytes[..cut]).unwrap();
+        assert!(
+            full.starts_with(&prefix.data),
+            "cut {cut}: decoded bytes are not a prefix of the journal"
+        );
+    }
+    // The intact stream recovers every line.
+    assert_eq!(inflate_tail_tolerant(&bytes).unwrap().data, full);
+}
+
+// --- property-based round trips -------------------------------------------
+
+proptest! {
+    #[test]
+    fn one_shot_round_trip_random_bytes(data in vec(0u8..=255, 0..4096)) {
+        prop_assert_eq!(inflate(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn one_shot_round_trip_low_entropy(data in vec(0u8..4, 0..8192)) {
+        // Heavily skewed alphabets exercise dynamic blocks and deep LZ runs.
+        prop_assert_eq!(inflate(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn streamed_round_trip_with_sync_flushes(
+        chunks in vec(vec(0u8..=255, 0..512), 0..12),
+        flush_mask in vec((0u8..2).prop_map(|b| b == 1), 12),
+    ) {
+        let mut w = DeflateWriter::new(Vec::new());
+        let mut full = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            w.write_all(chunk).unwrap();
+            if flush_mask[i] {
+                w.flush().unwrap();
+            }
+            full.extend_from_slice(chunk);
+        }
+        let bytes = w.finish().unwrap();
+        prop_assert_eq!(inflate(&bytes).unwrap(), full);
+    }
+
+    #[test]
+    fn truncated_streams_decode_to_prefixes(
+        data in vec(0u8..16, 0..2048),
+        cut_permille in 0u32..1000,
+    ) {
+        let bytes = compress(&data);
+        let cut = (bytes.len() as u64 * cut_permille as u64 / 1000) as usize;
+        let prefix = inflate_tail_tolerant(&bytes[..cut]).unwrap();
+        prop_assert!(data.starts_with(&prefix.data));
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in vec(0u8..=255, 0..512)) {
+        // Arbitrary bytes must yield Ok or a typed error, never a panic.
+        let _ = inflate(&data);
+        let _ = inflate_tail_tolerant(&data);
+    }
+}
+
+#[test]
+fn stored_blocks_cover_incompressible_input() {
+    // High-entropy input makes the encoder fall back to stored blocks; a
+    // deterministic xorshift keeps the test reproducible.
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let data: Vec<u8> = (0..200_000)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect();
+    let bytes = compress(&data);
+    assert_eq!(inflate(&bytes).unwrap(), data);
+    // Stored framing caps the expansion at a fraction of a percent.
+    assert!(bytes.len() < data.len() + data.len() / 100 + 64);
+}
+
+#[test]
+fn jsonl_artifacts_compress_well() {
+    let mut text = String::new();
+    for i in 0..500 {
+        text.push_str(&format!(
+            "{{\"type\":\"run\",\"index\":{i},\"benchmark\":\"fir64\",\"metric\":\"noise power\",\
+             \"d\":3.0,\"min_neighbors\":2,\"p_percent\":{:.3},\"audit_mean_eps\":{:.6}}}\n",
+            90.0 + (i % 7) as f64 * 0.5,
+            0.001 * (i % 13) as f64,
+        ));
+    }
+    let bytes = compress(text.as_bytes());
+    assert_eq!(inflate(&bytes).unwrap(), text.as_bytes());
+    assert!(
+        bytes.len() * 4 < text.len(),
+        "JSONL should compress at least 4x, got {} -> {}",
+        text.len(),
+        bytes.len()
+    );
+}

@@ -75,6 +75,7 @@ fn usage() -> String {
      \x20 --max-inflight N          concurrent work cap before shedding (default 8)\n\
      \x20 --drain-grace-ms MS       typed-rejection window during drain (default 500)\n\
      \x20 --metrics-out PATH        write final metrics snapshot on exit\n\
+     \x20                           (.prom = Prometheus text, .z suffix = DEFLATE)\n\
      \x20 --trace-out PATH          stream trace events to a JSONL file\n\
      \x20 --quiet                   suppress status lines\n\
      \n\

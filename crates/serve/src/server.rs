@@ -64,7 +64,10 @@ pub struct ServerConfig {
     /// with `overloaded` frames.
     pub max_inflight: usize,
     /// Write a final metrics snapshot here on [`Server::join`]
-    /// (Prometheus text when the path ends in `.prom`, JSON otherwise).
+    /// (Prometheus text when the path ends in `.prom`, JSON otherwise; a
+    /// trailing `.z` — `metrics.prom.z`, `metrics.json.z` — requests a
+    /// raw-DEFLATE-compressed snapshot, format chosen from the inner
+    /// extension).
     pub metrics_out: Option<String>,
     /// Stream trace events to this JSONL file.
     pub trace_out: Option<String>,
@@ -351,7 +354,8 @@ impl Server {
         }
         let snapshot = self.shared.registry.snapshot();
         if let Some(path) = &self.shared.config.metrics_out {
-            let mut text = if path.ends_with(".prom") {
+            let inner = path.strip_suffix(".z").unwrap_or(path);
+            let mut text = if inner.ends_with(".prom") {
                 snapshot.to_prometheus()
             } else {
                 snapshot.to_json(true)
@@ -359,7 +363,11 @@ impl Server {
             if !text.ends_with('\n') {
                 text.push('\n');
             }
-            std::fs::write(path, text)?;
+            if path.ends_with(".z") {
+                std::fs::write(path, krigeval_flate::compress(text.as_bytes()))?;
+            } else {
+                std::fs::write(path, text)?;
+            }
         }
         let counter = |name: &str| {
             snapshot

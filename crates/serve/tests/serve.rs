@@ -400,3 +400,94 @@ fn snapshot_rides_the_wire() {
     drop(client);
     server.join().expect("join");
 }
+
+#[test]
+fn every_matrix_benchmark_opens_a_session_and_evaluates_over_the_wire() {
+    // The full Table-I matrix vocabulary, each with its Nv: a hello for
+    // every benchmark must succeed over the wire, report the right
+    // dimension, and evaluate a mid-range configuration. The
+    // classification-rate problems additionally open with the nugget
+    // estimator active, mirroring the campaign matrix policy.
+    let server = start(|c| {
+        c.threads = 2;
+        c.max_sessions = 16;
+    });
+    let addr = server.addr();
+    let benchmarks: [(&str, usize); 8] = [
+        ("fir", 2),
+        ("iir", 5),
+        ("fft", 10),
+        ("hevc", 23),
+        ("squeezenet", 10),
+        ("quantized_cnn", 10),
+        ("dct", 4),
+        ("lms", 3),
+    ];
+    for (benchmark, expected_nv) in benchmarks {
+        let mut client = Client::connect(addr);
+        let noisy = matches!(benchmark, "squeezenet" | "quantized_cnn");
+        let frame = client.roundtrip(&Request::Hello(HelloParams {
+            benchmark: benchmark.to_string(),
+            nugget: noisy.then(|| "auto".to_string()),
+            ..HelloParams::default()
+        }));
+        let nv = match frame {
+            Response::Session { nv, .. } => nv as usize,
+            other => panic!(
+                "{benchmark}: expected session frame, got {}",
+                other.to_line()
+            ),
+        };
+        assert_eq!(nv, expected_nv, "{benchmark}: Nv over the wire");
+        let config = vec![6; nv];
+        match client.roundtrip(&Request::Evaluate { config }) {
+            Response::Value(outcome) => {
+                assert!(
+                    outcome.value.is_finite(),
+                    "{benchmark}: non-finite metric value"
+                );
+            }
+            other => panic!("{benchmark}: expected value frame, got {}", other.to_line()),
+        }
+    }
+    let report = server.join().expect("join");
+    assert_eq!(report.sessions, 8);
+}
+
+#[test]
+fn metrics_snapshot_with_z_suffix_is_deflate_compressed() {
+    let out = std::env::temp_dir().join(format!(
+        "krigeval_serve_metrics_{}.json.z",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&out);
+    let server = start(|c| {
+        c.metrics_out = Some(out.to_string_lossy().into_owned());
+    });
+    let mut client = Client::connect(server.addr());
+    let (_, nv) = client.hello("fir64");
+    match client.roundtrip(&Request::Evaluate {
+        config: vec![6; nv],
+    }) {
+        Response::Value(outcome) => assert!(outcome.value.is_finite()),
+        other => panic!("expected value frame, got {}", other.to_line()),
+    }
+    assert!(matches!(
+        client.roundtrip(&Request::Shutdown),
+        Response::Draining
+    ));
+    drop(client);
+    server.join().expect("join");
+
+    // The snapshot is raw DEFLATE; decoding it yields the same JSON the
+    // plain path would have written.
+    let raw = std::fs::read(&out).expect("metrics_out must be flushed on join");
+    let decoded = krigeval_flate::inflate(&raw).expect("snapshot is a complete DEFLATE stream");
+    let text = String::from_utf8(decoded).expect("snapshot is UTF-8");
+    assert!(text.contains("serve_requests_total"), "snapshot:\n{text}");
+    assert!(
+        text.trim_start().starts_with('{'),
+        "inner .json suffix selects JSON format"
+    );
+    let _ = std::fs::remove_file(&out);
+}
